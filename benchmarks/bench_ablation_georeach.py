@@ -1,0 +1,91 @@
+"""Ablation — GeoReach construction parameters.
+
+The paper sets MAX_RMBR, MAX_REACH_GRIDS and MERGE_COUNT "as suggested by
+the authors"; this sweep shows how the knobs trade SPA-graph size and
+build time against query time, and how the B/R/G class mix shifts.
+"""
+
+import pytest
+
+from repro.bench import bench_datasets, format_table, time_queries
+from repro.bench.experiments import DEFAULT_BUCKET, DEFAULT_EXTENT, get_workload
+from repro.bench.harness import bench_num_queries, build_timed, get_condensed
+from repro.bench.tables import mb, us
+from repro.core import GeoReach, GeoReachParams
+
+_SETTINGS = {
+    "default": GeoReachParams(),
+    "coarse-grid": GeoReachParams(grid_levels=4),
+    "fine-grid": GeoReachParams(grid_levels=10, max_reach_grids=256),
+    "tight-grids": GeoReachParams(max_reach_grids=8),
+    "eager-merge": GeoReachParams(merge_count=1),
+    "tiny-rmbr": GeoReachParams(max_rmbr_ratio=0.05),
+}
+
+
+def _dataset() -> str:
+    datasets = bench_datasets()
+    return "foursquare" if "foursquare" in datasets else datasets[0]
+
+
+@pytest.mark.parametrize("setting", sorted(_SETTINGS))
+def test_build_with_params(benchmark, setting):
+    condensed = get_condensed(_dataset())
+    params = _SETTINGS[setting]
+    method = benchmark.pedantic(
+        lambda: GeoReach(condensed, params), rounds=1, iterations=1
+    )
+    benchmark.extra_info["size_mb"] = mb(method.size_bytes())
+    benchmark.extra_info["classes"] = method.class_counts()
+
+
+@pytest.mark.parametrize("setting", sorted(_SETTINGS))
+def test_query_with_params(benchmark, setting):
+    condensed = get_condensed(_dataset())
+    method = GeoReach(condensed, _SETTINGS[setting])
+    batch = get_workload(_dataset()).batch_by_extent(
+        DEFAULT_EXTENT, DEFAULT_BUCKET, bench_num_queries()
+    )
+    avg, _ = benchmark.pedantic(
+        lambda: time_queries(method, batch), rounds=3, iterations=1
+    )
+    benchmark.extra_info["avg_query_us"] = avg * 1e6
+
+
+def test_params_do_not_change_answers():
+    condensed = get_condensed(_dataset())
+    methods = [GeoReach(condensed, p) for p in _SETTINGS.values()]
+    batch = get_workload(_dataset()).batch_by_extent(DEFAULT_EXTENT, DEFAULT_BUCKET, 20)
+    for query in batch:
+        answers = {m.query(query.vertex, query.region) for m in methods}
+        assert len(answers) == 1
+
+
+def test_georeach_params_report(benchmark, report):
+    def sweep():
+        condensed = get_condensed(_dataset())
+        workload = get_workload(_dataset())
+        batch = workload.batch_by_extent(
+            DEFAULT_EXTENT, DEFAULT_BUCKET, bench_num_queries()
+        )
+        rows = []
+        for name, params in sorted(_SETTINGS.items()):
+            method, build_s = build_timed(lambda p=params: GeoReach(condensed, p))
+            avg, _ = time_queries(method, batch)
+            classes = method.class_counts()
+            rows.append([
+                name, f"{build_s:.2f}", f"{mb(method.size_bytes()):.3f}",
+                round(us(avg), 1),
+                classes["B"], classes["R"], classes["G"],
+            ])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["setting", "build [s]", "size [MB]", "query [us]",
+             "#B", "#R", "#G"],
+            rows,
+            title=f"Ablation — GeoReach construction parameters on {_dataset()}",
+        )
+    )

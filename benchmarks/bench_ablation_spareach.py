@@ -1,0 +1,123 @@
+"""Ablations around SpaReach (not part of the paper's figures).
+
+Three design choices are isolated:
+
+1. **Materialize vs stream** — the paper's SpaReach evaluates the full
+   spatial range query before the first GReach test; the streaming
+   variant consumes R-tree results lazily.  Streaming flattens the
+   extent-degradation the paper attributes to SpaReach, which is exactly
+   why the distinction matters when interpreting Figure 7.
+2. **Spatial index choice** — R-tree (paper) vs quadtree vs uniform grid
+   vs linear scan, holding everything else fixed.
+3. **Reachability index choice** — BFL (paper's best) vs interval labels
+   vs PLL vs GRAIL.
+"""
+
+import pytest
+
+from repro.bench import bench_datasets, format_table, time_queries
+from repro.bench.experiments import DEFAULT_BUCKET, get_workload
+from repro.bench.harness import bench_num_queries, get_bundle
+from repro.bench.tables import us
+from repro.workloads import DEFAULT_EXTENTS
+
+_STREAMING = ("spareach-bfl", "spareach-bfl-streaming")
+_SPATIAL = (
+    "spareach-bfl", "spareach-bfl-quadtree", "spareach-bfl-grid",
+    "spareach-bfl-linear",
+)
+_REACH = (
+    "spareach-bfl", "spareach-int", "spareach-pll", "spareach-grail",
+    "spareach-feline", "spareach-chain",
+)
+
+
+def _dataset() -> str:
+    datasets = bench_datasets()
+    return "gowalla" if "gowalla" in datasets else datasets[0]
+
+
+@pytest.mark.parametrize("variant", _STREAMING)
+@pytest.mark.parametrize("extent", DEFAULT_EXTENTS)
+def test_streaming_ablation(benchmark, variant, extent):
+    dataset = _dataset()
+    bundle = get_bundle(dataset, _STREAMING)
+    batch = get_workload(dataset).batch_by_extent(
+        extent, DEFAULT_BUCKET, bench_num_queries()
+    )
+    method = bundle[variant]
+    avg, _ = benchmark.pedantic(
+        lambda: time_queries(method, batch), rounds=3, iterations=1
+    )
+    benchmark.extra_info["avg_query_us"] = avg * 1e6
+
+
+@pytest.mark.parametrize("variant", _SPATIAL)
+def test_spatial_index_ablation(benchmark, variant):
+    dataset = _dataset()
+    bundle = get_bundle(dataset, _SPATIAL)
+    batch = get_workload(dataset).batch_by_extent(
+        5.0, DEFAULT_BUCKET, bench_num_queries()
+    )
+    method = bundle[variant]
+    avg, _ = benchmark.pedantic(
+        lambda: time_queries(method, batch), rounds=3, iterations=1
+    )
+    benchmark.extra_info["avg_query_us"] = avg * 1e6
+
+
+@pytest.mark.parametrize("variant", _REACH)
+def test_reach_index_ablation(benchmark, variant):
+    dataset = _dataset()
+    bundle = get_bundle(dataset, _REACH)
+    batch = get_workload(dataset).batch_by_extent(
+        5.0, DEFAULT_BUCKET, bench_num_queries()
+    )
+    method = bundle[variant]
+    avg, _ = benchmark.pedantic(
+        lambda: time_queries(method, batch), rounds=3, iterations=1
+    )
+    benchmark.extra_info["avg_query_us"] = avg * 1e6
+
+
+def test_all_variants_agree():
+    dataset = _dataset()
+    names = tuple(dict.fromkeys(_STREAMING + _SPATIAL + _REACH))
+    bundle = get_bundle(dataset, names)
+    batch = get_workload(dataset).batch_by_extent(5.0, DEFAULT_BUCKET, 20)
+    for query in batch:
+        answers = {
+            name: bundle[name].query(query.vertex, query.region)
+            for name in names
+        }
+        assert len(set(answers.values())) == 1, answers
+
+
+def test_streaming_report(benchmark, report):
+    def sweep():
+        dataset = _dataset()
+        bundle = get_bundle(dataset, _STREAMING)
+        workload = get_workload(dataset)
+        rows = []
+        for extent in DEFAULT_EXTENTS:
+            batch = workload.batch_by_extent(
+                extent, DEFAULT_BUCKET, bench_num_queries()
+            )
+            row = [f"{extent:g}%"]
+            for name in _STREAMING:
+                avg, _ = time_queries(bundle[name], batch)
+                row.append(round(us(avg), 1))
+            rows.append(row)
+        return dataset, rows
+
+    dataset, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["extent"] + [f"{m} [us]" for m in _STREAMING],
+            rows,
+            title=(
+                "Ablation — materialized vs streaming SpaReach-BFL on "
+                f"{dataset} (the paper's variant materializes)"
+            ),
+        )
+    )

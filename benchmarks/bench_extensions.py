@@ -1,0 +1,124 @@
+"""Benchmarks for the extended query family (beyond the paper).
+
+Measures the cost of counting, enumeration, thresholds and
+nearest-reachable on the 3DReach structures, relative to the boolean
+RangeReach they generalize.
+"""
+
+import pytest
+
+from repro.bench import bench_datasets, format_table
+from repro.bench.experiments import DEFAULT_BUCKET, DEFAULT_EXTENT, get_workload
+from repro.bench.harness import bench_num_queries, get_condensed
+from repro.bench.tables import us
+from repro.core import GeosocialQueryEngine
+from repro.geometry import Point
+
+_ENGINES: dict[str, GeosocialQueryEngine] = {}
+
+
+def _dataset() -> str:
+    datasets = bench_datasets()
+    return "foursquare" if "foursquare" in datasets else datasets[0]
+
+
+def _engine() -> GeosocialQueryEngine:
+    name = _dataset()
+    if name not in _ENGINES:
+        _ENGINES[name] = GeosocialQueryEngine(get_condensed(name))
+    return _ENGINES[name]
+
+
+def _batch():
+    return get_workload(_dataset()).batch_by_extent(
+        DEFAULT_EXTENT, DEFAULT_BUCKET, bench_num_queries()
+    )
+
+
+@pytest.mark.parametrize(
+    "operation", ["range_reach", "count", "witnesses", "at_least_5"]
+)
+def test_extended_query_cost(benchmark, operation):
+    engine = _engine()
+    batch = _batch()
+
+    def run():
+        total = 0
+        for query in batch:
+            if operation == "range_reach":
+                total += engine.range_reach(query.vertex, query.region)
+            elif operation == "count":
+                total += engine.count(query.vertex, query.region)
+            elif operation == "witnesses":
+                total += len(engine.witnesses(query.vertex, query.region))
+            else:
+                total += engine.at_least(query.vertex, query.region, 5)
+        return total
+
+    total = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert total >= 0
+
+
+def test_nearest_cost(benchmark):
+    engine = _engine()
+    batch = _batch()
+    centers = [
+        Point(q.region.center.x, q.region.center.y) for q in batch
+    ]
+
+    def run():
+        found = 0
+        for query, center in zip(batch, centers):
+            if engine.nearest(query.vertex, center) is not None:
+                found += 1
+        return found
+
+    found = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert found >= 0
+
+
+def test_extended_queries_consistent():
+    engine = _engine()
+    for query in _batch()[:25]:
+        count = engine.count(query.vertex, query.region)
+        witnesses = engine.witnesses(query.vertex, query.region)
+        assert len(witnesses) == count
+        assert engine.range_reach(query.vertex, query.region) == (count > 0)
+        assert engine.at_least(query.vertex, query.region, count)
+        assert not engine.at_least(query.vertex, query.region, count + 1)
+
+
+def test_extensions_report(benchmark, report):
+    def sweep():
+        engine = _engine()
+        batch = _batch()
+        import time
+
+        rows = []
+        for label, runner in (
+            ("range_reach", lambda q: engine.range_reach(q.vertex, q.region)),
+            ("count", lambda q: engine.count(q.vertex, q.region)),
+            ("witnesses", lambda q: engine.witnesses(q.vertex, q.region)),
+            ("at_least(5)", lambda q: engine.at_least(q.vertex, q.region, 5)),
+            ("nearest", lambda q: engine.nearest(
+                q.vertex, Point(q.region.center.x, q.region.center.y)
+            )),
+        ):
+            start = time.perf_counter()
+            for query in batch:
+                runner(query)
+            avg = (time.perf_counter() - start) / len(batch)
+            rows.append([label, round(us(avg), 1)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["operation", "avg [us]"],
+            rows,
+            title=(
+                f"Extended query family on {_dataset()} "
+                "(GeosocialQueryEngine over the 3DReach structures)"
+            ),
+        )
+    )

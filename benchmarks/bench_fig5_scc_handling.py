@@ -1,0 +1,78 @@
+"""Figure 5 — SCC handling: replicate vs MBR variant (SpaReach-INT).
+
+Per-point query benchmarks for both variants at the default region
+extent, plus the full printed figure (extent + degree sweeps).  Expected
+shape (paper): the non-MBR (replicate) variant always wins — the MBR
+R-tree indexes rectangles instead of points and every candidate needs a
+member-point verification.
+"""
+
+import pytest
+
+from repro.bench import bench_datasets, format_table, time_queries
+from repro.bench.experiments import (
+    DEFAULT_BUCKET,
+    DEFAULT_EXTENT,
+    get_workload,
+    run_fig5,
+)
+from repro.bench.harness import bench_num_queries, get_bundle
+
+
+@pytest.mark.parametrize("variant", ["spareach-int", "spareach-int-mbr"])
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_query_default_extent(benchmark, dataset, variant):
+    bundle = get_bundle(dataset, ("spareach-int", "spareach-int-mbr"))
+    batch = get_workload(dataset).batch_by_extent(
+        DEFAULT_EXTENT, DEFAULT_BUCKET, bench_num_queries()
+    )
+    method = bundle[variant]
+    avg, positives = benchmark.pedantic(
+        lambda: time_queries(method, batch), rounds=3, iterations=1
+    )
+    benchmark.extra_info["avg_query_us"] = avg * 1e6
+    benchmark.extra_info["positives"] = positives
+
+
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_variants_agree(dataset):
+    bundle = get_bundle(dataset, ("spareach-int", "spareach-int-mbr"))
+    batch = get_workload(dataset).batch_by_extent(DEFAULT_EXTENT, DEFAULT_BUCKET, 20)
+    for query in batch:
+        assert bundle["spareach-int"].query(query.vertex, query.region) == bundle[
+            "spareach-int-mbr"
+        ].query(query.vertex, query.region)
+
+
+def test_fig5_report(benchmark, report):
+    title, headers, rows = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    assert rows
+    report(format_table(headers, rows, title=title))
+
+
+def test_fig5_svg_artifacts(benchmark, report, results_dir):
+    from repro.bench.experiments import chart_series
+    from repro.bench.svg_chart import write_svg
+
+    methods = ("spareach-int", "spareach-int-mbr")
+
+    def build():
+        written = []
+        for dataset in bench_datasets():
+            x_labels, series = chart_series(dataset, methods, "extent")
+            written.append(
+                write_svg(
+                    results_dir / f"fig5_{dataset}_extent.svg",
+                    f"Figure 5 — {dataset}, replicate vs MBR SCC handling",
+                    x_labels,
+                    series,
+                )
+            )
+        return written
+
+    written = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert all(p.exists() for p in written)
+    report(
+        "Figure 5 SVG artifacts written:\n"
+        + "\n".join(f"  {p}" for p in written)
+    )

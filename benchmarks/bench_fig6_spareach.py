@@ -1,0 +1,93 @@
+"""Figure 6 — determining the best spatial-first method.
+
+SpaReach-BFL vs SpaReach-INT across region extent, vertex degree and
+spatial selectivity.  Expected shape (paper): SpaReach-BFL wins almost
+everywhere (BFL answers GReach faster than interval labels), with the
+gap widest on the venue-heavy inputs where a region holds many
+candidates.
+"""
+
+import pytest
+
+from repro.bench import bench_datasets, format_table, time_queries
+from repro.bench.experiments import (
+    DEFAULT_BUCKET,
+    DEFAULT_EXTENT,
+    get_workload,
+    run_fig6,
+)
+from repro.bench.harness import bench_num_queries, get_bundle
+from repro.workloads import DEFAULT_EXTENTS
+
+_METHODS = ("spareach-bfl", "spareach-int")
+
+
+@pytest.mark.parametrize("method_name", _METHODS)
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_query_default_config(benchmark, dataset, method_name):
+    bundle = get_bundle(dataset, _METHODS)
+    batch = get_workload(dataset).batch_by_extent(
+        DEFAULT_EXTENT, DEFAULT_BUCKET, bench_num_queries()
+    )
+    method = bundle[method_name]
+    avg, _ = benchmark.pedantic(
+        lambda: time_queries(method, batch), rounds=3, iterations=1
+    )
+    benchmark.extra_info["avg_query_us"] = avg * 1e6
+
+
+@pytest.mark.parametrize("extent", DEFAULT_EXTENTS)
+def test_query_extent_sweep_gowalla(benchmark, extent):
+    if "gowalla" not in bench_datasets():
+        pytest.skip("gowalla excluded via REPRO_DATASETS")
+    bundle = get_bundle("gowalla", _METHODS)
+    batch = get_workload("gowalla").batch_by_extent(
+        extent, DEFAULT_BUCKET, bench_num_queries()
+    )
+    method = bundle["spareach-bfl"]
+    avg, _ = benchmark.pedantic(
+        lambda: time_queries(method, batch), rounds=3, iterations=1
+    )
+    benchmark.extra_info["avg_query_us"] = avg * 1e6
+
+
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_methods_agree(dataset):
+    bundle = get_bundle(dataset, _METHODS)
+    batch = get_workload(dataset).batch_by_extent(DEFAULT_EXTENT, DEFAULT_BUCKET, 20)
+    for query in batch:
+        assert bundle["spareach-bfl"].query(query.vertex, query.region) == bundle[
+            "spareach-int"
+        ].query(query.vertex, query.region)
+
+
+def test_fig6_report(benchmark, report):
+    title, headers, rows = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    assert rows
+    report(format_table(headers, rows, title=title))
+
+
+def test_fig6_svg_artifacts(benchmark, report, results_dir):
+    from repro.bench.experiments import chart_series
+    from repro.bench.svg_chart import write_svg
+
+    def build():
+        written = []
+        for dataset in bench_datasets():
+            x_labels, series = chart_series(dataset, _METHODS, "extent")
+            written.append(
+                write_svg(
+                    results_dir / f"fig6_{dataset}_extent.svg",
+                    f"Figure 6 — {dataset}, vary region extent",
+                    x_labels,
+                    series,
+                )
+            )
+        return written
+
+    written = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert all(p.exists() for p in written)
+    report(
+        "Figure 6 SVG artifacts written:\n"
+        + "\n".join(f"  {p}" for p in written)
+    )

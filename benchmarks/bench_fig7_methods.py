@@ -1,0 +1,124 @@
+"""Figure 7 — comparing all evaluation methods.
+
+The paper's headline experiment: SpaReach-BFL, GeoReach, SocReach,
+3DReach and 3DReach-Rev across region extent, query-vertex degree and
+spatial selectivity on all four datasets.  Expected shape (paper): the
+3DReach methods fastest overall (orders of magnitude vs GeoReach);
+SpaReach-BFL degrades as the region extent / selectivity grows; SocReach
+is uncompetitive except at very large extents; GeoReach improves with
+extent (pruning bites) but degrades with the query vertex's out-degree.
+"""
+
+import pytest
+
+from repro.bench import bench_datasets, format_table, time_queries
+from repro.bench.experiments import (
+    DEFAULT_BUCKET,
+    DEFAULT_EXTENT,
+    get_workload,
+    run_fig7,
+)
+from repro.bench.harness import PAPER_METHODS, bench_num_queries, get_bundle
+from repro.workloads import DEFAULT_EXTENTS
+
+
+@pytest.mark.parametrize("method_name", PAPER_METHODS)
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_query_default_config(benchmark, dataset, method_name):
+    bundle = get_bundle(dataset, PAPER_METHODS)
+    batch = get_workload(dataset).batch_by_extent(
+        DEFAULT_EXTENT, DEFAULT_BUCKET, bench_num_queries()
+    )
+    method = bundle[method_name]
+    avg, positives = benchmark.pedantic(
+        lambda: time_queries(method, batch), rounds=3, iterations=1
+    )
+    benchmark.extra_info["avg_query_us"] = avg * 1e6
+    benchmark.extra_info["positives"] = positives
+
+
+@pytest.mark.parametrize("extent", DEFAULT_EXTENTS)
+@pytest.mark.parametrize("method_name", ("spareach-bfl", "3dreach"))
+def test_extent_sweep_crossover(benchmark, method_name, extent):
+    """SpaReach degrades with extent while 3DReach stays flat."""
+    datasets = bench_datasets()
+    dataset = "gowalla" if "gowalla" in datasets else datasets[0]
+    bundle = get_bundle(dataset, PAPER_METHODS)
+    batch = get_workload(dataset).batch_by_extent(
+        extent, DEFAULT_BUCKET, bench_num_queries()
+    )
+    method = bundle[method_name]
+    avg, _ = benchmark.pedantic(
+        lambda: time_queries(method, batch), rounds=3, iterations=1
+    )
+    benchmark.extra_info["avg_query_us"] = avg * 1e6
+
+
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_all_methods_agree(dataset):
+    from repro.core import RangeReachOracle, assert_agreement
+    from repro.bench.harness import get_network
+
+    bundle = get_bundle(dataset, PAPER_METHODS)
+    batch = get_workload(dataset).batch_by_extent(DEFAULT_EXTENT, DEFAULT_BUCKET, 20)
+    assert_agreement(
+        [bundle[name] for name in PAPER_METHODS],
+        batch,
+        reference=RangeReachOracle(get_network(dataset)),
+    )
+
+
+def test_fig7_report(benchmark, report):
+    title, headers, rows = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    assert rows
+    report(format_table(headers, rows, title=title))
+
+
+def test_fig7_charts(benchmark, report):
+    """Log-scale ASCII renderings of the Figure 7 extent sweep."""
+    from repro.bench.ascii_chart import render_series
+    from repro.bench.experiments import chart_series
+
+    def build():
+        charts = []
+        for dataset in bench_datasets():
+            x_labels, series = chart_series(dataset, PAPER_METHODS, "extent")
+            charts.append(
+                render_series(
+                    f"Figure 7 — {dataset}, vary region extent "
+                    "(avg query time, log scale)",
+                    x_labels,
+                    series,
+                )
+            )
+        return charts
+
+    charts = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("\n\n".join(charts))
+
+
+def test_fig7_svg_artifacts(benchmark, report, results_dir):
+    """Write Figure 7 as SVG files under benchmarks/results/."""
+    from repro.bench.experiments import chart_series
+    from repro.bench.svg_chart import write_svg
+
+    def build():
+        written = []
+        for dataset in bench_datasets():
+            for axis in ("extent", "degree", "selectivity"):
+                x_labels, series = chart_series(dataset, PAPER_METHODS, axis)
+                path = write_svg(
+                    results_dir / f"fig7_{dataset}_{axis}.svg",
+                    f"Figure 7 — {dataset}, vary {axis}",
+                    x_labels,
+                    series,
+                )
+                written.append(path)
+        return written
+
+    written = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert all(p.exists() for p in written)
+    report(
+        "Figure 7 SVG artifacts written:\n"
+        + "\n".join(f"  {p}" for p in written)
+    )

@@ -1,0 +1,77 @@
+"""Positive vs negative RangeReach answers (the paper's recurring theme).
+
+Section 2.2.3: "both methods [SpaReach, GeoReach] may perform poorly for
+RangeReach queries with a negative answer.  In this case, SpaReach needs
+to evaluate all possible graph reachability queries ... while GeoReach
+may need to traverse a large part of the SPA-graph."  This bench times
+the same batches split by answer class to expose exactly that asymmetry;
+the 3DReach methods should show the smallest positive/negative gap.
+"""
+
+import pytest
+
+from repro.bench import bench_datasets, format_table
+from repro.bench.experiments import DEFAULT_BUCKET, get_workload
+from repro.bench.harness import (
+    PAPER_METHODS,
+    bench_num_queries,
+    get_bundle,
+    time_queries_split,
+)
+from repro.bench.tables import us
+
+# A small extent keeps a healthy share of negative answers in the batch.
+_EXTENT = 1.0
+
+
+def _dataset() -> str:
+    datasets = bench_datasets()
+    return "gowalla" if "gowalla" in datasets else datasets[0]
+
+
+@pytest.mark.parametrize("method_name", PAPER_METHODS)
+def test_split_timing(benchmark, method_name):
+    dataset = _dataset()
+    bundle = get_bundle(dataset, PAPER_METHODS)
+    batch = get_workload(dataset).batch_by_extent(
+        _EXTENT, DEFAULT_BUCKET, bench_num_queries()
+    )
+    method = bundle[method_name]
+    split = benchmark.pedantic(
+        lambda: time_queries_split(method, batch), rounds=3, iterations=1
+    )
+    if split.positive_avg is not None:
+        benchmark.extra_info["positive_us"] = split.positive_avg * 1e6
+    if split.negative_avg is not None:
+        benchmark.extra_info["negative_us"] = split.negative_avg * 1e6
+
+
+def test_negative_split_report(benchmark, report):
+    def sweep():
+        dataset = _dataset()
+        bundle = get_bundle(dataset, PAPER_METHODS)
+        batch = get_workload(dataset).batch_by_extent(
+            _EXTENT, DEFAULT_BUCKET, bench_num_queries()
+        )
+        rows = []
+        for name in PAPER_METHODS:
+            split = time_queries_split(bundle[name], batch)
+            rows.append([
+                name,
+                round(us(split.positive_avg), 1) if split.positive_avg else "-",
+                round(us(split.negative_avg), 1) if split.negative_avg else "-",
+                f"{split.positives}/{split.positives + split.negatives}",
+            ])
+        return dataset, rows
+
+    dataset, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["method", "positive [us]", "negative [us]", "positives"],
+            rows,
+            title=(
+                f"Positive vs negative answers on {dataset} "
+                f"({_EXTENT:g}% extent) — Section 2.2.3's asymmetry"
+            ),
+        )
+    )

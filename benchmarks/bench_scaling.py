@@ -1,0 +1,69 @@
+"""Scaling behaviour: build and query cost vs dataset size.
+
+The paper's absolute numbers live at million-vertex scale; this sweep
+shows how each method's build time and query time move as the synthetic
+replicas grow, exposing GeoReach's superlinear SPA-graph construction —
+the trend behind its extreme Table 5 numbers at full scale.
+"""
+
+import pytest
+
+from repro.bench import format_table, time_queries
+from repro.bench.experiments import DEFAULT_BUCKET, DEFAULT_EXTENT
+from repro.bench.harness import _METHOD_FACTORIES, build_timed
+from repro.datasets import make_network
+from repro.geosocial import condense_network
+from repro.workloads import QueryWorkload
+
+_SCALES = (0.0005, 0.001, 0.002)
+_METHODS = ("spareach-bfl", "georeach", "socreach", "3dreach", "3dreach-rev")
+_DATASET = "gowalla"
+
+_CACHE: dict[float, tuple] = {}
+
+
+def _setup(scale: float):
+    if scale not in _CACHE:
+        network = make_network(_DATASET, scale=scale, seed=1)
+        condensed = condense_network(network)
+        workload = QueryWorkload(network, seed=2)
+        _CACHE[scale] = (condensed, workload)
+    return _CACHE[scale]
+
+
+@pytest.mark.parametrize("scale", _SCALES)
+@pytest.mark.parametrize("method_name", _METHODS)
+def test_build_scaling(benchmark, method_name, scale):
+    condensed, _ = _setup(scale)
+    factory = _METHOD_FACTORIES[method_name]
+    method = benchmark.pedantic(
+        lambda: factory(condensed), rounds=1, iterations=1
+    )
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["size_bytes"] = method.size_bytes()
+
+
+def test_scaling_report(benchmark, report):
+    def sweep():
+        rows = []
+        for scale in _SCALES:
+            condensed, workload = _setup(scale)
+            batch = workload.batch_by_extent(DEFAULT_EXTENT, DEFAULT_BUCKET, 30)
+            row = [f"{scale:g}", condensed.network.num_vertices]
+            for name in _METHODS:
+                method, build_s = build_timed(
+                    lambda n=name: _METHOD_FACTORIES[n](condensed)
+                )
+                avg, _ = time_queries(method, batch)
+                row.append(f"{build_s:.2f}s/{avg * 1e6:.0f}us")
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["scale", "|V|"] + [f"{m} build/query" for m in _METHODS],
+            rows,
+            title=f"Scaling sweep on {_DATASET} (build seconds / query us)",
+        )
+    )

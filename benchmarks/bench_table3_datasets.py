@@ -1,0 +1,26 @@
+"""Table 3 — dataset characteristics.
+
+Benchmarks the per-dataset statistics pass (SCC detection dominates) and
+prints the Table 3 replica.
+"""
+
+import pytest
+
+from repro.bench import bench_datasets, format_table, get_network
+from repro.bench.experiments import run_table3
+
+
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_table3_stats(benchmark, dataset):
+    network = get_network(dataset)
+    stats = benchmark(network.stats)
+    assert stats.num_vertices == network.num_vertices
+    assert stats.largest_scc >= 1
+
+
+def test_table3_report(benchmark, report):
+    title, headers, rows = benchmark.pedantic(
+        run_table3, rounds=1, iterations=1
+    )
+    assert len(rows) == len(bench_datasets())
+    report(format_table(headers, rows, title=title))

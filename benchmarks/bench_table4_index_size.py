@@ -1,0 +1,39 @@
+"""Table 4 — index size [MB] per method, MBR SCC variant in parentheses.
+
+Expected shape (paper): SpaReach-BFL 2-3x larger than SpaReach-INT;
+GeoReach and SocReach smallest; 3DReach-Rev the largest 3-D index; the
+MBR variant adds tens of percent except for 3DReach-Rev (segments and
+boxes cost alike).
+"""
+
+import pytest
+
+from repro.bench import bench_datasets, format_table
+from repro.bench.experiments import run_table4
+from repro.bench.harness import get_bundle
+from repro.bench.tables import mb
+
+
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_size_relations_hold(dataset):
+    bundle = get_bundle(
+        dataset,
+        ("spareach-bfl", "spareach-int", "3dreach", "3dreach-rev",
+         "3dreach-mbr", "3dreach-rev-mbr"),
+    )
+    sizes = {name: mb(m.size_bytes()) for name, m in bundle.methods.items()}
+    # the space-time tradeoff of Section 6.3
+    assert sizes["spareach-bfl"] > sizes["spareach-int"]
+    # the reversed labeling compresses poorly -> larger 3-D index
+    assert sizes["3dreach-rev"] > sizes["3dreach"]
+    # MBR variant never cheaper; identical for the segment-based index
+    assert sizes["3dreach-mbr"] >= sizes["3dreach"]
+    assert sizes["3dreach-rev-mbr"] == pytest.approx(sizes["3dreach-rev"])
+
+
+def test_table4_report(benchmark, report):
+    title, headers, rows = benchmark.pedantic(
+        run_table4, rounds=1, iterations=1
+    )
+    assert len(rows) == len(bench_datasets())
+    report(format_table(headers, rows, title=title))

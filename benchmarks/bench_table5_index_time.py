@@ -1,0 +1,39 @@
+"""Table 5 — indexing time [s] per method.
+
+Each (dataset, method) build is a proper pytest-benchmark entry, plus the
+printed Table 5 replica.  Expected shape (paper): GeoReach by far the
+slowest to build; the interval-labeling-based methods comparable to
+SpaReach-BFL; 3DReach-Rev slower than 3DReach (reversed labels barely
+compress, so more segments are loaded into the 3-D R-tree).
+"""
+
+import pytest
+
+from repro.bench import bench_datasets, format_table, get_condensed
+from repro.bench.experiments import run_table5
+from repro.bench.harness import _METHOD_FACTORIES
+
+_BUILD_METHODS = (
+    "spareach-bfl", "spareach-int", "georeach", "socreach",
+    "3dreach", "3dreach-rev",
+)
+
+
+@pytest.mark.parametrize("method_name", _BUILD_METHODS)
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_build(benchmark, dataset, method_name):
+    condensed = get_condensed(dataset)
+    factory = _METHOD_FACTORIES[method_name]
+    method = benchmark.pedantic(
+        lambda: factory(condensed), rounds=1, iterations=1
+    )
+    benchmark.extra_info["size_bytes"] = method.size_bytes()
+    assert method.size_bytes() >= 0
+
+
+def test_table5_report(benchmark, report):
+    title, headers, rows = benchmark.pedantic(
+        run_table5, rounds=1, iterations=1
+    )
+    assert len(rows) == len(bench_datasets())
+    report(format_table(headers, rows, title=title))

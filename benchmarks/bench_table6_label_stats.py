@@ -1,0 +1,44 @@
+"""Table 6 — interval-labeling label counts.
+
+Benchmarks the labeling construction per dataset and prints the label
+statistics.  Expected shape (paper): compression removes ~36% of the
+forward labels but yields no significant benefit for the reversed scheme
+(which is why 3DReach-Rev costs more to build and store).
+"""
+
+import pytest
+
+from repro.bench import bench_datasets, format_table, get_condensed
+from repro.bench.experiments import run_table6
+from repro.labeling import build_labeling, build_reversed_labeling
+
+
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_build_forward_labeling(benchmark, dataset):
+    dag = get_condensed(dataset).dag
+    labeling = benchmark(build_labeling, dag)
+    stats = labeling.stats()
+    assert stats.compressed_labels <= stats.uncompressed_labels
+
+
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_build_reversed_labeling(benchmark, dataset):
+    dag = get_condensed(dataset).dag
+    labeling = benchmark(build_reversed_labeling, dag)
+    assert labeling.num_vertices == dag.num_vertices
+
+
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_forward_compresses_better_than_reversed(dataset):
+    dag = get_condensed(dataset).dag
+    fwd = build_labeling(dag).stats()
+    rev = build_reversed_labeling(dag).stats()
+    assert fwd.compression_ratio >= rev.compression_ratio
+
+
+def test_table6_report(benchmark, report):
+    title, headers, rows = benchmark.pedantic(
+        run_table6, rounds=1, iterations=1
+    )
+    assert len(rows) == len(bench_datasets())
+    report(format_table(headers, rows, title=title))

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.
+The paper-style output is printed straight to the terminal (bypassing
+pytest's capture) and appended to ``benchmarks/results/report.txt`` so a
+plain ``pytest benchmarks/ --benchmark-only`` leaves a reviewable
+artifact.
+
+Knobs (environment variables):
+    REPRO_SCALE     dataset scale relative to the paper (default 0.002)
+    REPRO_QUERIES   queries per configuration (default 50; paper: 1000)
+    REPRO_DATASETS  comma-separated dataset subset
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(capsys, results_dir):
+    """Print a paper-style table to the real terminal and archive it."""
+
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+        with open(results_dir / "report.txt", "a", encoding="utf-8") as fh:
+            fh.write(text + "\n\n")
+
+    return emit

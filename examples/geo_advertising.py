@@ -1,0 +1,66 @@
+"""Geo-advertising: pick the best location for a campaign.
+
+The paper's second motivating use case: "RangeReach can help determine
+the best location to open a shop or how to advertise an event based on
+users that have direct or indirect (via friendship relationships)
+previous activity in particular parts of a city."
+
+For each candidate area we count how many of a seed audience can
+geosocially reach it — i.e. the fraction of seed users for whom
+``RangeReach(G, user, area)`` is TRUE — and rank the areas.  3DReach-Rev
+shines here: every audience test is a single 3-D slab query.
+
+Run with::
+
+    python examples/geo_advertising.py
+"""
+
+import random
+import time
+
+from repro import Rect, ThreeDReachRev, condense_network
+from repro.datasets import make_network
+
+
+def main() -> None:
+    network = make_network("foursquare", scale=0.001, seed=11)
+    condensed = condense_network(network)
+    method = ThreeDReachRev(condensed)
+
+    rng = random.Random(1)
+    users = [v for v, k in enumerate(network.kinds) if k == "user"]
+    audience = rng.sample(users, min(400, len(users)))
+
+    # Candidate areas: five square regions, each 2% of the city's extent.
+    space = network.space()
+    side = (space.area * 0.02) ** 0.5
+    candidates = []
+    for i in range(5):
+        x = space.xlo + rng.random() * (space.width - side)
+        y = space.ylo + rng.random() * (space.height - side)
+        candidates.append((f"area {i}", Rect(x, y, x + side, y + side)))
+
+    print(f"scoring {len(candidates)} candidate areas against an audience "
+          f"of {len(audience)} users\n")
+
+    scored = []
+    start = time.perf_counter()
+    for name, region in candidates:
+        reach = sum(1 for user in audience if method.query(user, region))
+        scored.append((reach, name, region))
+    elapsed = time.perf_counter() - start
+
+    scored.sort(reverse=True)
+    for reach, name, region in scored:
+        share = reach / len(audience)
+        bar = "#" * round(share * 40)
+        print(f"  {name}: {reach:4d}/{len(audience)} users ({share:6.1%}) {bar}")
+
+    best = scored[0]
+    print(f"\nbest location: {best[1]} — reaches {best[0]} of the audience")
+    print(f"({len(candidates) * len(audience)} RangeReach queries "
+          f"in {elapsed:.2f}s via 3DReach-Rev)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Quickstart: build a geosocial network and answer RangeReach queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds the paper's running example (Figure 1), constructs every
+evaluation method, and answers the two queries of Example 2.3:
+RangeReach(G, a, R) = TRUE and RangeReach(G, c, R) = FALSE.
+"""
+
+from repro import (
+    DiGraph,
+    GeoReach,
+    GeosocialNetwork,
+    Point,
+    RangeReachOracle,
+    Rect,
+    SocReach,
+    SpaReach,
+    ThreeDReach,
+    ThreeDReachRev,
+    condense_network,
+)
+
+
+def build_figure1_network() -> GeosocialNetwork:
+    """The 12-vertex geosocial network of the paper's Figure 1."""
+    names = list("abcdefghijkl")
+    index = {name: i for i, name in enumerate(names)}
+    edges = [
+        ("a", "b"), ("a", "d"), ("a", "j"),
+        ("b", "e"), ("b", "l"), ("b", "d"),
+        ("e", "f"), ("l", "h"),
+        ("j", "g"), ("j", "h"),
+        ("g", "i"), ("i", "f"),
+        ("c", "i"), ("c", "k"), ("c", "d"),
+    ]
+    graph = DiGraph.from_edges(
+        len(names), [(index[s], index[t]) for s, t in edges]
+    )
+    locations = {
+        "e": Point(4, 6), "h": Point(5, 5), "f": Point(1, 1),
+        "g": Point(8, 2), "i": Point(9, 8), "l": Point(2, 9),
+    }
+    points = [locations.get(name) for name in names]
+    return GeosocialNetwork(graph, points, name="figure-1")
+
+
+def main() -> None:
+    network = build_figure1_network()
+    print(f"network: {network.num_vertices} vertices, "
+          f"{network.num_edges} edges, {network.num_spatial} spatial")
+
+    # All reachability machinery works on the condensed (DAG) network.
+    condensed = condense_network(network)
+
+    # The query region R of the paper's Figure 1: e and h lie inside it.
+    region = Rect(3.5, 4.5, 6.0, 7.0)
+    a, c = 0, 2  # vertices 'a' and 'c'
+
+    methods = [
+        RangeReachOracle(network),         # index-free ground truth
+        SpaReach(condensed, "bfl"),        # spatial-first + BFL
+        SpaReach(condensed, "interval"),   # spatial-first + interval labels
+        GeoReach(condensed),               # prior state of the art
+        SocReach(condensed),               # paper: social-first
+        ThreeDReach(condensed),            # paper: 3-D points
+        ThreeDReachRev(condensed),         # paper: 3-D segments, 1 query
+    ]
+
+    print(f"\nRangeReach over region {region.as_tuple()}:")
+    for method in methods:
+        answer_a = method.query(a, region)
+        answer_c = method.query(c, region)
+        print(f"  {method.name:18s} a -> R: {answer_a!s:5s}  c -> R: {answer_c}")
+
+    witnesses = RangeReachOracle(network).witnesses(a, region)
+    names = [chr(ord("a") + w) for w in witnesses]
+    print(f"\nwitnesses for vertex a: {names} (the paper's e and h)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — reproduction of "Fast Geosocial Reachability Queries" (EDBT 2025).
+
+The library answers *geosocial reachability* (``RangeReach``) queries:
+given a geosocial network, a query vertex ``v`` and a rectangular region
+``R``, decide whether ``v`` can reach any vertex with spatial activity
+inside ``R``.
+
+Quickstart::
+
+    from repro import (
+        GeosocialNetwork, Rect, condense_network, ThreeDReach,
+    )
+    from repro.datasets import make_network
+
+    network = make_network("gowalla", scale=0.002, seed=1)
+    condensed = condense_network(network)
+    method = ThreeDReach(condensed)
+    region = Rect(0.2, 0.2, 0.4, 0.4)
+    print(method.query(0, region))
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+reproduced tables and figures.
+"""
+
+from repro.geometry import Box3, Point, Rect, Segment3
+from repro.graph import DiGraph, condense
+from repro.geosocial import (
+    CondensedNetwork,
+    GeosocialNetwork,
+    NetworkStats,
+    condense_network,
+)
+from repro.labeling import (
+    IntervalLabeling,
+    build_labeling,
+    build_reversed_labeling,
+)
+from repro.core import (
+    GeoReach,
+    GeoReachParams,
+    RangeReachOracle,
+    SocReach,
+    SpaReach,
+    ThreeDReach,
+    ThreeDReachRev,
+    build_method,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Box3",
+    "Point",
+    "Rect",
+    "Segment3",
+    "DiGraph",
+    "condense",
+    "CondensedNetwork",
+    "GeosocialNetwork",
+    "NetworkStats",
+    "condense_network",
+    "IntervalLabeling",
+    "build_labeling",
+    "build_reversed_labeling",
+    "GeoReach",
+    "GeoReachParams",
+    "RangeReachOracle",
+    "SocReach",
+    "SpaReach",
+    "ThreeDReach",
+    "ThreeDReachRev",
+    "build_method",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Benchmark harness.
+
+Regenerates every table and figure of the paper's evaluation section
+(Section 6) on the synthetic dataset replicas.  Two entry points:
+
+* ``python -m repro.bench <experiment>`` — the CLI (``table3`` ..
+  ``table6``, ``fig5`` .. ``fig7``, ``all``);
+* the ``benchmarks/`` directory — pytest-benchmark wrappers around the
+  same experiment functions.
+
+Scale and workload sizes are controlled by environment variables:
+``REPRO_SCALE`` (fraction of the paper's dataset sizes, default 0.002),
+``REPRO_QUERIES`` (queries per configuration, default 50) and
+``REPRO_DATASETS`` (comma-separated subset).
+"""
+
+from repro.bench.harness import (
+    MethodBundle,
+    bench_datasets,
+    bench_num_queries,
+    bench_scale,
+    build_timed,
+    get_condensed,
+    get_network,
+    time_queries,
+)
+from repro.bench.tables import format_table
+
+__all__ = [
+    "MethodBundle",
+    "bench_datasets",
+    "bench_num_queries",
+    "bench_scale",
+    "build_timed",
+    "get_condensed",
+    "get_network",
+    "time_queries",
+    "format_table",
+]

@@ -1,0 +1,81 @@
+"""CLI for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench table3
+    python -m repro.bench fig7 --scale 0.005 --queries 100
+    python -m repro.bench all --datasets gowalla,yelp
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import os
+import sys
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.tables import format_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        help="dataset scale relative to the paper (sets REPRO_SCALE)",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        help="queries per configuration (sets REPRO_QUERIES)",
+    )
+    parser.add_argument(
+        "--datasets",
+        type=str,
+        help="comma-separated dataset subset (sets REPRO_DATASETS)",
+    )
+    parser.add_argument(
+        "--csv",
+        type=str,
+        help="also write the rows as CSV to this path "
+        "(one section per experiment when running 'all')",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scale is not None:
+        os.environ["REPRO_SCALE"] = str(args.scale)
+    if args.queries is not None:
+        os.environ["REPRO_QUERIES"] = str(args.queries)
+    if args.datasets is not None:
+        os.environ["REPRO_DATASETS"] = args.datasets
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    csv_handle = open(args.csv, "w", encoding="utf-8", newline="") if args.csv else None
+    try:
+        writer = csv.writer(csv_handle) if csv_handle else None
+        for name in names:
+            title, headers, rows = EXPERIMENTS[name]()
+            print(format_table(headers, rows, title=title))
+            print()
+            if writer is not None:
+                writer.writerow([f"# {title}"])
+                writer.writerow(headers)
+                writer.writerows(rows)
+                writer.writerow([])
+    finally:
+        if csv_handle is not None:
+            csv_handle.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""ASCII line charts for the figure reports.
+
+The paper's figures are log-scale query-time plots; without a plotting
+dependency the benchmark reports render the same series as monospace
+charts.  Deterministic output, so the renderer is unit-testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_MARKERS = "ox*+#@%&"
+
+
+def render_series(
+    title: str,
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    log_scale: bool = True,
+    y_unit: str = "us",
+) -> str:
+    """Render one chart: one marker column per x position, one marker per
+    series.
+
+    Args:
+        title: chart heading.
+        x_labels: tick labels along the x axis.
+        series: name -> y values (same length as ``x_labels``).
+        height: number of plot rows.
+        log_scale: use a log10 y axis (the paper's convention).
+        y_unit: label appended to y-axis ticks.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} x labels"
+            )
+    if height < 2:
+        raise ValueError("height must be at least 2")
+
+    def transform(y: float) -> float:
+        if not log_scale:
+            return y
+        return math.log10(max(y, 1e-12))
+
+    all_values = [v for values in series.values() for v in values]
+    lo = min(transform(v) for v in all_values)
+    hi = max(transform(v) for v in all_values)
+    if hi - lo < 1e-9:
+        hi = lo + 1.0
+
+    def row_of(y: float) -> int:
+        frac = (transform(y) - lo) / (hi - lo)
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    col_width = max(max(len(x) for x in x_labels) + 1, 6)
+    grid = [[" "] * (col_width * len(x_labels)) for _ in range(height)]
+    names = list(series)
+    for s_idx, name in enumerate(names):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        for x_idx, y in enumerate(series[name]):
+            row = height - 1 - row_of(y)
+            col = x_idx * col_width + col_width // 2
+            grid[row][col] = "!" if grid[row][col] != " " else marker
+
+    def y_tick(row: int) -> str:
+        frac = (height - 1 - row) / (height - 1)
+        value = lo + frac * (hi - lo)
+        if log_scale:
+            value = 10 ** value
+        if value >= 100:
+            return f"{value:8.0f}"
+        return f"{value:8.1f}"
+
+    lines = [title]
+    for row in range(height):
+        tick = y_tick(row) if row % 3 == 0 or row == height - 1 else " " * 8
+        lines.append(f"{tick} {y_unit if tick.strip() else '  '} |" + "".join(grid[row]))
+    lines.append(" " * 12 + "+" + "-" * (col_width * len(x_labels)))
+    x_axis = " " * 13 + "".join(x.center(col_width) for x in x_labels)
+    lines.append(x_axis)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * 13 + legend + "   (!=overlap)")
+    return "\n".join(lines)

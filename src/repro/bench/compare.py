@@ -1,0 +1,144 @@
+"""Comparing two benchmark CSV exports.
+
+``python -m repro.bench <exp> --csv run.csv`` freezes a run; this module
+diffs two such files and reports per-cell ratios — the regression-check
+companion every benchmark harness needs.
+
+Usage::
+
+    python -m repro.bench.compare baseline.csv candidate.csv
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True, slots=True)
+class CellChange:
+    """One numeric cell that moved between runs."""
+
+    section: str
+    row_key: str
+    column: str
+    baseline: float
+    candidate: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.candidate else 1.0
+        return self.candidate / self.baseline
+
+
+def _parse_sections(path: str | Path) -> dict[str, dict[str, dict[str, str]]]:
+    """Read a bench CSV into {section: {row_key: {column: value}}}."""
+    sections: dict[str, dict[str, dict[str, str]]] = {}
+    current_title = ""
+    headers: list[str] | None = None
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        for record in csv.reader(handle):
+            if not record or all(not cell for cell in record):
+                headers = None
+                continue
+            if record[0].startswith("# "):
+                current_title = record[0][2:]
+                sections[current_title] = {}
+                headers = None
+                continue
+            if headers is None:
+                headers = record
+                continue
+            row_key = record[0]
+            sections.setdefault(current_title, {})[row_key] = dict(
+                zip(headers[1:], record[1:])
+            )
+    return sections
+
+
+def _as_float(raw: str) -> float | None:
+    try:
+        return float(raw.replace(",", ""))
+    except (ValueError, AttributeError):
+        return None
+
+
+def compare_csv(
+    baseline_path: str | Path,
+    candidate_path: str | Path,
+    threshold: float = 0.0,
+) -> list[CellChange]:
+    """Return every numeric cell present in both runs, as changes.
+
+    Args:
+        baseline_path / candidate_path: CSV exports of the bench CLI.
+        threshold: only report cells whose relative change exceeds this
+            fraction (0 = report everything comparable).
+    """
+    baseline = _parse_sections(baseline_path)
+    candidate = _parse_sections(candidate_path)
+    changes: list[CellChange] = []
+    for section, rows in baseline.items():
+        other_rows = candidate.get(section)
+        if other_rows is None:
+            continue
+        for row_key, cells in rows.items():
+            other_cells = other_rows.get(row_key)
+            if other_cells is None:
+                continue
+            for column, raw in cells.items():
+                a = _as_float(raw)
+                b = _as_float(other_cells.get(column, ""))
+                if a is None or b is None:
+                    continue
+                if a == 0 and b == 0:
+                    continue
+                relative = abs(b - a) / abs(a) if a else float("inf")
+                if relative >= threshold:
+                    changes.append(
+                        CellChange(section, row_key, column, a, b)
+                    )
+    changes.sort(key=lambda c: -abs(c.ratio - 1.0))
+    return changes
+
+
+def format_changes(changes: list[CellChange], limit: int = 30) -> str:
+    """Render the biggest movers as a readable report."""
+    if not changes:
+        return "no comparable numeric cells changed"
+    lines = [
+        f"{len(changes)} comparable cell(s); biggest movers first:",
+    ]
+    for change in changes[:limit]:
+        direction = "x" if change.ratio >= 1 else "/"
+        factor = change.ratio if change.ratio >= 1 else 1.0 / change.ratio
+        lines.append(
+            f"  [{change.section}] {change.row_key} / {change.column}: "
+            f"{change.baseline:g} -> {change.candidate:g} "
+            f"({direction}{factor:.2f})"
+        )
+    if len(changes) > limit:
+        lines.append(f"  ... and {len(changes) - limit} more")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) < 2:
+        print(
+            "usage: python -m repro.bench.compare <baseline.csv> "
+            "<candidate.csv> [threshold]",
+            file=sys.stderr,
+        )
+        return 2
+    threshold = float(argv[2]) if len(argv) > 2 else 0.0
+    changes = compare_csv(argv[0], argv[1], threshold=threshold)
+    print(format_changes(changes))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,212 @@
+"""Shared benchmark infrastructure: dataset caches, timing, method bundles."""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core import (
+    GeoReach,
+    SocReach,
+    SpaReach,
+    ThreeDReach,
+    ThreeDReachRev,
+)
+from repro.core.base import RangeReachMethod
+from repro.datasets import make_network
+from repro.geosocial import CondensedNetwork, GeosocialNetwork, condense_network
+from repro.workloads import Query
+
+ALL_DATASETS = ("foursquare", "gowalla", "weeplaces", "yelp")
+
+
+# ----------------------------------------------------------------------
+# Environment knobs
+# ----------------------------------------------------------------------
+def bench_scale() -> float:
+    """Dataset scale relative to the paper's sizes (env ``REPRO_SCALE``)."""
+    return float(os.environ.get("REPRO_SCALE", "0.002"))
+
+
+def bench_num_queries() -> int:
+    """Queries per configuration (env ``REPRO_QUERIES``; paper used 1000)."""
+    return int(os.environ.get("REPRO_QUERIES", "50"))
+
+
+def bench_datasets() -> tuple[str, ...]:
+    """Datasets to run (env ``REPRO_DATASETS``, comma-separated)."""
+    raw = os.environ.get("REPRO_DATASETS")
+    if not raw:
+        return ALL_DATASETS
+    names = tuple(s.strip().lower() for s in raw.split(",") if s.strip())
+    unknown = [n for n in names if n not in ALL_DATASETS]
+    if unknown:
+        raise ValueError(f"unknown datasets in REPRO_DATASETS: {unknown}")
+    return names
+
+
+# ----------------------------------------------------------------------
+# Cached dataset construction
+# ----------------------------------------------------------------------
+_NETWORKS: dict[tuple[str, float, int], GeosocialNetwork] = {}
+_CONDENSED: dict[tuple[str, float, int], CondensedNetwork] = {}
+
+
+def get_network(name: str, scale: float | None = None, seed: int = 1) -> GeosocialNetwork:
+    """Return the (cached) synthetic replica of a dataset."""
+    scale = bench_scale() if scale is None else scale
+    key = (name, scale, seed)
+    if key not in _NETWORKS:
+        _NETWORKS[key] = make_network(name, scale=scale, seed=seed)
+    return _NETWORKS[key]
+
+
+def get_condensed(name: str, scale: float | None = None, seed: int = 1) -> CondensedNetwork:
+    """Return the (cached) condensation of a dataset replica."""
+    scale = bench_scale() if scale is None else scale
+    key = (name, scale, seed)
+    if key not in _CONDENSED:
+        _CONDENSED[key] = condense_network(get_network(name, scale, seed))
+    return _CONDENSED[key]
+
+
+# ----------------------------------------------------------------------
+# Timing
+# ----------------------------------------------------------------------
+def build_timed(factory: Callable[[], RangeReachMethod]) -> tuple[RangeReachMethod, float]:
+    """Build an index, returning it with the wall-clock build time."""
+    start = time.perf_counter()
+    method = factory()
+    return method, time.perf_counter() - start
+
+
+def time_queries(
+    method: RangeReachMethod, queries: Sequence[Query]
+) -> tuple[float, int]:
+    """Run a query batch; return (average seconds per query, #TRUE answers)."""
+    if not queries:
+        raise ValueError("empty query batch")
+    positives = 0
+    start = time.perf_counter()
+    for query in queries:
+        if method.query(query.vertex, query.region):
+            positives += 1
+    elapsed = time.perf_counter() - start
+    return elapsed / len(queries), positives
+
+
+@dataclass(frozen=True, slots=True)
+class SplitTiming:
+    """Per-answer-class timing of one query batch.
+
+    The paper repeatedly stresses that SpaReach and GeoReach "may perform
+    poorly for RangeReach queries with a negative answer"; this split
+    makes that effect directly measurable.
+    """
+
+    positive_avg: float | None
+    negative_avg: float | None
+    positives: int
+    negatives: int
+
+
+def time_queries_split(
+    method: RangeReachMethod, queries: Sequence[Query]
+) -> SplitTiming:
+    """Time a batch separately for TRUE- and FALSE-answer queries."""
+    if not queries:
+        raise ValueError("empty query batch")
+    pos_time = neg_time = 0.0
+    positives = negatives = 0
+    for query in queries:
+        start = time.perf_counter()
+        answer = method.query(query.vertex, query.region)
+        elapsed = time.perf_counter() - start
+        if answer:
+            positives += 1
+            pos_time += elapsed
+        else:
+            negatives += 1
+            neg_time += elapsed
+    return SplitTiming(
+        positive_avg=pos_time / positives if positives else None,
+        negative_avg=neg_time / negatives if negatives else None,
+        positives=positives,
+        negatives=negatives,
+    )
+
+
+# ----------------------------------------------------------------------
+# Method bundles
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class MethodBundle:
+    """All evaluation methods built over one dataset, with build times."""
+
+    dataset: str
+    methods: dict[str, RangeReachMethod]
+    build_seconds: dict[str, float]
+
+    def __getitem__(self, name: str) -> RangeReachMethod:
+        return self.methods[name]
+
+
+_METHOD_FACTORIES: dict[str, Callable[[CondensedNetwork], RangeReachMethod]] = {
+    "spareach-bfl": lambda cn: SpaReach(cn, reach_index="bfl"),
+    "spareach-int": lambda cn: SpaReach(cn, reach_index="interval"),
+    "georeach": lambda cn: GeoReach(cn),
+    "socreach": lambda cn: SocReach(cn),
+    "3dreach": lambda cn: ThreeDReach(cn),
+    "3dreach-rev": lambda cn: ThreeDReachRev(cn),
+    # MBR SCC-handling variants (Section 5 / Figure 5 & the Table 4/5
+    # parenthesised numbers).
+    "spareach-bfl-mbr": lambda cn: SpaReach(cn, reach_index="bfl", scc_mode="mbr"),
+    "spareach-int-mbr": lambda cn: SpaReach(cn, reach_index="interval", scc_mode="mbr"),
+    "3dreach-mbr": lambda cn: ThreeDReach(cn, scc_mode="mbr"),
+    "3dreach-rev-mbr": lambda cn: ThreeDReachRev(cn, scc_mode="mbr"),
+    # Ablation variants (not part of the paper's figures).
+    "spareach-bfl-streaming": lambda cn: SpaReach(cn, reach_index="bfl", streaming=True),
+    "spareach-pll": lambda cn: SpaReach(cn, reach_index="pll"),
+    "spareach-grail": lambda cn: SpaReach(cn, reach_index="grail"),
+    "spareach-feline": lambda cn: SpaReach(cn, reach_index="feline"),
+    "spareach-chain": lambda cn: SpaReach(cn, reach_index="chain"),
+    "spareach-bfl-quadtree": lambda cn: SpaReach(cn, reach_index="bfl", spatial_index="quadtree"),
+    "spareach-bfl-grid": lambda cn: SpaReach(cn, reach_index="bfl", spatial_index="grid"),
+    "spareach-bfl-linear": lambda cn: SpaReach(cn, reach_index="bfl", spatial_index="linear"),
+    "socreach-bptree": lambda cn: SocReach(cn, descendant_access="bptree"),
+}
+
+PAPER_METHODS = ("spareach-bfl", "georeach", "socreach", "3dreach", "3dreach-rev")
+
+_BUNDLES: dict[tuple[str, float, int, tuple[str, ...]], MethodBundle] = {}
+
+
+def get_bundle(
+    dataset: str,
+    method_names: Sequence[str] = PAPER_METHODS,
+    scale: float | None = None,
+    seed: int = 1,
+) -> MethodBundle:
+    """Build (and cache) the requested methods over one dataset."""
+    scale = bench_scale() if scale is None else scale
+    key = (dataset, scale, seed, tuple(method_names))
+    if key in _BUNDLES:
+        return _BUNDLES[key]
+    condensed = get_condensed(dataset, scale, seed)
+    methods: dict[str, RangeReachMethod] = {}
+    build_seconds: dict[str, float] = {}
+    for name in method_names:
+        factory = _METHOD_FACTORIES[name]
+        method, seconds = build_timed(lambda f=factory: f(condensed))
+        methods[name] = method
+        build_seconds[name] = seconds
+    bundle = MethodBundle(dataset, methods, build_seconds)
+    _BUNDLES[key] = bundle
+    return bundle
+
+
+def method_names_available() -> tuple[str, ...]:
+    """All method keys usable with :func:`get_bundle`."""
+    return tuple(_METHOD_FACTORIES)

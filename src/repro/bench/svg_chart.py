@@ -1,0 +1,165 @@
+"""Dependency-free SVG line charts.
+
+Renders the paper-style log-scale query-time figures as standalone SVG
+files (plain string generation — no plotting library).  Used by the
+benchmark suite to drop per-figure artifacts into
+``benchmarks/results/``; the output is deterministic and unit-testable.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Mapping, Sequence
+
+# A color-blind-safe cycle (Okabe-Ito).
+_COLORS = (
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+)
+
+_WIDTH, _HEIGHT = 640, 400
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 20, 40, 70
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def render_svg(
+    title: str,
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    log_scale: bool = True,
+    y_label: str = "avg query time [us]",
+) -> str:
+    """Return a complete SVG document for one line chart."""
+    if not series:
+        raise ValueError("need at least one series")
+    if not x_labels:
+        raise ValueError("need at least one x position")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} x labels"
+            )
+
+    def t(y: float) -> float:
+        return math.log10(max(y, 1e-12)) if log_scale else y
+
+    all_values = [v for vs in series.values() for v in vs]
+    lo = min(t(v) for v in all_values)
+    hi = max(t(v) for v in all_values)
+    if hi - lo < 1e-9:
+        hi = lo + 1.0
+
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def x_pos(i: int) -> float:
+        if len(x_labels) == 1:
+            return _MARGIN_L + plot_w / 2
+        return _MARGIN_L + plot_w * i / (len(x_labels) - 1)
+
+    def y_pos(value: float) -> float:
+        frac = (t(value) - lo) / (hi - lo)
+        return _MARGIN_T + plot_h * (1.0 - frac)
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="22" text-anchor="middle" '
+        f'font-size="14">{_escape(title)}</text>',
+    ]
+
+    # Axes frame.
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#888"/>'
+    )
+
+    # Y ticks: decades on log scale, 5 evenly spaced otherwise.
+    ticks: list[float] = []
+    if log_scale:
+        first = math.floor(lo)
+        last = math.ceil(hi)
+        ticks = [10.0 ** d for d in range(first, last + 1)]
+    else:
+        ticks = [lo + (hi - lo) * i / 4 for i in range(5)]
+    for tick in ticks:
+        if not (lo - 1e-9 <= t(tick) <= hi + 1e-9):
+            continue
+        y = y_pos(tick)
+        label = f"{tick:g}"
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" x2="{_MARGIN_L + plot_w}" '
+            f'y2="{y:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{label}</text>'
+        )
+    parts.append(
+        f'<text x="16" y="{_MARGIN_T + plot_h / 2:.1f}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {_MARGIN_T + plot_h / 2:.1f})">'
+        f"{_escape(y_label)}</text>"
+    )
+
+    # X ticks.
+    for i, label in enumerate(x_labels):
+        x = x_pos(i)
+        parts.append(
+            f'<text x="{x:.1f}" y="{_MARGIN_T + plot_h + 18}" '
+            f'text-anchor="middle">{_escape(label)}</text>'
+        )
+
+    # Series polylines + markers.
+    for s_idx, (name, values) in enumerate(series.items()):
+        color = _COLORS[s_idx % len(_COLORS)]
+        coords = [
+            (x_pos(i), y_pos(v)) for i, v in enumerate(values)
+        ]
+        points = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in coords:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" fill="{color}"/>'
+            )
+
+    # Legend along the bottom.
+    legend_y = _HEIGHT - 28
+    x_cursor = float(_MARGIN_L)
+    for s_idx, name in enumerate(series):
+        color = _COLORS[s_idx % len(_COLORS)]
+        parts.append(
+            f'<rect x="{x_cursor:.1f}" y="{legend_y - 9}" width="12" '
+            f'height="12" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x_cursor + 16:.1f}" y="{legend_y + 1}">'
+            f"{_escape(name)}</text>"
+        )
+        x_cursor += 16 + 7 * len(name) + 24
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(
+    path: str | Path,
+    title: str,
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    log_scale: bool = True,
+) -> Path:
+    """Render and write a chart; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_svg(title, x_labels, series, log_scale=log_scale))
+    return path

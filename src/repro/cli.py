@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``generate`` — write a synthetic dataset replica to a directory;
+* ``stats``    — print the Table-3 characteristics of a saved network;
+* ``label``    — build the interval labeling of a saved network's
+  condensation and write it to a file (offline index construction);
+* ``query``    — answer one RangeReach query with a chosen method.
+
+The benchmark CLI lives separately under ``python -m repro.bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import build_method
+from repro.datasets import DATASET_PROFILES, make_network
+from repro.geometry import Rect
+from repro.geosocial import GeosocialNetwork, condense_network
+from repro.labeling import build_labeling, build_reversed_labeling, save_labeling
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    network = make_network(args.profile, scale=args.scale, seed=args.seed)
+    network.save(args.directory)
+    stats = network.stats()
+    print(
+        f"wrote {args.directory}: |V|={stats.num_vertices} "
+        f"|E|={stats.num_edges} |P|={stats.num_spatial}"
+    )
+    if args.verify:
+        from repro.datasets import validate_network
+
+        report = validate_network(network, args.profile)
+        print(report.summary())
+        if not report.ok:
+            return 1
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    network = GeosocialNetwork.load(args.directory)
+    s = network.stats()
+    print(f"dataset      {s.name}")
+    print(f"#users       {s.num_users}")
+    print(f"#venues      {s.num_venues}")
+    print(f"#checkins    {s.num_checkin_edges}")
+    print(f"|V|          {s.num_vertices}")
+    print(f"|E|          {s.num_edges}")
+    print(f"|P|          {s.num_spatial}")
+    print(f"#SCCs        {s.num_sccs}")
+    print(f"largest SCC  {s.largest_scc}")
+    return 0
+
+
+def _cmd_label(args: argparse.Namespace) -> int:
+    network = GeosocialNetwork.load(args.directory)
+    condensed = condense_network(network)
+    start = time.perf_counter()
+    if args.reversed:
+        labeling = build_reversed_labeling(condensed.dag)
+    else:
+        labeling = build_labeling(condensed.dag)
+    elapsed = time.perf_counter() - start
+    save_labeling(labeling, args.output)
+    stats = labeling.stats()
+    print(
+        f"wrote {args.output}: {stats.num_vertices} vertices, "
+        f"{stats.compressed_labels} labels "
+        f"({stats.uncompressed_labels} before compression), "
+        f"built in {elapsed:.2f}s"
+    )
+    return 0
+
+
+def _parse_region(raw: str) -> Rect:
+    parts = raw.split(",")
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            "region must be xlo,ylo,xhi,yhi (four comma-separated numbers)"
+        )
+    try:
+        xlo, ylo, xhi, yhi = (float(p) for p in parts)
+        return Rect(xlo, ylo, xhi, yhi)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    network = GeosocialNetwork.load(args.directory)
+    if not (0 <= args.vertex < network.num_vertices):
+        print(
+            f"error: vertex {args.vertex} outside 0..{network.num_vertices - 1}",
+            file=sys.stderr,
+        )
+        return 2
+    condensed = condense_network(network)
+    build_start = time.perf_counter()
+    method = build_method(args.method, condensed)
+    build_elapsed = time.perf_counter() - build_start
+    query_start = time.perf_counter()
+    answer = method.query(args.vertex, args.region)
+    query_elapsed = time.perf_counter() - query_start
+    print(f"RangeReach(G, {args.vertex}, {args.region.as_tuple()}) = {answer}")
+    print(
+        f"method={args.method} build={build_elapsed:.3f}s "
+        f"query={query_elapsed * 1e6:.1f}us"
+    )
+    stats = getattr(method, "last_stats", None)
+    if stats:
+        detail = " ".join(f"{k}={v}" for k, v in stats.items())
+        print(f"stats: {detail}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Geosocial reachability (RangeReach) toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("profile", choices=sorted(DATASET_PROFILES))
+    gen.add_argument("directory")
+    gen.add_argument("--scale", type=float, default=0.002)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument(
+        "--verify", action="store_true",
+        help="check the generated network against the profile's "
+        "structural invariants",
+    )
+    gen.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="print a saved network's statistics")
+    stats.add_argument("directory")
+    stats.set_defaults(func=_cmd_stats)
+
+    label = sub.add_parser("label", help="build and save the interval labeling")
+    label.add_argument("directory")
+    label.add_argument("output")
+    label.add_argument(
+        "--reversed", action="store_true",
+        help="build the reversed labeling (3DReach-Rev's scheme)",
+    )
+    label.set_defaults(func=_cmd_label)
+
+    query = sub.add_parser("query", help="answer one RangeReach query")
+    query.add_argument("directory")
+    query.add_argument("--vertex", type=int, required=True)
+    query.add_argument(
+        "--region", type=_parse_region, required=True,
+        help="xlo,ylo,xhi,yhi",
+    )
+    query.add_argument(
+        "--method", default="3dreach",
+        choices=sorted(
+            ("spareach-bfl", "spareach-int", "georeach", "socreach",
+             "3dreach", "3dreach-rev")
+        ),
+    )
+    query.set_defaults(func=_cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)

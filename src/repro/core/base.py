@@ -1,0 +1,56 @@
+"""Shared protocol and factory for RangeReach methods."""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.geometry import Rect
+from repro.geosocial.scc_handling import CondensedNetwork
+
+
+@runtime_checkable
+class RangeReachMethod(Protocol):
+    """A built index structure answering ``RangeReach(G, v, R)`` queries."""
+
+    name: str
+
+    def query(self, v: int, region: Rect) -> bool:
+        """Return True iff original vertex ``v`` geosocially reaches ``region``."""
+        ...
+
+    def size_bytes(self) -> int:
+        """Return the analytic index footprint in bytes (Table 4)."""
+        ...
+
+
+# Factories take the condensed network plus keyword options and return a
+# ready-to-query method.  The registry gives benchmarks and the CLI a
+# single switchboard keyed by the names used in the paper's plots.
+MethodFactory = Callable[..., RangeReachMethod]
+
+METHOD_REGISTRY: dict[str, MethodFactory] = {}
+
+
+def register_method(name: str) -> Callable[[MethodFactory], MethodFactory]:
+    """Class decorator registering a method under its paper name."""
+
+    def decorate(factory: MethodFactory) -> MethodFactory:
+        METHOD_REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def build_method(name: str, network: CondensedNetwork, **options) -> RangeReachMethod:
+    """Instantiate a registered method by paper name.
+
+    Known names: ``spareach-bfl``, ``spareach-int``, ``georeach``,
+    ``socreach``, ``3dreach``, ``3dreach-rev`` (see
+    :data:`METHOD_REGISTRY`).
+    """
+    try:
+        factory = METHOD_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(METHOD_REGISTRY))
+        raise ValueError(f"unknown method {name!r}; known: {known}") from None
+    return factory(network, **options)

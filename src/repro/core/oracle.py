@@ -1,0 +1,73 @@
+"""Index-free RangeReach ground truth."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.geometry import Rect
+from repro.geosocial.network import GeosocialNetwork
+
+
+class RangeReachOracle:
+    """Answers RangeReach by plain BFS over the *original* network.
+
+    O(|V| + |E|) per query and exact by construction; every other method
+    is tested against it.
+    """
+
+    name = "oracle"
+
+    def __init__(self, network: GeosocialNetwork) -> None:
+        self._network = network
+
+    def query(self, v: int, region: Rect) -> bool:
+        network = self._network
+        points = network.points
+        point = points[v]
+        if point is not None and region.contains_point(point):
+            return True
+        visited = [False] * network.num_vertices
+        visited[v] = True
+        queue: deque[int] = deque([v])
+        graph = network.graph
+        while queue:
+            w = queue.popleft()
+            for u in graph.successors(w):
+                if visited[u]:
+                    continue
+                visited[u] = True
+                point = points[u]
+                if point is not None and region.contains_point(point):
+                    return True
+                queue.append(u)
+        return False
+
+    def witnesses(self, v: int, region: Rect) -> list[int]:
+        """Return *all* reachable spatial vertices inside ``region``.
+
+        Used by tests and the examples to explain positive answers.
+        """
+        network = self._network
+        points = network.points
+        out: list[int] = []
+        visited = [False] * network.num_vertices
+        visited[v] = True
+        queue: deque[int] = deque([v])
+        point = points[v]
+        if point is not None and region.contains_point(point):
+            out.append(v)
+        graph = network.graph
+        while queue:
+            w = queue.popleft()
+            for u in graph.successors(w):
+                if visited[u]:
+                    continue
+                visited[u] = True
+                point = points[u]
+                if point is not None and region.contains_point(point):
+                    out.append(u)
+                queue.append(u)
+        return out
+
+    def size_bytes(self) -> int:
+        return 0

@@ -1,0 +1,138 @@
+"""SocReach: the paper's social-first method (Section 4.1).
+
+Use the interval labeling to enumerate the descendants ``D(v)`` of the
+query vertex, and spatially verify each against the query region.  No
+spatial index is involved — the descendant set is produced on the fly, so
+(as the paper notes) spatial indexing cannot accelerate the containment
+tests; the method's cost tracks ``|D(v)|``.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import register_method
+from repro.geometry import Rect
+from repro.geosocial.scc_handling import CondensedNetwork
+from repro.labeling import IntervalLabeling, build_labeling
+
+
+class SocReach:
+    """Social-first RangeReach evaluation over the interval labeling.
+
+    ``descendant_access`` selects how the post-order range queries of
+    Section 4.1 are evaluated — the two options the paper names:
+
+    * ``"array"`` (default) — "simple for loops on the array storing the
+      network vertices in main memory";
+    * ``"bptree"`` — "a traditional B+-tree which indexes post(v)"; only
+      spatial vertices are indexed, so sparse descendant sets skip the
+      non-spatial majority entirely.
+    """
+
+    name = "socreach"
+
+    def __init__(
+        self,
+        network: CondensedNetwork,
+        labeling: IntervalLabeling | None = None,
+        mode: str = "subtree",
+        descendant_access: str = "array",
+    ) -> None:
+        if descendant_access not in ("array", "bptree"):
+            raise ValueError("descendant_access must be 'array' or 'bptree'")
+        self._network = network
+        self._access = descendant_access
+        # Diagnostics of the most recent query(): descendant slots scanned
+        # and point-in-region tests performed.
+        self.last_stats: dict[str, int] = {
+            "descendants_scanned": 0,
+            "containment_tests": 0,
+        }
+        self._labeling = (
+            labeling if labeling is not None else build_labeling(network.dag, mode=mode)
+        )
+        if descendant_access == "bptree":
+            from repro.relational import BPlusTree
+
+            pairs = sorted(
+                (self._labeling.post_of(c), network.points_of(c))
+                for c in network.spatial_components()
+            )
+            self._bptree = BPlusTree.from_sorted(pairs)
+            self._points_at_post = None
+            self.name = "socreach-bptree"
+        else:
+            # Pre-resolve each super-vertex's points keyed by post-order
+            # slot so descendant enumeration is one array walk.  With a
+            # gapped numbering (stride > 1) slot = post // stride.
+            self._bptree = None
+            stride = self._labeling.stride
+            n = self._labeling.num_vertices
+            self._points_at_post = [None] * n
+            for component in network.spatial_components():
+                post = self._labeling.post_of(component)
+                self._points_at_post[post // stride - 1] = network.points_of(
+                    component
+                )
+
+    # ------------------------------------------------------------------
+    def query(self, v: int, region: Rect) -> bool:
+        source = self._network.super_of(v)
+        contains = region.contains_point
+        scanned = 0
+        containment_tests = 0
+        # Every label [l, h] is a range query over post-order numbers
+        # (the D(v) equation in Section 4.1); scan the range and test each
+        # spatial descendant's points until a witness appears.
+        try:
+            if self._access == "bptree":
+                scan = self._bptree.range_scan
+                for lo, hi in self._labeling.labels_of(source):
+                    for _, points in scan(lo, hi):
+                        scanned += 1
+                        for point in points:
+                            containment_tests += 1
+                            if contains(point):
+                                return True
+                return False
+            points_at_post = self._points_at_post
+            stride = self._labeling.stride
+            for lo, hi in self._labeling.labels_of(source):
+                start = (lo + stride - 1) // stride
+                end = hi // stride
+                for slot in range(start - 1, end):
+                    scanned += 1
+                    points = points_at_post[slot]
+                    if points is None:
+                        continue
+                    for point in points:
+                        containment_tests += 1
+                        if contains(point):
+                            return True
+            return False
+        finally:
+            self.last_stats = {
+                "descendants_scanned": scanned,
+                "containment_tests": containment_tests,
+            }
+
+    def count_descendants(self, v: int) -> int:
+        """Return ``|D(v)|`` for the query vertex (diagnostics/benchmarks)."""
+        return self._labeling.num_descendants(self._network.super_of(v))
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Labels (plus the optional B+-tree); no spatial index (Table 4)."""
+        size = self._labeling.size_bytes()
+        if self._bptree is not None:
+            # 4-byte key + 8-byte pointer per entry.
+            size += len(self._bptree) * 12
+        return size
+
+    @property
+    def labeling(self) -> IntervalLabeling:
+        return self._labeling
+
+
+@register_method("socreach")
+def _build_socreach(network: CondensedNetwork, **options) -> SocReach:
+    return SocReach(network, **options)

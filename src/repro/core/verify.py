@@ -1,0 +1,80 @@
+"""Cross-method verification utilities.
+
+Every RangeReach method must agree with every other (and with the BFS
+oracle) on every query; this module packages that check for tests,
+benchmarks and users integrating new methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.base import RangeReachMethod
+from repro.geometry import Rect
+from repro.workloads.queries import Query
+
+
+@dataclass(frozen=True, slots=True)
+class Disagreement:
+    """One query on which the methods split."""
+
+    vertex: int
+    region: Rect
+    answers: tuple[tuple[str, bool], ...]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        votes = ", ".join(f"{name}={answer}" for name, answer in self.answers)
+        return f"vertex {self.vertex}, region {self.region.as_tuple()}: {votes}"
+
+
+def cross_check(
+    methods: Sequence[RangeReachMethod],
+    queries: Sequence[Query],
+    reference: RangeReachMethod | None = None,
+) -> list[Disagreement]:
+    """Run every query through every method; collect disagreements.
+
+    Args:
+        methods: at least two methods (or one plus a ``reference``).
+        queries: the workload to replay.
+        reference: optional ground truth (e.g.
+            :class:`repro.core.RangeReachOracle`); when given, any method
+            deviating from it is a disagreement even if methods agree
+            among themselves.
+
+    Returns:
+        The queries on which answers differ (empty = all consistent).
+    """
+    if len(methods) + (reference is not None) < 2:
+        raise ValueError("need at least two answerers to cross-check")
+    disagreements: list[Disagreement] = []
+    for query in queries:
+        answers: list[tuple[str, bool]] = []
+        if reference is not None:
+            answers.append(
+                (reference.name, reference.query(query.vertex, query.region))
+            )
+        for method in methods:
+            answers.append(
+                (method.name, method.query(query.vertex, query.region))
+            )
+        if len({answer for _, answer in answers}) > 1:
+            disagreements.append(
+                Disagreement(query.vertex, query.region, tuple(answers))
+            )
+    return disagreements
+
+
+def assert_agreement(
+    methods: Sequence[RangeReachMethod],
+    queries: Sequence[Query],
+    reference: RangeReachMethod | None = None,
+) -> None:
+    """Raise ``AssertionError`` listing the first few disagreements."""
+    disagreements = cross_check(methods, queries, reference)
+    if disagreements:
+        sample = "\n".join(str(d) for d in disagreements[:5])
+        raise AssertionError(
+            f"{len(disagreements)} of {len(queries)} queries disagree:\n{sample}"
+        )

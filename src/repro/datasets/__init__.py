@@ -1,0 +1,42 @@
+"""Dataset generators and loaders.
+
+The paper evaluates on four real geosocial networks (Foursquare, Gowalla,
+WeePlaces, Yelp).  Those dumps are not redistributable, so this package
+generates seeded synthetic replicas that preserve each dataset's
+*structural signature* — the user/venue ratio, the check-in intensity,
+the venue geography, and crucially the SCC regime: Gowalla and WeePlaces
+have a single giant social SCC containing every user, while Foursquare
+and Yelp fragment into many SCCs (Table 3).  ``scale`` shrinks the vertex
+counts proportionally (1.0 = paper size; the benchmarks default to a few
+thousandths).
+"""
+
+from repro.datasets.profiles import (
+    DATASET_PROFILES,
+    DatasetProfile,
+    FOURSQUARE,
+    GOWALLA,
+    WEEPLACES,
+    YELP,
+)
+from repro.datasets.generator import make_network
+from repro.datasets.loaders import load_snap_style
+from repro.datasets.validation import (
+    ValidationIssue,
+    ValidationReport,
+    validate_network,
+)
+
+__all__ = [
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_network",
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "FOURSQUARE",
+    "GOWALLA",
+    "WEEPLACES",
+    "YELP",
+    "make_network",
+    "load_snap_style",
+]

@@ -1,0 +1,201 @@
+"""Seeded synthetic geosocial network generation.
+
+Vertex layout: users occupy ids ``0 .. U-1`` and venues ``U .. U+V-1``.
+Users are non-spatial, venues carry a point — matching the paper's
+datasets, where "users [are] social (non-spatial) vertices and venues
+[are] spatial".
+
+Mechanisms:
+
+* **venue geography** — Gaussian mixture over ``num_city_clusters``
+  city centers in the unit square (venues cluster in cities);
+* **friendships** — heavy-tailed out-degrees with preferential target
+  selection (a Yule process: previously chosen targets are more likely
+  chosen again), mutualized and wired into one connected component for
+  the Gowalla/WeePlaces regime, or directed with configured reciprocity
+  for the Foursquare/Yelp regime;
+* **check-ins** — per-user heavy-tailed venue counts with Zipf-like
+  venue popularity (again a preferential pool).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.datasets.profiles import DATASET_PROFILES, DatasetProfile
+from repro.geometry import Point
+from repro.geosocial.network import GeosocialNetwork
+from repro.graph.digraph import DiGraph
+
+
+def make_network(
+    profile: str | DatasetProfile,
+    scale: float = 0.005,
+    seed: int = 42,
+) -> GeosocialNetwork:
+    """Generate a synthetic replica of one of the paper's datasets.
+
+    Args:
+        profile: profile object or name (``"foursquare"``, ``"gowalla"``,
+            ``"weeplaces"``, ``"yelp"``).
+        scale: multiplier on the full-size vertex counts of Table 3
+            (``1.0`` would be paper scale; the default ``0.005`` yields a
+            few thousand to ~20k vertices depending on the profile).
+        seed: RNG seed; identical arguments give identical networks.
+    """
+    if isinstance(profile, str):
+        try:
+            profile = DATASET_PROFILES[profile.lower()]
+        except KeyError:
+            known = ", ".join(sorted(DATASET_PROFILES))
+            raise ValueError(
+                f"unknown dataset profile {profile!r}; known: {known}"
+            ) from None
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+    rng = random.Random(seed)
+    num_users = max(4, round(profile.num_users * scale))
+    num_venues = max(4, round(profile.num_venues * scale))
+    n = num_users + num_venues
+
+    graph = DiGraph(n)
+    edges: set[tuple[int, int]] = set()
+
+    def add_edge(source: int, target: int) -> None:
+        if source != target and (source, target) not in edges:
+            edges.add((source, target))
+            graph.add_edge(source, target)
+
+    _generate_friendships(profile, rng, num_users, add_edge)
+    _generate_checkins(profile, rng, num_users, num_venues, add_edge)
+
+    points: list[Point | None] = [None] * n
+    for venue, point in enumerate(_venue_points(profile, rng, num_venues)):
+        points[num_users + venue] = point
+    kinds = ["user"] * num_users + ["venue"] * num_venues
+    return GeosocialNetwork(graph, points, kinds=kinds, name=profile.name)
+
+
+# ----------------------------------------------------------------------
+# Friendships
+# ----------------------------------------------------------------------
+def _heavy_tail_count(rng: random.Random, mean: float) -> int:
+    """Sample a non-negative count with a Pareto-like tail of given mean."""
+    if mean <= 0:
+        return 0
+    # Pareto with alpha=2 has mean scale/(alpha-1); cap the tail so a
+    # single vertex cannot swallow the whole graph.
+    value = rng.paretovariate(2.0) - 1.0
+    return min(int(value * mean), int(mean * 50) + 1)
+
+
+def _generate_friendships(
+    profile: DatasetProfile,
+    rng: random.Random,
+    num_users: int,
+    add_edge,
+) -> None:
+    if num_users < 2:
+        return
+    inactive_cutoff = profile.inactive_user_fraction
+    # Preferential pool: every chosen endpoint is appended, so popular
+    # users keep attracting edges (rich get richer).
+    pool: list[int] = list(range(num_users))
+
+    if profile.social_connected and profile.mutual:
+        # Spanning connectivity first: each user links to a random earlier
+        # user, guaranteeing one connected (hence, with mutual edges, one
+        # strongly connected) social component.
+        for u in range(1, num_users):
+            v = pool[rng.randrange(len(pool))] % num_users
+            v = v if v < u else rng.randrange(u)
+            add_edge(u, v)
+            add_edge(v, u)
+            pool.append(v)
+
+    for u in range(num_users):
+        if not profile.social_connected and rng.random() < inactive_cutoff:
+            continue
+        budget = _heavy_tail_count(rng, profile.friends_per_user)
+        for _ in range(budget):
+            v = pool[rng.randrange(len(pool))]
+            if v == u:
+                continue
+            add_edge(u, v)
+            pool.append(v)
+            if profile.mutual or rng.random() < profile.reciprocity:
+                add_edge(v, u)
+                pool.append(u)
+
+
+# ----------------------------------------------------------------------
+# Check-ins
+# ----------------------------------------------------------------------
+def _generate_checkins(
+    profile: DatasetProfile,
+    rng: random.Random,
+    num_users: int,
+    num_venues: int,
+    add_edge,
+) -> None:
+    if num_venues == 0:
+        return
+    pool: list[int] = list(range(num_venues))
+    for u in range(num_users):
+        budget = _heavy_tail_count(rng, profile.checkins_per_user)
+        for _ in range(budget):
+            venue = pool[rng.randrange(len(pool))]
+            add_edge(u, num_users + venue)
+            pool.append(venue)
+
+
+# ----------------------------------------------------------------------
+# Geography
+# ----------------------------------------------------------------------
+def _venue_points(
+    profile: DatasetProfile, rng: random.Random, num_venues: int
+) -> list[Point]:
+    centers = [
+        (rng.random(), rng.random()) for _ in range(profile.num_city_clusters)
+    ]
+    # City sizes are themselves heavy-tailed (a few big metros).
+    weights = [rng.paretovariate(1.5) for _ in centers]
+    total = sum(weights)
+    cumulative: list[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def clamp(x: float) -> float:
+        return min(max(x, 0.0), 1.0)
+
+    points: list[Point] = []
+    for _ in range(num_venues):
+        r = rng.random()
+        idx = 0
+        while cumulative[idx] < r and idx < len(cumulative) - 1:
+            idx += 1
+        cx, cy = centers[idx]
+        sigma = profile.cluster_spread
+        points.append(
+            Point(clamp(rng.gauss(cx, sigma)), clamp(rng.gauss(cy, sigma)))
+        )
+    return points
+
+
+def available_profiles() -> list[str]:
+    """Return the known dataset profile names."""
+    return sorted(DATASET_PROFILES)
+
+
+def table3_counts(profile: str | DatasetProfile, scale: float) -> tuple[int, int]:
+    """Return the scaled ``(num_users, num_venues)`` a generation would use."""
+    if isinstance(profile, str):
+        profile = DATASET_PROFILES[profile.lower()]
+    return (
+        max(4, round(profile.num_users * scale)),
+        max(4, round(profile.num_venues * scale)),
+    )

@@ -1,0 +1,92 @@
+"""Loading real geosocial dumps.
+
+For users who do have the original data: SNAP-style dumps ship as one
+friendship edge file plus one check-in file with coordinates.  This
+loader stitches them into a :class:`GeosocialNetwork`, remapping raw ids
+to the dense layout the library uses (users first, venues after).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.geometry import Point
+from repro.geosocial.network import GeosocialNetwork
+from repro.graph.digraph import DiGraph
+
+
+def load_snap_style(
+    friendship_path: str | Path,
+    checkin_path: str | Path,
+    name: str = "snap",
+    mutual: bool = False,
+) -> GeosocialNetwork:
+    """Load a network from SNAP-style friendship + check-in files.
+
+    Args:
+        friendship_path: lines of ``user_id user_id`` (friendship edges).
+        checkin_path: lines of ``user_id venue_id x y`` (a check-in with
+            the venue's coordinates; repeated check-ins deduplicate).
+        name: dataset name to attach.
+        mutual: also add the reverse of every friendship edge (Gowalla-
+            style undirected dumps list each pair once).
+    """
+    user_ids: dict[str, int] = {}
+    venue_ids: dict[str, int] = {}
+    friend_edges: list[tuple[int, int]] = []
+    checkin_edges: list[tuple[int, int]] = []
+    venue_points: dict[int, Point] = {}
+
+    def user(raw: str) -> int:
+        if raw not in user_ids:
+            user_ids[raw] = len(user_ids)
+        return user_ids[raw]
+
+    def venue(raw: str) -> int:
+        if raw not in venue_ids:
+            venue_ids[raw] = len(venue_ids)
+        return venue_ids[raw]
+
+    with open(friendship_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            a, b = line.split()[:2]
+            friend_edges.append((user(a), user(b)))
+
+    with open(checkin_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 4:
+                raise ValueError(f"malformed check-in line: {line!r}")
+            u = user(parts[0])
+            w = venue(parts[1])
+            venue_points[w] = Point(float(parts[2]), float(parts[3]))
+            checkin_edges.append((u, w))
+
+    num_users = len(user_ids)
+    n = num_users + len(venue_ids)
+    graph = DiGraph(n)
+    seen: set[tuple[int, int]] = set()
+
+    def add(a: int, b: int) -> None:
+        if a != b and (a, b) not in seen:
+            seen.add((a, b))
+            graph.add_edge(a, b)
+
+    for a, b in friend_edges:
+        add(a, b)
+        if mutual:
+            add(b, a)
+    for u, w in checkin_edges:
+        add(u, num_users + w)
+
+    points: list[Point | None] = [None] * n
+    for w, point in venue_points.items():
+        points[num_users + w] = point
+    kinds = ["user"] * num_users + ["venue"] * len(venue_ids)
+    return GeosocialNetwork(graph, points, kinds=kinds, name=name)

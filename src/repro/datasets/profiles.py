@@ -1,0 +1,112 @@
+"""Structural profiles of the paper's four evaluation datasets.
+
+The counts are the full-size figures from Table 3 of the paper; the
+generator multiplies them by ``scale``.  Derived parameters (edges per
+user) are expressed as densities so they survive scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetProfile:
+    """Generation parameters reproducing one dataset's structure.
+
+    Attributes:
+        name: dataset key (lower case).
+        num_users: full-scale user count (Table 3).
+        num_venues: full-scale venue count (Table 3).
+        checkins_per_user: mean number of *distinct* venues a user checks
+            into (check-in edges are deduplicated, as in the paper's |E|).
+        friends_per_user: mean number of friendship edges per user
+            (counted once per undirected pair when ``mutual``).
+        mutual: friendship edges are stored in both directions.
+        social_connected: force the friendship graph to be connected so
+            all users collapse into one giant SCC (the Gowalla/WeePlaces
+            regime).  Only meaningful with ``mutual=True``.
+        reciprocity: for directed friendships, the probability that an
+            edge is reciprocated (drives the size of the largest SCC in
+            the Foursquare/Yelp regime).
+        inactive_user_fraction: users with no outgoing edges at all; they
+            become singleton SCCs, inflating the SCC count.
+        num_city_clusters: venue geography is a mixture of this many
+            Gaussian city clusters in the unit square.
+        cluster_spread: standard deviation of each city cluster.
+    """
+
+    name: str
+    num_users: int
+    num_venues: int
+    checkins_per_user: float
+    friends_per_user: float
+    mutual: bool
+    social_connected: bool
+    reciprocity: float
+    inactive_user_fraction: float
+    num_city_clusters: int
+    cluster_spread: float
+
+
+# Full-scale counts follow Table 3; behavioural densities are derived from
+# the same table (edges / users) and rounded.
+FOURSQUARE = DatasetProfile(
+    name="foursquare",
+    num_users=2_119_987,
+    num_venues=1_132_617,
+    checkins_per_user=2.2,
+    friends_per_user=7.0,
+    mutual=False,
+    social_connected=False,
+    reciprocity=0.55,
+    inactive_user_fraction=0.10,
+    num_city_clusters=40,
+    cluster_spread=0.03,
+)
+
+GOWALLA = DatasetProfile(
+    name="gowalla",
+    num_users=407_533,
+    num_venues=2_723_102,
+    checkins_per_user=21.0,
+    friends_per_user=12.0,
+    mutual=True,
+    social_connected=True,
+    reciprocity=1.0,
+    inactive_user_fraction=0.0,
+    num_city_clusters=40,
+    cluster_spread=0.03,
+)
+
+WEEPLACES = DatasetProfile(
+    name="weeplaces",
+    num_users=16_022,
+    num_venues=971_309,
+    checkins_per_user=48.0,
+    friends_per_user=7.0,
+    mutual=True,
+    social_connected=True,
+    reciprocity=1.0,
+    inactive_user_fraction=0.0,
+    num_city_clusters=30,
+    cluster_spread=0.03,
+)
+
+YELP = DatasetProfile(
+    name="yelp",
+    num_users=1_987_693,
+    num_venues=150_310,
+    checkins_per_user=3.0,
+    friends_per_user=5.0,
+    mutual=False,
+    social_connected=False,
+    reciprocity=0.22,
+    inactive_user_fraction=0.50,
+    num_city_clusters=8,
+    cluster_spread=0.05,
+)
+
+DATASET_PROFILES: dict[str, DatasetProfile] = {
+    p.name: p for p in (FOURSQUARE, GOWALLA, WEEPLACES, YELP)
+}

@@ -1,0 +1,138 @@
+"""Validating generated datasets against their profile's invariants.
+
+The synthetic replicas stand in for the paper's real datasets, so the
+reproduction hinges on them actually exhibiting the structural signatures
+of Table 3.  :func:`validate_network` checks those signatures and returns
+a report; the test suite and ``python -m repro generate --verify`` use it
+as a tripwire against generator regressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.profiles import DATASET_PROFILES, DatasetProfile
+from repro.geosocial.network import GeosocialNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    """One violated invariant."""
+
+    check: str
+    detail: str
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationReport:
+    """Outcome of a dataset validation run."""
+
+    profile: str
+    issues: tuple[ValidationIssue, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.profile}: all structural invariants hold"
+        lines = [f"{self.profile}: {len(self.issues)} issue(s)"]
+        lines.extend(f"  - {i.check}: {i.detail}" for i in self.issues)
+        return "\n".join(lines)
+
+
+def validate_network(
+    network: GeosocialNetwork,
+    profile: str | DatasetProfile | None = None,
+) -> ValidationReport:
+    """Check a network against its dataset profile's invariants.
+
+    Args:
+        network: the generated network.
+        profile: the profile it claims to follow (defaults to the
+            network's name).
+    """
+    if profile is None:
+        profile = network.name
+    if isinstance(profile, str):
+        try:
+            profile = DATASET_PROFILES[profile.lower()]
+        except KeyError:
+            known = ", ".join(sorted(DATASET_PROFILES))
+            raise ValueError(
+                f"unknown dataset profile {profile!r}; known: {known}"
+            ) from None
+
+    issues: list[ValidationIssue] = []
+
+    def fail(check: str, detail: str) -> None:
+        issues.append(ValidationIssue(check, detail))
+
+    stats = network.stats()
+
+    # Layout: users first, venues after; venues spatial, users not.
+    num_users = stats.num_users
+    for v in range(network.num_vertices):
+        is_venue = v >= num_users
+        if network.is_spatial(v) != is_venue:
+            fail(
+                "vertex-layout",
+                f"vertex {v} breaks the users-then-venues layout",
+            )
+            break
+
+    # Venues are sinks (check-ins/ratings point *to* venues).
+    for v in network.spatial_vertices():
+        if network.graph.out_degree(v) != 0:
+            fail("venues-are-sinks", f"venue {v} has outgoing edges")
+            break
+
+    # User/venue ratio within a factor of the profile (rounding at small
+    # scales moves it).
+    expected_ratio = profile.num_users / profile.num_venues
+    actual_ratio = stats.num_users / max(1, stats.num_venues)
+    if not (expected_ratio / 2 <= actual_ratio <= expected_ratio * 2):
+        fail(
+            "user-venue-ratio",
+            f"expected ~{expected_ratio:.2f}, got {actual_ratio:.2f}",
+        )
+
+    # SCC regime.
+    if profile.social_connected:
+        if stats.largest_scc != stats.num_users:
+            fail(
+                "giant-scc",
+                f"largest SCC {stats.largest_scc} != #users {stats.num_users}",
+            )
+        if stats.num_sccs != stats.num_venues + 1:
+            fail(
+                "singleton-venues",
+                f"#SCCs {stats.num_sccs} != #venues + 1 "
+                f"({stats.num_venues + 1})",
+            )
+    else:
+        if stats.largest_scc >= stats.num_users:
+            fail(
+                "fragmented-sccs",
+                "largest SCC swallowed every user in a fragmented profile",
+            )
+        if stats.num_sccs <= stats.num_venues:
+            fail(
+                "fragmented-sccs",
+                "fewer SCCs than venues in a fragmented profile",
+            )
+
+    # Geometry: all venue points inside the unit square.
+    for v in network.spatial_vertices():
+        p = network.point_of(v)
+        if not (0.0 <= p.x <= 1.0 and 0.0 <= p.y <= 1.0):
+            fail("geometry", f"venue {v} outside the unit square: {p}")
+            break
+
+    # No parallel edges.
+    edges = list(network.graph.edges())
+    if len(edges) != len(set(edges)):
+        fail("simple-graph", "parallel edges present")
+
+    return ValidationReport(profile=profile.name, issues=tuple(issues))

@@ -1,0 +1,16 @@
+"""Geometric primitives used throughout the library.
+
+The paper models spatial activity as points in the two-dimensional plane,
+query regions as axis-aligned rectangles, and the 3DReach transformation
+lifts both into three dimensions (axis-aligned boxes and vertical line
+segments).  Everything in this package is a small immutable value type with
+exact containment/intersection predicates; no external geometry library is
+used.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.box3 import Box3
+from repro.geometry.segment3 import Segment3
+
+__all__ = ["Point", "Rect", "Box3", "Segment3"]

@@ -1,0 +1,114 @@
+"""Axis-aligned boxes in three dimensions.
+
+The 3DReach method rewrites a ``RangeReach`` query as a set of
+three-dimensional range queries: the base of each cuboid is the query
+region ``R`` and the third axis spans one interval label ``[l, h]``.
+``Box3`` is that cuboid type and also the bounding volume of the 3-D
+R-tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Box3:
+    """An immutable axis-aligned box ``[xlo,xhi] x [ylo,yhi] x [zlo,zhi]``."""
+
+    xlo: float
+    ylo: float
+    zlo: float
+    xhi: float
+    yhi: float
+    zhi: float
+
+    def __post_init__(self) -> None:
+        if self.xlo > self.xhi or self.ylo > self.yhi or self.zlo > self.zhi:
+            raise ValueError(
+                f"degenerate box: ({self.xlo}, {self.ylo}, {self.zlo}) .. "
+                f"({self.xhi}, {self.yhi}, {self.zhi})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rect(cls, rect: Rect, zlo: float, zhi: float) -> "Box3":
+        """Lift a 2-D rectangle into 3-D by giving it a z-extent.
+
+        This is exactly the paper's query rewriting: the cuboid for label
+        ``[l, h]`` is ``Box3.from_rect(R, l, h)``.
+        """
+        return cls(rect.xlo, rect.ylo, zlo, rect.xhi, rect.yhi, zhi)
+
+    @classmethod
+    def from_point(cls, x: float, y: float, z: float) -> "Box3":
+        """Return a degenerate (zero-volume) box at a single 3-D point."""
+        return cls(x, y, z, x, y, z)
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    @property
+    def base(self) -> Rect:
+        """Return the projection onto the xy-plane."""
+        return Rect(self.xlo, self.ylo, self.xhi, self.yhi)
+
+    @property
+    def volume(self) -> float:
+        return (
+            (self.xhi - self.xlo)
+            * (self.yhi - self.ylo)
+            * (self.zhi - self.zlo)
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_xyz(self, x: float, y: float, z: float) -> bool:
+        """Return True iff the 3-D point lies inside this box."""
+        return (
+            self.xlo <= x <= self.xhi
+            and self.ylo <= y <= self.yhi
+            and self.zlo <= z <= self.zhi
+        )
+
+    def contains_box(self, other: "Box3") -> bool:
+        """Return True iff ``other`` lies fully inside this box."""
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and self.zlo <= other.zlo
+            and other.xhi <= self.xhi
+            and other.yhi <= self.yhi
+            and other.zhi <= self.zhi
+        )
+
+    def intersects(self, other: "Box3") -> bool:
+        """Return True iff the two boxes share at least one point."""
+        return (
+            self.xlo <= other.xhi
+            and other.xlo <= self.xhi
+            and self.ylo <= other.yhi
+            and other.ylo <= self.yhi
+            and self.zlo <= other.zhi
+            and other.zlo <= self.zhi
+        )
+
+    def union(self, other: "Box3") -> "Box3":
+        """Return the smallest box enclosing both operands."""
+        return Box3(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            min(self.zlo, other.zlo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+            max(self.zhi, other.zhi),
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float, float, float]:
+        """Return ``(xlo, ylo, zlo, xhi, yhi, zhi)``."""
+        return (self.xlo, self.ylo, self.zlo, self.xhi, self.yhi, self.zhi)

@@ -1,0 +1,34 @@
+"""Two-dimensional points."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the two-dimensional plane.
+
+    Coordinates are floats; the class is hashable so points can be used as
+    dictionary keys (e.g. deduplicating venue locations).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Return the Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return the point as an ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y

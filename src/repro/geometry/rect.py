@@ -1,0 +1,148 @@
+"""Axis-aligned rectangles in the plane.
+
+``Rect`` is the query-region type of the paper's ``RangeReach(G, v, R)``
+operator and also the bounding-box type used by the 2-D R-tree and by
+GeoReach's RMBR (reachability minimum bounding rectangle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An immutable axis-aligned rectangle ``[xlo, xhi] x [ylo, yhi]``.
+
+    Boundaries are inclusive, matching the closed-region semantics used for
+    spatial range queries in the paper.
+    """
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xlo > self.xhi or self.ylo > self.yhi:
+            raise ValueError(
+                f"degenerate rectangle: ({self.xlo}, {self.ylo}) .. "
+                f"({self.xhi}, {self.yhi})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "Rect":
+        """Return the minimum bounding rectangle of a non-empty point set."""
+        it = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("cannot bound an empty point set") from None
+        xlo = xhi = first.x
+        ylo = yhi = first.y
+        for p in it:
+            if p.x < xlo:
+                xlo = p.x
+            elif p.x > xhi:
+                xhi = p.x
+            if p.y < ylo:
+                ylo = p.y
+            elif p.y > yhi:
+                yhi = p.y
+        return cls(xlo, ylo, xhi, yhi)
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "Rect":
+        """Return the rectangle of the given extent centered on ``center``."""
+        hw, hh = width / 2.0, height / 2.0
+        return cls(center.x - hw, center.y - hh, center.x + hw, center.y + hh)
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xlo + self.xhi) / 2.0, (self.ylo + self.yhi) / 2.0)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, p: Point) -> bool:
+        """Return True iff ``p`` lies inside this rectangle (boundary in)."""
+        return self.xlo <= p.x <= self.xhi and self.ylo <= p.y <= self.yhi
+
+    def contains_xy(self, x: float, y: float) -> bool:
+        """Coordinate-pair variant of :meth:`contains_point`."""
+        return self.xlo <= x <= self.xhi and self.ylo <= y <= self.yhi
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Return True iff ``other`` lies fully inside this rectangle."""
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and other.xhi <= self.xhi
+            and other.yhi <= self.yhi
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return True iff the two rectangles share at least one point."""
+        return (
+            self.xlo <= other.xhi
+            and other.xlo <= self.xhi
+            and self.ylo <= other.yhi
+            and other.ylo <= self.yhi
+        )
+
+    # ------------------------------------------------------------------
+    # Combinations
+    # ------------------------------------------------------------------
+    def union(self, other: "Rect") -> "Rect":
+        """Return the smallest rectangle enclosing both operands."""
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    def expanded_to(self, p: Point) -> "Rect":
+        """Return the smallest rectangle enclosing this one and ``p``."""
+        return Rect(
+            min(self.xlo, p.x),
+            min(self.ylo, p.y),
+            max(self.xhi, p.x),
+            max(self.yhi, p.y),
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Return the overlap of the two rectangles, or None if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.xlo, other.xlo),
+            max(self.ylo, other.ylo),
+            min(self.xhi, other.xhi),
+            min(self.yhi, other.yhi),
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(xlo, ylo, xhi, yhi)``."""
+        return (self.xlo, self.ylo, self.xhi, self.yhi)

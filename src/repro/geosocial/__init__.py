@@ -1,0 +1,19 @@
+"""Geosocial network model.
+
+A geosocial network ``G = (V, E, P)`` is a directed graph whose vertices
+may carry a point in the plane (Section 2.1 of the paper).  Reachability
+labelings require a DAG, so arbitrary networks are *condensed*: every
+strongly connected component becomes a super-vertex whose spatial
+information is handled by one of the two strategies of Section 5
+(replicating member points, or the MBR variant).
+"""
+
+from repro.geosocial.network import GeosocialNetwork, NetworkStats
+from repro.geosocial.scc_handling import CondensedNetwork, condense_network
+
+__all__ = [
+    "GeosocialNetwork",
+    "NetworkStats",
+    "CondensedNetwork",
+    "condense_network",
+]

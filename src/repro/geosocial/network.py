@@ -1,0 +1,207 @@
+"""The geosocial network container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.geometry import Point, Rect
+from repro.graph.condensation import condense
+from repro.graph.digraph import DiGraph
+from repro.graph.io import (
+    read_edge_list,
+    read_point_table,
+    write_edge_list,
+    write_point_table,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkStats:
+    """The per-dataset characteristics reported in the paper's Table 3."""
+
+    name: str
+    num_users: int
+    num_venues: int
+    num_checkin_edges: int
+    num_vertices: int
+    num_edges: int
+    num_spatial: int
+    num_sccs: int
+    largest_scc: int
+
+
+class GeosocialNetwork:
+    """A directed graph whose vertices may carry a 2-D point.
+
+    Vertices are dense integers; ``points[v]`` is the point of spatial
+    vertex ``v`` or ``None``.  The optional ``kinds`` list tags vertices as
+    ``"user"`` / ``"venue"`` for dataset statistics and the examples; it is
+    not consulted by any query method.
+    """
+
+    __slots__ = ("graph", "points", "kinds", "name", "_space")
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        points: list[Point | None],
+        kinds: list[str] | None = None,
+        name: str = "network",
+    ) -> None:
+        if len(points) != graph.num_vertices:
+            raise ValueError(
+                f"point table has {len(points)} entries for "
+                f"{graph.num_vertices} vertices"
+            )
+        if kinds is not None and len(kinds) != graph.num_vertices:
+            raise ValueError("kinds list length must match the vertex count")
+        self.graph = graph
+        self.points = points
+        self.kinds = kinds
+        self.name = name
+        self._space: Rect | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def is_spatial(self, v: int) -> bool:
+        """Return True iff vertex ``v`` carries a point."""
+        return self.points[v] is not None
+
+    def point_of(self, v: int) -> Point:
+        """Return the point of a spatial vertex (raises if non-spatial)."""
+        point = self.points[v]
+        if point is None:
+            raise ValueError(f"vertex {v} is not spatial")
+        return point
+
+    def spatial_vertices(self) -> list[int]:
+        """Return all vertices that carry a point."""
+        return [v for v, p in enumerate(self.points) if p is not None]
+
+    @property
+    def num_spatial(self) -> int:
+        return sum(1 for p in self.points if p is not None)
+
+    def space(self) -> Rect:
+        """Return the MBR of all points — the SPACE of the paper.
+
+        Query extents are expressed as a percentage of this rectangle.
+        """
+        if self._space is None:
+            points = (p for p in self.points if p is not None)
+            self._space = Rect.from_points(points)
+        return self._space
+
+    # ------------------------------------------------------------------
+    # Statistics (Table 3)
+    # ------------------------------------------------------------------
+    def stats(self) -> NetworkStats:
+        """Compute the Table 3 row for this network (runs SCC detection)."""
+        condensation = condense(self.graph)
+        if self.kinds is not None:
+            num_users = sum(1 for k in self.kinds if k == "user")
+            num_venues = sum(1 for k in self.kinds if k == "venue")
+            kinds = self.kinds
+            checkins = sum(
+                1
+                for _, target in self.graph.edges()
+                if kinds[target] == "venue"
+            )
+        else:
+            num_venues = self.num_spatial
+            num_users = self.num_vertices - num_venues
+            points = self.points
+            checkins = sum(
+                1
+                for _, target in self.graph.edges()
+                if points[target] is not None
+            )
+        return NetworkStats(
+            name=self.name,
+            num_users=num_users,
+            num_venues=num_venues,
+            num_checkin_edges=checkins,
+            num_vertices=self.num_vertices,
+            num_edges=self.num_edges,
+            num_spatial=self.num_spatial,
+            num_sccs=condensation.num_components,
+            largest_scc=condensation.largest_component_size(),
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> None:
+        """Write the network as ``meta.txt`` + ``edges.txt`` + ``points.txt``.
+
+        The meta file records the vertex count (isolated trailing vertices
+        are invisible in the edge list) and the optional vertex kinds.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(directory / "meta.txt", "w", encoding="utf-8") as handle:
+            handle.write(f"name {self.name}\n")
+            handle.write(f"num_vertices {self.num_vertices}\n")
+            if self.kinds is not None:
+                num_users = sum(1 for k in self.kinds if k == "user")
+                if self.kinds == ["user"] * num_users + ["venue"] * (
+                    self.num_vertices - num_users
+                ):
+                    handle.write(f"num_users {num_users}\n")
+        write_edge_list(self.graph, directory / "edges.txt", header=self.name)
+        spatial = (
+            (v, p) for v, p in enumerate(self.points) if p is not None
+        )
+        write_point_table(spatial, directory / "points.txt", header=self.name)
+
+    @classmethod
+    def load(cls, directory: str | Path, name: str | None = None) -> "GeosocialNetwork":
+        """Read a network written by :meth:`save`."""
+        directory = Path(directory)
+        meta: dict[str, str] = {}
+        meta_path = directory / "meta.txt"
+        if meta_path.exists():
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    key, _, value = line.strip().partition(" ")
+                    if key:
+                        meta[key] = value
+        num_vertices = (
+            int(meta["num_vertices"]) if "num_vertices" in meta else None
+        )
+        graph = read_edge_list(directory / "edges.txt", num_vertices)
+        table = read_point_table(directory / "points.txt")
+        max_spatial = max(table, default=-1)
+        if max_spatial >= graph.num_vertices:
+            raise ValueError(
+                "point table references vertices beyond the edge list"
+            )
+        points: list[Point | None] = [None] * graph.num_vertices
+        for v, p in table.items():
+            points[v] = p
+        kinds = None
+        if "num_users" in meta:
+            num_users = int(meta["num_users"])
+            kinds = ["user"] * num_users + ["venue"] * (
+                graph.num_vertices - num_users
+            )
+        return cls(
+            graph, points, kinds=kinds,
+            name=name or meta.get("name") or directory.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GeosocialNetwork({self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, |P|={self.num_spatial})"
+        )

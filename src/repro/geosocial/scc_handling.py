@@ -1,0 +1,164 @@
+"""Condensing geosocial networks (Section 5 of the paper).
+
+Graph-reachability labelings assume a DAG, so every strongly connected
+component is collapsed into a super-vertex.  SCCs may contain spatial
+vertices, and the paper discusses two ways to carry their spatial extent:
+
+1. **replicate** — index every member point individually, mapping it back
+   to its super-vertex (the super-vertex's reachability information is
+   effectively replicated per point);
+2. **mbr** — give the super-vertex a single MBR enclosing all member
+   points.
+
+:class:`CondensedNetwork` precomputes everything both strategies need;
+the query methods select the strategy with their ``scc_mode`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Literal
+
+from repro.geometry import Point, Rect
+from repro.graph.condensation import Condensation, condense
+from repro.graph.digraph import DiGraph
+from repro.geosocial.network import GeosocialNetwork
+
+SccMode = Literal["replicate", "mbr"]
+
+SCC_MODES: tuple[SccMode, ...] = ("replicate", "mbr")
+
+
+class CondensedNetwork:
+    """A geosocial network condensed to a DAG of super-vertices.
+
+    Attributes:
+        network: the original network.
+        dag: the condensation (vertex = super-vertex, edges deduplicated).
+        component_of: original vertex -> super-vertex id.
+        members: super-vertex id -> original vertices.
+    """
+
+    __slots__ = (
+        "network",
+        "dag",
+        "component_of",
+        "members",
+        "_points_of",
+        "_spatial_members",
+        "_mbr_of",
+        "_spatial_components",
+    )
+
+    def __init__(self, network: GeosocialNetwork, condensation: Condensation) -> None:
+        self.network = network
+        self.dag: DiGraph = condensation.dag
+        self.component_of: list[int] = condensation.component_of
+        self.members: list[list[int]] = condensation.members
+
+        # Spatial info per super-vertex; points and the original spatial
+        # vertices they came from are kept aligned.
+        points_of: list[list[Point]] = [[] for _ in range(self.dag.num_vertices)]
+        spatial_members: list[list[int]] = [[] for _ in range(self.dag.num_vertices)]
+        for v, point in enumerate(network.points):
+            if point is not None:
+                component = self.component_of[v]
+                points_of[component].append(point)
+                spatial_members[component].append(v)
+        self._points_of = points_of
+        self._spatial_members = spatial_members
+        self._mbr_of: list[Rect | None] | None = None
+        self._spatial_components: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_components(self) -> int:
+        return self.dag.num_vertices
+
+    def super_of(self, v: int) -> int:
+        """Map an original vertex to its super-vertex."""
+        return self.component_of[v]
+
+    def points_of(self, component: int) -> list[Point]:
+        """Return the member points of a super-vertex (possibly empty)."""
+        return self._points_of[component]
+
+    def has_spatial(self, component: int) -> bool:
+        return bool(self._points_of[component])
+
+    def spatial_components(self) -> list[int]:
+        """Return all super-vertices that contain at least one point."""
+        if self._spatial_components is None:
+            self._spatial_components = [
+                c for c, pts in enumerate(self._points_of) if pts
+            ]
+        return self._spatial_components
+
+    def mbr_of(self, component: int) -> Rect | None:
+        """Return the MBR of the super-vertex's points (Section 5, option 2)."""
+        if self._mbr_of is None:
+            self._mbr_of = [
+                Rect.from_points(pts) if pts else None
+                for pts in self._points_of
+            ]
+        return self._mbr_of[component]
+
+    # ------------------------------------------------------------------
+    # Index feeds
+    # ------------------------------------------------------------------
+    def replicate_entries(self) -> Iterator[tuple[Point, int]]:
+        """Yield ``(point, super-vertex)`` for every original spatial vertex.
+
+        The *replicate* strategy: every member point is indexed on its own
+        and inherits the super-vertex's reachability information.
+        """
+        for component, points in enumerate(self._points_of):
+            for point in points:
+                yield point, component
+
+    def spatial_members(self, component: int) -> list[int]:
+        """Original spatial vertices of a super-vertex, aligned with
+        :meth:`points_of`."""
+        return self._spatial_members[component]
+
+    def vertex_entries(self) -> Iterator[tuple[Point, int, int]]:
+        """Yield ``(point, super-vertex, original vertex)`` triples.
+
+        Like :meth:`replicate_entries` but keeps the original spatial
+        vertex id, for queries that must report witnesses.
+        """
+        for component, members in enumerate(self._spatial_members):
+            points = self._points_of[component]
+            for point, vertex in zip(points, members):
+                yield point, component, vertex
+
+    def mbr_entries(self) -> Iterator[tuple[Rect, int]]:
+        """Yield ``(mbr, super-vertex)`` for every spatial super-vertex."""
+        for component in self.spatial_components():
+            mbr = self.mbr_of(component)
+            assert mbr is not None
+            yield mbr, component
+
+    # ------------------------------------------------------------------
+    # Spatial verification (shared by the MBR-variant methods)
+    # ------------------------------------------------------------------
+    def component_hits_region(self, component: int, region: Rect) -> bool:
+        """Return True iff some member point of ``component`` is in ``region``.
+
+        The containment short-circuit (region encloses the whole MBR) makes
+        the common single-point case one rectangle test.
+        """
+        mbr = self.mbr_of(component)
+        if mbr is None or not mbr.intersects(region):
+            return False
+        if region.contains_rect(mbr):
+            return True
+        return any(
+            region.contains_point(p) for p in self._points_of[component]
+        )
+
+
+def condense_network(network: GeosocialNetwork) -> CondensedNetwork:
+    """Condense a geosocial network into a DAG of super-vertices."""
+    return CondensedNetwork(network, condense(network.graph))

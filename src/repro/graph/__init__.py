@@ -1,0 +1,46 @@
+"""Directed-graph substrate.
+
+Implements, from scratch, everything the labeling and query methods need
+from a graph library: an adjacency-list directed graph, iterative
+traversals (the inputs are far too large for recursion), DFS forests with
+global post-order numbering, Tarjan's strongly-connected-components
+algorithm, DAG condensation, and a plain-text edge-list format.
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import (
+    bfs_order,
+    dfs_forest,
+    dfs_postorder,
+    is_acyclic,
+    reachable_from,
+    topological_order,
+)
+from repro.graph.scc import strongly_connected_components
+from repro.graph.condensation import Condensation, condense
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.reduction import (
+    ReducedDag,
+    equivalence_classes,
+    reduce_dag,
+    transitive_reduction,
+)
+
+__all__ = [
+    "DiGraph",
+    "bfs_order",
+    "dfs_forest",
+    "dfs_postorder",
+    "is_acyclic",
+    "reachable_from",
+    "topological_order",
+    "strongly_connected_components",
+    "Condensation",
+    "condense",
+    "read_edge_list",
+    "write_edge_list",
+    "ReducedDag",
+    "equivalence_classes",
+    "reduce_dag",
+    "transitive_reduction",
+]

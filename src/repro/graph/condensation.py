@@ -1,0 +1,60 @@
+"""DAG condensation of a directed graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import strongly_connected_components
+
+
+@dataclass(slots=True)
+class Condensation:
+    """The condensation of a directed graph.
+
+    Attributes:
+        dag: the condensed graph; vertex ``c`` of ``dag`` is a super-vertex.
+        component_of: maps each original vertex to its super-vertex id.
+        members: maps each super-vertex id to its original vertices.
+    """
+
+    dag: DiGraph
+    component_of: list[int]
+    members: list[list[int]]
+
+    @property
+    def num_components(self) -> int:
+        return self.dag.num_vertices
+
+    def largest_component_size(self) -> int:
+        """Return the size of the largest SCC (Table 3 statistic)."""
+        if not self.members:
+            return 0
+        return max(len(m) for m in self.members)
+
+    def is_trivial(self, component: int) -> bool:
+        """Return True iff the super-vertex wraps a single original vertex."""
+        return len(self.members[component]) == 1
+
+
+def condense(graph: DiGraph) -> Condensation:
+    """Collapse every SCC of ``graph`` into a single super-vertex.
+
+    The resulting DAG has one vertex per SCC and an edge ``(a, b)`` iff the
+    original graph had an edge between distinct components ``a`` and ``b``.
+    Duplicate inter-component edges are collapsed.
+    """
+    components = strongly_connected_components(graph)
+    component_of = [0] * graph.num_vertices
+    for cid, component in enumerate(components):
+        for v in component:
+            component_of[v] = cid
+
+    dag = DiGraph(len(components))
+    seen: set[tuple[int, int]] = set()
+    for source, target in graph.edges():
+        a, b = component_of[source], component_of[target]
+        if a != b and (a, b) not in seen:
+            seen.add((a, b))
+            dag.add_edge(a, b)
+    return Condensation(dag=dag, component_of=component_of, members=components)

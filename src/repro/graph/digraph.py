@@ -1,0 +1,141 @@
+"""A compact adjacency-list directed graph.
+
+Vertices are dense integer identifiers ``0 .. n-1``; this keeps every
+per-vertex attribute (labels, post-order numbers, points) a flat list and
+matches how the paper's C++ implementation stores the networks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class DiGraph:
+    """A directed graph over dense integer vertex ids.
+
+    Parallel edges are silently deduplicated at :meth:`add_edge` time only
+    when ``dedup=True`` is requested (deduplication costs a set per vertex
+    and the bulk loaders already produce unique edges).
+    """
+
+    __slots__ = ("_succ", "_pred", "_num_edges")
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        if num_vertices < 0:
+            raise ValueError("number of vertices must be non-negative")
+        self._succ: list[list[int]] = [[] for _ in range(num_vertices)]
+        self._pred: list[list[int]] = [[] for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, edges: Iterable[tuple[int, int]]
+    ) -> "DiGraph":
+        """Build a graph from an iterable of ``(source, target)`` pairs."""
+        graph = cls(num_vertices)
+        for source, target in edges:
+            graph.add_edge(source, target)
+        return graph
+
+    def add_vertex(self) -> int:
+        """Append a fresh vertex and return its id."""
+        self._succ.append([])
+        self._pred.append([])
+        return len(self._succ) - 1
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Add the directed edge ``source -> target``."""
+        if not (0 <= source < len(self._succ)):
+            raise IndexError(f"source vertex {source} out of range")
+        if not (0 <= target < len(self._succ)):
+            raise IndexError(f"target vertex {target} out of range")
+        self._succ[source].append(target)
+        self._pred[target].append(source)
+        self._num_edges += 1
+
+    def remove_edge(self, source: int, target: int) -> None:
+        """Remove one occurrence of the edge ``source -> target``.
+
+        Raises:
+            ValueError: if the edge is not present.
+        """
+        try:
+            self._succ[source].remove(target)
+        except ValueError:
+            raise ValueError(f"edge ({source}, {target}) not present") from None
+        self._pred[target].remove(source)
+        self._num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """Return the vertex id range."""
+        return range(len(self._succ))
+
+    def successors(self, v: int) -> list[int]:
+        """Return the out-neighbors of ``v`` (the list is owned, not a copy)."""
+        return self._succ[v]
+
+    def predecessors(self, v: int) -> list[int]:
+        """Return the in-neighbors of ``v`` (the list is owned, not a copy)."""
+        return self._pred[v]
+
+    def out_degree(self, v: int) -> int:
+        return len(self._succ[v])
+
+    def in_degree(self, v: int) -> int:
+        return len(self._pred[v])
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all edges as ``(source, target)`` pairs."""
+        for source, targets in enumerate(self._succ):
+            for target in targets:
+                yield (source, target)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return True iff the edge exists (linear in out-degree)."""
+        return target in self._succ[source]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reversed(self) -> "DiGraph":
+        """Return a new graph with every edge direction flipped.
+
+        Used to build the *reversed* interval labeling of 3DReach-Rev.
+        """
+        reverse = DiGraph(self.num_vertices)
+        for source, targets in enumerate(self._succ):
+            for target in targets:
+                reverse.add_edge(target, source)
+        return reverse
+
+    def deduplicated(self) -> "DiGraph":
+        """Return a copy with parallel edges collapsed.
+
+        Check-in data produces many repeated user->venue edges; reachability
+        only cares about edge existence, so the loaders call this once.
+        """
+        out = DiGraph(self.num_vertices)
+        for source, targets in enumerate(self._succ):
+            seen: set[int] = set()
+            for target in targets:
+                if target not in seen:
+                    seen.add(target)
+                    out.add_edge(source, target)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

@@ -1,0 +1,84 @@
+"""Plain-text graph and point-table I/O.
+
+The on-disk format mirrors the SNAP-style dumps the paper's datasets ship
+in: one ``source target`` pair per line for edges, and one
+``vertex x y`` triple per line for spatial vertices.  Lines starting with
+``#`` are comments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.geometry import Point
+from repro.graph.digraph import DiGraph
+
+
+def read_edge_list(path: str | Path, num_vertices: int | None = None) -> DiGraph:
+    """Read a directed graph from a whitespace-separated edge list.
+
+    Args:
+        path: file to read.
+        num_vertices: size of the vertex universe; inferred as
+            ``max id + 1`` when omitted (requires a second pass held in
+            memory, so pass it for large files when known).
+    """
+    edges: list[tuple[int, int]] = []
+    max_id = -1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            source, target = int(parts[0]), int(parts[1])
+            edges.append((source, target))
+            if source > max_id:
+                max_id = source
+            if target > max_id:
+                max_id = target
+    n = num_vertices if num_vertices is not None else max_id + 1
+    return DiGraph.from_edges(n, edges)
+
+
+def write_edge_list(graph: DiGraph, path: str | Path, header: str | None = None) -> None:
+    """Write ``graph`` as a whitespace-separated edge list."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for source, target in graph.edges():
+            handle.write(f"{source} {target}\n")
+
+
+def read_point_table(path: str | Path) -> dict[int, Point]:
+    """Read a ``vertex x y`` table mapping spatial vertices to points."""
+    points: dict[int, Point] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise ValueError(f"malformed point line: {line!r}")
+            points[int(parts[0])] = Point(float(parts[1]), float(parts[2]))
+    return points
+
+
+def write_point_table(
+    points: dict[int, Point] | Iterable[tuple[int, Point]],
+    path: str | Path,
+    header: str | None = None,
+) -> None:
+    """Write a vertex-to-point table in ``vertex x y`` format."""
+    items = points.items() if isinstance(points, dict) else points
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for vertex, point in items:
+            handle.write(f"{vertex} {point.x!r} {point.y!r}\n")

@@ -1,0 +1,132 @@
+"""DAG reductions: transitive reduction and equivalence reduction.
+
+The paper's related-work section (7.1) notes that "directed acyclic graph
+reduction [67, 68] was further considered to accelerate reachability
+queries.  The idea is to reduce the size of the input graph by computing
+its transitive reduction followed by the equivalence reduction."  This
+module implements both as optional preprocessing for the labeling:
+
+* :func:`transitive_reduction` drops every edge implied by another path;
+* :func:`equivalence_classes` groups vertices with identical ancestor and
+  descendant sets — reachability-indistinguishable vertices;
+* :func:`reduce_dag` composes the two into a smaller, equivalent DAG.
+
+Both use transitive-closure bitsets, so they are intended for the
+condensation-sized graphs of this library (up to ~10^5 vertices), not for
+the raw web-scale inputs the cited papers target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import topological_order
+
+
+def _closure_bits(dag: DiGraph) -> list[int]:
+    """Descendant bitsets (including self), in one reverse-topo sweep."""
+    closure = [0] * dag.num_vertices
+    for v in reversed(topological_order(dag)):
+        bits = 1 << v
+        for u in dag.successors(v):
+            bits |= closure[u]
+        closure[v] = bits
+    return closure
+
+
+def transitive_reduction(dag: DiGraph) -> DiGraph:
+    """Return the unique transitive reduction of a DAG.
+
+    An edge ``(v, u)`` survives iff no *other* successor of ``v`` can
+    reach ``u``; reachability is exactly preserved with the minimum
+    number of edges.
+
+    Raises:
+        ValueError: if the graph has a cycle (via the topological sort).
+    """
+    closure = _closure_bits(dag)
+    reduced = DiGraph(dag.num_vertices)
+    for v in dag.vertices():
+        # Deduplicate parallel edges first: each copy would otherwise see
+        # the target in its twin's closure and both would be dropped.
+        succ = list(dict.fromkeys(dag.successors(v)))
+        if not succ:
+            continue
+        # prefix_or[i] = reachability union of succ[0..i-1]; suffix_or the
+        # mirror — an edge is redundant iff its target appears in the
+        # union of the *other* successors' closures.
+        n = len(succ)
+        prefix_or = [0] * (n + 1)
+        for i, w in enumerate(succ):
+            prefix_or[i + 1] = prefix_or[i] | closure[w]
+        suffix = 0
+        keep: list[bool] = [False] * n
+        for i in range(n - 1, -1, -1):
+            u = succ[i]
+            others = prefix_or[i] | suffix
+            keep[i] = not ((others >> u) & 1)
+            suffix |= closure[u]
+        for i, u in enumerate(succ):
+            if keep[i]:
+                reduced.add_edge(v, u)
+    return reduced
+
+
+def equivalence_classes(dag: DiGraph) -> list[list[int]]:
+    """Group vertices that are reachability-indistinguishable.
+
+    Two vertices are equivalent iff they have the same descendants and
+    the same ancestors (each excluding the vertex itself): every GReach
+    query then gives identical answers for both.
+    """
+    down = _closure_bits(dag)
+    up = _closure_bits(dag.reversed())
+    groups: dict[tuple[int, int], list[int]] = {}
+    for v in dag.vertices():
+        key = (down[v] & ~(1 << v), up[v] & ~(1 << v))
+        groups.setdefault(key, []).append(v)
+    return list(groups.values())
+
+
+@dataclass(slots=True)
+class ReducedDag:
+    """The result of the combined DAG reduction.
+
+    Attributes:
+        dag: the reduced graph (one vertex per equivalence class,
+            transitively reduced edges).
+        representative_of: original vertex -> reduced vertex id.
+        classes: reduced vertex id -> original vertices.
+    """
+
+    dag: DiGraph
+    representative_of: list[int]
+    classes: list[list[int]]
+
+
+def reduce_dag(dag: DiGraph) -> ReducedDag:
+    """Equivalence reduction followed by transitive reduction.
+
+    Reachability between original vertices is answered on the reduced
+    graph via ``representative_of``: ``u`` reaches ``v`` iff their
+    representatives are distinct-and-connected, or equal (equivalent
+    vertices do *not* reach each other in a DAG unless identical).
+    """
+    classes = equivalence_classes(dag)
+    representative_of = [0] * dag.num_vertices
+    for cid, members in enumerate(classes):
+        for v in members:
+            representative_of[v] = cid
+    quotient = DiGraph(len(classes))
+    seen: set[tuple[int, int]] = set()
+    for s, t in dag.edges():
+        a, b = representative_of[s], representative_of[t]
+        if a != b and (a, b) not in seen:
+            seen.add((a, b))
+            quotient.add_edge(a, b)
+    return ReducedDag(
+        dag=transitive_reduction(quotient),
+        representative_of=representative_of,
+        classes=classes,
+    )

@@ -1,0 +1,83 @@
+"""Strongly connected components (iterative Tarjan).
+
+Graph-reachability labelings require a DAG; as in the paper (Section 5),
+arbitrary geosocial networks are first condensed by collapsing every
+strongly connected component into a super-vertex.  Tarjan's algorithm is
+implemented iteratively because real social cores are huge (the Gowalla
+network's social SCC spans every user).
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+
+
+def strongly_connected_components(graph: DiGraph) -> list[list[int]]:
+    """Return the SCCs of ``graph`` in reverse topological order.
+
+    Each component is a list of vertex ids.  Tarjan's algorithm emits
+    components in reverse topological order of the condensation, which the
+    callers (condensation, GeoReach construction) exploit.
+    """
+    n = graph.num_vertices
+    index_of = [-1] * n          # discovery index, -1 = unvisited
+    lowlink = [0] * n
+    on_stack = [False] * n
+    stack: list[int] = []
+    components: list[list[int]] = []
+    next_index = 0
+
+    for start in graph.vertices():
+        if index_of[start] != -1:
+            continue
+        # Each frame is (vertex, position in its successor list).
+        work: list[tuple[int, int]] = [(start, 0)]
+        while work:
+            v, child_idx = work[-1]
+            if child_idx == 0:
+                index_of[v] = lowlink[v] = next_index
+                next_index += 1
+                stack.append(v)
+                on_stack[v] = True
+            succ = graph.successors(v)
+            recursed = False
+            while child_idx < len(succ):
+                u = succ[child_idx]
+                child_idx += 1
+                if index_of[u] == -1:
+                    work[-1] = (v, child_idx)
+                    work.append((u, 0))
+                    recursed = True
+                    break
+                if on_stack[u] and index_of[u] < lowlink[v]:
+                    lowlink[v] = index_of[u]
+            if recursed:
+                continue
+            work.pop()
+            if lowlink[v] == index_of[v]:
+                component: list[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == v:
+                        break
+                components.append(component)
+            if work:
+                parent_v, _ = work[-1]
+                if lowlink[v] < lowlink[parent_v]:
+                    lowlink[parent_v] = lowlink[v]
+    return components
+
+
+def scc_membership(graph: DiGraph) -> tuple[list[int], int]:
+    """Return ``(component_id_per_vertex, number_of_components)``.
+
+    Component ids follow Tarjan's emission order (reverse topological).
+    """
+    components = strongly_connected_components(graph)
+    member = [0] * graph.num_vertices
+    for cid, component in enumerate(components):
+        for v in component:
+            member[v] = cid
+    return member, len(components)

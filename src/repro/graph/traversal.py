@@ -1,0 +1,231 @@
+"""Iterative graph traversals.
+
+Every routine here is iterative: geosocial networks contain millions of
+vertices in the paper's setting (and tens of thousands at our benchmark
+scale), far beyond Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.graph.digraph import DiGraph
+
+
+@dataclass(slots=True)
+class DfsForest:
+    """The result of a depth-first spanning-forest construction.
+
+    Attributes:
+        parent: tree parent of each vertex (``-1`` for roots).
+        post: 1-based global post-order number of each vertex; numbers are
+            assigned consecutively across trees, exactly as Algorithm 1 of
+            the paper traverses the spanning trees one by one.
+        roots: the tree roots in visit order.
+        min_post: for each vertex, the smallest post-order number in its
+            subtree (this is the ``index(v)`` of the interval labeling).
+    """
+
+    parent: list[int]
+    post: list[int]
+    roots: list[int]
+    min_post: list[int]
+
+    def tree_edges(self) -> set[tuple[int, int]]:
+        """Return the set of spanning-tree edges ``(parent, child)``."""
+        return {
+            (p, child)
+            for child, p in enumerate(self.parent)
+            if p >= 0
+        }
+
+
+def _forest_roots(graph: DiGraph) -> list[int]:
+    """Return the default spanning-forest roots: vertices with in-degree 0.
+
+    On a DAG every vertex is reachable from some in-degree-0 source, so
+    these roots cover the graph; :func:`dfs_forest` still adds fallback
+    roots for any vertex left unvisited (relevant only for cyclic inputs).
+    """
+    return [v for v in graph.vertices() if graph.in_degree(v) == 0]
+
+
+def dfs_forest(
+    graph: DiGraph,
+    roots: Sequence[int] | None = None,
+    child_order: str = "natural",
+) -> DfsForest:
+    """Build a depth-first spanning forest with global post-order numbers.
+
+    A *DFS* forest (rather than BFS) matters for the interval labeling:
+    on a DAG every edge ``(v, u)`` then satisfies ``post(u) < post(v)``,
+    which makes "sort non-spanning edges by source post-order" (Algorithm 1,
+    line 20) a valid processing order; see DESIGN.md.
+
+    ``child_order`` controls the spanning-tree shape — the knob the paper's
+    future work calls "optimal (e.g., shallow) spanning forests":
+
+    * ``"natural"`` — adjacency-list order (default);
+    * ``"degree"`` — highest out-degree children first, which tends to put
+      hub subtrees under one contiguous post range;
+    * ``"degree-asc"`` — lowest out-degree first (adversarial contrast).
+    """
+    if child_order not in ("natural", "degree", "degree-asc"):
+        raise ValueError(
+            "child_order must be 'natural', 'degree' or 'degree-asc'"
+        )
+    n = graph.num_vertices
+    parent = [-1] * n
+    post = [0] * n
+    min_post = [0] * n
+    visited = [False] * n
+    root_list = list(roots) if roots is not None else _forest_roots(graph)
+    out_roots: list[int] = []
+    counter = 0
+
+    if child_order == "natural":
+        def ordered(v: int) -> list[int]:
+            return graph.successors(v)
+    elif child_order == "degree":
+        def ordered(v: int) -> list[int]:
+            return sorted(graph.successors(v), key=graph.out_degree, reverse=True)
+    else:
+        def ordered(v: int) -> list[int]:
+            return sorted(graph.successors(v), key=graph.out_degree)
+
+    def visit_tree(root: int) -> None:
+        nonlocal counter
+        visited[root] = True
+        # Stack frames are (vertex, its ordered successors, next index).
+        stack: list[tuple[int, list[int], int]] = [(root, ordered(root), 0)]
+        while stack:
+            v, succ, child_idx = stack[-1]
+            advanced = False
+            while child_idx < len(succ):
+                u = succ[child_idx]
+                child_idx += 1
+                if not visited[u]:
+                    visited[u] = True
+                    parent[u] = v
+                    stack[-1] = (v, succ, child_idx)
+                    stack.append((u, ordered(u), 0))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                counter += 1
+                post[v] = counter
+                low = post[v]
+                for u in succ:
+                    if parent[u] == v and min_post[u] < low:
+                        low = min_post[u]
+                min_post[v] = low
+
+    for root in root_list:
+        if not visited[root]:
+            out_roots.append(root)
+            visit_tree(root)
+    # Fallback: cover vertices unreachable from the supplied roots.
+    for v in graph.vertices():
+        if not visited[v]:
+            out_roots.append(v)
+            visit_tree(v)
+    return DfsForest(parent=parent, post=post, roots=out_roots, min_post=min_post)
+
+
+def dfs_postorder(graph: DiGraph, roots: Sequence[int] | None = None) -> list[int]:
+    """Return all vertices in global DFS post-order (ascending post number)."""
+    forest = dfs_forest(graph, roots)
+    order = [0] * graph.num_vertices
+    for v, number in enumerate(forest.post):
+        order[number - 1] = v
+    return order
+
+
+def bfs_order(graph: DiGraph, source: int) -> list[int]:
+    """Return the vertices reachable from ``source`` in BFS order."""
+    visited = [False] * graph.num_vertices
+    visited[source] = True
+    queue: deque[int] = deque([source])
+    order: list[int] = []
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for u in graph.successors(v):
+            if not visited[u]:
+                visited[u] = True
+                queue.append(u)
+    return order
+
+
+def reachable_from(graph: DiGraph, source: int) -> set[int]:
+    """Return the set of vertices reachable from ``source`` (incl. itself)."""
+    return set(bfs_order(graph, source))
+
+
+def topological_order(graph: DiGraph) -> list[int]:
+    """Return a topological order of a DAG (Kahn's algorithm).
+
+    Raises:
+        ValueError: if the graph contains a cycle.
+    """
+    n = graph.num_vertices
+    in_deg = [graph.in_degree(v) for v in graph.vertices()]
+    queue: deque[int] = deque(v for v in graph.vertices() if in_deg[v] == 0)
+    order: list[int] = []
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for u in graph.successors(v):
+            in_deg[u] -= 1
+            if in_deg[u] == 0:
+                queue.append(u)
+    if len(order) != n:
+        raise ValueError("graph contains a cycle; no topological order exists")
+    return order
+
+
+def is_acyclic(graph: DiGraph) -> bool:
+    """Return True iff the graph is a DAG."""
+    try:
+        topological_order(graph)
+    except ValueError:
+        return False
+    return True
+
+
+def all_reachable_sets(graph: DiGraph) -> list[set[int]]:
+    """Return, for every vertex, its full descendant set (incl. itself).
+
+    Quadratic; intended for ground-truth checks on small graphs only.
+    """
+    return [reachable_from(graph, v) for v in graph.vertices()]
+
+
+def path_exists(graph: DiGraph, source: int, target: int) -> bool:
+    """BFS reachability test; the no-index baseline for ``GReach``."""
+    if source == target:
+        return True
+    visited = [False] * graph.num_vertices
+    visited[source] = True
+    queue: deque[int] = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.successors(v):
+            if u == target:
+                return True
+            if not visited[u]:
+                visited[u] = True
+                queue.append(u)
+    return False
+
+
+def iter_edges_once(edges: Iterable[tuple[int, int]]) -> Iterable[tuple[int, int]]:
+    """Yield edges, skipping exact duplicates (order-preserving)."""
+    seen: set[tuple[int, int]] = set()
+    for edge in edges:
+        if edge not in seen:
+            seen.add(edge)
+            yield edge

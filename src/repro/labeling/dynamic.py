@@ -1,0 +1,215 @@
+"""Incrementally maintainable interval labeling.
+
+The paper defers "how our approach can efficiently handle updates in the
+network" to future work (Section 8) and hints at the mechanism in
+Section 4.1: leave "gaps in the post-order numbers ... to accommodate
+updates (vertex insertions)".  This module provides the natural
+incremental extension of Algorithm 1:
+
+* **vertex insertion** either appends a fresh post-order number past the
+  tail, or — with ``stride > 1`` — claims an unused number inside a gap
+  (:meth:`DynamicIntervalLabeling.add_vertex_at`), provided no existing
+  label covers it (a covered number would make the newcomer appear as a
+  descendant of vertices that never reached it);
+* **edge insertion** replays the non-spanning-edge step of Algorithm 1:
+  copy ``L(u)`` into ``L(v)`` and into every *current label-ancestor* of
+  ``v`` (the stabbing query over the labeling itself).  The invariant
+  "``post(x) ∈ L(w)`` implies ``L(w) ⊇ L(x)``" is maintained by each
+  insertion, which makes the scheme exact under any insertion order;
+* **edge deletion** cannot be handled locally (a label may be justified
+  by many paths), so it marks the labeling dirty and the next query
+  triggers a rebuild — an honest account of why the paper calls deletions
+  future work.
+
+Cycle creation is detected on insertion (an edge ``(v, u)`` with ``u``
+already reaching ``v``) and rejected: the DAG invariant is the caller's
+contract, exactly as in the static construction.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterator
+
+from repro.graph.digraph import DiGraph
+from repro.labeling.construction import build_labeling
+from repro.labeling.intervals import (
+    Interval,
+    compress_intervals,
+    intervals_cover,
+)
+
+
+class DynamicIntervalLabeling:
+    """An interval labeling over a DAG that supports online growth.
+
+    Args:
+        dag: optional initial graph (bootstrapped with the static
+            construction).
+        stride: spacing of post-order numbers; values > 1 reserve gaps
+            for :meth:`add_vertex_at`.
+    """
+
+    def __init__(self, dag: DiGraph | None = None, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError("stride must be positive")
+        self._stride = stride
+        self._graph = DiGraph(0)
+        self._post: list[int] = []          # per vertex
+        self._labels: list[tuple[Interval, ...]] = []
+        self._sorted_posts: list[int] = []  # all assigned posts, ordered
+        self._vertex_of_post: dict[int, int] = {}
+        self._dirty = False
+        if dag is not None:
+            self._bootstrap(dag)
+
+    def _bootstrap(self, dag: DiGraph) -> None:
+        labeling = build_labeling(dag, post_stride=self._stride)
+        self._graph = DiGraph(dag.num_vertices)
+        for s, t in dag.edges():
+            self._graph.add_edge(s, t)
+        self._post = list(labeling.post)
+        self._labels = list(labeling.labels)
+        self._sorted_posts = sorted(self._post)
+        self._vertex_of_post = {p: v for v, p in enumerate(self._post)}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        """Add an isolated vertex numbered past the current tail."""
+        tail = self._sorted_posts[-1] if self._sorted_posts else 0
+        return self._register_vertex(tail + self._stride)
+
+    def add_vertex_at(self, post: int) -> int:
+        """Add an isolated vertex at a specific (gap) post number.
+
+        The number must be positive, unused, and not covered by any
+        existing label — coverage would fabricate reachability to the
+        newcomer.  Useful with ``stride > 1``, where gaps guarantee such
+        numbers exist between any two neighbors.
+
+        Raises:
+            ValueError: if the number is taken or covered.
+        """
+        self._ensure_clean()  # a pending rebuild renumbers everything
+        if post < 1:
+            raise ValueError("post numbers are positive")
+        if post in self._vertex_of_post:
+            raise ValueError(f"post number {post} is already assigned")
+        for labels in self._labels:
+            if intervals_cover(labels, post):
+                raise ValueError(
+                    f"post number {post} is covered by an existing label; "
+                    "inserting there would fabricate reachability"
+                )
+        return self._register_vertex(post)
+
+    def _register_vertex(self, post: int) -> int:
+        v = self._graph.add_vertex()
+        self._post.append(post)
+        self._labels.append(((post, post),))
+        insort(self._sorted_posts, post)
+        self._vertex_of_post[post] = v
+        return v
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Insert edge ``source -> target``, updating labels in place.
+
+        Raises:
+            ValueError: if the edge would create a cycle (the target
+                already reaches the source).
+        """
+        self._check_vertex(source)
+        self._check_vertex(target)
+        if source == target:
+            raise ValueError("self-loops would create a cycle")
+        # greach() settles any pending rebuild first, so the cycle check is
+        # always evaluated against up-to-date labels.
+        if self.greach(target, source):
+            raise ValueError(
+                f"edge ({source}, {target}) would create a cycle; collapse "
+                "the component instead (repro.geosocial.condense_network)"
+            )
+        self._graph.add_edge(source, target)
+        additions = self._labels[target]
+        if intervals_cover(self._labels[source], self._post[target]):
+            # Already reachable: the invariant guarantees L(source)
+            # already covers L(target).
+            return
+        stab = self._post[source]
+        # The source itself plus every current label-ancestor of it.
+        self._labels[source] = compress_intervals(
+            self._labels[source] + additions
+        )
+        for w in range(len(self._labels)):
+            if w != source and intervals_cover(self._labels[w], stab):
+                self._labels[w] = compress_intervals(
+                    self._labels[w] + additions
+                )
+
+    def remove_edge(self, source: int, target: int) -> None:
+        """Remove an edge; labels are rebuilt lazily on the next query."""
+        self._graph.remove_edge(source, target)
+        self._dirty = True
+
+    def _ensure_clean(self) -> None:
+        if self._dirty:
+            self._bootstrap(self._graph)
+            self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def greach(self, source: int, target: int) -> bool:
+        """Reachability test (Lemma 3.1) on the current graph."""
+        self._ensure_clean()
+        return intervals_cover(self._labels[source], self._post[target])
+
+    def descendants(self, v: int) -> Iterator[int]:
+        """Yield all vertices reachable from ``v`` (including itself)."""
+        self._ensure_clean()
+        posts = self._sorted_posts
+        vertex_of_post = self._vertex_of_post
+        for lo, hi in self._labels[v]:
+            start = bisect_left(posts, lo)
+            end = bisect_right(posts, hi)
+            for i in range(start, end):
+                yield vertex_of_post[posts[i]]
+
+    def num_descendants(self, v: int) -> int:
+        self._ensure_clean()
+        posts = self._sorted_posts
+        return sum(
+            bisect_right(posts, hi) - bisect_left(posts, lo)
+            for lo, hi in self._labels[v]
+        )
+
+    def labels_of(self, v: int) -> tuple[Interval, ...]:
+        self._ensure_clean()
+        return self._labels[v]
+
+    def post_of(self, v: int) -> int:
+        return self._post[v]
+
+    @property
+    def stride(self) -> int:
+        return self._stride
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def graph(self) -> DiGraph:
+        """The underlying graph (do not mutate directly)."""
+        return self._graph
+
+    @property
+    def needs_rebuild(self) -> bool:
+        """True iff a deletion left the labels stale."""
+        return self._dirty
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self._graph.num_vertices):
+            raise IndexError(f"vertex {v} out of range")

@@ -1,0 +1,76 @@
+"""Operations on integer interval label sets.
+
+A label is a closed integer interval ``(lo, hi)`` over post-order numbers.
+Compression implements the two reductions described in Section 3.1 of the
+paper: *absorbing* subsumed intervals (``[3,5]`` absorbs ``[4,5]``) and
+*merging* adjacent ones (``[1,4]`` and ``[4,5]`` become ``[1,5]``).  Since
+post-order numbers are integers, intervals touching at consecutive numbers
+(``[1,4]`` and ``[5,7]``) merge as well — that is what collapses a chain of
+singleton labels like ``[1,1] .. [9,9]`` into ``[1,9]``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+Interval = tuple[int, int]
+
+
+def compress_intervals(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    """Return the canonical compressed form of a label set.
+
+    The result is a sorted tuple of disjoint, non-adjacent intervals that
+    covers exactly the same integers as the input.
+    """
+    ordered = sorted(intervals)
+    if not ordered:
+        return ()
+    out: list[Interval] = []
+    cur_lo, cur_hi = ordered[0]
+    for lo, hi in ordered[1:]:
+        if lo <= cur_hi + 1:
+            if hi > cur_hi:
+                cur_hi = hi
+        else:
+            out.append((cur_lo, cur_hi))
+            cur_lo, cur_hi = lo, hi
+    out.append((cur_lo, cur_hi))
+    return tuple(out)
+
+
+def intervals_cover(labels: Sequence[Interval], value: int) -> bool:
+    """Return True iff a *compressed* label set covers ``value``.
+
+    Binary search over the sorted disjoint intervals; this is the inner
+    test of ``GReach`` (Lemma 3.1 of the paper).
+    """
+    idx = bisect_right(labels, (value, float("inf"))) - 1
+    if idx < 0:
+        return False
+    lo, hi = labels[idx]
+    return lo <= value <= hi
+
+
+def intervals_covered_count(labels: Sequence[Interval]) -> int:
+    """Return how many integers a compressed label set covers.
+
+    For a labeling over a DAG this equals the number of descendants of the
+    vertex (including itself).
+    """
+    return sum(hi - lo + 1 for lo, hi in labels)
+
+
+def intervals_equal_coverage(
+    a: Sequence[Interval], b: Sequence[Interval]
+) -> bool:
+    """Return True iff two label sets cover the same integers."""
+    return compress_intervals(a) == compress_intervals(b)
+
+
+def intervals_union(*label_sets: Iterable[Interval]) -> tuple[Interval, ...]:
+    """Return the compressed union of several label sets."""
+    merged: list[Interval] = []
+    for labels in label_sets:
+        merged.extend(labels)
+    return compress_intervals(merged)

@@ -1,0 +1,101 @@
+"""Persistence for interval labelings.
+
+Offline index construction is the whole point of labeling schemes, so a
+production deployment builds once and reloads on start.  The format is a
+plain-text, line-oriented dump: stable across platforms, diff-able, and
+fast enough for the sizes this library targets.
+
+Layout::
+
+    # repro interval labeling v1
+    n <num_vertices> uncompressed <count>
+    roots <r0> <r1> ...
+    v <post> <parent> <k> <lo1> <hi1> ... <lok> <hik>      (one per vertex)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.labeling.labeling import IntervalLabeling
+
+_MAGIC = "# repro interval labeling v1"
+
+
+def save_labeling(labeling: IntervalLabeling, path: str | Path) -> None:
+    """Write a labeling to ``path`` in the v1 text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{_MAGIC}\n")
+        handle.write(
+            f"n {labeling.num_vertices} "
+            f"uncompressed {labeling.stats().uncompressed_labels} "
+            f"stride {labeling.stride}\n"
+        )
+        handle.write("roots " + " ".join(map(str, labeling.roots)) + "\n")
+        for v in range(labeling.num_vertices):
+            labels = labeling.labels[v]
+            flat = " ".join(f"{lo} {hi}" for lo, hi in labels)
+            handle.write(
+                f"v {labeling.post[v]} {labeling.parent[v]} "
+                f"{len(labels)}{' ' + flat if flat else ''}\n"
+            )
+
+
+def load_labeling(path: str | Path) -> IntervalLabeling:
+    """Read a labeling written by :func:`save_labeling`.
+
+    Raises:
+        ValueError: on a missing/garbled header or malformed record.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line.rstrip("\n") for line in handle]
+    if not lines or lines[0] != _MAGIC:
+        raise ValueError(f"{path}: not a repro interval labeling file")
+    header = lines[1].split()
+    if (
+        len(header) not in (4, 6)
+        or header[0] != "n"
+        or header[2] != "uncompressed"
+        or (len(header) == 6 and header[4] != "stride")
+    ):
+        raise ValueError(f"{path}: malformed size header: {lines[1]!r}")
+    n = int(header[1])
+    uncompressed = int(header[3])
+    stride = int(header[5]) if len(header) == 6 else 1
+    roots_line = lines[2].split()
+    if not roots_line or roots_line[0] != "roots":
+        raise ValueError(f"{path}: malformed roots line: {lines[2]!r}")
+    roots = [int(x) for x in roots_line[1:]]
+
+    post = [0] * n
+    parent = [0] * n
+    labels: list[tuple[tuple[int, int], ...]] = [()] * n
+    records = [line for line in lines[3:] if line]
+    if len(records) != n:
+        raise ValueError(
+            f"{path}: expected {n} vertex records, found {len(records)}"
+        )
+    for v, line in enumerate(records):
+        parts = line.split()
+        if parts[0] != "v" or len(parts) < 4:
+            raise ValueError(f"{path}: malformed vertex record: {line!r}")
+        post[v] = int(parts[1])
+        parent[v] = int(parts[2])
+        count = int(parts[3])
+        values = [int(x) for x in parts[4:]]
+        if len(values) != 2 * count:
+            raise ValueError(
+                f"{path}: vertex {v} declares {count} labels but carries "
+                f"{len(values) // 2}"
+            )
+        labels[v] = tuple(
+            (values[i], values[i + 1]) for i in range(0, len(values), 2)
+        )
+    return IntervalLabeling(
+        post=post,
+        labels=labels,
+        parent=parent,
+        roots=roots,
+        uncompressed_labels=uncompressed,
+        stride=stride,
+    )

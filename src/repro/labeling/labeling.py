@@ -1,0 +1,180 @@
+"""The interval labeling query API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.labeling.intervals import (
+    Interval,
+    intervals_cover,
+    intervals_covered_count,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LabelingStats:
+    """Label-count statistics, reproducing the paper's Table 6 columns."""
+
+    num_vertices: int
+    uncompressed_labels: int
+    compressed_labels: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Fraction of labels removed by compression (0 = no benefit)."""
+        if self.uncompressed_labels == 0:
+            return 0.0
+        return 1.0 - self.compressed_labels / self.uncompressed_labels
+
+
+class IntervalLabeling:
+    """An interval-based reachability labeling of a DAG.
+
+    Stores, for every vertex ``v``:
+
+    * ``post(v)`` — its 1-based global post-order number in the spanning
+      forest of Algorithm 1;
+    * ``L(v)`` — its compressed label set, a sorted tuple of disjoint
+      integer intervals over post-order numbers.
+
+    ``u`` is reachable from ``v`` iff some label of ``v`` covers
+    ``post(u)`` (Lemma 3.1).
+    """
+
+    __slots__ = (
+        "post",
+        "vertex_at_post",
+        "labels",
+        "parent",
+        "roots",
+        "stride",
+        "_uncompressed",
+    )
+
+    def __init__(
+        self,
+        post: list[int],
+        labels: list[tuple[Interval, ...]],
+        parent: list[int],
+        roots: list[int],
+        uncompressed_labels: int,
+        stride: int = 1,
+    ) -> None:
+        if len(post) != len(labels) or len(post) != len(parent):
+            raise ValueError("post/labels/parent arrays disagree in length")
+        if stride < 1:
+            raise ValueError("stride must be positive")
+        self.post = post
+        self.labels = labels
+        self.parent = parent
+        self.roots = roots
+        self.stride = stride
+        self._uncompressed = uncompressed_labels
+        # Invert the post-order numbering once: with stride s, vertex i in
+        # post order carries number i*s, so vertex_at_post[p // s - 1] is
+        # the vertex numbered p.  SocReach's descendant enumeration is a
+        # slice walk over this array.  The stride > 1 case leaves *gaps*
+        # between consecutive numbers — the update head-room Section 4.1
+        # mentions ("gaps in the post-order numbers ... to accommodate
+        # updates"): a vertex inserted at an unused number is provably not
+        # covered by any existing label (compression never merges across a
+        # gap because the endpoints differ by more than one).
+        self.vertex_at_post = [0] * len(post)
+        for v, p in enumerate(post):
+            if p % stride != 0:
+                raise ValueError(
+                    f"post number {p} is not a multiple of stride {stride}"
+                )
+            self.vertex_at_post[p // stride - 1] = v
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.post)
+
+    def post_of(self, v: int) -> int:
+        """Return the post-order number of ``v``."""
+        return self.post[v]
+
+    def labels_of(self, v: int) -> tuple[Interval, ...]:
+        """Return the compressed label set ``L(v)``."""
+        return self.labels[v]
+
+    def covers_post(self, v: int, post_number: int) -> bool:
+        """Return True iff some label of ``v`` covers ``post_number``."""
+        return intervals_cover(self.labels[v], post_number)
+
+    def greach(self, v: int, u: int) -> bool:
+        """Graph reachability test: can ``v`` reach ``u``? (Lemma 3.1)."""
+        return intervals_cover(self.labels[v], self.post[u])
+
+    def descendants(self, v: int) -> Iterator[int]:
+        """Yield all vertices reachable from ``v``, including ``v`` itself.
+
+        Implements the ``D(v)`` computation of SocReach (Section 4.1): each
+        label ``[l, h]`` is a relational range query over post-order
+        numbers, answered here by slicing the post-to-vertex array (gap
+        numbers, when ``stride > 1``, map to no vertex and are skipped by
+        the index arithmetic).
+        """
+        vertex_at_post = self.vertex_at_post
+        stride = self.stride
+        for lo, hi in self.labels[v]:
+            start = (lo + stride - 1) // stride  # first assigned slot >= lo
+            end = hi // stride                   # last assigned slot <= hi
+            yield from vertex_at_post[start - 1 : end]
+
+    def num_descendants(self, v: int) -> int:
+        """Return ``|D(v)|`` without materializing the set."""
+        if self.stride == 1:
+            return intervals_covered_count(self.labels[v])
+        stride = self.stride
+        total = 0
+        for lo, hi in self.labels[v]:
+            start = (lo + stride - 1) // stride
+            end = hi // stride
+            if end >= start:
+                total += end - start + 1
+        return total
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> LabelingStats:
+        """Return the Table 6 label counts for this scheme."""
+        return LabelingStats(
+            num_vertices=self.num_vertices,
+            uncompressed_labels=self._uncompressed,
+            compressed_labels=sum(len(ls) for ls in self.labels),
+        )
+
+    def size_bytes(self) -> int:
+        """Analytic index size mirroring a C++ layout (Table 4 accounting).
+
+        Each label is two 4-byte integers; each vertex additionally stores
+        its post-order number (4 bytes) and a pointer/offset into the label
+        array (8 bytes).
+        """
+        per_vertex = 4 + 8
+        per_label = 8
+        total_labels = sum(len(ls) for ls in self.labels)
+        return self.num_vertices * per_vertex + total_labels * per_label
+
+    def validate(self, descendant_sets: Sequence[set[int]]) -> None:
+        """Check the labeling against ground-truth descendant sets.
+
+        Used by tests: ``descendant_sets[v]`` must be the true set of
+        vertices reachable from ``v`` (including ``v``).
+        """
+        for v in range(self.num_vertices):
+            got = set(self.descendants(v))
+            if got != descendant_sets[v]:
+                missing = descendant_sets[v] - got
+                extra = got - descendant_sets[v]
+                raise AssertionError(
+                    f"label set of vertex {v} wrong: missing={missing}, "
+                    f"extra={extra}"
+                )

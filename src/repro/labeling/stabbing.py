@@ -1,0 +1,97 @@
+"""Interval stabbing index (centered interval tree).
+
+The paper notes that the ancestor lookup inside Algorithm 1 — "which
+vertices' labels cover post(v)?" — is a stabbing query that traditional
+interval indexing can accelerate.  This is that structure: a static
+centered interval tree over ``(lo, hi, payload)`` entries answering
+"all payloads whose interval covers q" in ``O(log n + k)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class _StabNode:
+    __slots__ = ("center", "by_lo", "by_hi", "left", "right")
+
+    def __init__(self, center: int) -> None:
+        self.center = center
+        self.by_lo: list[tuple[int, int, Any]] = []   # sorted by lo asc
+        self.by_hi: list[tuple[int, int, Any]] = []   # sorted by hi desc
+        self.left: "_StabNode | None" = None
+        self.right: "_StabNode | None" = None
+
+
+class IntervalStabbingIndex:
+    """A static index over closed integer intervals supporting stabbing."""
+
+    def __init__(self, intervals: list[tuple[int, int, Any]]) -> None:
+        for lo, hi, _ in intervals:
+            if lo > hi:
+                raise ValueError(f"degenerate interval [{lo}, {hi}]")
+        self._size = len(intervals)
+        self._root = self._build(intervals)
+
+    @staticmethod
+    def _build(intervals: list[tuple[int, int, Any]]) -> "_StabNode | None":
+        # Iterative construction (explicit work list) to stay clear of the
+        # recursion limit on adversarial inputs.
+        if not intervals:
+            return None
+        endpoints = sorted({x for lo, hi, _ in intervals for x in (lo, hi)})
+        root_holder: list[_StabNode | None] = [None]
+        work: list[tuple[list, list, _StabNode | None, str]] = [
+            (intervals, endpoints, None, "root")
+        ]
+        while work:
+            items, points, parent, side = work.pop()
+            if not items:
+                continue
+            center = points[len(points) // 2]
+            node = _StabNode(center)
+            here = [iv for iv in items if iv[0] <= center <= iv[1]]
+            left = [iv for iv in items if iv[1] < center]
+            right = [iv for iv in items if iv[0] > center]
+            node.by_lo = sorted(here, key=lambda iv: iv[0])
+            node.by_hi = sorted(here, key=lambda iv: -iv[1])
+            if parent is None:
+                root_holder[0] = node
+            elif side == "left":
+                parent.left = node
+            else:
+                parent.right = node
+            mid = len(points) // 2
+            if left:
+                work.append((left, points[:mid], node, "left"))
+            if right:
+                work.append((right, points[mid + 1 :], node, "right"))
+        return root_holder[0]
+
+    def stab(self, q: int) -> Iterator[Any]:
+        """Yield the payloads of every interval covering ``q``."""
+        node = self._root
+        while node is not None:
+            if q < node.center:
+                for lo, _, payload in node.by_lo:
+                    if lo > q:
+                        break
+                    yield payload
+                node = node.left
+            elif q > node.center:
+                for _, hi, payload in node.by_hi:
+                    if hi < q:
+                        break
+                    yield payload
+                node = node.right
+            else:
+                for _, _, payload in node.by_lo:
+                    yield payload
+                return
+
+    def stab_all(self, q: int) -> list[Any]:
+        """Return the stabbing result as a list."""
+        return list(self.stab(q))
+
+    def __len__(self) -> int:
+        return self._size

@@ -1,0 +1,28 @@
+"""The reachability-index protocol."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class ReachabilityIndex(Protocol):
+    """Answers ``GReach(G, v, u)`` queries over a fixed DAG.
+
+    Implementations are constructed from a :class:`repro.graph.DiGraph`
+    (which must be acyclic) and expose:
+
+    * :meth:`reaches` — the reachability test itself;
+    * :meth:`size_bytes` — analytic index footprint for Table 4;
+    * ``name`` — short identifier used in benchmark output.
+    """
+
+    name: str
+
+    def reaches(self, source: int, target: int) -> bool:
+        """Return True iff the DAG contains a path ``source -> target``."""
+        ...
+
+    def size_bytes(self) -> int:
+        """Return the analytic size of the index structures in bytes."""
+        ...

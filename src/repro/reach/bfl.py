@@ -1,0 +1,107 @@
+"""Bloom-Filter Labeling (BFL) reachability index.
+
+Reimplementation of the scheme the paper uses inside SpaReach-BFL
+(Su et al., "Reachability querying: can it be even faster?").  Each vertex
+carries:
+
+* a DFS subtree interval ``[index(v), post(v)]`` — containment of the
+  target's post-order number gives a definite positive;
+* an out-filter: an ``s``-bit Bloom set over the hashes of all vertices
+  reachable from ``v``;
+* an in-filter: the same over all vertices that reach ``v``.
+
+``u -> v`` requires ``out(v) ⊆ out(u)`` and ``in(u) ⊆ in(v)``; a violated
+subset test is a definite negative.  Inconclusive queries fall back to a
+DFS guided (pruned) by the same tests — the Label+G behaviour of BFL.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import dfs_forest, topological_order
+
+
+class BflReach:
+    """BFL reachability over a DAG."""
+
+    name = "bfl"
+
+    def __init__(self, dag: DiGraph, filter_bits: int = 256, seed: int = 7) -> None:
+        if filter_bits < 8:
+            raise ValueError("filter must have at least 8 bits")
+        self._graph = dag
+        self._bits = filter_bits
+        n = dag.num_vertices
+
+        forest = dfs_forest(dag)
+        self._post = forest.post
+        self._min_post = forest.min_post
+
+        rng = random.Random(seed)
+        hashes = [1 << rng.randrange(filter_bits) for _ in range(n)]
+
+        order = topological_order(dag)
+        out_filter = [0] * n
+        for v in reversed(order):
+            bits = hashes[v]
+            for u in dag.successors(v):
+                bits |= out_filter[u]
+            out_filter[v] = bits
+        in_filter = [0] * n
+        for v in order:
+            bits = hashes[v]
+            for u in dag.predecessors(v):
+                bits |= in_filter[u]
+            in_filter[v] = bits
+        self._out = out_filter
+        self._in = in_filter
+
+    # ------------------------------------------------------------------
+    def _definitely_reaches(self, source: int, target: int) -> bool:
+        """Subtree-interval test: target inside source's DFS subtree."""
+        return self._min_post[source] <= self._post[target] <= self._post[source]
+
+    def _filters_rule_out(self, source: int, target: int) -> bool:
+        """Return True iff the Bloom subset conditions refute the path."""
+        if self._out[target] & ~self._out[source]:
+            return True
+        if self._in[source] & ~self._in[target]:
+            return True
+        return False
+
+    def reaches(self, source: int, target: int) -> bool:
+        if source == target:
+            return True
+        if self._definitely_reaches(source, target):
+            return True
+        if self._filters_rule_out(source, target):
+            return False
+        # Pruned DFS fallback: only descend into vertices whose filters
+        # could still lead to the target.
+        target_out = self._out[target]
+        visited = set()
+        stack = [source]
+        while stack:
+            v = stack.pop()
+            for u in self._graph.successors(v):
+                if u == target:
+                    return True
+                if u in visited:
+                    continue
+                visited.add(u)
+                if self._definitely_reaches(u, target):
+                    return True
+                if target_out & ~self._out[u]:
+                    continue
+                if self._in[u] & ~self._in[target]:
+                    continue
+                stack.append(u)
+        return False
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Two s-bit filters plus two 4-byte interval endpoints per vertex."""
+        n = self._graph.num_vertices
+        return n * (2 * self._bits // 8 + 8)

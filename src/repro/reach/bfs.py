@@ -1,0 +1,26 @@
+"""Index-free reachability via BFS."""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import path_exists
+
+
+class BfsReach:
+    """Answers every query by a fresh BFS; zero offline cost.
+
+    The "no offline cost, O(|V| + |E|) per query" extreme of the
+    space/time spectrum discussed in the paper's related-work section, and
+    the correctness oracle used by the test suite.
+    """
+
+    name = "bfs"
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._graph = graph
+
+    def reaches(self, source: int, target: int) -> bool:
+        return path_exists(self._graph, source, target)
+
+    def size_bytes(self) -> int:
+        return 0

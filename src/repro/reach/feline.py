@@ -1,0 +1,101 @@
+"""Feline reachability index (Veloso et al.).
+
+The second reachability scheme Sarwat & Sun plugged into SpaReach
+("SpaReach-Feline" in the paper's Section 2.2.1).  Feline assigns every
+vertex a point in a two-dimensional *dominance* space built from two
+topological orders:
+
+* ``x(v)`` — position in a plain topological order;
+* ``y(v)`` — position in a second topological order taken with reversed
+  tie-breaking, so unrelated vertices tend to disagree in one coordinate.
+
+If ``u`` is reachable from ``v`` then ``x(v) < x(u)`` and ``y(v) < y(u)``
+(dominance is a *necessary* condition).  A failed dominance test is a
+definite negative; an inconclusive one falls back to a DFS pruned by the
+same test — the Label+G recipe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graph.digraph import DiGraph
+
+
+class FelineReach:
+    """Feline: two topological orders + pruned DFS fallback."""
+
+    name = "feline"
+
+    def __init__(self, dag: DiGraph) -> None:
+        self._graph = dag
+        self._x = self._topo_positions(dag, prefer_low_id=True)
+        self._y = self._topo_positions(dag, prefer_low_id=False)
+
+    @staticmethod
+    def _topo_positions(dag: DiGraph, prefer_low_id: bool) -> list[int]:
+        """Kahn's algorithm with an id-ordered frontier.
+
+        ``prefer_low_id`` picks which end of the frontier is consumed,
+        producing two orders that differ exactly where the DAG leaves
+        freedom — the heart of Feline's pruning power.
+
+        Raises:
+            ValueError: if the graph has a cycle.
+        """
+        import heapq
+
+        n = dag.num_vertices
+        in_deg = [dag.in_degree(v) for v in dag.vertices()]
+        heap = [
+            (v if prefer_low_id else -v)
+            for v in dag.vertices()
+            if in_deg[v] == 0
+        ]
+        heapq.heapify(heap)
+        position = [0] * n
+        seen = 0
+        while heap:
+            key = heapq.heappop(heap)
+            v = key if prefer_low_id else -key
+            position[v] = seen
+            seen += 1
+            for u in dag.successors(v):
+                in_deg[u] -= 1
+                if in_deg[u] == 0:
+                    heapq.heappush(heap, (u if prefer_low_id else -u))
+        if seen != n:
+            raise ValueError("Feline requires a DAG")
+        return position
+
+    # ------------------------------------------------------------------
+    def _dominates(self, source: int, target: int) -> bool:
+        """Necessary condition: source precedes target in both orders."""
+        return (
+            self._x[source] <= self._x[target]
+            and self._y[source] <= self._y[target]
+        )
+
+    def reaches(self, source: int, target: int) -> bool:
+        if source == target:
+            return True
+        if not self._dominates(source, target):
+            return False
+        # Dominance can be a false positive; confirm with a pruned DFS.
+        visited = set()
+        stack = [source]
+        while stack:
+            v = stack.pop()
+            for u in self._graph.successors(v):
+                if u == target:
+                    return True
+                if u in visited:
+                    continue
+                visited.add(u)
+                if self._dominates(u, target):
+                    stack.append(u)
+        return False
+
+    def size_bytes(self) -> int:
+        """Two 4-byte coordinates per vertex."""
+        return self._graph.num_vertices * 8

@@ -1,0 +1,121 @@
+"""GRAIL-style reachability: randomized multi-interval labels + pruned DFS.
+
+A Label+G scheme from the paper's related-work section.  Each of ``k``
+randomized DFS traversals assigns every vertex an interval
+``[low_i(v), rank_i(v)]`` such that reachability *implies* containment
+(``u`` reachable from ``v`` ⇒ ``L_i(u) ⊆ L_i(v)`` for every ``i``).  A
+failed containment is a definite negative; otherwise a DFS pruned by the
+same test decides.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import topological_order
+
+
+class GrailReach:
+    """GRAIL reachability over a DAG."""
+
+    name = "grail"
+
+    def __init__(self, dag: DiGraph, num_traversals: int = 3, seed: int = 11) -> None:
+        if num_traversals < 1:
+            raise ValueError("need at least one traversal")
+        self._graph = dag
+        self._k = num_traversals
+        n = dag.num_vertices
+        rng = random.Random(seed)
+        topo = topological_order(dag)
+
+        self._rank: list[list[int]] = []
+        self._low: list[list[int]] = []
+        for _ in range(num_traversals):
+            rank = self._random_postorder(dag, rng)
+            # low(v) = min over *all* successors (not just tree children),
+            # computed in reverse topological order; this is what makes
+            # containment a necessary condition for reachability.
+            low = rank[:]
+            for v in reversed(topo):
+                lo = rank[v]
+                for u in dag.successors(v):
+                    if low[u] < lo:
+                        lo = low[u]
+                low[v] = lo
+            self._rank.append(rank)
+            self._low.append(low)
+
+    @staticmethod
+    def _random_postorder(dag: DiGraph, rng: random.Random) -> list[int]:
+        """Assign 1-based post-order ranks from a DFS with shuffled children."""
+        n = dag.num_vertices
+        rank = [0] * n
+        visited = [False] * n
+        counter = 0
+        roots = [v for v in dag.vertices() if dag.in_degree(v) == 0]
+        rng.shuffle(roots)
+        all_roots = roots + [v for v in dag.vertices() if dag.in_degree(v) != 0]
+        for root in all_roots:
+            if visited[root]:
+                continue
+            visited[root] = True
+            stack: list[tuple[int, list[int], int]] = []
+            children = list(dag.successors(root))
+            rng.shuffle(children)
+            stack.append((root, children, 0))
+            while stack:
+                v, succ, idx = stack[-1]
+                advanced = False
+                while idx < len(succ):
+                    u = succ[idx]
+                    idx += 1
+                    if not visited[u]:
+                        visited[u] = True
+                        stack[-1] = (v, succ, idx)
+                        grand = list(dag.successors(u))
+                        rng.shuffle(grand)
+                        stack.append((u, grand, 0))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    counter += 1
+                    rank[v] = counter
+        return rank
+
+    # ------------------------------------------------------------------
+    def _contained(self, source: int, target: int) -> bool:
+        """True iff target's intervals nest inside source's in all traversals."""
+        for i in range(self._k):
+            if not (
+                self._low[i][source] <= self._low[i][target]
+                and self._rank[i][target] <= self._rank[i][source]
+            ):
+                return False
+        return True
+
+    def reaches(self, source: int, target: int) -> bool:
+        if source == target:
+            return True
+        if not self._contained(source, target):
+            return False
+        # Containment can be a false positive; confirm with a pruned DFS.
+        visited = set()
+        stack = [source]
+        while stack:
+            v = stack.pop()
+            for u in self._graph.successors(v):
+                if u == target:
+                    return True
+                if u in visited:
+                    continue
+                visited.add(u)
+                if self._contained(u, target):
+                    stack.append(u)
+        return False
+
+    def size_bytes(self) -> int:
+        """Two 4-byte rank values per traversal per vertex."""
+        return self._graph.num_vertices * self._k * 8

@@ -1,0 +1,13 @@
+"""Relational (one-dimensional) indexing.
+
+Section 4.1 of the paper observes that every interval label of SocReach
+"defines a typical (relational) range query over the post-order numbers of
+the network vertices", evaluable with "a traditional B+-tree which indexes
+post(v)" or plain array loops.  This package provides that B+-tree; the
+SocReach method accepts it through its ``descendant_access`` option, and
+the benchmark suite compares both access paths.
+"""
+
+from repro.relational.bptree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,228 @@
+"""A classic in-memory B+-tree over integer keys.
+
+Leaves hold ``(key, value)`` pairs and are chained left-to-right, so range
+scans are a leaf walk — the property SocReach's descendant enumeration
+needs: every interval label ``[l, h]`` becomes one ``range_scan(l, h)``.
+
+Supports bulk loading from sorted pairs (fully packed leaves), point
+insertion with node splits, point lookups, and inclusive range scans.
+Keys are unique (inserting an existing key overwrites its value), which
+matches the post-order-number use case.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator
+
+
+class _LeafNode:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.values: list[Any] = []
+        self.next: "_LeafNode | None" = None
+
+
+class _InnerNode:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        # children[i] covers keys < keys[i]; children[-1] the rest.
+        self.keys: list[int] = []
+        self.children: list[Any] = []
+
+
+class BPlusTree:
+    """A B+-tree mapping unique integer keys to values."""
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 4:
+            raise ValueError("order must be at least 4")
+        self._order = order
+        self._root: Any = _LeafNode()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sorted(
+        cls, pairs: list[tuple[int, Any]], order: int = 32
+    ) -> "BPlusTree":
+        """Build a tree from key-sorted unique pairs (fully packed leaves)."""
+        tree = cls(order=order)
+        if not pairs:
+            return tree
+        for (a, _), (b, _) in zip(pairs, pairs[1:]):
+            if a >= b:
+                raise ValueError("pairs must be strictly sorted by key")
+        fill = order - 1
+        leaves: list[_LeafNode] = []
+        for i in range(0, len(pairs), fill):
+            leaf = _LeafNode()
+            chunk = pairs[i : i + fill]
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        level: list[Any] = leaves
+        first_keys = [leaf.keys[0] for leaf in leaves]
+        while len(level) > 1:
+            parents: list[_InnerNode] = []
+            parent_first_keys: list[int] = []
+            for i in range(0, len(level), order):
+                node = _InnerNode()
+                node.children = level[i : i + order]
+                node.keys = first_keys[i + 1 : i + len(node.children)]
+                parents.append(node)
+                parent_first_keys.append(first_keys[i])
+            level = parents
+            first_keys = parent_first_keys
+        tree._root = level[0]
+        tree._size = len(pairs)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: Any) -> None:
+        """Insert ``key``; an existing key's value is overwritten."""
+        result = self._insert_into(self._root, key, value)
+        if result is not None:
+            split_key, sibling = result
+            new_root = _InnerNode()
+            new_root.keys = [split_key]
+            new_root.children = [self._root, sibling]
+            self._root = new_root
+
+    def _insert_into(self, node: Any, key: int, value: Any):
+        if isinstance(node, _LeafNode):
+            idx = bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+            if len(node.keys) < self._order:
+                return None
+            # Split the leaf in half; sibling takes the upper part.
+            mid = len(node.keys) // 2
+            sibling = _LeafNode()
+            sibling.keys = node.keys[mid:]
+            sibling.values = node.values[mid:]
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            sibling.next = node.next
+            node.next = sibling
+            return sibling.keys[0], sibling
+
+        idx = bisect_right(node.keys, key)
+        result = self._insert_into(node.children[idx], key, value)
+        if result is None:
+            return None
+        split_key, sibling = result
+        node.keys.insert(idx, split_key)
+        node.children.insert(idx + 1, sibling)
+        if len(node.children) <= self._order:
+            return None
+        mid = len(node.keys) // 2
+        new_inner = _InnerNode()
+        push_up = node.keys[mid]
+        new_inner.keys = node.keys[mid + 1 :]
+        new_inner.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return push_up, new_inner
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key: int) -> _LeafNode:
+        node = self._root
+        while isinstance(node, _InnerNode):
+            node = node.children[bisect_right(node.keys, key)]
+        return node
+
+    def get(self, key: int, default: Any = None) -> Any:
+        """Return the value stored under ``key``, or ``default``."""
+        leaf = self._find_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    def __contains__(self, key: int) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def range_scan(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
+        """Yield ``(key, value)`` pairs with ``lo <= key <= hi`` in order.
+
+        This is the access path for one interval label of SocReach.
+        """
+        if lo > hi:
+            return
+        leaf = self._find_leaf(lo)
+        idx = bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if key > hi:
+                    return
+                yield key, leaf.values[idx]
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """Yield all pairs in key order."""
+        node = self._root
+        while isinstance(node, _InnerNode):
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def height(self) -> int:
+        """Return the number of levels (1 = a single leaf)."""
+        height = 1
+        node = self._root
+        while isinstance(node, _InnerNode):
+            height += 1
+            node = node.children[0]
+        return height
+
+    def check_invariants(self) -> None:
+        """Validate ordering, fanout and leaf chaining (for tests)."""
+        collected: list[int] = []
+
+        def walk(node: Any, lo: float, hi: float) -> None:
+            if isinstance(node, _LeafNode):
+                assert node.keys == sorted(set(node.keys))
+                for k in node.keys:
+                    assert lo <= k < hi, (k, lo, hi)
+                return
+            assert node.keys == sorted(node.keys)
+            assert len(node.children) == len(node.keys) + 1
+            assert len(node.children) <= self._order
+            bounds = [lo] + list(node.keys) + [hi]
+            for child, (b_lo, b_hi) in zip(
+                node.children, zip(bounds, bounds[1:])
+            ):
+                walk(child, b_lo, b_hi)
+
+        walk(self._root, float("-inf"), float("inf"))
+        for key, _ in self.items():
+            collected.append(key)
+        assert collected == sorted(set(collected))
+        assert len(collected) == self._size

@@ -1,0 +1,152 @@
+"""Hierarchical quad grid.
+
+GeoReach (Sarwat & Sun) partitions the plane with a hierarchy of grids:
+level 0 is the finest partitioning (``2^(levels-1)`` cells per side) and
+each step up merges quads of four sibling cells into one parent cell, until
+the top level covers the whole space with a single cell.  ReachGrid sets
+store cells from *any* level, so cells carry their level explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Point, Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """A grid cell identified by ``(level, row, col)``.
+
+    ``level`` 0 is the finest partitioning; rows index the y-axis from the
+    bottom, columns the x-axis from the left.
+    """
+
+    level: int
+    row: int
+    col: int
+
+
+class HierarchicalGrid:
+    """A quad hierarchy of grids over a rectangular space.
+
+    Args:
+        space: the extent of the indexed plane.
+        num_levels: number of levels; level 0 has ``2^(num_levels-1)``
+            cells per side and the top level exactly one cell.
+    """
+
+    def __init__(self, space: Rect, num_levels: int = 8) -> None:
+        if num_levels < 1:
+            raise ValueError("need at least one grid level")
+        if space.width <= 0 or space.height <= 0:
+            raise ValueError("space must have positive extent")
+        self.space = space
+        self.num_levels = num_levels
+
+    # ------------------------------------------------------------------
+    # Geometry of cells
+    # ------------------------------------------------------------------
+    def side_cells(self, level: int) -> int:
+        """Return the number of cells per side at ``level``."""
+        self._check_level(level)
+        return 1 << (self.num_levels - 1 - level)
+
+    def num_cells(self, level: int) -> int:
+        """Return the total number of cells at ``level``."""
+        side = self.side_cells(level)
+        return side * side
+
+    def cell_rect(self, cell: Cell) -> Rect:
+        """Return the spatial extent of ``cell``."""
+        side = self.side_cells(cell.level)
+        cw = self.space.width / side
+        ch = self.space.height / side
+        xlo = self.space.xlo + cell.col * cw
+        ylo = self.space.ylo + cell.row * ch
+        return Rect(xlo, ylo, xlo + cw, ylo + ch)
+
+    def locate(self, point: Point, level: int = 0) -> Cell:
+        """Return the cell of ``level`` containing ``point``.
+
+        Points on the space boundary are clamped into the outermost cells,
+        so every point of the (closed) space maps to exactly one cell.
+        """
+        self._check_level(level)
+        side = self.side_cells(level)
+        col = int((point.x - self.space.xlo) / self.space.width * side)
+        row = int((point.y - self.space.ylo) / self.space.height * side)
+        col = min(max(col, 0), side - 1)
+        row = min(max(row, 0), side - 1)
+        return Cell(level, row, col)
+
+    # ------------------------------------------------------------------
+    # Hierarchy navigation
+    # ------------------------------------------------------------------
+    def parent(self, cell: Cell) -> Cell:
+        """Return the enclosing cell at the next coarser level."""
+        if cell.level >= self.num_levels - 1:
+            raise ValueError("top-level cell has no parent")
+        return Cell(cell.level + 1, cell.row // 2, cell.col // 2)
+
+    def children(self, cell: Cell) -> list[Cell]:
+        """Return the four finer cells that tile ``cell``."""
+        if cell.level == 0:
+            raise ValueError("level-0 cell has no children")
+        level = cell.level - 1
+        row, col = cell.row * 2, cell.col * 2
+        return [
+            Cell(level, row, col),
+            Cell(level, row, col + 1),
+            Cell(level, row + 1, col),
+            Cell(level, row + 1, col + 1),
+        ]
+
+    # ------------------------------------------------------------------
+    # Query predicates (on the cell extent)
+    # ------------------------------------------------------------------
+    def cell_intersects(self, cell: Cell, region: Rect) -> bool:
+        """Return True iff the cell's extent overlaps ``region``."""
+        return self.cell_rect(cell).intersects(region)
+
+    def cell_inside(self, cell: Cell, region: Rect) -> bool:
+        """Return True iff the cell's extent lies fully inside ``region``."""
+        return region.contains_rect(self.cell_rect(cell))
+
+    # ------------------------------------------------------------------
+    # ReachGrid maintenance (GeoReach)
+    # ------------------------------------------------------------------
+    def merge_cells(self, cells: set[Cell], merge_count: int) -> set[Cell]:
+        """Apply GeoReach's MERGE_COUNT policy to a cell set.
+
+        Starting from the finest level, whenever more than ``merge_count``
+        sibling cells (cells sharing a parent quad) are present, they are
+        replaced by their parent cell.  The process cascades upward because
+        merged parents may themselves form mergeable sibling groups.
+        """
+        if merge_count < 1:
+            raise ValueError("merge_count must be positive")
+        current = set(cells)
+        for level in range(self.num_levels - 1):
+            by_parent: dict[Cell, list[Cell]] = {}
+            for cell in current:
+                if cell.level == level:
+                    by_parent.setdefault(self.parent(cell), []).append(cell)
+            for parent_cell, siblings in by_parent.items():
+                if len(siblings) > merge_count:
+                    current.difference_update(siblings)
+                    current.add(parent_cell)
+        return current
+
+    def cells_cover_point(self, cells: set[Cell], point: Point) -> bool:
+        """Return True iff some cell in the set contains ``point``."""
+        for level in range(self.num_levels):
+            if self.locate(point, level) in cells:
+                return True
+        return False
+
+    def _check_level(self, level: int) -> None:
+        if not (0 <= level < self.num_levels):
+            raise ValueError(
+                f"level {level} outside [0, {self.num_levels - 1}]"
+            )

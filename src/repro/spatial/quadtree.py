@@ -1,0 +1,143 @@
+"""A PR quadtree over 2-D point entries.
+
+A space-oriented-partitioning (SOP) index from the paper's related-work
+survey (Section 7.2), provided as an alternative to the R-tree inside
+SpaReach: the region quadtree splits a cell into four equal quadrants
+whenever it holds more than ``leaf_capacity`` points.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.geometry import Rect
+
+
+class _QuadNode:
+    __slots__ = ("rect", "entries", "children")
+
+    def __init__(self, rect: Rect) -> None:
+        self.rect = rect
+        self.entries: list[tuple[float, float, Any]] | None = []
+        self.children: list["_QuadNode"] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTree:
+    """A point quadtree supporting range search over a fixed extent."""
+
+    def __init__(
+        self, extent: Rect, leaf_capacity: int = 16, max_depth: int = 16
+    ) -> None:
+        if leaf_capacity < 1:
+            raise ValueError("leaf_capacity must be positive")
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        if extent.width <= 0 or extent.height <= 0:
+            raise ValueError("extent must have positive area")
+        self._root = _QuadNode(extent)
+        self._capacity = leaf_capacity
+        self._max_depth = max_depth
+        self._size = 0
+
+    @classmethod
+    def bulk_load(
+        cls,
+        entries,
+        extent: Rect,
+        leaf_capacity: int = 16,
+        max_depth: int = 16,
+    ) -> "QuadTree":
+        """Build from ``(bounds, item)`` pairs (degenerate point bounds)."""
+        tree = cls(extent, leaf_capacity, max_depth)
+        for bounds, item in entries:
+            if bounds[0] != bounds[2] or bounds[1] != bounds[3]:
+                raise ValueError("quadtree stores point entries only")
+            tree.insert_point((bounds[0], bounds[1]), item)
+        return tree
+
+    # ------------------------------------------------------------------
+    def insert_point(self, coords, item: Any) -> None:
+        x, y = coords
+        if not self._root.rect.contains_xy(x, y):
+            raise ValueError(f"point ({x}, {y}) outside the quadtree extent")
+        node, depth = self._root, 0
+        while not node.is_leaf:
+            node = self._child_for(node, x, y)
+            depth += 1
+        node.entries.append((x, y, item))
+        self._size += 1
+        if len(node.entries) > self._capacity and depth < self._max_depth:
+            self._split(node, depth)
+
+    @staticmethod
+    def _child_for(node: _QuadNode, x: float, y: float) -> _QuadNode:
+        cx, cy = node.rect.center.x, node.rect.center.y
+        idx = (1 if x > cx else 0) | (2 if y > cy else 0)
+        return node.children[idx]
+
+    def _split(self, node: _QuadNode, depth: int) -> None:
+        r = node.rect
+        cx, cy = r.center.x, r.center.y
+        node.children = [
+            _QuadNode(Rect(r.xlo, r.ylo, cx, cy)),       # SW
+            _QuadNode(Rect(cx, r.ylo, r.xhi, cy)),       # SE
+            _QuadNode(Rect(r.xlo, cy, cx, r.yhi)),       # NW
+            _QuadNode(Rect(cx, cy, r.xhi, r.yhi)),       # NE
+        ]
+        entries = node.entries
+        node.entries = None
+        for x, y, item in entries:
+            child = self._child_for(node, x, y)
+            child.entries.append((x, y, item))
+        # A pathological all-equal-point leaf re-splits on next insert and
+        # stops at max_depth.
+        for child in node.children:
+            if len(child.entries) > self._capacity and depth + 1 < self._max_depth:
+                self._split(child, depth + 1)
+
+    # ------------------------------------------------------------------
+    def search(self, query) -> Iterator[Any]:
+        """Yield every item whose point lies inside the query bounds."""
+        qxlo, qylo, qxhi, qyhi = query
+        region = Rect(qxlo, qylo, qxhi, qyhi)
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.rect.intersects(region):
+                continue
+            if node.is_leaf:
+                for x, y, item in node.entries:
+                    if qxlo <= x <= qxhi and qylo <= y <= qyhi:
+                        yield item
+            else:
+                stack.extend(node.children)
+
+    def search_all(self, query) -> list[Any]:
+        return list(self.search(query))
+
+    def any_intersecting(self, query) -> Any | None:
+        for item in self.search(query):
+            return item
+        return None
+
+    def count_intersecting(self, query) -> int:
+        return sum(1 for _ in self.search(query))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def depth(self) -> int:
+        """Return the maximum leaf depth (root = 0)."""
+        best = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node, d = stack.pop()
+            if node.is_leaf:
+                best = max(best, d)
+            else:
+                stack.extend((c, d + 1) for c in node.children)
+        return best

@@ -1,0 +1,107 @@
+"""A uniform (single-level) grid over 2-D point entries.
+
+"The simplest SOP index" of the paper's related-work survey: the space is
+cut into ``cells_per_side x cells_per_side`` equal cells, each holding the
+points that fall into it.  Range queries visit the cells overlapping the
+query rectangle and filter their contents.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+from repro.geometry import Rect
+
+
+class UniformGridIndex:
+    """A flat grid of point buckets with rectangle range search."""
+
+    def __init__(self, extent: Rect, cells_per_side: int = 32) -> None:
+        if cells_per_side < 1:
+            raise ValueError("cells_per_side must be positive")
+        if extent.width <= 0 or extent.height <= 0:
+            raise ValueError("extent must have positive area")
+        self._extent = extent
+        self._side = cells_per_side
+        self._cells: list[list[tuple[float, float, Any]]] = [
+            [] for _ in range(cells_per_side * cells_per_side)
+        ]
+        self._size = 0
+
+    @classmethod
+    def bulk_load(
+        cls, entries, extent: Rect, cells_per_side: int | None = None
+    ) -> "UniformGridIndex":
+        """Build from ``(bounds, item)`` pairs (degenerate point bounds).
+
+        Without an explicit resolution the grid aims at ~4 points per
+        cell, the classic occupancy heuristic.
+        """
+        items = list(entries)
+        if cells_per_side is None:
+            cells_per_side = max(1, int(math.sqrt(max(1, len(items)) / 4)))
+        grid = cls(extent, cells_per_side)
+        for bounds, item in items:
+            if bounds[0] != bounds[2] or bounds[1] != bounds[3]:
+                raise ValueError("uniform grid stores point entries only")
+            grid.insert_point((bounds[0], bounds[1]), item)
+        return grid
+
+    # ------------------------------------------------------------------
+    def _cell_coords(self, x: float, y: float) -> tuple[int, int]:
+        extent, side = self._extent, self._side
+        col = int((x - extent.xlo) / extent.width * side)
+        row = int((y - extent.ylo) / extent.height * side)
+        return (
+            min(max(row, 0), side - 1),
+            min(max(col, 0), side - 1),
+        )
+
+    def insert_point(self, coords, item: Any) -> None:
+        x, y = coords
+        if not self._extent.contains_xy(x, y):
+            raise ValueError(f"point ({x}, {y}) outside the grid extent")
+        row, col = self._cell_coords(x, y)
+        self._cells[row * self._side + col].append((x, y, item))
+        self._size += 1
+
+    # ------------------------------------------------------------------
+    def search(self, query) -> Iterator[Any]:
+        """Yield every item whose point lies inside the query bounds."""
+        qxlo, qylo, qxhi, qyhi = query
+        if qxlo > qxhi or qylo > qyhi:
+            return
+        row_lo, col_lo = self._cell_coords(max(qxlo, self._extent.xlo),
+                                           max(qylo, self._extent.ylo))
+        row_hi, col_hi = self._cell_coords(min(qxhi, self._extent.xhi),
+                                           min(qyhi, self._extent.yhi))
+        if qxhi < self._extent.xlo or qxlo > self._extent.xhi:
+            return
+        if qyhi < self._extent.ylo or qylo > self._extent.yhi:
+            return
+        side = self._side
+        for row in range(row_lo, row_hi + 1):
+            base = row * side
+            for col in range(col_lo, col_hi + 1):
+                for x, y, item in self._cells[base + col]:
+                    if qxlo <= x <= qxhi and qylo <= y <= qyhi:
+                        yield item
+
+    def search_all(self, query) -> list[Any]:
+        return list(self.search(query))
+
+    def any_intersecting(self, query) -> Any | None:
+        for item in self.search(query):
+            return item
+        return None
+
+    def count_intersecting(self, query) -> int:
+        return sum(1 for _ in self.search(query))
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def cells_per_side(self) -> int:
+        return self._side

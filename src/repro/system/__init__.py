@@ -1,0 +1,13 @@
+"""System-integration layer.
+
+The paper's conclusions mention "the incorporation of our methods in
+existing systems for geosocial networks" as future work — and emphasize
+that the methods need "no custom data structures".  This package shows
+that integration: :class:`GeosocialDatabase` is a small OLTP-style facade
+that accepts live updates (users, venues, follows, check-ins) and serves
+the whole RangeReach query family from a lazily rebuilt index snapshot.
+"""
+
+from repro.system.database import GeosocialDatabase
+
+__all__ = ["GeosocialDatabase"]

@@ -1,0 +1,167 @@
+"""An updatable geosocial store with snapshot-based RangeReach indexing.
+
+Design: updates (follows, check-ins, new users/venues) are appended to a
+plain adjacency structure; the expensive reachability/spatial indexes are
+built per *snapshot*, lazily, on the first query after a write.  This is
+the standard batch-refresh integration for labeling-based indexes — the
+raw graph is the source of truth, arbitrary updates (including
+cycle-creating follow-backs and unfollows, which no known interval
+labeling maintains incrementally) are absorbed by the rebuild, and the
+snapshot serves reads at full indexed speed.
+
+The snapshot's query engine is the 3DReach transformation
+(:class:`repro.core.GeosocialQueryEngine`), so besides the boolean
+RangeReach the database answers counting, enumeration, thresholds and
+nearest-reachable queries.
+"""
+
+from __future__ import annotations
+
+from repro.core.extensions import GeosocialQueryEngine
+from repro.geometry import Point, Rect
+from repro.geosocial.network import GeosocialNetwork
+from repro.geosocial.scc_handling import condense_network
+from repro.graph.digraph import DiGraph
+
+
+class GeosocialDatabase:
+    """A mutable geosocial network serving indexed RangeReach queries."""
+
+    def __init__(self) -> None:
+        self._graph = DiGraph(0)
+        self._points: list[Point | None] = []
+        self._kinds: list[str] = []
+        self._edges: set[tuple[int, int]] = set()
+        self._engine: GeosocialQueryEngine | None = None
+        self._rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add_user(self) -> int:
+        """Register a user; returns its vertex id."""
+        v = self._graph.add_vertex()
+        self._points.append(None)
+        self._kinds.append("user")
+        self._engine = None
+        return v
+
+    def add_venue(self, x: float, y: float) -> int:
+        """Register a venue at ``(x, y)``; returns its vertex id."""
+        v = self._graph.add_vertex()
+        self._points.append(Point(x, y))
+        self._kinds.append("venue")
+        self._engine = None
+        return v
+
+    def add_follow(self, follower: int, followee: int) -> bool:
+        """Record ``follower -> followee``; returns False if duplicate.
+
+        Mutual follows are fine — the snapshot condensation collapses the
+        resulting strongly connected components.
+        """
+        self._check_vertex(follower)
+        self._check_vertex(followee)
+        if self._kinds[followee] != "user" or self._kinds[follower] != "user":
+            raise ValueError("follow edges connect users")
+        return self._add_edge(follower, followee)
+
+    def add_checkin(self, user: int, venue: int) -> bool:
+        """Record a check-in; repeat check-ins deduplicate."""
+        self._check_vertex(user)
+        self._check_vertex(venue)
+        if self._kinds[user] != "user":
+            raise ValueError(f"vertex {user} is not a user")
+        if self._kinds[venue] != "venue":
+            raise ValueError(f"vertex {venue} is not a venue")
+        return self._add_edge(user, venue)
+
+    def remove_follow(self, follower: int, followee: int) -> None:
+        """Remove a follow edge (raises if absent)."""
+        if (follower, followee) not in self._edges:
+            raise ValueError(f"edge ({follower}, {followee}) not present")
+        self._graph.remove_edge(follower, followee)
+        self._edges.discard((follower, followee))
+        self._engine = None
+
+    def _add_edge(self, source: int, target: int) -> bool:
+        if source == target or (source, target) in self._edges:
+            return False
+        self._graph.add_edge(source, target)
+        self._edges.add((source, target))
+        self._engine = None
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries (trigger a snapshot rebuild when stale)
+    # ------------------------------------------------------------------
+    def range_reach(self, vertex: int, region: Rect) -> bool:
+        """Can ``vertex`` geosocially reach ``region``?"""
+        self._check_vertex(vertex)
+        return self._snapshot().range_reach(vertex, region)
+
+    def count_reachable(self, vertex: int, region: Rect) -> int:
+        self._check_vertex(vertex)
+        return self._snapshot().count(vertex, region)
+
+    def reachable_venues(self, vertex: int, region: Rect) -> list[int]:
+        self._check_vertex(vertex)
+        return self._snapshot().witnesses(vertex, region)
+
+    def reaches_at_least(self, vertex: int, region: Rect, k: int) -> bool:
+        self._check_vertex(vertex)
+        return self._snapshot().at_least(vertex, region, k)
+
+    def nearest_reachable(self, vertex: int, x: float, y: float):
+        """Return ``(venue, distance)`` or None."""
+        self._check_vertex(vertex)
+        return self._snapshot().nearest(vertex, Point(x, y))
+
+    # ------------------------------------------------------------------
+    # Snapshot management
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> GeosocialQueryEngine:
+        if self._engine is None:
+            if not any(p is not None for p in self._points):
+                raise ValueError("database has no venues yet")
+            network = GeosocialNetwork(
+                self._graph, self._points, kinds=list(self._kinds),
+                name="live",
+            )
+            condensed = condense_network(network)
+            self._engine = GeosocialQueryEngine(condensed)
+            self._rebuilds += 1
+        return self._engine
+
+    def refresh(self) -> None:
+        """Eagerly rebuild the snapshot (e.g. during an idle period)."""
+        self._engine = None
+        self._snapshot()
+
+    @property
+    def is_stale(self) -> bool:
+        """True iff the next query will rebuild the snapshot."""
+        return self._engine is None
+
+    @property
+    def num_rebuilds(self) -> int:
+        return self._rebuilds
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        return sum(1 for k in self._kinds if k == "user")
+
+    @property
+    def num_venues(self) -> int:
+        return sum(1 for k in self._kinds if k == "venue")
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self._graph.num_vertices):
+            raise IndexError(f"vertex {v} out of range")

@@ -1,0 +1,52 @@
+"""Saving and loading query workloads.
+
+Benchmark batches are reproducible via seeds, but frozen workload files
+make results comparable across library versions (a generator tweak would
+otherwise silently change every number).  Format: one query per line,
+``vertex xlo ylo xhi yhi``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.geometry import Rect
+from repro.workloads.queries import Query
+
+_MAGIC = "# repro query workload v1"
+
+
+def save_workload(queries: Sequence[Query], path: str | Path) -> None:
+    """Write a query batch to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{_MAGIC}\n")
+        for query in queries:
+            r = query.region
+            handle.write(
+                f"{query.vertex} {r.xlo!r} {r.ylo!r} {r.xhi!r} {r.yhi!r}\n"
+            )
+
+
+def load_workload(path: str | Path) -> list[Query]:
+    """Read a query batch written by :func:`save_workload`.
+
+    Raises:
+        ValueError: on a missing header or malformed line.
+    """
+    queries: list[Query] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline().rstrip("\n")
+        if first != _MAGIC:
+            raise ValueError(f"{path}: not a repro workload file")
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 5:
+                raise ValueError(f"{path}: malformed query line: {line!r}")
+            vertex = int(parts[0])
+            xlo, ylo, xhi, yhi = (float(p) for p in parts[1:])
+            queries.append(Query(vertex, Rect(xlo, ylo, xhi, yhi)))
+    return queries

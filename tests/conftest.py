@@ -1,0 +1,43 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import fig1_graph, fig1_network  # noqa: E402
+
+from repro.geosocial import condense_network  # noqa: E402
+
+
+@pytest.fixture
+def fig1():
+    """The directed graph of the paper's Figure 1."""
+    return fig1_graph()
+
+
+@pytest.fixture
+def fig1_net():
+    """The geosocial network of the paper's Figure 1."""
+    return fig1_network()
+
+
+@pytest.fixture
+def fig1_condensed():
+    """The condensed Figure 1 network (already a DAG, so 1:1)."""
+    return condense_network(fig1_network())
+
+
+@pytest.fixture(scope="session")
+def small_datasets():
+    """Tiny instances of all four dataset profiles, generated once."""
+    from repro.datasets import make_network
+
+    return {
+        name: make_network(name, scale=0.0005, seed=3)
+        for name in ("foursquare", "gowalla", "weeplaces", "yelp")
+    }

@@ -1,0 +1,71 @@
+"""Unit tests for repro.bench.ascii_chart."""
+
+import pytest
+
+from repro.bench.ascii_chart import render_series
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        render_series("t", ["a"], {})
+    with pytest.raises(ValueError):
+        render_series("t", ["a", "b"], {"s": [1.0]})
+    with pytest.raises(ValueError):
+        render_series("t", ["a"], {"s": [1.0]}, height=1)
+
+
+def test_title_and_legend_present():
+    out = render_series("my chart", ["x1", "x2"], {"alpha": [1, 10], "beta": [5, 5]})
+    lines = out.splitlines()
+    assert lines[0] == "my chart"
+    assert "o=alpha" in lines[-1]
+    assert "x=beta" in lines[-1]
+
+
+def test_extremes_hit_top_and_bottom_rows():
+    out = render_series("t", ["a", "b"], {"s": [1.0, 1000.0]}, height=10)
+    lines = out.splitlines()
+    plot = [line.split("|", 1)[1] for line in lines[1:11]]
+    assert "o" in plot[0]    # max lands on top row
+    assert "o" in plot[-1]   # min lands on bottom row
+
+
+def test_log_scale_ticks_monotonic():
+    out = render_series("t", ["a"], {"s": [100.0]}, height=12)
+    ticks = []
+    for line in out.splitlines()[1:13]:
+        head = line.split("|", 1)[0].replace("us", "").strip()
+        if head:
+            ticks.append(float(head.replace(",", "")))
+    assert ticks == sorted(ticks, reverse=True)
+
+
+def test_constant_series_renders():
+    out = render_series("t", ["a", "b", "c"], {"s": [5, 5, 5]})
+    assert out.count("o") >= 3
+
+
+def test_overlap_marker():
+    out = render_series("t", ["a"], {"s1": [7.0], "s2": [7.0]})
+    assert "!" in out
+    assert "(!=overlap)" in out
+
+
+def test_linear_scale():
+    out = render_series(
+        "t", ["a", "b"], {"s": [0.0, 10.0]}, log_scale=False, height=5
+    )
+    lines = out.splitlines()
+    assert "o" in lines[1]  # top row holds the max
+    assert "o" in lines[5]
+
+
+def test_deterministic():
+    args = ("t", ["a", "b", "c"], {"m": [1, 50, 2500], "n": [3, 3, 3]})
+    assert render_series(*args) == render_series(*args)
+
+
+def test_many_series_cycle_markers():
+    series = {f"s{i}": [float(i + 1)] for i in range(10)}
+    out = render_series("t", ["x"], series)
+    assert "#=s4" in out.splitlines()[-1]

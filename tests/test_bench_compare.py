@@ -1,0 +1,102 @@
+"""Unit tests for repro.bench.compare (CSV run comparison)."""
+
+import pytest
+
+from repro.bench.compare import compare_csv, format_changes, main
+
+
+def _write(path, text):
+    path.write_text(text)
+    return path
+
+
+BASELINE = """\
+# Table X — sizes
+dataset,alpha,beta
+gowalla,10,2.5
+yelp,4,1.0
+
+"""
+
+CANDIDATE = """\
+# Table X — sizes
+dataset,alpha,beta
+gowalla,20,2.5
+yelp,2,1.0
+
+"""
+
+
+def test_compare_detects_changes(tmp_path):
+    a = _write(tmp_path / "a.csv", BASELINE)
+    b = _write(tmp_path / "b.csv", CANDIDATE)
+    changes = compare_csv(a, b)
+    moved = {(c.row_key, c.column): c for c in changes}
+    assert moved[("gowalla", "alpha")].ratio == pytest.approx(2.0)
+    assert moved[("yelp", "alpha")].ratio == pytest.approx(0.5)
+    assert moved[("gowalla", "beta")].ratio == pytest.approx(1.0)
+    # biggest mover first
+    assert abs(changes[0].ratio - 1.0) >= abs(changes[-1].ratio - 1.0)
+
+
+def test_threshold_filters_unchanged_cells(tmp_path):
+    a = _write(tmp_path / "a.csv", BASELINE)
+    b = _write(tmp_path / "b.csv", CANDIDATE)
+    changes = compare_csv(a, b, threshold=0.25)
+    keys = {(c.row_key, c.column) for c in changes}
+    assert ("gowalla", "beta") not in keys
+    assert ("gowalla", "alpha") in keys
+
+
+def test_missing_sections_and_rows_skipped(tmp_path):
+    a = _write(tmp_path / "a.csv", BASELINE)
+    b = _write(
+        tmp_path / "b.csv",
+        "# Another table\ndataset,alpha\ngowalla,3\n\n",
+    )
+    assert compare_csv(a, b) == []
+
+
+def test_non_numeric_cells_skipped(tmp_path):
+    a = _write(
+        tmp_path / "a.csv",
+        "# T\ndataset,size\ngowalla,0.25 (0.29)\n\n",
+    )
+    b = _write(
+        tmp_path / "b.csv",
+        "# T\ndataset,size\ngowalla,0.30 (0.31)\n\n",
+    )
+    assert compare_csv(a, b) == []
+
+
+def test_format_changes(tmp_path):
+    a = _write(tmp_path / "a.csv", BASELINE)
+    b = _write(tmp_path / "b.csv", CANDIDATE)
+    text = format_changes(compare_csv(a, b))
+    assert "gowalla / alpha" in text
+    assert "x2.00" in text
+    assert format_changes([]) == "no comparable numeric cells changed"
+
+
+def test_main_cli(tmp_path, capsys):
+    a = _write(tmp_path / "a.csv", BASELINE)
+    b = _write(tmp_path / "b.csv", CANDIDATE)
+    assert main([str(a), str(b)]) == 0
+    assert "biggest movers" in capsys.readouterr().out
+    assert main([]) == 2
+
+
+def test_end_to_end_with_real_export(tmp_path, capsys, monkeypatch):
+    from repro.bench.__main__ import main as bench_main
+
+    run1 = tmp_path / "r1.csv"
+    run2 = tmp_path / "r2.csv"
+    args = ["table3", "--scale", "0.0005", "--datasets", "weeplaces"]
+    bench_main(args + ["--csv", str(run1)])
+    bench_main(args + ["--csv", str(run2)])
+    capsys.readouterr()
+    assert main([str(run1), str(run2)]) == 0
+    out = capsys.readouterr().out
+    # identical runs: every ratio is 1.0 -> no "x2" style movers needed,
+    # but cells are comparable
+    assert "comparable cell" in out

@@ -1,0 +1,69 @@
+"""Unit tests for repro.bench.experiments helpers."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def small_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.0005")
+    monkeypatch.setenv("REPRO_QUERIES", "3")
+    monkeypatch.setenv("REPRO_DATASETS", "weeplaces")
+
+
+def test_get_workload_cached():
+    from repro.bench.experiments import get_workload
+
+    assert get_workload("weeplaces") is get_workload("weeplaces")
+
+
+def test_chart_series_axes():
+    from repro.bench.experiments import chart_series
+    from repro.workloads import (
+        DEFAULT_DEGREE_BUCKETS,
+        DEFAULT_EXTENTS,
+        DEFAULT_SELECTIVITIES,
+    )
+
+    methods = ("socreach", "3dreach")
+    for axis, expected_len in (
+        ("extent", len(DEFAULT_EXTENTS)),
+        ("degree", len(DEFAULT_DEGREE_BUCKETS)),
+        ("selectivity", len(DEFAULT_SELECTIVITIES)),
+    ):
+        x_labels, series = chart_series("weeplaces", methods, axis)
+        assert len(x_labels) == expected_len
+        assert set(series) == set(methods)
+        for values in series.values():
+            assert len(values) == expected_len
+            assert all(v >= 0 for v in values)
+
+
+def test_chart_series_rejects_unknown_axis():
+    from repro.bench.experiments import chart_series
+
+    with pytest.raises(ValueError, match="axis"):
+        chart_series("weeplaces", ("socreach",), "altitude")
+
+
+def test_split_timing_classes():
+    from repro.bench.harness import get_bundle, time_queries_split
+    from repro.bench.experiments import get_workload, DEFAULT_BUCKET
+
+    bundle = get_bundle("weeplaces", ("3dreach",))
+    batch = get_workload("weeplaces").batch_by_extent(5.0, DEFAULT_BUCKET, 10)
+    split = time_queries_split(bundle["3dreach"], batch)
+    assert split.positives + split.negatives == 10
+    if split.positives:
+        assert split.positive_avg is not None and split.positive_avg > 0
+    else:
+        assert split.positive_avg is None
+    if split.negatives:
+        assert split.negative_avg is not None and split.negative_avg > 0
+
+
+def test_split_timing_rejects_empty():
+    from repro.bench.harness import get_bundle, time_queries_split
+
+    bundle = get_bundle("weeplaces", ("3dreach",))
+    with pytest.raises(ValueError):
+        time_queries_split(bundle["3dreach"], [])

@@ -1,0 +1,65 @@
+"""Unit tests for repro.bench.svg_chart."""
+
+import pytest
+
+from repro.bench.svg_chart import render_svg, write_svg
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        render_svg("t", ["a"], {})
+    with pytest.raises(ValueError):
+        render_svg("t", [], {"s": []})
+    with pytest.raises(ValueError):
+        render_svg("t", ["a", "b"], {"s": [1.0]})
+
+
+def test_basic_document_structure():
+    svg = render_svg("My <Figure>", ["1%", "2%"], {"m": [10.0, 100.0]})
+    assert svg.startswith("<svg ")
+    assert svg.endswith("</svg>")
+    assert "My &lt;Figure&gt;" in svg  # escaped title
+    assert svg.count("<circle") == 2
+    assert svg.count("<polyline") == 1
+
+
+def test_multiple_series_get_distinct_colors():
+    svg = render_svg(
+        "t", ["a"], {"s1": [1.0], "s2": [2.0], "s3": [3.0]}
+    )
+    assert "#0072B2" in svg and "#E69F00" in svg and "#009E73" in svg
+
+
+def test_log_scale_decade_gridlines():
+    svg = render_svg("t", ["a", "b"], {"s": [1.0, 1000.0]})
+    for decade in ("1<", "10<", "100<", "1000<"):
+        assert f">{decade}" in svg.replace("</text>", "<")
+
+
+def test_linear_scale():
+    svg = render_svg("t", ["a", "b"], {"s": [0.0, 4.0]}, log_scale=False)
+    assert "<polyline" in svg
+
+
+def test_deterministic():
+    args = ("t", ["a", "b"], {"m": [5.0, 50.0]})
+    assert render_svg(*args) == render_svg(*args)
+
+
+def test_write_svg_creates_file(tmp_path):
+    out = write_svg(
+        tmp_path / "charts" / "fig.svg", "t", ["x"], {"s": [1.0]}
+    )
+    assert out.exists()
+    assert out.read_text().startswith("<svg")
+
+
+def test_single_x_position_centers_point():
+    svg = render_svg("t", ["only"], {"s": [42.0]})
+    assert svg.count("<circle") == 1
+
+
+def test_legend_lists_all_series():
+    svg = render_svg("t", ["a"], {"alpha": [1.0], "beta": [2.0]})
+    assert ">alpha</text>" in svg
+    assert ">beta</text>" in svg

@@ -1,0 +1,99 @@
+"""Unit tests for the library CLI (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def dataset_dir(tmp_path):
+    directory = tmp_path / "net"
+    code = main([
+        "generate", "weeplaces", str(directory),
+        "--scale", "0.0005", "--seed", "3",
+    ])
+    assert code == 0
+    return directory
+
+
+def test_generate_writes_files(dataset_dir, capsys):
+    assert (dataset_dir / "edges.txt").exists()
+    assert (dataset_dir / "points.txt").exists()
+
+
+def test_generate_output_mentions_sizes(tmp_path, capsys):
+    main(["generate", "yelp", str(tmp_path / "y"), "--scale", "0.0005"])
+    out = capsys.readouterr().out
+    assert "|V|=" in out and "|E|=" in out
+
+
+def test_stats_prints_table3_fields(dataset_dir, capsys):
+    assert main(["stats", str(dataset_dir)]) == 0
+    out = capsys.readouterr().out
+    for field in ("#users", "#venues", "|V|", "#SCCs", "largest SCC"):
+        assert field in out
+
+
+def test_label_builds_and_saves(dataset_dir, tmp_path, capsys):
+    out_file = tmp_path / "fwd.labels"
+    assert main(["label", str(dataset_dir), str(out_file)]) == 0
+    assert out_file.exists()
+    out = capsys.readouterr().out
+    assert "labels" in out
+
+    from repro.labeling import load_labeling
+
+    labeling = load_labeling(out_file)
+    assert labeling.num_vertices > 0
+
+
+def test_label_reversed(dataset_dir, tmp_path):
+    out_file = tmp_path / "rev.labels"
+    assert main(["label", str(dataset_dir), str(out_file), "--reversed"]) == 0
+    assert out_file.exists()
+
+
+@pytest.mark.parametrize("method", ["3dreach", "socreach", "georeach"])
+def test_query_runs(dataset_dir, capsys, method):
+    code = main([
+        "query", str(dataset_dir),
+        "--vertex", "0",
+        "--region", "0,0,1,1",
+        "--method", method,
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "RangeReach(G, 0," in out
+    assert f"method={method}" in out
+
+
+def test_query_whole_space_from_user_is_true(dataset_dir, capsys):
+    # weeplaces users are all in the social SCC and check in somewhere.
+    main([
+        "query", str(dataset_dir),
+        "--vertex", "0", "--region=-1,-1,2,2",
+    ])
+    out = capsys.readouterr().out
+    assert "= True" in out
+
+
+def test_query_vertex_out_of_range(dataset_dir, capsys):
+    code = main([
+        "query", str(dataset_dir),
+        "--vertex", "999999", "--region", "0,0,1,1",
+    ])
+    assert code == 2
+    assert "outside" in capsys.readouterr().err
+
+
+def test_query_malformed_region(dataset_dir):
+    with pytest.raises(SystemExit):
+        main([
+            "query", str(dataset_dir),
+            "--vertex", "0", "--region", "0,0,1",
+        ])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

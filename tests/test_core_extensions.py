@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.extensions (extended query family)."""
+
+import random
+
+import pytest
+
+from helpers import (
+    FIG1_INDEX,
+    FIG1_REGION,
+    fig1_network,
+    random_geosocial_network,
+    random_region,
+)
+from repro.core import GeosocialQueryEngine, RangeReachOracle
+from repro.geometry import Point, Rect
+from repro.geosocial import condense_network
+
+
+@pytest.fixture
+def engine():
+    return GeosocialQueryEngine(condense_network(fig1_network()))
+
+
+def test_range_reach_matches_paper_example(engine):
+    assert engine.range_reach(FIG1_INDEX["a"], FIG1_REGION) is True
+    assert engine.range_reach(FIG1_INDEX["c"], FIG1_REGION) is False
+
+
+def test_count_paper_example(engine):
+    # a reaches exactly e and h inside R.
+    assert engine.count(FIG1_INDEX["a"], FIG1_REGION) == 2
+    assert engine.count(FIG1_INDEX["c"], FIG1_REGION) == 0
+
+
+def test_witnesses_paper_example(engine):
+    witnesses = engine.witnesses(FIG1_INDEX["a"], FIG1_REGION)
+    assert sorted(witnesses) == sorted([FIG1_INDEX["e"], FIG1_INDEX["h"]])
+
+
+def test_at_least(engine):
+    a = FIG1_INDEX["a"]
+    assert engine.at_least(a, FIG1_REGION, 0)
+    assert engine.at_least(a, FIG1_REGION, 1)
+    assert engine.at_least(a, FIG1_REGION, 2)
+    assert not engine.at_least(a, FIG1_REGION, 3)
+    assert not engine.at_least(FIG1_INDEX["c"], FIG1_REGION, 1)
+
+
+def test_nearest_basic(engine):
+    # From a, the nearest reachable spatial vertex to (4, 6) is e itself.
+    vertex, distance = engine.nearest(FIG1_INDEX["a"], Point(4, 6))
+    assert vertex == FIG1_INDEX["e"]
+    assert distance == 0.0
+
+
+def test_nearest_prefers_closer_reachable(engine):
+    # From j: reachable spatial vertices are g, h, i, f.  Near e's location
+    # (4, 6) the closest of those is h at (5, 5).
+    vertex, _ = engine.nearest(FIG1_INDEX["j"], Point(4, 6))
+    assert vertex == FIG1_INDEX["h"]
+
+
+def test_nearest_none_when_unreachable(engine):
+    # k reaches no spatial vertex.
+    assert engine.nearest(FIG1_INDEX["k"], Point(5, 5)) is None
+
+
+def test_count_matches_oracle_on_random_networks():
+    rng = random.Random(41)
+    for _ in range(8):
+        net = random_geosocial_network(rng, num_vertices=30, num_edges=60)
+        oracle = RangeReachOracle(net)
+        engine = GeosocialQueryEngine(condense_network(net))
+        for _ in range(15):
+            v = rng.randrange(net.num_vertices)
+            region = random_region(rng)
+            expected = oracle.witnesses(v, region)
+            assert engine.count(v, region) == len(expected)
+            assert sorted(engine.witnesses(v, region)) == sorted(expected)
+            assert engine.range_reach(v, region) == bool(expected)
+            assert engine.at_least(v, region, len(expected)) is True
+            assert engine.at_least(v, region, len(expected) + 1) is False
+
+
+def test_nearest_matches_brute_force_on_random_networks():
+    rng = random.Random(42)
+    for _ in range(6):
+        net = random_geosocial_network(rng, num_vertices=25, num_edges=50)
+        oracle = RangeReachOracle(net)
+        engine = GeosocialQueryEngine(condense_network(net))
+        whole = net.space()
+        big = Rect(whole.xlo - 1, whole.ylo - 1, whole.xhi + 1, whole.yhi + 1)
+        for _ in range(10):
+            v = rng.randrange(net.num_vertices)
+            q = Point(rng.random(), rng.random())
+            reachable = oracle.witnesses(v, big)
+            got = engine.nearest(v, q)
+            if not reachable:
+                assert got is None
+                continue
+            best = min(q.distance_to(net.point_of(w)) for w in reachable)
+            assert got is not None
+            assert got[1] == pytest.approx(best)
+
+
+def test_size_bytes_positive(engine):
+    assert engine.size_bytes() > 0

@@ -1,0 +1,119 @@
+"""Unit tests for repro.core.georeach (SPA-graph construction & querying)."""
+
+import pytest
+
+from helpers import FIG1_INDEX, FIG1_REGION, fig1_network
+from repro.core import GeoReach, GeoReachParams
+from repro.geometry import Point, Rect
+from repro.geosocial import GeosocialNetwork, condense_network
+from repro.graph import DiGraph
+
+
+@pytest.fixture
+def condensed():
+    return condense_network(fig1_network())
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        GeoReachParams(max_rmbr_ratio=0.0)
+    with pytest.raises(ValueError):
+        GeoReachParams(max_rmbr_ratio=1.5)
+    with pytest.raises(ValueError):
+        GeoReachParams(max_reach_grids=0)
+    with pytest.raises(ValueError):
+        GeoReachParams(merge_count=0)
+    with pytest.raises(ValueError):
+        GeoReachParams(grid_levels=0)
+
+
+def test_class_counts_cover_all_vertices(condensed):
+    method = GeoReach(condensed)
+    counts = method.class_counts()
+    assert sum(counts.values()) == condensed.num_components
+
+
+def test_vertex_reaching_nothing_is_false_b_vertex():
+    # Vertex 1 is a non-spatial sink: B-vertex with GeoB = FALSE.
+    g = DiGraph.from_edges(2, [(0, 1)])
+    net = GeosocialNetwork(g, [Point(1, 1), None])
+    method = GeoReach(condense_network(net))
+    counts = method.class_counts()
+    assert counts["B"] >= 1
+    # queries from it are always FALSE
+    assert method.query(1, Rect(0, 0, 10, 10)) is False
+
+
+def test_max_rmbr_downgrades_to_b_vertex():
+    # Two far-apart reachable points force a huge RMBR; with a tiny
+    # MAX_RMBR the source degrades to a B-vertex but stays correct.
+    g = DiGraph.from_edges(3, [(0, 1), (0, 2)])
+    net = GeosocialNetwork(g, [None, Point(0, 0), Point(100, 100)])
+    params = GeoReachParams(
+        max_rmbr_ratio=0.01, max_reach_grids=1, merge_count=1, grid_levels=3
+    )
+    method = GeoReach(condense_network(net), params)
+    assert method.class_counts()["B"] >= 1
+    assert method.query(0, Rect(-1, -1, 1, 1)) is True
+    assert method.query(0, Rect(40, 40, 60, 60)) is False
+
+
+def test_max_reach_grids_downgrades_to_r_vertex():
+    # Many scattered reachable points overflow ReachGrid -> R-vertex.
+    points = [Point(i * 10.0, i * 10.0) for i in range(8)]
+    g = DiGraph(9)
+    for i in range(8):
+        g.add_edge(8, i)
+    net = GeosocialNetwork(g, points + [None])
+    params = GeoReachParams(
+        max_rmbr_ratio=1.0, max_reach_grids=2, merge_count=3, grid_levels=5
+    )
+    method = GeoReach(condense_network(net), params)
+    counts = method.class_counts()
+    assert counts["R"] >= 1
+    assert method.query(8, Rect(15, 15, 25, 25)) is True  # point (20, 20)
+    assert method.query(8, Rect(11, 11, 14, 14)) is False
+
+
+def test_spatial_vertices_become_g_vertices(condensed):
+    method = GeoReach(condensed)
+    assert method.class_counts()["G"] >= 6
+
+
+def test_query_paper_example(condensed):
+    method = GeoReach(condensed)
+    assert method.query(FIG1_INDEX["a"], FIG1_REGION) is True
+    assert method.query(FIG1_INDEX["c"], FIG1_REGION) is False
+
+
+def test_rmbr_containment_terminates_early():
+    # A single reachable point region-contained: R-vertex shortcut TRUE.
+    g = DiGraph.from_edges(2, [(0, 1)])
+    net = GeosocialNetwork(g, [None, Point(5, 5)])
+    # Force vertex 0 into the R class via max_reach_grids=0-like setting.
+    params = GeoReachParams(max_reach_grids=1, grid_levels=2)
+    method = GeoReach(condense_network(net), params)
+    assert method.query(0, Rect(0, 0, 10, 10)) is True
+
+
+def test_size_bytes_grows_with_cells(condensed):
+    coarse = GeoReach(condensed, GeoReachParams(grid_levels=2))
+    fine = GeoReach(condensed, GeoReachParams(grid_levels=8, max_reach_grids=64))
+    assert coarse.size_bytes() > 0
+    assert fine.size_bytes() >= coarse.size_bytes()
+
+
+def test_query_from_spatial_vertex_in_region(condensed):
+    method = GeoReach(condensed)
+    assert method.query(FIG1_INDEX["e"], FIG1_REGION) is True
+
+
+def test_cyclic_original_network():
+    # Users in a cycle, one checks into a venue.
+    g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (1, 3)])
+    net = GeosocialNetwork(g, [None, None, None, Point(2, 2)])
+    method = GeoReach(condense_network(net))
+    for v in range(3):
+        assert method.query(v, Rect(1, 1, 3, 3)) is True
+    assert method.query(3, Rect(1, 1, 3, 3)) is True  # venue itself
+    assert method.query(3, Rect(5, 5, 6, 6)) is False

@@ -1,0 +1,94 @@
+"""Unit tests for the per-query diagnostics counters (last_stats).
+
+These counters surface the cost drivers the paper's analysis discusses:
+SpaReach's candidate/GReach counts, GeoReach's expansion vs pruning,
+SocReach's descendant scan length, 3DReach's cuboid count.
+"""
+
+import pytest
+
+from helpers import FIG1_INDEX, FIG1_REGION, fig1_network
+from repro.core import GeoReach, SocReach, SpaReach, ThreeDReach
+from repro.geometry import Rect
+from repro.geosocial import condense_network
+
+
+@pytest.fixture
+def condensed():
+    return condense_network(fig1_network())
+
+
+def test_spareach_counts_candidates_and_reach_tests(condensed):
+    method = SpaReach(condensed, "bfl")
+    # Positive query from a: candidates are e and h; a reaches the first
+    # candidate tested, so reach_tests <= candidates.
+    assert method.query(FIG1_INDEX["a"], FIG1_REGION) is True
+    stats = method.last_stats
+    assert stats["candidates"] == 2
+    assert 1 <= stats["reach_tests"] <= 2
+    # Negative query from c: both candidates must be reach-tested.
+    assert method.query(FIG1_INDEX["c"], FIG1_REGION) is False
+    assert method.last_stats == {"candidates": 2, "reach_tests": 2}
+
+
+def test_spareach_empty_region(condensed):
+    method = SpaReach(condensed, "bfl")
+    assert method.query(FIG1_INDEX["a"], Rect(100, 100, 101, 101)) is False
+    assert method.last_stats == {"candidates": 0, "reach_tests": 0}
+
+
+def test_georeach_counts_expansion_and_pruning(condensed):
+    method = GeoReach(condensed)
+    method.query(FIG1_INDEX["c"], FIG1_REGION)
+    stats = method.last_stats
+    # The negative query from c must explore c's cone: c, d, i, k, f.
+    assert stats["expanded"] >= 1
+    assert stats["expanded"] <= 5
+    assert stats["pruned"] >= 1
+
+
+def test_georeach_positive_query_stops_early(condensed):
+    method = GeoReach(condensed)
+    method.query(FIG1_INDEX["a"], FIG1_REGION)
+    positive_expanded = method.last_stats["expanded"]
+    method.query(FIG1_INDEX["c"], FIG1_REGION)
+    # TRUE terminates the BFS; it must not visit more than the full cone.
+    assert positive_expanded <= 10
+
+
+def test_socreach_scan_counts(condensed):
+    method = SocReach(condensed)
+    # Negative query from c scans all of D(c) (5 vertices).
+    assert method.query(FIG1_INDEX["c"], FIG1_REGION) is False
+    assert method.last_stats["descendants_scanned"] == 5
+    # Spatial descendants of c are f and i: two containment tests.
+    assert method.last_stats["containment_tests"] == 2
+
+
+def test_socreach_early_exit_shortens_scan(condensed):
+    method = SocReach(condensed)
+    assert method.query(FIG1_INDEX["a"], FIG1_REGION) is True
+    # |D(a)| = 10, but the scan stops at the witness.
+    assert method.last_stats["descendants_scanned"] <= 10
+
+
+def test_socreach_bptree_counts_spatial_only(condensed):
+    method = SocReach(condensed, descendant_access="bptree")
+    assert method.query(FIG1_INDEX["c"], FIG1_REGION) is False
+    # The B+-tree skips non-spatial descendants entirely: only f and i.
+    assert method.last_stats["descendants_scanned"] == 2
+    assert method.last_stats["containment_tests"] == 2
+
+
+def test_threedreach_counts_cuboids(condensed):
+    method = ThreeDReach(condensed)
+    # A negative query must issue one 3-D range query per label of c
+    # (three with the paper's forest, four with our DFS forest — pin it
+    # to the labeling actually built).
+    c_labels = len(method.labeling.labels_of(condensed.super_of(FIG1_INDEX["c"])))
+    assert method.query(FIG1_INDEX["c"], FIG1_REGION) is False
+    assert method.last_stats["cuboid_queries"] == c_labels
+    # a's descendants form one contiguous post range -> a single label,
+    # and the positive query stops after its first cuboid.
+    assert method.query(FIG1_INDEX["a"], FIG1_REGION) is True
+    assert method.last_stats["cuboid_queries"] == 1

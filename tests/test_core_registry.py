@@ -1,0 +1,49 @@
+"""Unit tests for the method registry (repro.core.base)."""
+
+import pytest
+
+from helpers import FIG1_INDEX, FIG1_REGION, fig1_network
+from repro.core import METHOD_REGISTRY, build_method
+from repro.core.base import RangeReachMethod
+from repro.geosocial import condense_network
+
+EXPECTED_NAMES = {
+    "spareach-bfl",
+    "spareach-int",
+    "georeach",
+    "socreach",
+    "3dreach",
+    "3dreach-rev",
+}
+
+
+def test_registry_contains_paper_methods():
+    assert EXPECTED_NAMES.issubset(METHOD_REGISTRY.keys())
+
+
+def test_unknown_name_rejected():
+    condensed = condense_network(fig1_network())
+    with pytest.raises(ValueError, match="unknown method"):
+        build_method("quantumreach", condensed)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+def test_build_method_produces_working_index(name):
+    condensed = condense_network(fig1_network())
+    method = build_method(name, condensed)
+    assert isinstance(method, RangeReachMethod)
+    assert method.query(FIG1_INDEX["a"], FIG1_REGION) is True
+    assert method.query(FIG1_INDEX["c"], FIG1_REGION) is False
+
+
+def test_build_method_forwards_options():
+    condensed = condense_network(fig1_network())
+    method = build_method("3dreach", condensed, scc_mode="mbr")
+    assert method.name == "3dreach-mbr"
+
+
+def test_build_georeach_with_param_options():
+    condensed = condense_network(fig1_network())
+    method = build_method("georeach", condensed, grid_levels=4, merge_count=2)
+    assert method.params.grid_levels == 4
+    assert method.params.merge_count == 2

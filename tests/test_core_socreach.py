@@ -1,0 +1,50 @@
+"""Unit tests for repro.core.socreach specifics."""
+
+import pytest
+
+from helpers import FIG1_INDEX, FIG1_REGION, fig1_network
+from repro.core import SocReach
+from repro.geometry import Rect
+from repro.geosocial import condense_network
+from repro.labeling import build_labeling
+
+
+@pytest.fixture
+def condensed():
+    return condense_network(fig1_network())
+
+
+def test_paper_example_41(condensed):
+    # Example 4.1: D(a) hits e inside R; D(c) has no spatial vertex in R.
+    method = SocReach(condensed)
+    assert method.query(FIG1_INDEX["a"], FIG1_REGION) is True
+    assert method.query(FIG1_INDEX["c"], FIG1_REGION) is False
+
+
+def test_count_descendants(condensed):
+    method = SocReach(condensed)
+    # |D(a)| = 10 and |D(c)| = 5 in the paper's example.
+    assert method.count_descendants(FIG1_INDEX["a"]) == 10
+    assert method.count_descendants(FIG1_INDEX["c"]) == 5
+
+
+def test_accepts_prebuilt_labeling(condensed):
+    labeling = build_labeling(condensed.dag)
+    method = SocReach(condensed, labeling=labeling)
+    assert method.labeling is labeling
+    assert method.query(FIG1_INDEX["a"], FIG1_REGION) is True
+
+
+def test_spatial_query_vertex_counts_itself(condensed):
+    method = SocReach(condensed)
+    assert method.query(FIG1_INDEX["e"], FIG1_REGION) is True
+
+
+def test_no_descendant_in_region(condensed):
+    method = SocReach(condensed)
+    assert method.query(FIG1_INDEX["k"], Rect(0, 0, 100, 100)) is False
+
+
+def test_size_is_labels_only(condensed):
+    method = SocReach(condensed)
+    assert method.size_bytes() == method.labeling.size_bytes()

@@ -1,0 +1,67 @@
+"""Unit tests for repro.core.verify (cross-method checking)."""
+
+import pytest
+
+from helpers import FIG1_INDEX, FIG1_REGION, fig1_network
+from repro.core import (
+    RangeReachOracle,
+    SocReach,
+    SpaReach,
+    ThreeDReach,
+    assert_agreement,
+    cross_check,
+)
+from repro.geometry import Rect
+from repro.geosocial import condense_network
+from repro.workloads import Query
+
+
+@pytest.fixture
+def setup():
+    net = fig1_network()
+    condensed = condense_network(net)
+    methods = [SpaReach(condensed, "bfl"), SocReach(condensed), ThreeDReach(condensed)]
+    oracle = RangeReachOracle(net)
+    queries = [
+        Query(FIG1_INDEX[name], FIG1_REGION) for name in "abcdefghijkl"
+    ] + [Query(FIG1_INDEX["a"], Rect(0, 0, 10, 10))]
+    return methods, oracle, queries
+
+
+def test_agreeing_methods_produce_no_disagreements(setup):
+    methods, oracle, queries = setup
+    assert cross_check(methods, queries, reference=oracle) == []
+    assert_agreement(methods, queries, reference=oracle)
+
+
+def test_needs_two_answerers(setup):
+    methods, _, queries = setup
+    with pytest.raises(ValueError):
+        cross_check(methods[:1], queries)
+    # one method + a reference is fine
+    assert cross_check(methods[:1], queries, reference=methods[1]) == []
+
+
+class _AlwaysTrue:
+    name = "always-true"
+
+    def query(self, v, region):
+        return True
+
+    def size_bytes(self):
+        return 0
+
+
+def test_detects_broken_method(setup):
+    methods, oracle, queries = setup
+    broken = _AlwaysTrue()
+    disagreements = cross_check([*methods, broken], queries, reference=oracle)
+    # every query whose true answer is False must be flagged
+    false_queries = sum(
+        1 for q in queries if not oracle.query(q.vertex, q.region)
+    )
+    assert len(disagreements) == false_queries
+    sample = disagreements[0]
+    assert any(name == "always-true" and ans for name, ans in sample.answers)
+    with pytest.raises(AssertionError, match="disagree"):
+        assert_agreement([*methods, broken], queries, reference=oracle)

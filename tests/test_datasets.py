@@ -1,0 +1,138 @@
+"""Unit tests for repro.datasets (profiles, generator, loaders)."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_PROFILES,
+    load_snap_style,
+    make_network,
+)
+from repro.datasets.generator import available_profiles, table3_counts
+from repro.geosocial import condense_network
+
+
+def test_profiles_registered():
+    assert set(DATASET_PROFILES) == {
+        "foursquare", "gowalla", "weeplaces", "yelp",
+    }
+    assert available_profiles() == sorted(DATASET_PROFILES)
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError, match="unknown dataset profile"):
+        make_network("instagram", scale=0.001)
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(ValueError):
+        make_network("yelp", scale=0)
+
+
+def test_generation_is_deterministic():
+    a = make_network("foursquare", scale=0.0005, seed=9)
+    b = make_network("foursquare", scale=0.0005, seed=9)
+    assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+    assert a.points == b.points
+
+
+def test_different_seeds_differ():
+    a = make_network("foursquare", scale=0.0005, seed=1)
+    b = make_network("foursquare", scale=0.0005, seed=2)
+    assert sorted(a.graph.edges()) != sorted(b.graph.edges())
+
+
+def test_table3_counts_scaling():
+    users, venues = table3_counts("gowalla", 0.001)
+    assert users == round(407_533 * 0.001)
+    assert venues == round(2_723_102 * 0.001)
+
+
+def test_vertex_layout_users_then_venues(small_datasets):
+    for net in small_datasets.values():
+        num_users = sum(1 for k in net.kinds if k == "user")
+        for v in range(num_users):
+            assert net.kinds[v] == "user"
+            assert not net.is_spatial(v)
+        for v in range(num_users, net.num_vertices):
+            assert net.kinds[v] == "venue"
+            assert net.is_spatial(v)
+
+
+def test_venues_are_sinks(small_datasets):
+    # As in the paper's datasets: check-in/rating edges point to venues,
+    # venues have no outgoing edges.
+    for net in small_datasets.values():
+        for v in net.spatial_vertices():
+            assert net.graph.out_degree(v) == 0
+
+
+def test_giant_scc_regime(small_datasets):
+    # Gowalla/WeePlaces: all users in one SCC (Table 3).
+    for name in ("gowalla", "weeplaces"):
+        net = small_datasets[name]
+        stats = net.stats()
+        assert stats.largest_scc == stats.num_users
+        # every venue is a singleton SCC
+        assert stats.num_sccs == stats.num_venues + 1
+
+
+def test_fragmented_scc_regime(small_datasets):
+    # Foursquare/Yelp: many SCCs, giant SCC smaller than the user base.
+    for name in ("foursquare", "yelp"):
+        stats = small_datasets[name].stats()
+        assert stats.largest_scc < stats.num_users
+        assert stats.num_sccs > stats.num_venues
+
+
+def test_points_inside_unit_square(small_datasets):
+    for net in small_datasets.values():
+        for v in net.spatial_vertices():
+            p = net.point_of(v)
+            assert 0.0 <= p.x <= 1.0
+            assert 0.0 <= p.y <= 1.0
+
+
+def test_no_parallel_edges(small_datasets):
+    for net in small_datasets.values():
+        edges = list(net.graph.edges())
+        assert len(edges) == len(set(edges))
+
+
+def test_condensable(small_datasets):
+    for net in small_datasets.values():
+        cn = condense_network(net)
+        assert cn.num_components <= net.num_vertices
+
+
+def test_load_snap_style(tmp_path):
+    friends = tmp_path / "friends.txt"
+    friends.write_text("u1 u2\nu2 u3\n")
+    checkins = tmp_path / "checkins.txt"
+    checkins.write_text("u1 v1 0.5 0.5\nu3 v1 0.5 0.5\nu3 v2 0.9 0.1\n")
+    net = load_snap_style(friends, checkins, name="mini", mutual=True)
+    assert net.name == "mini"
+    assert net.num_vertices == 5  # 3 users + 2 venues
+    assert net.num_spatial == 2
+    stats = net.stats()
+    assert stats.num_users == 3
+    assert stats.num_checkin_edges == 3
+    # mutual=True added both directions
+    assert net.graph.has_edge(0, 1) and net.graph.has_edge(1, 0)
+
+
+def test_load_snap_style_dedupes_checkins(tmp_path):
+    friends = tmp_path / "friends.txt"
+    friends.write_text("")
+    checkins = tmp_path / "checkins.txt"
+    checkins.write_text("u1 v1 0 0\nu1 v1 0 0\n")
+    net = load_snap_style(friends, checkins)
+    assert net.num_edges == 1
+
+
+def test_load_snap_style_malformed_checkin(tmp_path):
+    friends = tmp_path / "friends.txt"
+    friends.write_text("")
+    checkins = tmp_path / "checkins.txt"
+    checkins.write_text("u1 v1 0\n")
+    with pytest.raises(ValueError):
+        load_snap_style(friends, checkins)

@@ -1,0 +1,99 @@
+"""Unit tests for repro.datasets.validation."""
+
+import pytest
+
+from repro.datasets import make_network, validate_network
+from repro.geometry import Point
+from repro.geosocial import GeosocialNetwork
+from repro.graph import DiGraph
+
+
+@pytest.mark.parametrize(
+    "profile", ["foursquare", "gowalla", "weeplaces", "yelp"]
+)
+def test_generated_networks_validate(profile, small_datasets):
+    report = validate_network(small_datasets[profile], profile)
+    assert report.ok, report.summary()
+    assert "all structural invariants hold" in report.summary()
+
+
+def test_profile_defaults_to_network_name(small_datasets):
+    report = validate_network(small_datasets["gowalla"])
+    assert report.profile == "gowalla"
+    assert report.ok
+
+
+def test_unknown_profile_rejected(small_datasets):
+    with pytest.raises(ValueError, match="unknown dataset profile"):
+        validate_network(small_datasets["gowalla"], "myspace")
+
+
+def _hand_network(kinds, points, edges):
+    graph = DiGraph.from_edges(len(kinds), edges)
+    return GeosocialNetwork(graph, points, kinds=kinds, name="gowalla")
+
+
+def test_detects_venue_with_outgoing_edge():
+    net = _hand_network(
+        ["user", "venue"],
+        [None, Point(0.5, 0.5)],
+        [(1, 0)],  # venue -> user: venues must be sinks
+    )
+    report = validate_network(net, "gowalla")
+    assert not report.ok
+    assert any(i.check == "venues-are-sinks" for i in report.issues)
+
+
+def test_detects_broken_giant_scc():
+    # gowalla requires all users in one SCC; two isolated users break it.
+    net = _hand_network(
+        ["user", "user", "venue", "venue", "venue", "venue", "venue",
+         "venue", "venue", "venue", "venue", "venue", "venue", "venue"],
+        [None, None] + [Point(0.5, 0.5)] * 12,
+        [(0, 2)],
+    )
+    report = validate_network(net, "gowalla")
+    assert any(i.check == "giant-scc" for i in report.issues)
+
+
+def test_detects_out_of_square_geometry():
+    net = _hand_network(
+        ["user"] + ["venue"] * 7,
+        [None] + [Point(5.0, 5.0)] + [Point(0.5, 0.5)] * 6,
+        [(0, 1)],
+    )
+    report = validate_network(net, "weeplaces")
+    assert any(i.check == "geometry" for i in report.issues)
+
+
+def test_detects_wrong_ratio():
+    # Yelp is user-heavy (~13:1); a venue-heavy network must trip.
+    net = _hand_network(
+        ["user"] + ["venue"] * 9,
+        [None] + [Point(0.5, 0.5)] * 9,
+        [],
+    )
+    report = validate_network(net, "yelp")
+    assert any(i.check == "user-venue-ratio" for i in report.issues)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_invariants_robust_across_seeds(seed):
+    # The regimes must hold for any seed, not just the suite's default.
+    from repro.datasets import make_network
+
+    for profile in ("gowalla", "yelp"):
+        network = make_network(profile, scale=0.0005, seed=seed)
+        report = validate_network(network, profile)
+        assert report.ok, report.summary()
+
+
+def test_cli_generate_verify(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main([
+        "generate", "gowalla", str(tmp_path / "g"),
+        "--scale", "0.0005", "--verify",
+    ])
+    assert code == 0
+    assert "all structural invariants hold" in capsys.readouterr().out

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_enough_scripts():
+    # Deliverable: at least a quickstart plus domain scenarios.
+    assert len(EXAMPLES) >= 3
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=lambda path: path.stem
+)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples live outside the package; run each as __main__.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_matches_paper_answers(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    # Example 2.3: RangeReach(G, a, R) = TRUE and RangeReach(G, c, R) = FALSE
+    assert "a -> R: True" in out
+    assert "c -> R: False" in out
+    assert "['e', 'h']" in out

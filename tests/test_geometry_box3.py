@@ -1,0 +1,64 @@
+"""Unit tests for repro.geometry.box3."""
+
+import pytest
+
+from repro.geometry import Box3, Rect
+
+
+def test_degenerate_box_rejected():
+    with pytest.raises(ValueError):
+        Box3(1, 0, 0, 0, 1, 1)
+    with pytest.raises(ValueError):
+        Box3(0, 0, 5, 1, 1, 4)
+
+
+def test_from_rect_lifts_query_region():
+    # This is exactly 3DReach's query rewriting: region R + label [l, h].
+    region = Rect(0, 0, 2, 3)
+    cuboid = Box3.from_rect(region, 4, 9)
+    assert cuboid == Box3(0, 0, 4, 2, 3, 9)
+    assert cuboid.base == region
+
+
+def test_from_point_is_zero_volume():
+    b = Box3.from_point(1, 2, 3)
+    assert b.volume == 0
+    assert b.contains_xyz(1, 2, 3)
+
+
+def test_volume():
+    assert Box3(0, 0, 0, 2, 3, 4).volume == 24
+
+
+def test_contains_xyz_boundaries():
+    b = Box3(0, 0, 0, 1, 1, 1)
+    assert b.contains_xyz(0, 0, 0)
+    assert b.contains_xyz(1, 1, 1)
+    assert not b.contains_xyz(1.01, 0.5, 0.5)
+    assert not b.contains_xyz(0.5, 0.5, -0.01)
+
+
+def test_contains_box():
+    outer = Box3(0, 0, 0, 10, 10, 10)
+    assert outer.contains_box(Box3(1, 1, 1, 9, 9, 9))
+    assert outer.contains_box(outer)
+    assert not outer.contains_box(Box3(1, 1, 1, 9, 9, 11))
+
+
+def test_intersects():
+    a = Box3(0, 0, 0, 2, 2, 2)
+    assert a.intersects(Box3(1, 1, 1, 3, 3, 3))
+    assert a.intersects(Box3(2, 2, 2, 3, 3, 3))     # corner touch
+    assert not a.intersects(Box3(0, 0, 2.1, 2, 2, 3))  # z-disjoint
+    assert not a.intersects(Box3(3, 0, 0, 4, 2, 2))    # x-disjoint
+
+
+def test_union():
+    a = Box3(0, 0, 0, 1, 1, 1)
+    b = Box3(2, -1, 0.5, 3, 0.5, 4)
+    assert a.union(b) == Box3(0, -1, 0, 3, 1, 4)
+
+
+def test_as_tuple_matches_rtree_bounds_layout():
+    # (lo0, lo1, lo2, hi0, hi1, hi2) — the flat layout RTree expects.
+    assert Box3(1, 2, 3, 4, 5, 6).as_tuple() == (1, 2, 3, 4, 5, 6)

@@ -1,0 +1,52 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+
+
+def test_coordinates_accessible():
+    p = Point(1.5, -2.0)
+    assert p.x == 1.5
+    assert p.y == -2.0
+
+
+def test_points_are_immutable():
+    p = Point(0.0, 0.0)
+    with pytest.raises(AttributeError):
+        p.x = 1.0
+
+
+def test_points_are_hashable_and_comparable():
+    assert Point(1, 2) == Point(1, 2)
+    assert Point(1, 2) != Point(2, 1)
+    assert len({Point(1, 2), Point(1, 2), Point(3, 4)}) == 2
+
+
+def test_distance_to_is_euclidean():
+    assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+    assert Point(2, 2).distance_to(Point(2, 2)) == 0.0
+
+
+def test_distance_is_symmetric():
+    a, b = Point(1.25, -3.5), Point(-2.0, 7.75)
+    assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+
+def test_translated_shifts_coordinates():
+    assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+
+def test_as_tuple_and_iteration():
+    p = Point(4.0, 5.0)
+    assert p.as_tuple() == (4.0, 5.0)
+    x, y = p
+    assert (x, y) == (4.0, 5.0)
+
+
+def test_distance_uses_hypot_precision():
+    # hypot avoids overflow for large coordinates
+    big = 1e200
+    assert math.isfinite(Point(big, big).distance_to(Point(0, 0)))

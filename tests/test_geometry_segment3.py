@@ -1,0 +1,51 @@
+"""Unit tests for repro.geometry.segment3."""
+
+import pytest
+
+from repro.geometry import Box3, Segment3
+
+
+def test_degenerate_segment_rejected():
+    with pytest.raises(ValueError):
+        Segment3(0, 0, 5, 4)
+
+
+def test_zero_length_segment_allowed():
+    s = Segment3(1, 1, 3, 3)
+    assert s.cut_by_plane(3)
+
+
+def test_bounds_is_degenerate_box():
+    s = Segment3(1, 2, 3, 7)
+    assert s.bounds == Box3(1, 2, 3, 1, 2, 7)
+
+
+def test_cut_by_plane():
+    # 3DReach-Rev's core test: the query plane at z = post(v).
+    s = Segment3(0.5, 0.5, 2, 8)
+    assert s.cut_by_plane(2)
+    assert s.cut_by_plane(5)
+    assert s.cut_by_plane(8)
+    assert not s.cut_by_plane(1.99)
+    assert not s.cut_by_plane(8.01)
+
+
+def test_intersects_box_is_exact_for_vertical_segments():
+    s = Segment3(1, 1, 0, 10)
+    assert s.intersects_box(Box3(0, 0, 5, 2, 2, 6))
+    assert not s.intersects_box(Box3(2, 2, 5, 3, 3, 6))   # xy outside
+    assert not s.intersects_box(Box3(0, 0, 11, 2, 2, 12))  # z outside
+    # Touching the box boundary counts (closed semantics).
+    assert s.intersects_box(Box3(1, 1, 10, 2, 2, 12))
+
+
+def test_intersects_box_matches_bounds_intersection():
+    s = Segment3(3, 4, 1, 5)
+    boxes = [
+        Box3(0, 0, 0, 10, 10, 10),
+        Box3(3, 4, 5, 3, 4, 5),
+        Box3(2, 2, 6, 9, 9, 9),
+        Box3(4, 4, 0, 6, 6, 2),
+    ]
+    for box in boxes:
+        assert s.intersects_box(box) == s.bounds.intersects(box)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.geosocial.network."""
+
+import pytest
+
+from helpers import fig1_network
+from repro.geometry import Point, Rect
+from repro.geosocial import GeosocialNetwork
+from repro.graph import DiGraph
+
+
+def test_point_table_length_checked():
+    with pytest.raises(ValueError):
+        GeosocialNetwork(DiGraph(3), [None, None])
+
+
+def test_kinds_length_checked():
+    with pytest.raises(ValueError):
+        GeosocialNetwork(DiGraph(2), [None, None], kinds=["user"])
+
+
+def test_spatial_accessors():
+    net = fig1_network()
+    assert net.num_vertices == 12
+    assert net.num_spatial == 6
+    assert net.is_spatial(4)  # e
+    assert not net.is_spatial(0)  # a
+    assert sorted(net.spatial_vertices()) == [4, 5, 6, 7, 8, 11]
+
+
+def test_point_of_non_spatial_raises():
+    net = fig1_network()
+    with pytest.raises(ValueError):
+        net.point_of(0)
+
+
+def test_space_is_mbr_of_points():
+    net = fig1_network()
+    space = net.space()
+    assert space == Rect(1, 1, 9, 9)
+    for v in net.spatial_vertices():
+        assert space.contains_point(net.point_of(v))
+
+
+def test_space_cached():
+    net = fig1_network()
+    assert net.space() is net.space()
+
+
+def test_stats_without_kinds_uses_points():
+    net = fig1_network()
+    stats = net.stats()
+    assert stats.num_venues == 6
+    assert stats.num_users == 6
+    assert stats.num_vertices == 12
+    assert stats.num_edges == 15
+    assert stats.num_sccs == 12  # fig1 is a DAG
+    assert stats.largest_scc == 1
+
+
+def test_stats_with_kinds():
+    g = DiGraph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+    points = [None, None, Point(0, 0)]
+    net = GeosocialNetwork(g, points, kinds=["user", "user", "venue"])
+    stats = net.stats()
+    assert stats.num_users == 2
+    assert stats.num_venues == 1
+    # check-ins = edges into venues
+    assert stats.num_checkin_edges == 2
+
+
+def test_save_load_round_trip(tmp_path):
+    net = fig1_network()
+    net.save(tmp_path / "fig1")
+    loaded = GeosocialNetwork.load(tmp_path / "fig1")
+    assert loaded.num_vertices == net.num_vertices
+    assert sorted(loaded.graph.edges()) == sorted(net.graph.edges())
+    assert loaded.points == net.points
+    assert loaded.name == "fig1"
+
+
+def test_load_rejects_points_beyond_graph(tmp_path):
+    d = tmp_path / "bad"
+    d.mkdir()
+    (d / "edges.txt").write_text("0 1\n")
+    (d / "points.txt").write_text("7 0.0 0.0\n")
+    with pytest.raises(ValueError):
+        GeosocialNetwork.load(d)

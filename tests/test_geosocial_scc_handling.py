@@ -1,0 +1,92 @@
+"""Unit tests for repro.geosocial.scc_handling (Section 5)."""
+
+import random
+
+from helpers import fig1_network, random_geosocial_network
+from repro.geometry import Point, Rect
+from repro.geosocial import GeosocialNetwork, condense_network
+from repro.graph import DiGraph
+
+
+def spatial_scc_network():
+    """A 2-cycle of spatial vertices plus a tail: one spatial SCC."""
+    g = DiGraph.from_edges(4, [(0, 1), (1, 0), (2, 0), (1, 3)])
+    points = [Point(1, 1), Point(3, 5), None, Point(10, 10)]
+    return GeosocialNetwork(g, points, name="scc")
+
+
+def test_dag_network_condensation_is_identity_like():
+    cn = condense_network(fig1_network())
+    assert cn.num_components == 12
+    for v in range(12):
+        assert cn.members[cn.super_of(v)] == [v]
+
+
+def test_points_grouped_per_component():
+    cn = condense_network(spatial_scc_network())
+    giant = cn.super_of(0)
+    assert cn.super_of(1) == giant
+    pts = cn.points_of(giant)
+    assert sorted(p.as_tuple() for p in pts) == [(1, 1), (3, 5)]
+    assert cn.has_spatial(giant)
+    assert not cn.has_spatial(cn.super_of(2))
+
+
+def test_spatial_components_lists_only_pointed():
+    cn = condense_network(spatial_scc_network())
+    spatial = cn.spatial_components()
+    assert cn.super_of(2) not in spatial
+    assert cn.super_of(0) in spatial
+    assert cn.super_of(3) in spatial
+    assert len(spatial) == 2
+
+
+def test_mbr_of_component():
+    cn = condense_network(spatial_scc_network())
+    giant = cn.super_of(0)
+    assert cn.mbr_of(giant) == Rect(1, 1, 3, 5)
+    assert cn.mbr_of(cn.super_of(2)) is None
+    # singleton spatial component: degenerate MBR
+    assert cn.mbr_of(cn.super_of(3)) == Rect(10, 10, 10, 10)
+
+
+def test_replicate_entries_one_per_point():
+    cn = condense_network(spatial_scc_network())
+    entries = list(cn.replicate_entries())
+    assert len(entries) == 3  # three spatial vertices total
+    giant = cn.super_of(0)
+    assert sum(1 for _, c in entries if c == giant) == 2
+
+
+def test_mbr_entries_one_per_spatial_component():
+    cn = condense_network(spatial_scc_network())
+    entries = list(cn.mbr_entries())
+    assert len(entries) == 2
+
+
+def test_component_hits_region():
+    cn = condense_network(spatial_scc_network())
+    giant = cn.super_of(0)
+    # region covering only the gap between the two member points: the MBR
+    # intersects but no member point is inside -> must be False.
+    gap = Rect(1.5, 2.0, 2.5, 4.0)
+    assert cn.mbr_of(giant).intersects(gap)
+    assert not cn.component_hits_region(giant, gap)
+    # region containing one member point
+    assert cn.component_hits_region(giant, Rect(0, 0, 2, 2))
+    # region enclosing the whole MBR short-circuits
+    assert cn.component_hits_region(giant, Rect(0, 0, 100, 100))
+    # disjoint region
+    assert not cn.component_hits_region(giant, Rect(50, 50, 60, 60))
+
+
+def test_random_networks_condense_consistently():
+    rng = random.Random(77)
+    for _ in range(10):
+        net = random_geosocial_network(rng)
+        cn = condense_network(net)
+        # every original spatial vertex contributes exactly one point
+        total_points = sum(len(cn.points_of(c)) for c in range(cn.num_components))
+        assert total_points == net.num_spatial
+        # replicate entries match
+        assert len(list(cn.replicate_entries())) == net.num_spatial

@@ -1,0 +1,90 @@
+"""Unit tests for repro.graph.condensation."""
+
+import random
+
+from helpers import random_digraph
+from repro.graph import DiGraph, condense
+from repro.graph.traversal import is_acyclic, path_exists
+
+
+def test_condensation_of_dag_is_isomorphic():
+    g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+    c = condense(g)
+    assert c.num_components == 4
+    assert c.dag.num_edges == 4
+    assert all(len(m) == 1 for m in c.members)
+
+
+def test_condensation_collapses_cycle():
+    g = DiGraph.from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3)])
+    c = condense(g)
+    assert c.num_components == 3
+    cycle_component = c.component_of[0]
+    assert c.component_of[1] == cycle_component
+    assert sorted(c.members[cycle_component]) == [0, 1]
+
+
+def test_condensation_is_always_acyclic():
+    rng = random.Random(3)
+    for _ in range(20):
+        g = random_digraph(rng, 15, 40)
+        assert is_acyclic(condense(g).dag)
+
+
+def test_condensation_deduplicates_edges():
+    # two SCCs with three parallel inter-component edges
+    g = DiGraph.from_edges(
+        4, [(0, 1), (1, 0), (2, 3), (3, 2), (0, 2), (1, 3), (0, 3)]
+    )
+    c = condense(g)
+    assert c.num_components == 2
+    assert c.dag.num_edges == 1
+
+
+def test_condensation_removes_self_loops():
+    g = DiGraph(2)
+    g.add_edge(0, 0)
+    g.add_edge(0, 1)
+    c = condense(g)
+    a = c.component_of[0]
+    assert not c.dag.has_edge(a, a)
+
+
+def test_condensation_preserves_reachability():
+    rng = random.Random(4)
+    for _ in range(10):
+        g = random_digraph(rng, 12, 30)
+        c = condense(g)
+        for u in range(12):
+            for v in range(12):
+                original = path_exists(g, u, v)
+                condensed = path_exists(
+                    c.dag, c.component_of[u], c.component_of[v]
+                )
+                assert original == condensed, (u, v)
+
+
+def test_members_partition_vertices():
+    rng = random.Random(5)
+    g = random_digraph(rng, 20, 50)
+    c = condense(g)
+    all_members = sorted(v for m in c.members for v in m)
+    assert all_members == list(range(20))
+    for cid, members in enumerate(c.members):
+        for v in members:
+            assert c.component_of[v] == cid
+
+
+def test_largest_component_size_and_is_trivial():
+    g = DiGraph.from_edges(5, [(0, 1), (1, 0), (1, 2), (3, 4)])
+    c = condense(g)
+    assert c.largest_component_size() == 2
+    giant = c.component_of[0]
+    assert not c.is_trivial(giant)
+    assert c.is_trivial(c.component_of[2])
+
+
+def test_empty_graph():
+    c = condense(DiGraph(0))
+    assert c.num_components == 0
+    assert c.largest_component_size() == 0

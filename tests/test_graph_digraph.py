@@ -1,0 +1,88 @@
+"""Unit tests for repro.graph.digraph."""
+
+import pytest
+
+from repro.graph import DiGraph
+
+
+def test_empty_graph():
+    g = DiGraph()
+    assert g.num_vertices == 0
+    assert g.num_edges == 0
+    assert list(g.edges()) == []
+
+
+def test_negative_vertex_count_rejected():
+    with pytest.raises(ValueError):
+        DiGraph(-1)
+
+
+def test_add_edge_and_degrees():
+    g = DiGraph(3)
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(1, 2)
+    assert g.num_edges == 3
+    assert g.out_degree(0) == 2
+    assert g.in_degree(2) == 2
+    assert g.successors(0) == [1, 2]
+    assert g.predecessors(2) == [0, 1]
+
+
+def test_add_edge_out_of_range():
+    g = DiGraph(2)
+    with pytest.raises(IndexError):
+        g.add_edge(0, 2)
+    with pytest.raises(IndexError):
+        g.add_edge(-1, 0)
+
+
+def test_add_vertex_returns_new_id():
+    g = DiGraph(2)
+    assert g.add_vertex() == 2
+    g.add_edge(2, 0)
+    assert g.out_degree(2) == 1
+
+
+def test_from_edges():
+    g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    assert g.num_edges == 3
+    assert sorted(g.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+
+def test_has_edge():
+    g = DiGraph.from_edges(3, [(0, 1)])
+    assert g.has_edge(0, 1)
+    assert not g.has_edge(1, 0)
+
+
+def test_self_loops_allowed_in_raw_graph():
+    # Raw networks may contain self-references; condensation removes them.
+    g = DiGraph(1)
+    g.add_edge(0, 0)
+    assert g.has_edge(0, 0)
+
+
+def test_reversed_flips_every_edge():
+    g = DiGraph.from_edges(4, [(0, 1), (1, 2), (0, 3)])
+    r = g.reversed()
+    assert sorted(r.edges()) == [(1, 0), (2, 1), (3, 0)]
+    assert r.num_vertices == g.num_vertices
+
+
+def test_reversed_twice_is_identity():
+    g = DiGraph.from_edges(5, [(0, 1), (2, 4), (3, 1), (4, 0)])
+    assert sorted(g.reversed().reversed().edges()) == sorted(g.edges())
+
+
+def test_deduplicated_collapses_parallel_edges():
+    g = DiGraph.from_edges(3, [(0, 1), (0, 1), (1, 2), (0, 1)])
+    d = g.deduplicated()
+    assert d.num_edges == 2
+    assert sorted(d.edges()) == [(0, 1), (1, 2)]
+    # original is untouched
+    assert g.num_edges == 4
+
+
+def test_vertices_range():
+    assert list(DiGraph(3).vertices()) == [0, 1, 2]

@@ -1,0 +1,79 @@
+"""Unit tests for DiGraph edge removal and forest child-order strategies."""
+
+import random
+
+import pytest
+
+from helpers import random_dag
+from repro.graph import DiGraph, dfs_forest
+from repro.graph.traversal import all_reachable_sets
+
+
+def test_remove_edge():
+    g = DiGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    g.remove_edge(0, 2)
+    assert g.num_edges == 2
+    assert not g.has_edge(0, 2)
+    assert g.in_degree(2) == 1
+    assert g.out_degree(0) == 1
+
+
+def test_remove_missing_edge_rejected():
+    g = DiGraph(2)
+    with pytest.raises(ValueError, match="not present"):
+        g.remove_edge(0, 1)
+
+
+def test_remove_one_of_parallel_edges():
+    g = DiGraph(2)
+    g.add_edge(0, 1)
+    g.add_edge(0, 1)
+    g.remove_edge(0, 1)
+    assert g.num_edges == 1
+    assert g.has_edge(0, 1)
+
+
+def test_remove_then_readd():
+    g = DiGraph.from_edges(2, [(0, 1)])
+    g.remove_edge(0, 1)
+    g.add_edge(0, 1)
+    assert g.num_edges == 1
+    assert g.predecessors(1) == [0]
+
+
+@pytest.mark.parametrize("child_order", ["natural", "degree", "degree-asc"])
+def test_child_order_preserves_dfs_properties(child_order):
+    rng = random.Random(7)
+    for _ in range(8):
+        g = random_dag(rng, 18, edge_probability=0.2)
+        forest = dfs_forest(g, child_order=child_order)
+        assert sorted(forest.post) == list(range(1, 19))
+        # the DFS edge property must hold for every strategy
+        for s, t in g.edges():
+            assert forest.post[t] < forest.post[s]
+
+
+def test_unknown_child_order_rejected():
+    with pytest.raises(ValueError, match="child_order"):
+        dfs_forest(DiGraph(1), child_order="alphabetical")
+
+
+def test_degree_order_visits_hubs_first():
+    # root 0 with children 1 (hub) and 2 (leaf); hub first means the hub
+    # subtree finishes first, i.e. gets the smaller post numbers.
+    g = DiGraph.from_edges(5, [(0, 2), (0, 1), (1, 3), (1, 4)])
+    forest = dfs_forest(g, child_order="degree")
+    assert forest.post[1] < forest.post[2]
+    forest_asc = dfs_forest(g, child_order="degree-asc")
+    assert forest_asc.post[2] < forest_asc.post[1]
+
+
+@pytest.mark.parametrize("child_order", ["degree", "degree-asc"])
+def test_labeling_correct_under_any_forest_strategy(child_order):
+    from repro.labeling import build_labeling
+
+    rng = random.Random(8)
+    g = random_dag(rng, 16, edge_probability=0.25)
+    forest = dfs_forest(g, child_order=child_order)
+    labeling = build_labeling(g, forest=forest)
+    labeling.validate(all_reachable_sets(g))

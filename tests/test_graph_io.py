@@ -1,0 +1,60 @@
+"""Unit tests for repro.graph.io."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.graph import DiGraph, read_edge_list, write_edge_list
+from repro.graph.io import read_point_table, write_point_table
+
+
+def test_edge_list_round_trip(tmp_path):
+    g = DiGraph.from_edges(5, [(0, 1), (1, 2), (4, 0), (2, 2)])
+    path = tmp_path / "edges.txt"
+    write_edge_list(g, path, header="test graph")
+    loaded = read_edge_list(path, num_vertices=5)
+    assert sorted(loaded.edges()) == sorted(g.edges())
+    assert loaded.num_vertices == 5
+
+
+def test_edge_list_infers_vertex_count(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("0 7\n3 2\n")
+    g = read_edge_list(path)
+    assert g.num_vertices == 8
+    assert g.has_edge(0, 7)
+
+
+def test_edge_list_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("# a comment\n\n0 1\n# another\n1 2\n")
+    g = read_edge_list(path)
+    assert g.num_edges == 2
+
+
+def test_edge_list_rejects_malformed_line(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("42\n")
+    with pytest.raises(ValueError):
+        read_edge_list(path)
+
+
+def test_point_table_round_trip(tmp_path):
+    points = {0: Point(1.5, -2.25), 3: Point(0.1, 0.2)}
+    path = tmp_path / "points.txt"
+    write_point_table(points, path, header="venues")
+    loaded = read_point_table(path)
+    assert loaded == points
+
+
+def test_point_table_preserves_float_precision(tmp_path):
+    points = {1: Point(0.1 + 0.2, 1e-17)}
+    path = tmp_path / "points.txt"
+    write_point_table(points, path)
+    assert read_point_table(path)[1] == points[1]
+
+
+def test_point_table_rejects_malformed_line(tmp_path):
+    path = tmp_path / "points.txt"
+    path.write_text("1 2.0\n")
+    with pytest.raises(ValueError):
+        read_point_table(path)

@@ -1,0 +1,117 @@
+"""Unit tests for repro.graph.reduction."""
+
+import random
+
+import pytest
+
+from helpers import random_dag
+from repro.graph import (
+    DiGraph,
+    equivalence_classes,
+    reduce_dag,
+    transitive_reduction,
+)
+from repro.graph.traversal import is_acyclic, path_exists
+
+
+def test_transitive_reduction_removes_shortcut():
+    g = DiGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    r = transitive_reduction(g)
+    assert sorted(r.edges()) == [(0, 1), (1, 2)]
+
+
+def test_transitive_reduction_keeps_required_edges():
+    g = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    r = transitive_reduction(g)
+    assert sorted(r.edges()) == sorted(g.edges())
+
+
+def test_transitive_reduction_preserves_reachability():
+    rng = random.Random(8)
+    for _ in range(15):
+        g = random_dag(rng, 14, edge_probability=0.3)
+        r = transitive_reduction(g)
+        assert r.num_edges <= g.num_edges
+        for u in range(14):
+            for v in range(14):
+                assert path_exists(g, u, v) == path_exists(r, u, v)
+
+
+def test_transitive_reduction_idempotent():
+    rng = random.Random(9)
+    g = random_dag(rng, 12, edge_probability=0.3)
+    once = transitive_reduction(g)
+    twice = transitive_reduction(once)
+    assert sorted(once.edges()) == sorted(twice.edges())
+
+
+def test_transitive_reduction_rejects_cycles():
+    g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+    with pytest.raises(ValueError):
+        transitive_reduction(g)
+
+
+def test_transitive_reduction_drops_parallel_edges():
+    g = DiGraph.from_edges(2, [(0, 1), (0, 1)])
+    r = transitive_reduction(g)
+    assert list(r.edges()) == [(0, 1)]
+
+
+def test_equivalence_classes_merge_twins():
+    # 1 and 2 have identical ancestors {0} and descendants {3}.
+    g = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    classes = {frozenset(c) for c in equivalence_classes(g)}
+    assert frozenset({1, 2}) in classes
+    assert frozenset({0}) in classes
+    assert frozenset({3}) in classes
+
+
+def test_equivalence_classes_distinguish_chain():
+    g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+    classes = equivalence_classes(g)
+    assert all(len(c) == 1 for c in classes)
+
+
+def test_reduce_dag_shrinks_and_preserves_reachability():
+    g = DiGraph.from_edges(
+        6, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (0, 3)]
+    )
+    reduced = reduce_dag(g)
+    assert is_acyclic(reduced.dag)
+    assert reduced.dag.num_vertices < g.num_vertices
+    rep = reduced.representative_of
+    for u in range(6):
+        for v in range(6):
+            if u == v:
+                continue
+            expected = path_exists(g, u, v)
+            if rep[u] == rep[v]:
+                # equivalent distinct DAG vertices never reach each other
+                assert not expected
+            else:
+                assert path_exists(reduced.dag, rep[u], rep[v]) == expected
+
+
+def test_reduce_dag_random_preserves_reachability():
+    rng = random.Random(10)
+    for _ in range(10):
+        g = random_dag(rng, 12, edge_probability=0.25)
+        reduced = reduce_dag(g)
+        rep = reduced.representative_of
+        for u in range(12):
+            for v in range(12):
+                if u == v:
+                    continue
+                expected = path_exists(g, u, v)
+                got = rep[u] != rep[v] and path_exists(
+                    reduced.dag, rep[u], rep[v]
+                )
+                assert got == expected
+
+
+def test_reduce_dag_classes_partition():
+    rng = random.Random(11)
+    g = random_dag(rng, 15, edge_probability=0.2)
+    reduced = reduce_dag(g)
+    all_vertices = sorted(v for c in reduced.classes for v in c)
+    assert all_vertices == list(range(15))

@@ -1,0 +1,91 @@
+"""Unit tests for repro.graph.scc (iterative Tarjan)."""
+
+import random
+
+from helpers import random_digraph
+from repro.graph import DiGraph, strongly_connected_components
+from repro.graph.scc import scc_membership
+from repro.graph.traversal import path_exists
+
+
+def as_sets(components):
+    return {frozenset(c) for c in components}
+
+
+def test_single_vertex():
+    assert as_sets(strongly_connected_components(DiGraph(1))) == {frozenset({0})}
+
+
+def test_dag_has_singleton_components():
+    g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    assert as_sets(strongly_connected_components(g)) == {
+        frozenset({i}) for i in range(4)
+    }
+
+
+def test_simple_cycle_is_one_component():
+    g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+    assert as_sets(strongly_connected_components(g)) == {frozenset({0, 1, 2})}
+
+
+def test_two_cycles_and_bridge():
+    g = DiGraph.from_edges(
+        6, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5)]
+    )
+    assert as_sets(strongly_connected_components(g)) == {
+        frozenset({0, 1}),
+        frozenset({2, 3, 4}),
+        frozenset({5}),
+    }
+
+
+def test_self_loop_is_singleton_component():
+    g = DiGraph(2)
+    g.add_edge(0, 0)
+    g.add_edge(0, 1)
+    assert as_sets(strongly_connected_components(g)) == {
+        frozenset({0}),
+        frozenset({1}),
+    }
+
+
+def test_emission_order_is_reverse_topological():
+    # Tarjan emits an SCC only after all SCCs it can reach.
+    g = DiGraph.from_edges(5, [(0, 1), (1, 2), (2, 1), (2, 3), (3, 4)])
+    components = strongly_connected_components(g)
+    member = {}
+    for cid, comp in enumerate(components):
+        for v in comp:
+            member[v] = cid
+    for u, v in g.edges():
+        if member[u] != member[v]:
+            assert member[v] < member[u]
+
+
+def test_scc_membership_shape():
+    g = DiGraph.from_edges(4, [(0, 1), (1, 0), (2, 3)])
+    member, count = scc_membership(g)
+    assert count == 3
+    assert member[0] == member[1]
+    assert member[2] != member[3]
+
+
+def test_matches_mutual_reachability_definition():
+    rng = random.Random(5)
+    for _ in range(15):
+        g = random_digraph(rng, 12, 25)
+        member, _ = scc_membership(g)
+        for u in range(12):
+            for v in range(12):
+                same = member[u] == member[v]
+                mutual = path_exists(g, u, v) and path_exists(g, v, u)
+                assert same == mutual, (u, v)
+
+
+def test_deep_cycle_no_recursion_limit():
+    n = 30_000
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    g = DiGraph.from_edges(n, edges)
+    components = strongly_connected_components(g)
+    assert len(components) == 1
+    assert len(components[0]) == n

@@ -1,0 +1,171 @@
+"""Unit tests for repro.graph.traversal."""
+
+import random
+
+import pytest
+
+from helpers import random_dag
+from repro.graph import (
+    DiGraph,
+    bfs_order,
+    dfs_forest,
+    dfs_postorder,
+    is_acyclic,
+    reachable_from,
+    topological_order,
+)
+from repro.graph.traversal import all_reachable_sets, path_exists
+
+
+def chain(n):
+    return DiGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def test_bfs_order_visits_reachable_only():
+    g = DiGraph.from_edges(5, [(0, 1), (1, 2), (3, 4)])
+    assert bfs_order(g, 0) == [0, 1, 2]
+    assert bfs_order(g, 3) == [3, 4]
+
+
+def test_reachable_from_includes_source():
+    g = chain(4)
+    assert reachable_from(g, 1) == {1, 2, 3}
+    assert reachable_from(g, 3) == {3}
+
+
+def test_path_exists():
+    g = DiGraph.from_edges(5, [(0, 1), (1, 2), (3, 4)])
+    assert path_exists(g, 0, 2)
+    assert path_exists(g, 1, 1)
+    assert not path_exists(g, 2, 0)
+    assert not path_exists(g, 0, 4)
+
+
+def test_topological_order_respects_edges():
+    g = DiGraph.from_edges(6, [(0, 2), (1, 2), (2, 3), (3, 4), (1, 5)])
+    order = topological_order(g)
+    position = {v: i for i, v in enumerate(order)}
+    for u, v in g.edges():
+        assert position[u] < position[v]
+
+
+def test_topological_order_rejects_cycles():
+    g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+    with pytest.raises(ValueError):
+        topological_order(g)
+    assert not is_acyclic(g)
+    assert is_acyclic(chain(3))
+
+
+def test_dfs_forest_post_numbers_are_a_permutation():
+    rng = random.Random(7)
+    g = random_dag(rng, 30)
+    forest = dfs_forest(g)
+    assert sorted(forest.post) == list(range(1, 31))
+
+
+def test_dfs_forest_parents_form_trees():
+    rng = random.Random(8)
+    g = random_dag(rng, 25)
+    forest = dfs_forest(g)
+    for root in forest.roots:
+        assert forest.parent[root] == -1
+    # every non-root's parent chain terminates at a root
+    for v in range(25):
+        seen = set()
+        while forest.parent[v] >= 0:
+            assert v not in seen
+            seen.add(v)
+            v = forest.parent[v]
+        assert v in forest.roots
+
+
+def test_dfs_forest_edge_post_property_on_dag():
+    # On a DAG, every edge (v, u) must satisfy post(u) < post(v); this is
+    # what the fast labeling construction relies on.
+    rng = random.Random(9)
+    for _ in range(10):
+        g = random_dag(rng, 20, edge_probability=0.2)
+        forest = dfs_forest(g)
+        for v, u in g.edges():
+            assert forest.post[u] < forest.post[v]
+
+
+def test_dfs_forest_min_post_is_subtree_minimum():
+    rng = random.Random(10)
+    g = random_dag(rng, 20, edge_probability=0.25)
+    forest = dfs_forest(g)
+    # compute subtrees from the parent array
+    children = [[] for _ in range(20)]
+    for v, p in enumerate(forest.parent):
+        if p >= 0:
+            children[p].append(v)
+
+    def subtree_posts(v):
+        out = [forest.post[v]]
+        for c in children[v]:
+            out.extend(subtree_posts(c))
+        return out
+
+    for v in range(20):
+        assert forest.min_post[v] == min(subtree_posts(v))
+
+
+def test_dfs_forest_subtree_posts_are_contiguous():
+    # Post-order numbers of a DFS subtree form a contiguous range: the
+    # structural fact behind the one-interval-per-vertex tree labels.
+    rng = random.Random(11)
+    g = random_dag(rng, 24, edge_probability=0.2)
+    forest = dfs_forest(g)
+    children = [[] for _ in range(24)]
+    for v, p in enumerate(forest.parent):
+        if p >= 0:
+            children[p].append(v)
+
+    def subtree_posts(v):
+        out = [forest.post[v]]
+        for c in children[v]:
+            out.extend(subtree_posts(c))
+        return out
+
+    for v in range(24):
+        posts = sorted(subtree_posts(v))
+        assert posts == list(range(posts[0], posts[-1] + 1))
+        assert posts[-1] == forest.post[v]
+
+
+def test_dfs_forest_covers_cyclic_graphs_via_fallback_roots():
+    g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])  # no in-degree-0 vertex
+    forest = dfs_forest(g)
+    assert sorted(forest.post) == [1, 2, 3]
+
+
+def test_dfs_postorder_orders_by_post_number():
+    g = chain(4)
+    order = dfs_postorder(g)
+    # chain 0->1->2->3: post-order finishes deepest first
+    assert order == [3, 2, 1, 0]
+
+
+def test_dfs_forest_custom_roots():
+    g = DiGraph.from_edges(4, [(0, 1), (2, 3)])
+    forest = dfs_forest(g, roots=[2])
+    # 2's tree first, then fallback covers 0's component
+    assert forest.roots[0] == 2
+
+
+def test_all_reachable_sets_matches_pairwise_bfs():
+    rng = random.Random(12)
+    g = random_dag(rng, 15)
+    sets = all_reachable_sets(g)
+    for v in range(15):
+        for u in range(15):
+            assert (u in sets[v]) == path_exists(g, v, u)
+
+
+def test_deep_graph_no_recursion_limit():
+    # 50k-vertex chain: must not hit Python's recursion limit.
+    g = chain(50_000)
+    forest = dfs_forest(g)
+    assert forest.post[0] == 50_000
+    assert forest.post[49_999] == 1

@@ -1,0 +1,70 @@
+"""End-to-end integration: CLI pipeline vs. library answers.
+
+generate -> save -> load -> label -> save -> load -> query must produce
+exactly the answers the in-memory library gives on the same data.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core import ThreeDReach
+from repro.geometry import Rect
+from repro.geosocial import GeosocialNetwork, condense_network
+from repro.labeling import load_labeling
+
+
+@pytest.fixture(scope="module")
+def pipeline(tmp_path_factory):
+    root = tmp_path_factory.mktemp("pipeline")
+    data_dir = root / "net"
+    labels_path = root / "net.labels"
+    assert main([
+        "generate", "foursquare", str(data_dir),
+        "--scale", "0.0005", "--seed", "11",
+    ]) == 0
+    assert main(["label", str(data_dir), str(labels_path)]) == 0
+    return data_dir, labels_path
+
+
+def test_loaded_labeling_matches_fresh_build(pipeline):
+    data_dir, labels_path = pipeline
+    network = GeosocialNetwork.load(data_dir)
+    condensed = condense_network(network)
+    from repro.labeling import build_labeling
+
+    fresh = build_labeling(condensed.dag)
+    loaded = load_labeling(labels_path)
+    assert loaded.labels == fresh.labels
+    assert loaded.post == fresh.post
+
+
+def test_cli_query_matches_library(pipeline, capsys):
+    data_dir, _ = pipeline
+    network = GeosocialNetwork.load(data_dir)
+    condensed = condense_network(network)
+    method = ThreeDReach(condensed)
+    region = Rect(0.25, 0.25, 0.75, 0.75)
+    for vertex in (0, 1, 5):
+        expected = method.query(vertex, region)
+        assert main([
+            "query", str(data_dir),
+            "--vertex", str(vertex),
+            "--region", "0.25,0.25,0.75,0.75",
+            "--method", "3dreach",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"= {expected}" in out
+
+
+def test_prebuilt_labeling_pluggable_into_methods(pipeline):
+    data_dir, labels_path = pipeline
+    network = GeosocialNetwork.load(data_dir)
+    condensed = condense_network(network)
+    loaded = load_labeling(labels_path)
+    from repro.core import RangeReachOracle, SocReach
+
+    method = SocReach(condensed, labeling=loaded)
+    oracle = RangeReachOracle(network)
+    region = Rect(0.4, 0.4, 0.6, 0.6)
+    for vertex in range(0, network.num_vertices, 97):
+        assert method.query(vertex, region) == oracle.query(vertex, region)

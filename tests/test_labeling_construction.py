@@ -1,0 +1,170 @@
+"""Unit tests for repro.labeling.construction (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from helpers import (
+    FIG1_FINAL_LABELS,
+    FIG1_FOREST_PARENT,
+    FIG1_INDEX,
+    FIG1_POST,
+    fig1_graph,
+    random_dag,
+)
+from repro.graph import DiGraph
+from repro.graph.traversal import DfsForest, all_reachable_sets
+from repro.labeling import build_labeling, build_reversed_labeling
+
+
+def paper_forest() -> DfsForest:
+    """The spanning forest of the paper's Figure 3 with Table 1 numbering."""
+    n = len(FIG1_INDEX)
+    parent = [-1] * n
+    post = [0] * n
+    for name, p in FIG1_FOREST_PARENT.items():
+        if p is not None:
+            parent[FIG1_INDEX[name]] = FIG1_INDEX[p]
+    for name, number in FIG1_POST.items():
+        post[FIG1_INDEX[name]] = number
+    # subtree minima, needed only for completeness of the dataclass
+    children = [[] for _ in range(n)]
+    for v, p in enumerate(parent):
+        if p >= 0:
+            children[p].append(v)
+
+    def min_post(v):
+        return min([post[v]] + [min_post(c) for c in children[v]])
+
+    return DfsForest(
+        parent=parent,
+        post=post,
+        roots=[FIG1_INDEX["a"], FIG1_INDEX["c"]],
+        min_post=[min_post(v) for v in range(n)],
+    )
+
+
+def test_table1_reproduced_with_paper_forest():
+    """Faithful Algorithm 1 on the paper's own forest yields Table 1."""
+    labeling = build_labeling(fig1_graph(), mode="faithful", forest=paper_forest())
+    for name, expected in FIG1_FINAL_LABELS.items():
+        got = labeling.labels_of(FIG1_INDEX[name])
+        assert got == tuple(expected), f"L({name}) = {got}, want {expected}"
+
+
+def test_table1_post_numbers_with_paper_forest():
+    labeling = build_labeling(fig1_graph(), mode="faithful", forest=paper_forest())
+    for name, number in FIG1_POST.items():
+        assert labeling.post_of(FIG1_INDEX[name]) == number
+
+
+def test_example41_descendant_sets():
+    """Example 4.1: D(a) and D(c) of the paper."""
+    labeling = build_labeling(fig1_graph(), mode="faithful", forest=paper_forest())
+    d_a = {FIG1_INDEX[n] for n in "abdefghijl"}  # posts 1..10
+    d_c = {FIG1_INDEX[n] for n in "cdfik"}
+    assert set(labeling.descendants(FIG1_INDEX["a"])) == d_a
+    assert set(labeling.descendants(FIG1_INDEX["c"])) == d_c
+
+
+@pytest.mark.parametrize("mode", ["subtree", "faithful"])
+def test_labels_cover_exactly_descendants_fig1(mode):
+    g = fig1_graph()
+    labeling = build_labeling(g, mode=mode)
+    labeling.validate(all_reachable_sets(g))
+
+
+@pytest.mark.parametrize("mode", ["subtree", "faithful"])
+def test_labels_cover_exactly_descendants_random(mode):
+    rng = random.Random(1234)
+    for _ in range(12):
+        g = random_dag(rng, 18, edge_probability=0.2)
+        labeling = build_labeling(g, mode=mode)
+        labeling.validate(all_reachable_sets(g))
+
+
+def test_modes_produce_identical_compressed_labels():
+    rng = random.Random(99)
+    for _ in range(10):
+        g = random_dag(rng, 16, edge_probability=0.25)
+        fast = build_labeling(g, mode="subtree")
+        faithful = build_labeling(g, mode="faithful")
+        assert fast.labels == faithful.labels
+        assert fast.post == faithful.post
+
+
+def test_cyclic_input_rejected():
+    g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+    with pytest.raises(ValueError, match="DAG"):
+        build_labeling(g)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="unknown construction mode"):
+        build_labeling(DiGraph(1), mode="banana")
+
+
+def test_subtree_mode_rejects_non_dfs_forest():
+    # The paper's Figure 3 forest is not a DFS forest (edge (g, i) goes to
+    # a higher post number); only the faithful mode accepts it.
+    with pytest.raises(ValueError, match="DFS"):
+        build_labeling(fig1_graph(), mode="subtree", forest=paper_forest())
+
+
+def test_empty_and_singleton_graphs():
+    empty = build_labeling(DiGraph(0))
+    assert empty.num_vertices == 0
+    single = build_labeling(DiGraph(1))
+    assert single.labels_of(0) == ((1, 1),)
+    assert single.greach(0, 0)
+
+
+def test_disconnected_components_get_separate_trees():
+    g = DiGraph.from_edges(4, [(0, 1), (2, 3)])
+    labeling = build_labeling(g)
+    assert len(labeling.roots) == 2
+    assert labeling.greach(0, 1)
+    assert not labeling.greach(0, 2)
+    assert not labeling.greach(2, 1)
+
+
+def test_diamond_graph():
+    #    0
+    #   / \
+    #  1   2
+    #   \ /
+    #    3
+    g = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    labeling = build_labeling(g)
+    for target in range(4):
+        assert labeling.greach(0, target)
+    assert labeling.greach(1, 3)
+    assert labeling.greach(2, 3)
+    assert not labeling.greach(1, 2)
+    assert not labeling.greach(3, 0)
+
+
+def test_uncompressed_count_at_least_compressed():
+    rng = random.Random(5)
+    g = random_dag(rng, 30, edge_probability=0.15)
+    stats = build_labeling(g).stats()
+    assert stats.uncompressed_labels >= stats.compressed_labels
+    assert stats.compressed_labels >= 30  # at least one label per vertex
+
+
+def test_reversed_labeling_answers_ancestor_queries():
+    g = fig1_graph()
+    reversed_labeling = build_reversed_labeling(g)
+    truth = all_reachable_sets(g)
+    for v in range(g.num_vertices):
+        for u in range(g.num_vertices):
+            # u reaches v in G  <=>  v reaches u in reversed G
+            assert reversed_labeling.greach(v, u) == (v in truth[u])
+
+
+def test_long_chain_compresses_to_single_label():
+    n = 500
+    g = DiGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+    labeling = build_labeling(g)
+    assert labeling.labels_of(0) == ((1, n),)
+    assert labeling.stats().compressed_labels == n

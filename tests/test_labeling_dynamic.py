@@ -1,0 +1,138 @@
+"""Unit tests for repro.labeling.dynamic (incremental maintenance)."""
+
+import random
+
+import pytest
+
+from helpers import fig1_graph, random_dag
+from repro.graph import DiGraph
+from repro.graph.traversal import all_reachable_sets
+from repro.labeling import DynamicIntervalLabeling
+
+
+def test_empty_start():
+    dyn = DynamicIntervalLabeling()
+    assert dyn.num_vertices == 0
+    v = dyn.add_vertex()
+    assert v == 0
+    assert dyn.greach(0, 0)
+    assert list(dyn.descendants(0)) == [0]
+
+
+def test_bootstrap_from_existing_dag():
+    g = fig1_graph()
+    dyn = DynamicIntervalLabeling(g)
+    truth = all_reachable_sets(g)
+    for v in range(g.num_vertices):
+        assert set(dyn.descendants(v)) == truth[v]
+
+
+def test_incremental_edge_insertion_matches_truth():
+    rng = random.Random(31)
+    for _ in range(10):
+        target = random_dag(rng, 15, edge_probability=0.2)
+        dyn = DynamicIntervalLabeling()
+        for _ in range(15):
+            dyn.add_vertex()
+        edges = list(target.edges())
+        rng.shuffle(edges)  # any insertion order must work
+        for s, t in edges:
+            dyn.add_edge(s, t)
+        truth = all_reachable_sets(target)
+        for v in range(15):
+            assert set(dyn.descendants(v)) == truth[v]
+            assert dyn.num_descendants(v) == len(truth[v])
+
+
+def test_mixed_vertex_and_edge_growth():
+    dyn = DynamicIntervalLabeling()
+    a = dyn.add_vertex()
+    b = dyn.add_vertex()
+    dyn.add_edge(a, b)
+    c = dyn.add_vertex()
+    dyn.add_edge(b, c)
+    assert dyn.greach(a, c)
+    d = dyn.add_vertex()
+    dyn.add_edge(d, a)
+    assert dyn.greach(d, c)
+    assert not dyn.greach(c, a)
+
+
+def test_cycle_insertion_rejected():
+    dyn = DynamicIntervalLabeling(DiGraph.from_edges(3, [(0, 1), (1, 2)]))
+    with pytest.raises(ValueError, match="cycle"):
+        dyn.add_edge(2, 0)
+    with pytest.raises(ValueError, match="cycle"):
+        dyn.add_edge(0, 0)
+    # state unchanged
+    assert not dyn.greach(2, 0)
+    assert dyn.greach(0, 2)
+
+
+def test_duplicate_edge_is_noop():
+    dyn = DynamicIntervalLabeling(DiGraph.from_edges(2, [(0, 1)]))
+    before = dyn.labels_of(0)
+    dyn.add_edge(0, 1)
+    assert dyn.labels_of(0) == before
+
+
+def test_vertex_bounds_checked():
+    dyn = DynamicIntervalLabeling()
+    dyn.add_vertex()
+    with pytest.raises(IndexError):
+        dyn.add_edge(0, 5)
+
+
+def test_remove_edge_triggers_rebuild():
+    g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+    dyn = DynamicIntervalLabeling(g)
+    assert dyn.greach(0, 2)
+    dyn.remove_edge(1, 2)
+    assert dyn.needs_rebuild
+    assert not dyn.greach(0, 2)   # rebuilt lazily here
+    assert not dyn.needs_rebuild
+    assert dyn.greach(0, 1)
+
+
+def test_remove_missing_edge_rejected():
+    dyn = DynamicIntervalLabeling(DiGraph(2))
+    with pytest.raises(ValueError):
+        dyn.remove_edge(0, 1)
+
+
+def test_interleaved_insert_delete_random():
+    rng = random.Random(77)
+    n = 12
+    dyn = DynamicIntervalLabeling(DiGraph(n))
+    shadow = DiGraph(n)
+    present: list[tuple[int, int]] = []
+    for _ in range(120):
+        if present and rng.random() < 0.3:
+            s, t = present.pop(rng.randrange(len(present)))
+            dyn.remove_edge(s, t)
+            shadow.remove_edge(s, t)
+        else:
+            s, t = rng.randrange(n), rng.randrange(n)
+            if s == t or (s, t) in present:
+                continue
+            try:
+                dyn.add_edge(s, t)
+            except ValueError:
+                continue  # would create a cycle
+            shadow.add_edge(s, t)
+            present.append((s, t))
+        if rng.random() < 0.25:
+            truth = all_reachable_sets(shadow)
+            for v in range(n):
+                assert set(dyn.descendants(v)) == truth[v]
+    truth = all_reachable_sets(shadow)
+    for v in range(n):
+        assert set(dyn.descendants(v)) == truth[v]
+
+
+def test_adds_after_deletion_are_picked_up_by_rebuild():
+    dyn = DynamicIntervalLabeling(DiGraph.from_edges(4, [(0, 1), (2, 3)]))
+    dyn.remove_edge(0, 1)
+    dyn.add_edge(1, 2)  # inserted while dirty
+    assert dyn.greach(1, 3)
+    assert not dyn.greach(0, 1)

@@ -1,0 +1,74 @@
+"""Unit tests for repro.labeling.intervals."""
+
+from repro.labeling import (
+    compress_intervals,
+    intervals_cover,
+    intervals_covered_count,
+)
+from repro.labeling.intervals import intervals_equal_coverage, intervals_union
+
+
+def test_compress_empty():
+    assert compress_intervals([]) == ()
+
+
+def test_compress_absorbs_subsumed():
+    # Paper example: [3,5] absorbs [4,5].
+    assert compress_intervals([(3, 5), (4, 5)]) == ((3, 5),)
+
+
+def test_compress_merges_overlapping_at_endpoint():
+    # Paper example: [1,4] and [4,5] merge into [1,5].
+    assert compress_intervals([(1, 4), (4, 5)]) == ((1, 5),)
+
+
+def test_compress_merges_integer_adjacent():
+    # Integer domains: [1,4] and [5,7] cover the contiguous 1..7.  This is
+    # what collapses singleton chains like [1,1]..[9,9] into [1,9].
+    assert compress_intervals([(1, 4), (5, 7)]) == ((1, 7),)
+    singletons = [(i, i) for i in range(1, 10)]
+    assert compress_intervals(singletons) == ((1, 9),)
+
+
+def test_compress_keeps_gaps():
+    assert compress_intervals([(1, 2), (5, 6)]) == ((1, 2), (5, 6))
+
+
+def test_compress_unsorted_input():
+    assert compress_intervals([(8, 9), (1, 2), (4, 5), (2, 3)]) == (
+        (1, 5),
+        (8, 9),
+    )
+
+
+def test_compress_idempotent():
+    compressed = compress_intervals([(1, 3), (7, 9), (2, 5)])
+    assert compress_intervals(compressed) == compressed
+
+
+def test_intervals_cover():
+    labels = ((1, 3), (7, 9), (15, 15))
+    for v in (1, 2, 3, 7, 9, 15):
+        assert intervals_cover(labels, v)
+    for v in (0, 4, 6, 10, 14, 16):
+        assert not intervals_cover(labels, v)
+
+
+def test_intervals_cover_empty():
+    assert not intervals_cover((), 5)
+
+
+def test_intervals_covered_count():
+    assert intervals_covered_count(((1, 3), (7, 9))) == 6
+    assert intervals_covered_count(()) == 0
+    assert intervals_covered_count(((4, 4),)) == 1
+
+
+def test_intervals_equal_coverage():
+    assert intervals_equal_coverage([(1, 2), (3, 4)], [(1, 4)])
+    assert not intervals_equal_coverage([(1, 2)], [(1, 3)])
+
+
+def test_intervals_union():
+    assert intervals_union([(1, 2)], [(4, 4)], [(3, 3)]) == ((1, 4),)
+    assert intervals_union() == ()

@@ -1,0 +1,79 @@
+"""Unit tests for repro.labeling.io (labeling persistence)."""
+
+import random
+
+import pytest
+
+from helpers import fig1_graph, random_dag
+from repro.graph.traversal import all_reachable_sets
+from repro.labeling import build_labeling, load_labeling, save_labeling
+
+
+def test_round_trip_fig1(tmp_path):
+    labeling = build_labeling(fig1_graph())
+    path = tmp_path / "fig1.labels"
+    save_labeling(labeling, path)
+    loaded = load_labeling(path)
+    assert loaded.post == labeling.post
+    assert loaded.labels == labeling.labels
+    assert loaded.parent == labeling.parent
+    assert loaded.roots == labeling.roots
+    assert loaded.stats() == labeling.stats()
+
+
+def test_round_trip_preserves_query_behavior(tmp_path):
+    rng = random.Random(13)
+    g = random_dag(rng, 25, edge_probability=0.2)
+    labeling = build_labeling(g)
+    path = tmp_path / "random.labels"
+    save_labeling(labeling, path)
+    loaded = load_labeling(path)
+    loaded.validate(all_reachable_sets(g))
+
+
+def test_round_trip_empty(tmp_path):
+    from repro.graph import DiGraph
+
+    labeling = build_labeling(DiGraph(0))
+    path = tmp_path / "empty.labels"
+    save_labeling(labeling, path)
+    loaded = load_labeling(path)
+    assert loaded.num_vertices == 0
+
+
+def test_rejects_wrong_magic(tmp_path):
+    path = tmp_path / "bad.labels"
+    path.write_text("something else\n")
+    with pytest.raises(ValueError, match="not a repro interval labeling"):
+        load_labeling(path)
+
+
+def test_rejects_truncated_file(tmp_path):
+    labeling = build_labeling(fig1_graph())
+    path = tmp_path / "trunc.labels"
+    save_labeling(labeling, path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-2]) + "\n")
+    with pytest.raises(ValueError, match="vertex records"):
+        load_labeling(path)
+
+
+def test_rejects_corrupt_label_count(tmp_path):
+    labeling = build_labeling(fig1_graph())
+    path = tmp_path / "corrupt.labels"
+    save_labeling(labeling, path)
+    text = path.read_text().splitlines()
+    # inflate the declared label count of the first vertex record
+    parts = text[3].split()
+    parts[3] = str(int(parts[3]) + 1)
+    text[3] = " ".join(parts)
+    path.write_text("\n".join(text) + "\n")
+    with pytest.raises(ValueError, match="declares"):
+        load_labeling(path)
+
+
+def test_rejects_malformed_header(tmp_path):
+    path = tmp_path / "hdr.labels"
+    path.write_text("# repro interval labeling v1\nnope\n")
+    with pytest.raises(ValueError, match="size header"):
+        load_labeling(path)

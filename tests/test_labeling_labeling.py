@@ -1,0 +1,87 @@
+"""Unit tests for repro.labeling.labeling (the query API)."""
+
+import random
+
+import pytest
+
+from helpers import random_dag
+from repro.graph import DiGraph
+from repro.graph.traversal import all_reachable_sets
+from repro.labeling import IntervalLabeling, build_labeling
+
+
+def test_mismatched_arrays_rejected():
+    with pytest.raises(ValueError):
+        IntervalLabeling(
+            post=[1, 2], labels=[()], parent=[-1, -1], roots=[0],
+            uncompressed_labels=0,
+        )
+
+
+def test_vertex_at_post_inverts_post():
+    g = DiGraph.from_edges(5, [(0, 1), (1, 2), (0, 3), (3, 4)])
+    labeling = build_labeling(g)
+    for v in range(5):
+        assert labeling.vertex_at_post[labeling.post_of(v) - 1] == v
+
+
+def test_greach_matches_bfs_truth():
+    rng = random.Random(21)
+    g = random_dag(rng, 25, edge_probability=0.15)
+    labeling = build_labeling(g)
+    truth = all_reachable_sets(g)
+    for v in range(25):
+        for u in range(25):
+            assert labeling.greach(v, u) == (u in truth[v])
+
+
+def test_descendants_includes_self():
+    g = DiGraph(3)
+    labeling = build_labeling(g)
+    for v in range(3):
+        assert list(labeling.descendants(v)) == [v]
+
+
+def test_num_descendants_matches_enumeration():
+    rng = random.Random(22)
+    g = random_dag(rng, 20, edge_probability=0.2)
+    labeling = build_labeling(g)
+    for v in range(20):
+        assert labeling.num_descendants(v) == len(list(labeling.descendants(v)))
+
+
+def test_covers_post():
+    g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+    labeling = build_labeling(g)
+    assert labeling.covers_post(0, labeling.post_of(2))
+    assert not labeling.covers_post(2, labeling.post_of(0))
+
+
+def test_stats_compression_ratio():
+    n = 100
+    g = DiGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+    stats = build_labeling(g).stats()
+    assert stats.compressed_labels == n
+    assert 0.0 <= stats.compression_ratio < 1.0
+
+
+def test_stats_ratio_zero_when_empty():
+    stats = build_labeling(DiGraph(0)).stats()
+    assert stats.compression_ratio == 0.0
+
+
+def test_size_bytes_scales_with_labels():
+    small = build_labeling(DiGraph(10))
+    n = 200
+    big = build_labeling(
+        DiGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+    )
+    assert big.size_bytes() > small.size_bytes()
+    assert small.size_bytes() > 0
+
+
+def test_validate_raises_on_wrong_truth():
+    g = DiGraph.from_edges(2, [(0, 1)])
+    labeling = build_labeling(g)
+    with pytest.raises(AssertionError):
+        labeling.validate([{0}, {1}])  # missing 1 in D(0)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.labeling.stabbing."""
+
+import random
+
+import pytest
+
+from repro.labeling import IntervalStabbingIndex
+
+
+def brute_force(intervals, q):
+    return sorted(p for lo, hi, p in intervals if lo <= q <= hi)
+
+
+def test_empty_index():
+    index = IntervalStabbingIndex([])
+    assert index.stab_all(5) == []
+    assert len(index) == 0
+
+
+def test_degenerate_interval_rejected():
+    with pytest.raises(ValueError):
+        IntervalStabbingIndex([(5, 3, "x")])
+
+
+def test_single_interval():
+    index = IntervalStabbingIndex([(2, 7, "a")])
+    assert index.stab_all(2) == ["a"]
+    assert index.stab_all(5) == ["a"]
+    assert index.stab_all(7) == ["a"]
+    assert index.stab_all(1) == []
+    assert index.stab_all(8) == []
+
+
+def test_point_interval():
+    index = IntervalStabbingIndex([(4, 4, "p")])
+    assert index.stab_all(4) == ["p"]
+    assert index.stab_all(3) == []
+
+
+def test_overlapping_intervals():
+    intervals = [(1, 10, "a"), (5, 6, "b"), (6, 20, "c"), (15, 16, "d")]
+    index = IntervalStabbingIndex(intervals)
+    assert sorted(index.stab_all(6)) == ["a", "b", "c"]
+    assert sorted(index.stab_all(15)) == ["c", "d"]
+    assert index.stab_all(0) == []
+    assert index.stab_all(21) == []
+
+
+def test_matches_brute_force_randomized():
+    rng = random.Random(17)
+    for _ in range(10):
+        intervals = []
+        for i in range(rng.randrange(1, 60)):
+            lo = rng.randrange(0, 100)
+            hi = lo + rng.randrange(0, 30)
+            intervals.append((lo, hi, i))
+        index = IntervalStabbingIndex(intervals)
+        for q in range(-5, 135, 3):
+            assert sorted(index.stab_all(q)) == brute_force(intervals, q)
+
+
+def test_many_identical_intervals():
+    intervals = [(3, 8, i) for i in range(50)]
+    index = IntervalStabbingIndex(intervals)
+    assert sorted(index.stab_all(5)) == list(range(50))
+    assert index.stab_all(9) == []
+
+
+def test_ancestor_lookup_use_case():
+    # The labeling's ancestor lookup: which vertices' labels cover post(v)?
+    labels = {
+        "a": [(1, 10)],
+        "b": [(1, 5), (7, 7)],
+        "j": [(1, 1), (6, 8), (10, 10)],
+    }
+    entries = [
+        (lo, hi, name) for name, ls in labels.items() for lo, hi in ls
+    ]
+    index = IntervalStabbingIndex(entries)
+    assert sorted(index.stab_all(7)) == ["a", "b", "j"]
+    assert sorted(index.stab_all(6)) == ["a", "j"]
+    assert sorted(index.stab_all(11)) == []

@@ -1,0 +1,141 @@
+"""Unit tests for gapped post-order numbering (Section 4.1's update gaps)."""
+
+import random
+
+import pytest
+
+from helpers import fig1_graph, random_dag
+from repro.graph import DiGraph
+from repro.graph.traversal import all_reachable_sets
+from repro.labeling import (
+    DynamicIntervalLabeling,
+    build_labeling,
+    load_labeling,
+    save_labeling,
+)
+
+
+def test_stride_validation():
+    with pytest.raises(ValueError):
+        build_labeling(DiGraph(1), post_stride=0)
+    with pytest.raises(ValueError):
+        DynamicIntervalLabeling(stride=0)
+
+
+@pytest.mark.parametrize("stride", [1, 4, 16])
+@pytest.mark.parametrize("mode", ["subtree", "faithful"])
+def test_strided_labeling_preserves_reachability(stride, mode):
+    rng = random.Random(61)
+    for _ in range(5):
+        g = random_dag(rng, 15, edge_probability=0.2)
+        labeling = build_labeling(g, mode=mode, post_stride=stride)
+        truth = all_reachable_sets(g)
+        assert labeling.stride == stride
+        for v in range(15):
+            assert set(labeling.descendants(v)) == truth[v]
+            assert labeling.num_descendants(v) == len(truth[v])
+            for u in range(15):
+                assert labeling.greach(v, u) == (u in truth[v])
+
+
+def test_strided_posts_are_multiples():
+    labeling = build_labeling(fig1_graph(), post_stride=8)
+    assert sorted(labeling.post) == [8 * i for i in range(1, 13)]
+
+
+def test_stride_weakens_compression():
+    # The documented trade-off: gaps block singleton merging.
+    g = fig1_graph()
+    dense = build_labeling(g).stats()
+    gapped = build_labeling(g, post_stride=8).stats()
+    assert gapped.compressed_labels >= dense.compressed_labels
+
+
+def test_strided_round_trip(tmp_path):
+    labeling = build_labeling(fig1_graph(), post_stride=4)
+    path = tmp_path / "strided.labels"
+    save_labeling(labeling, path)
+    loaded = load_labeling(path)
+    assert loaded.stride == 4
+    assert loaded.labels == labeling.labels
+    assert set(loaded.descendants(0)) == set(labeling.descendants(0))
+
+
+def test_strided_methods_still_correct():
+    from helpers import FIG1_INDEX, FIG1_REGION, fig1_network
+    from repro.core import SocReach, ThreeDReach
+    from repro.geosocial import condense_network
+
+    condensed = condense_network(fig1_network())
+    labeling = build_labeling(condensed.dag, post_stride=8)
+    for method in (
+        SocReach(condensed, labeling=labeling),
+        ThreeDReach(condensed, labeling=labeling),
+    ):
+        assert method.query(FIG1_INDEX["a"], FIG1_REGION) is True
+        assert method.query(FIG1_INDEX["c"], FIG1_REGION) is False
+
+
+# ----------------------------------------------------------------------
+# Gap insertion in the dynamic labeling
+# ----------------------------------------------------------------------
+def test_dynamic_gap_insertion():
+    g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+    dyn = DynamicIntervalLabeling(g, stride=16)
+    # posts are 16, 32, 48 (chain numbering ascending from the sink);
+    # every multiple-of-16 is taken, but the gap numbers are free *unless*
+    # covered by a label.  L(0) covers [16, 48], so gaps inside it are
+    # rejected; a number past the tail's coverage works.
+    with pytest.raises(ValueError, match="covered"):
+        dyn.add_vertex_at(24)
+    fresh = dyn.add_vertex_at(60)
+    assert dyn.post_of(fresh) == 60
+    dyn.add_edge(1, fresh)
+    assert dyn.greach(0, fresh)
+    assert dyn.greach(1, fresh)
+    assert not dyn.greach(2, fresh)
+
+
+def test_dynamic_gap_insertion_between_trees():
+    # Two disjoint chains: gaps between their post ranges are not covered.
+    g = DiGraph.from_edges(4, [(0, 1), (2, 3)])
+    dyn = DynamicIntervalLabeling(g, stride=10)
+    taken = sorted(dyn.post_of(v) for v in range(4))
+    # find an uncovered gap number
+    candidate = None
+    for p in range(1, taken[-1] + 10):
+        if p in taken:
+            continue
+        try:
+            candidate = dyn.add_vertex_at(p)
+            break
+        except ValueError:
+            continue
+    assert candidate is not None
+    dyn.add_edge(candidate, 0)
+    assert dyn.greach(candidate, 1)
+
+
+def test_dynamic_gap_duplicate_post_rejected():
+    dyn = DynamicIntervalLabeling(stride=4)
+    dyn.add_vertex()  # post 4
+    with pytest.raises(ValueError, match="already assigned"):
+        dyn.add_vertex_at(4)
+    with pytest.raises(ValueError, match="positive"):
+        dyn.add_vertex_at(0)
+
+
+def test_dynamic_strided_matches_truth_under_growth():
+    rng = random.Random(62)
+    target = random_dag(rng, 12, edge_probability=0.25)
+    dyn = DynamicIntervalLabeling(stride=8)
+    for _ in range(12):
+        dyn.add_vertex()
+    edges = list(target.edges())
+    rng.shuffle(edges)
+    for s, t in edges:
+        dyn.add_edge(s, t)
+    truth = all_reachable_sets(target)
+    for v in range(12):
+        assert set(dyn.descendants(v)) == truth[v]
+        assert dyn.num_descendants(v) == len(truth[v])

@@ -1,0 +1,58 @@
+"""Property-based tests for the B+-tree against a dict/sorted-list model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import BPlusTree
+
+keys = st.integers(min_value=-1000, max_value=1000)
+
+
+@given(st.lists(st.tuples(keys, st.integers()), max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_insert_matches_dict_model(pairs):
+    tree = BPlusTree(order=5)
+    model: dict[int, int] = {}
+    for k, v in pairs:
+        tree.insert(k, v)
+        model[k] = v
+    tree.check_invariants()
+    assert len(tree) == len(model)
+    for k, v in model.items():
+        assert tree.get(k) == v
+    assert [k for k, _ in tree.items()] == sorted(model)
+
+
+@given(st.lists(keys, unique=True, max_size=100), keys, keys)
+@settings(max_examples=60, deadline=None)
+def test_range_scan_matches_model(key_list, a, b):
+    lo, hi = min(a, b), max(a, b)
+    tree = BPlusTree(order=5)
+    for k in key_list:
+        tree.insert(k, k * 2)
+    expected = sorted(k for k in key_list if lo <= k <= hi)
+    assert [k for k, _ in tree.range_scan(lo, hi)] == expected
+    assert [v for _, v in tree.range_scan(lo, hi)] == [k * 2 for k in expected]
+
+
+@given(st.lists(keys, unique=True, min_size=1, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_bulk_load_equals_incremental(key_list):
+    ordered = sorted(key_list)
+    bulk = BPlusTree.from_sorted([(k, k) for k in ordered], order=6)
+    incremental = BPlusTree(order=6)
+    for k in key_list:
+        incremental.insert(k, k)
+    bulk.check_invariants()
+    incremental.check_invariants()
+    assert list(bulk.items()) == list(incremental.items())
+
+
+@given(st.lists(keys, unique=True, max_size=80))
+@settings(max_examples=40, deadline=None)
+def test_contains_consistent(key_list):
+    tree = BPlusTree(order=4)
+    for k in key_list:
+        tree.insert(k, None)
+    present = set(key_list)
+    for probe in range(-50, 50, 7):
+        assert (probe in tree) == (probe in present)

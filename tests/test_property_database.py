@@ -1,0 +1,85 @@
+"""Property-based tests for GeosocialDatabase against the BFS oracle.
+
+Hypothesis drives interleaved updates and queries; after any prefix of
+operations the database's snapshot answers must equal a naive oracle
+recomputed from scratch on the same state.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RangeReachOracle
+from repro.geometry import Point, Rect
+from repro.geosocial import GeosocialNetwork
+from repro.graph import DiGraph
+from repro.system import GeosocialDatabase
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("user")),
+        st.tuples(st.just("venue"), unit, unit),
+        st.tuples(st.just("follow"), st.integers(0, 30), st.integers(0, 30)),
+        st.tuples(st.just("checkin"), st.integers(0, 30), st.integers(0, 30)),
+        st.tuples(st.just("unfollow"), st.integers(0, 200)),
+        st.tuples(st.just("query"), st.integers(0, 30), unit, unit, unit, unit),
+    ),
+    max_size=50,
+)
+
+
+def _oracle_answer(users, venues, edges, vertex, region):
+    n = len(users) + len(venues)
+    id_map = {}
+    points = []
+    for i, u in enumerate(users):
+        id_map[u] = i
+        points.append(None)
+    for j, (v, p) in enumerate(venues.items()):
+        id_map[v] = len(users) + j
+        points.append(p)
+    graph = DiGraph(n)
+    for a, b in edges:
+        graph.add_edge(id_map[a], id_map[b])
+    network = GeosocialNetwork(graph, points)
+    return RangeReachOracle(network).query(id_map[vertex], region)
+
+
+@given(ops)
+@settings(max_examples=40, deadline=None)
+def test_database_matches_oracle(sequence):
+    db = GeosocialDatabase()
+    users: list[int] = []
+    venues: dict[int, Point] = {}
+    edges: list[tuple[int, int]] = []
+    follows: list[tuple[int, int]] = []
+
+    for op in sequence:
+        kind = op[0]
+        if kind == "user":
+            users.append(db.add_user())
+        elif kind == "venue":
+            vid = db.add_venue(op[1], op[2])
+            venues[vid] = Point(op[1], op[2])
+        elif kind == "follow" and len(users) >= 2:
+            a = users[op[1] % len(users)]
+            b = users[op[2] % len(users)]
+            if db.add_follow(a, b):
+                edges.append((a, b))
+                follows.append((a, b))
+        elif kind == "checkin" and users and venues:
+            u = users[op[1] % len(users)]
+            v = list(venues)[op[2] % len(venues)]
+            if db.add_checkin(u, v):
+                edges.append((u, v))
+        elif kind == "unfollow" and follows:
+            a, b = follows.pop(op[1] % len(follows))
+            db.remove_follow(a, b)
+            edges.remove((a, b))
+        elif kind == "query" and users and venues:
+            vertex = users[op[1] % len(users)]
+            x1, x2 = sorted((op[2], op[3]))
+            y1, y2 = sorted((op[4], op[5]))
+            region = Rect(x1, y1, x2, y2)
+            expected = _oracle_answer(users, venues, edges, vertex, region)
+            assert db.range_reach(vertex, region) == expected

@@ -1,0 +1,85 @@
+"""Property-based tests for the dynamic interval labeling.
+
+Hypothesis drives random sequences of vertex additions, edge insertions
+(cycle-creating ones must be rejected without corrupting state) and edge
+deletions; after every batch the descendant sets must equal BFS truth on
+a shadow graph.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import DiGraph
+from repro.graph.traversal import all_reachable_sets
+from repro.labeling import DynamicIntervalLabeling
+
+# Operations: ("vertex",), ("edge", a, b), ("del", index-into-inserted)
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("vertex")),
+        st.tuples(
+            st.just("edge"),
+            st.integers(min_value=0, max_value=11),
+            st.integers(min_value=0, max_value=11),
+        ),
+        st.tuples(st.just("del"), st.integers(min_value=0, max_value=200)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops)
+@settings(max_examples=50, deadline=None)
+def test_random_update_sequences_match_bfs(sequence):
+    dyn = DynamicIntervalLabeling()
+    shadow = DiGraph(0)
+    live_edges: list[tuple[int, int]] = []
+    for op in sequence:
+        if op[0] == "vertex":
+            dyn.add_vertex()
+            shadow.add_vertex()
+        elif op[0] == "edge":
+            _, a, b = op
+            n = dyn.num_vertices
+            if n < 2:
+                continue
+            a, b = a % n, b % n
+            if a == b or (a, b) in live_edges:
+                continue
+            try:
+                dyn.add_edge(a, b)
+            except ValueError:
+                continue  # cycle rejected; state must stay intact
+            shadow.add_edge(a, b)
+            live_edges.append((a, b))
+        else:
+            if not live_edges:
+                continue
+            a, b = live_edges.pop(op[1] % len(live_edges))
+            dyn.remove_edge(a, b)
+            shadow.remove_edge(a, b)
+    truth = all_reachable_sets(shadow)
+    for v in range(shadow.num_vertices):
+        assert set(dyn.descendants(v)) == truth[v]
+        assert dyn.num_descendants(v) == len(truth[v])
+
+
+@given(ops)
+@settings(max_examples=30, deadline=None)
+def test_greach_consistent_with_descendants(sequence):
+    dyn = DynamicIntervalLabeling()
+    for op in sequence:
+        if op[0] == "vertex":
+            dyn.add_vertex()
+        elif op[0] == "edge" and dyn.num_vertices >= 2:
+            n = dyn.num_vertices
+            a, b = op[1] % n, op[2] % n
+            if a != b:
+                try:
+                    dyn.add_edge(a, b)
+                except ValueError:
+                    pass
+    n = dyn.num_vertices
+    for v in range(n):
+        descendants = set(dyn.descendants(v))
+        for u in range(n):
+            assert dyn.greach(v, u) == (u in descendants)

@@ -1,0 +1,77 @@
+"""Property-based tests for the extended query engine vs the oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import GeosocialQueryEngine, RangeReachOracle
+from repro.geometry import Point, Rect
+from repro.geosocial import GeosocialNetwork, condense_network
+from repro.graph import DiGraph
+
+coordinate = st.floats(
+    min_value=0, max_value=10, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def networks(draw, max_vertices=10):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = (
+        draw(st.lists(st.sampled_from(pairs), unique=True, max_size=25))
+        if pairs
+        else []
+    )
+    graph = DiGraph.from_edges(n, edges)
+    points = [
+        Point(draw(coordinate), draw(coordinate))
+        if draw(st.booleans())
+        else None
+        for _ in range(n)
+    ]
+    if not any(p is not None for p in points):
+        points[0] = Point(draw(coordinate), draw(coordinate))
+    return GeosocialNetwork(graph, points)
+
+
+@st.composite
+def regions(draw):
+    x1, x2 = sorted((draw(coordinate), draw(coordinate)))
+    y1, y2 = sorted((draw(coordinate), draw(coordinate)))
+    return Rect(x1, y1, x2, y2)
+
+
+@given(networks(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_count_witnesses_threshold_match_oracle(network, data):
+    oracle = RangeReachOracle(network)
+    engine = GeosocialQueryEngine(condense_network(network))
+    for _ in range(4):
+        v = data.draw(st.integers(0, network.num_vertices - 1))
+        region = data.draw(regions())
+        expected = sorted(oracle.witnesses(v, region))
+        assert sorted(engine.witnesses(v, region)) == expected
+        assert engine.count(v, region) == len(expected)
+        assert engine.range_reach(v, region) == bool(expected)
+        k = data.draw(st.integers(0, network.num_vertices + 1))
+        assert engine.at_least(v, region, k) == (len(expected) >= k)
+
+
+@given(networks(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_nearest_matches_brute_force(network, data):
+    oracle = RangeReachOracle(network)
+    engine = GeosocialQueryEngine(condense_network(network))
+    space = network.space()
+    everything = Rect(
+        space.xlo - 1, space.ylo - 1, space.xhi + 1, space.yhi + 1
+    )
+    v = data.draw(st.integers(0, network.num_vertices - 1))
+    q = Point(data.draw(coordinate), data.draw(coordinate))
+    reachable = oracle.witnesses(v, everything)
+    got = engine.nearest(v, q)
+    if not reachable:
+        assert got is None
+    else:
+        best = min(q.distance_to(network.point_of(w)) for w in reachable)
+        assert got is not None
+        assert abs(got[1] - best) < 1e-9

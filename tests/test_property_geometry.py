@@ -1,0 +1,103 @@
+"""Property-based tests for the geometry primitives."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Box3, Point, Rect
+
+coordinate = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coordinate), draw(coordinate)))
+    y1, y2 = sorted((draw(coordinate), draw(coordinate)))
+    return Rect(x1, y1, x2, y2)
+
+
+@st.composite
+def boxes(draw):
+    x1, x2 = sorted((draw(coordinate), draw(coordinate)))
+    y1, y2 = sorted((draw(coordinate), draw(coordinate)))
+    z1, z2 = sorted((draw(coordinate), draw(coordinate)))
+    return Box3(x1, y1, z1, x2, y2, z2)
+
+
+points = st.builds(Point, coordinate, coordinate)
+
+
+@given(rects(), rects())
+@settings(max_examples=80, deadline=None)
+def test_rect_union_contains_both(a, b):
+    u = a.union(b)
+    assert u.contains_rect(a)
+    assert u.contains_rect(b)
+
+
+@given(rects(), rects())
+@settings(max_examples=80, deadline=None)
+def test_rect_intersection_consistent_with_intersects(a, b):
+    overlap = a.intersection(b)
+    assert (overlap is not None) == a.intersects(b)
+    if overlap is not None:
+        assert a.contains_rect(overlap)
+        assert b.contains_rect(overlap)
+
+
+@given(rects(), points)
+@settings(max_examples=80, deadline=None)
+def test_point_in_rect_implies_intersections(rect, p):
+    if rect.contains_point(p):
+        assert rect.intersects(Rect(p.x, p.y, p.x, p.y))
+        assert rect.expanded_to(p) == rect
+
+
+@given(rects(), points)
+@settings(max_examples=80, deadline=None)
+def test_expanded_to_contains_point(rect, p):
+    grown = rect.expanded_to(p)
+    assert grown.contains_point(p)
+    assert grown.contains_rect(rect)
+
+
+@given(st.lists(points, min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_from_points_is_tight(pts):
+    mbr = Rect.from_points(pts)
+    for p in pts:
+        assert mbr.contains_point(p)
+    assert any(p.x == mbr.xlo for p in pts)
+    assert any(p.x == mbr.xhi for p in pts)
+    assert any(p.y == mbr.ylo for p in pts)
+    assert any(p.y == mbr.yhi for p in pts)
+
+
+@given(rects(), rects(), rects())
+@settings(max_examples=60, deadline=None)
+def test_rect_containment_transitive(a, b, c):
+    if a.contains_rect(b) and b.contains_rect(c):
+        assert a.contains_rect(c)
+
+
+@given(boxes(), boxes())
+@settings(max_examples=80, deadline=None)
+def test_box_union_contains_both(a, b):
+    u = a.union(b)
+    assert u.contains_box(a)
+    assert u.contains_box(b)
+
+
+@given(boxes(), boxes())
+@settings(max_examples=80, deadline=None)
+def test_box_intersects_symmetric(a, b):
+    assert a.intersects(b) == b.intersects(a)
+
+
+@given(rects(), coordinate, coordinate)
+@settings(max_examples=60, deadline=None)
+def test_box_from_rect_preserves_base(rect, z1, z2):
+    lo, hi = sorted((z1, z2))
+    box = Box3.from_rect(rect, lo, hi)
+    assert box.base == rect
+    assert box.contains_xyz(rect.center.x, rect.center.y, lo)

@@ -1,0 +1,66 @@
+"""Property-based tests for the graph substrate (SCC, condensation, DFS)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import DiGraph, condense, dfs_forest
+from repro.graph.scc import scc_membership
+from repro.graph.traversal import is_acyclic, path_exists, topological_order
+
+
+@st.composite
+def digraphs(draw, max_vertices=12):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(st.lists(st.sampled_from(pairs), unique=True, max_size=40)) if pairs else []
+    return DiGraph.from_edges(n, edges)
+
+
+@given(digraphs())
+@settings(max_examples=60, deadline=None)
+def test_scc_is_mutual_reachability(graph):
+    member, _ = scc_membership(graph)
+    n = graph.num_vertices
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = member[u] == member[v]
+            mutual = path_exists(graph, u, v) and path_exists(graph, v, u)
+            assert same == mutual
+
+
+@given(digraphs())
+@settings(max_examples=60, deadline=None)
+def test_condensation_is_acyclic_and_preserves_reachability(graph):
+    c = condense(graph)
+    assert is_acyclic(c.dag)
+    n = graph.num_vertices
+    for u in range(n):
+        for v in range(n):
+            assert path_exists(graph, u, v) == path_exists(
+                c.dag, c.component_of[u], c.component_of[v]
+            )
+
+
+@given(digraphs())
+@settings(max_examples=60, deadline=None)
+def test_condensation_members_partition(graph):
+    c = condense(graph)
+    seen = sorted(v for members in c.members for v in members)
+    assert seen == list(range(graph.num_vertices))
+
+
+@given(digraphs())
+@settings(max_examples=60, deadline=None)
+def test_dfs_forest_posts_are_permutation(graph):
+    forest = dfs_forest(graph)
+    n = graph.num_vertices
+    assert sorted(forest.post) == list(range(1, n + 1))
+
+
+@given(digraphs())
+@settings(max_examples=60, deadline=None)
+def test_topological_order_iff_acyclic(graph):
+    if is_acyclic(graph):
+        order = topological_order(graph)
+        position = {v: i for i, v in enumerate(order)}
+        for u, v in graph.edges():
+            assert position[u] < position[v]

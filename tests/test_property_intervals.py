@@ -1,0 +1,61 @@
+"""Property-based tests for interval label compression."""
+
+from hypothesis import given, strategies as st
+
+from repro.labeling import (
+    compress_intervals,
+    intervals_cover,
+    intervals_covered_count,
+)
+
+interval = st.tuples(
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=0, max_value=200),
+).map(lambda t: (min(t), max(t)))
+
+interval_lists = st.lists(interval, max_size=40)
+
+
+def covered_set(intervals):
+    out = set()
+    for lo, hi in intervals:
+        out.update(range(lo, hi + 1))
+    return out
+
+
+@given(interval_lists)
+def test_compression_preserves_coverage(intervals):
+    compressed = compress_intervals(intervals)
+    assert covered_set(compressed) == covered_set(intervals)
+
+
+@given(interval_lists)
+def test_compressed_form_is_canonical(intervals):
+    compressed = compress_intervals(intervals)
+    # sorted, disjoint, non-adjacent
+    for (lo1, hi1), (lo2, hi2) in zip(compressed, compressed[1:]):
+        assert hi1 + 1 < lo2
+    # idempotent
+    assert compress_intervals(compressed) == compressed
+    # never more intervals than the input
+    if intervals:
+        assert len(compressed) <= len(set(intervals))
+
+
+@given(interval_lists, st.integers(min_value=-10, max_value=210))
+def test_cover_matches_set_membership(intervals, value):
+    compressed = compress_intervals(intervals)
+    assert intervals_cover(compressed, value) == (value in covered_set(intervals))
+
+
+@given(interval_lists)
+def test_covered_count_matches_set_size(intervals):
+    compressed = compress_intervals(intervals)
+    assert intervals_covered_count(compressed) == len(covered_set(intervals))
+
+
+@given(interval_lists, interval_lists)
+def test_union_order_irrelevant(a, b):
+    assert compress_intervals(list(a) + list(b)) == compress_intervals(
+        list(b) + list(a)
+    )

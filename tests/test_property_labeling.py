@@ -1,0 +1,88 @@
+"""Property-based tests for the interval labeling construction.
+
+The key invariants of Section 3:
+
+* the compressed label set of ``v`` covers exactly the post-order numbers
+  of the vertices reachable from ``v`` (soundness + completeness);
+* the faithful Algorithm 1 and the fast subtree construction coincide;
+* reversing the graph swaps descendants for ancestors.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import DiGraph
+from repro.graph.traversal import all_reachable_sets
+from repro.labeling import build_labeling, build_reversed_labeling
+
+
+@st.composite
+def dags(draw, max_vertices=14):
+    """Random DAG: edges only from lower to higher vertex id."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=40)) if possible else []
+    return DiGraph.from_edges(n, edges)
+
+
+@given(dags())
+@settings(max_examples=60, deadline=None)
+def test_labels_cover_exactly_reachable_posts(dag):
+    labeling = build_labeling(dag)
+    truth = all_reachable_sets(dag)
+    labeling.validate(truth)
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_faithful_and_subtree_modes_agree(dag):
+    fast = build_labeling(dag, mode="subtree")
+    faithful = build_labeling(dag, mode="faithful")
+    assert fast.labels == faithful.labels
+    assert fast.post == faithful.post
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_reversed_labeling_is_ancestor_relation(dag):
+    rev = build_reversed_labeling(dag)
+    truth = all_reachable_sets(dag)
+    n = dag.num_vertices
+    for v in range(n):
+        for u in range(n):
+            assert rev.greach(v, u) == (v in truth[u])
+
+
+@given(dags())
+@settings(max_examples=60, deadline=None)
+def test_post_numbers_are_permutation(dag):
+    labeling = build_labeling(dag)
+    assert sorted(labeling.post) == list(range(1, dag.num_vertices + 1))
+
+
+@given(dags())
+@settings(max_examples=60, deadline=None)
+def test_self_label_always_present(dag):
+    labeling = build_labeling(dag)
+    for v in range(dag.num_vertices):
+        assert labeling.covers_post(v, labeling.post_of(v))
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_compression_never_increases_label_count(dag):
+    stats = build_labeling(dag).stats()
+    assert stats.compressed_labels <= stats.uncompressed_labels
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_greach_is_transitive(dag):
+    labeling = build_labeling(dag)
+    n = dag.num_vertices
+    reachable = [
+        [u for u in range(n) if labeling.greach(v, u)] for v in range(n)
+    ]
+    for v in range(n):
+        for u in reachable[v]:
+            for w in reachable[u]:
+                assert labeling.greach(v, w)

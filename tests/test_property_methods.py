@@ -1,0 +1,75 @@
+"""Property-based end-to-end test: all methods equal the BFS oracle.
+
+Hypothesis generates arbitrary (possibly cyclic) geosocial networks —
+spatial vertices may sit inside strongly connected components — plus a
+query vertex and region; every RangeReach method must return exactly
+what the index-free BFS oracle returns.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    GeoReach,
+    RangeReachOracle,
+    SocReach,
+    SpaReach,
+    ThreeDReach,
+    ThreeDReachRev,
+)
+from repro.geometry import Point, Rect
+from repro.geosocial import GeosocialNetwork, condense_network
+from repro.graph import DiGraph
+
+coordinate = st.floats(
+    min_value=0, max_value=10, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def networks(draw, max_vertices=10):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(st.lists(st.sampled_from(pairs), unique=True, max_size=30)) if pairs else []
+    graph = DiGraph.from_edges(n, edges)
+    points = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            points.append(Point(draw(coordinate), draw(coordinate)))
+        else:
+            points.append(None)
+    if not any(p is not None for p in points):
+        points[0] = Point(draw(coordinate), draw(coordinate))
+    return GeosocialNetwork(graph, points)
+
+
+@st.composite
+def regions(draw):
+    x1, x2 = sorted((draw(coordinate), draw(coordinate)))
+    y1, y2 = sorted((draw(coordinate), draw(coordinate)))
+    return Rect(x1, y1, x2, y2)
+
+
+@given(networks(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_all_methods_match_oracle(network, data):
+    oracle = RangeReachOracle(network)
+    condensed = condense_network(network)
+    methods = [
+        SpaReach(condensed, reach_index="bfl"),
+        SpaReach(condensed, reach_index="interval"),
+        SpaReach(condensed, reach_index="bfl", scc_mode="mbr"),
+        GeoReach(condensed),
+        SocReach(condensed),
+        ThreeDReach(condensed),
+        ThreeDReach(condensed, scc_mode="mbr"),
+        ThreeDReachRev(condensed),
+        ThreeDReachRev(condensed, scc_mode="mbr"),
+    ]
+    for _ in range(5):
+        v = data.draw(st.integers(min_value=0, max_value=network.num_vertices - 1))
+        region = data.draw(regions())
+        expected = oracle.query(v, region)
+        for method in methods:
+            assert method.query(v, region) == expected, (
+                f"{method.name} wrong for vertex {v}, region {region}"
+            )

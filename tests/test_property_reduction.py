@@ -1,0 +1,65 @@
+"""Property-based tests for DAG reductions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import DiGraph, reduce_dag, transitive_reduction
+from repro.graph.traversal import is_acyclic, path_exists
+
+
+@st.composite
+def dags(draw, max_vertices=12):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=35)) if possible else []
+    return DiGraph.from_edges(n, edges)
+
+
+@given(dags())
+@settings(max_examples=50, deadline=None)
+def test_transitive_reduction_preserves_reachability(dag):
+    reduced = transitive_reduction(dag)
+    n = dag.num_vertices
+    assert reduced.num_edges <= dag.num_edges
+    for u in range(n):
+        for v in range(n):
+            assert path_exists(dag, u, v) == path_exists(reduced, u, v)
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_transitive_reduction_is_minimal(dag):
+    # Removing any surviving edge must lose some reachability.
+    reduced = transitive_reduction(dag)
+    edges = list(reduced.edges())
+    for s, t in edges:
+        pruned = DiGraph(reduced.num_vertices)
+        for a, b in edges:
+            if (a, b) != (s, t):
+                pruned.add_edge(a, b)
+        assert not path_exists(pruned, s, t), (
+            f"edge ({s}, {t}) was redundant but survived"
+        )
+
+
+@given(dags())
+@settings(max_examples=50, deadline=None)
+def test_reduce_dag_preserves_reachability(dag):
+    reduced = reduce_dag(dag)
+    assert is_acyclic(reduced.dag)
+    rep = reduced.representative_of
+    n = dag.num_vertices
+    for u in range(n):
+        for v in range(n):
+            if u == v:
+                continue
+            expected = path_exists(dag, u, v)
+            got = rep[u] != rep[v] and path_exists(reduced.dag, rep[u], rep[v])
+            assert got == expected
+
+
+@given(dags())
+@settings(max_examples=50, deadline=None)
+def test_reduce_dag_never_grows(dag):
+    reduced = reduce_dag(dag)
+    assert reduced.dag.num_vertices <= dag.num_vertices
+    assert reduced.dag.num_edges <= dag.num_edges

@@ -1,0 +1,80 @@
+"""Property-based tests for the R-tree."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial import LinearScanIndex, RTree
+
+coordinate = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def boxes2d(draw):
+    x1, x2 = sorted((draw(coordinate), draw(coordinate)))
+    y1, y2 = sorted((draw(coordinate), draw(coordinate)))
+    return (x1, y1, x2, y2)
+
+
+points2d = st.tuples(coordinate, coordinate)
+
+
+@given(st.lists(points2d, max_size=80), boxes2d())
+@settings(max_examples=60, deadline=None)
+def test_bulk_loaded_point_query_matches_linear_scan(points, query):
+    entries = [((x, y, x, y), i) for i, (x, y) in enumerate(points)]
+    tree = RTree.bulk_load(entries, dims=2, capacity=4)
+    reference = LinearScanIndex.bulk_load(entries, dims=2)
+    assert sorted(tree.search_all(query)) == sorted(reference.search_all(query))
+
+
+@given(st.lists(boxes2d(), max_size=50), boxes2d())
+@settings(max_examples=60, deadline=None)
+def test_inserted_box_query_matches_linear_scan(items, query):
+    tree = RTree(dims=2, capacity=4)
+    reference = LinearScanIndex(dims=2)
+    for i, bounds in enumerate(items):
+        tree.insert(bounds, i)
+        reference.insert(bounds, i)
+    assert sorted(tree.search_all(query)) == sorted(reference.search_all(query))
+
+
+@given(st.lists(points2d, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_invariants_hold_after_inserts(points):
+    tree = RTree(dims=2, capacity=4)
+    for i, (x, y) in enumerate(points):
+        tree.insert_point((x, y), i)
+    tree.check_invariants()
+    assert len(tree) == len(points)
+
+
+@given(st.lists(points2d, min_size=1, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_every_item_findable_by_its_own_bounds(points):
+    entries = [((x, y, x, y), i) for i, (x, y) in enumerate(points)]
+    tree = RTree.bulk_load(entries, dims=2, capacity=4)
+    for (x, y), i in zip(points, range(len(points))):
+        assert i in tree.search_all((x, y, x, y))
+
+
+@given(st.lists(points2d, max_size=60), boxes2d())
+@settings(max_examples=40, deadline=None)
+def test_any_intersecting_consistent_with_search(points, query):
+    entries = [((x, y, x, y), i) for i, (x, y) in enumerate(points)]
+    tree = RTree.bulk_load(entries, dims=2, capacity=4)
+    hit = tree.any_intersecting(query)
+    results = tree.search_all(query)
+    if results:
+        assert hit in results
+    else:
+        assert hit is None
+
+
+@given(st.lists(st.tuples(coordinate, coordinate, coordinate), max_size=60))
+@settings(max_examples=30, deadline=None)
+def test_3d_trees_work(points):
+    entries = [((x, y, z, x, y, z), i) for i, (x, y, z) in enumerate(points)]
+    tree = RTree.bulk_load(entries, dims=3, capacity=4)
+    tree.check_invariants()
+    assert tree.count_intersecting((-100, -100, -100, 100, 100, 100)) == len(points)

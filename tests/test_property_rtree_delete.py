@@ -1,0 +1,63 @@
+"""Property-based tests for R-tree deletion under random churn."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial import LinearScanIndex, RTree
+
+coordinate = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+# An op is ("insert", x, y) or ("delete", index-into-live).
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), coordinate, coordinate),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=500)),
+    ),
+    max_size=80,
+)
+
+
+@given(ops)
+@settings(max_examples=50, deadline=None)
+def test_churn_preserves_contents_and_invariants(sequence):
+    tree = RTree(dims=2, capacity=4)
+    live: list[tuple[tuple, int]] = []
+    next_id = 0
+    for op in sequence:
+        if op[0] == "insert":
+            bounds = (op[1], op[2], op[1], op[2])
+            tree.insert(bounds, next_id)
+            live.append((bounds, next_id))
+            next_id += 1
+        elif live:
+            bounds, item = live.pop(op[1] % len(live))
+            assert tree.delete(bounds, item) is True
+    tree.check_invariants()
+    assert len(tree) == len(live)
+    whole = (0.0, 0.0, 1.0, 1.0)
+    assert sorted(tree.search_all(whole)) == sorted(item for _, item in live)
+
+
+@given(ops)
+@settings(max_examples=30, deadline=None)
+def test_queries_match_reference_after_churn(sequence):
+    tree = RTree(dims=2, capacity=4)
+    reference = LinearScanIndex(dims=2)
+    live: list[tuple[tuple, int]] = []
+    next_id = 0
+    for op in sequence:
+        if op[0] == "insert":
+            bounds = (op[1], op[2], op[1], op[2])
+            tree.insert(bounds, next_id)
+            reference.insert(bounds, next_id)
+            live.append((bounds, next_id))
+            next_id += 1
+        elif live:
+            bounds, item = live.pop(op[1] % len(live))
+            tree.delete(bounds, item)
+            reference._entries.remove((bounds, item))
+    for query in ((0.0, 0.0, 0.5, 0.5), (0.25, 0.25, 0.75, 0.75)):
+        assert sorted(tree.search_all(query)) == sorted(
+            reference.search_all(query)
+        )

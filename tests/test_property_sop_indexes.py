@@ -1,0 +1,55 @@
+"""Property-based tests for the SOP point indexes (quadtree, uniform grid)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect
+from repro.spatial import LinearScanIndex, QuadTree, UniformGridIndex
+
+UNIT = Rect(0, 0, 1, 1)
+
+unit_coord = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+unit_points = st.lists(st.tuples(unit_coord, unit_coord), max_size=80)
+
+
+@st.composite
+def queries(draw):
+    x1, x2 = sorted((draw(unit_coord), draw(unit_coord)))
+    y1, y2 = sorted((draw(unit_coord), draw(unit_coord)))
+    return (x1, y1, x2, y2)
+
+
+def _entries(points):
+    return [((x, y, x, y), i) for i, (x, y) in enumerate(points)]
+
+
+@given(unit_points, queries())
+@settings(max_examples=60, deadline=None)
+def test_quadtree_matches_linear_scan(points, query):
+    entries = _entries(points)
+    tree = QuadTree.bulk_load(entries, UNIT, leaf_capacity=3, max_depth=10)
+    reference = LinearScanIndex.bulk_load(entries, dims=2)
+    assert sorted(tree.search_all(query)) == sorted(reference.search_all(query))
+
+
+@given(unit_points, queries())
+@settings(max_examples=60, deadline=None)
+def test_uniform_grid_matches_linear_scan(points, query):
+    entries = _entries(points)
+    grid = UniformGridIndex.bulk_load(entries, UNIT, cells_per_side=5)
+    reference = LinearScanIndex.bulk_load(entries, dims=2)
+    assert sorted(grid.search_all(query)) == sorted(reference.search_all(query))
+
+
+@given(unit_points)
+@settings(max_examples=40, deadline=None)
+def test_indexes_report_full_size(points):
+    entries = _entries(points)
+    tree = QuadTree.bulk_load(entries, UNIT, leaf_capacity=4)
+    grid = UniformGridIndex.bulk_load(entries, UNIT)
+    assert len(tree) == len(points)
+    assert len(grid) == len(points)
+    whole = (0.0, 0.0, 1.0, 1.0)
+    assert tree.count_intersecting(whole) == len(points)
+    assert grid.count_intersecting(whole) == len(points)

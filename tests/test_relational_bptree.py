@@ -1,0 +1,113 @@
+"""Unit tests for repro.relational.bptree."""
+
+import random
+
+import pytest
+
+from repro.relational import BPlusTree
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        BPlusTree(order=3)
+
+
+def test_empty_tree():
+    tree = BPlusTree()
+    assert len(tree) == 0
+    assert tree.get(5) is None
+    assert tree.get(5, "x") == "x"
+    assert 5 not in tree
+    assert list(tree.range_scan(0, 100)) == []
+    assert tree.height() == 1
+
+
+def test_insert_and_get():
+    tree = BPlusTree(order=4)
+    for k in (5, 1, 9, 3, 7):
+        tree.insert(k, f"v{k}")
+    assert len(tree) == 5
+    for k in (5, 1, 9, 3, 7):
+        assert tree.get(k) == f"v{k}"
+        assert k in tree
+    assert tree.get(2) is None
+
+
+def test_insert_overwrites_existing_key():
+    tree = BPlusTree()
+    tree.insert(1, "a")
+    tree.insert(1, "b")
+    assert len(tree) == 1
+    assert tree.get(1) == "b"
+
+
+def test_splits_grow_height():
+    tree = BPlusTree(order=4)
+    for k in range(100):
+        tree.insert(k, k)
+    assert tree.height() >= 3
+    tree.check_invariants()
+    assert [k for k, _ in tree.items()] == list(range(100))
+
+
+def test_random_insert_order_matches_dict(seed=0):
+    rng = random.Random(seed)
+    keys = rng.sample(range(10_000), 500)
+    tree = BPlusTree(order=8)
+    reference = {}
+    for k in keys:
+        tree.insert(k, -k)
+        reference[k] = -k
+    tree.check_invariants()
+    for k in keys:
+        assert tree.get(k) == reference[k]
+    assert sorted(reference) == [k for k, _ in tree.items()]
+
+
+def test_range_scan_inclusive():
+    tree = BPlusTree(order=4)
+    for k in range(0, 50, 5):  # 0, 5, ..., 45
+        tree.insert(k, k)
+    assert [k for k, _ in tree.range_scan(10, 30)] == [10, 15, 20, 25, 30]
+    assert [k for k, _ in tree.range_scan(11, 14)] == []
+    assert [k for k, _ in tree.range_scan(45, 100)] == [45]
+    assert list(tree.range_scan(30, 10)) == []
+
+
+def test_range_scan_matches_reference_randomized():
+    rng = random.Random(3)
+    keys = sorted(rng.sample(range(1000), 200))
+    tree = BPlusTree.from_sorted([(k, k) for k in keys], order=6)
+    tree.check_invariants()
+    for _ in range(50):
+        lo = rng.randrange(-50, 1100)
+        hi = lo + rng.randrange(0, 300)
+        expected = [k for k in keys if lo <= k <= hi]
+        assert [k for k, _ in tree.range_scan(lo, hi)] == expected
+
+
+def test_from_sorted_validation():
+    with pytest.raises(ValueError):
+        BPlusTree.from_sorted([(2, "a"), (2, "b")])
+    with pytest.raises(ValueError):
+        BPlusTree.from_sorted([(3, "a"), (1, "b")])
+
+
+def test_from_sorted_then_insert():
+    tree = BPlusTree.from_sorted([(k, k) for k in range(0, 100, 2)], order=8)
+    for k in range(1, 100, 2):
+        tree.insert(k, k)
+    tree.check_invariants()
+    assert [k for k, _ in tree.items()] == list(range(100))
+
+
+def test_from_sorted_empty():
+    tree = BPlusTree.from_sorted([])
+    assert len(tree) == 0
+
+
+def test_negative_keys():
+    tree = BPlusTree(order=4)
+    for k in (-5, -1, -100, 3):
+        tree.insert(k, k)
+    assert [k for k, _ in tree.range_scan(-10, 0)] == [-5, -1]

@@ -1,0 +1,126 @@
+"""Unit tests for repro.spatial.grid (GeoReach's hierarchical quad grid)."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.spatial import Cell, HierarchicalGrid
+
+
+@pytest.fixture
+def grid():
+    return HierarchicalGrid(Rect(0, 0, 16, 16), num_levels=5)
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        HierarchicalGrid(Rect(0, 0, 1, 1), num_levels=0)
+    with pytest.raises(ValueError):
+        HierarchicalGrid(Rect(0, 0, 0, 1), num_levels=2)
+
+
+def test_side_cells_per_level(grid):
+    assert grid.side_cells(0) == 16
+    assert grid.side_cells(1) == 8
+    assert grid.side_cells(4) == 1
+    assert grid.num_cells(0) == 256
+    with pytest.raises(ValueError):
+        grid.side_cells(5)
+
+
+def test_locate_basic(grid):
+    assert grid.locate(Point(0.5, 0.5)) == Cell(0, 0, 0)
+    assert grid.locate(Point(15.5, 15.5)) == Cell(0, 15, 15)
+    assert grid.locate(Point(8.5, 0.5)) == Cell(0, 0, 8)
+    assert grid.locate(Point(8.5, 0.5), level=3) == Cell(3, 0, 1)
+
+
+def test_locate_clamps_boundary(grid):
+    # The far boundary belongs to the outermost cell.
+    assert grid.locate(Point(16, 16)) == Cell(0, 15, 15)
+    assert grid.locate(Point(0, 0)) == Cell(0, 0, 0)
+
+
+def test_cell_rect_tiles_space(grid):
+    rect = grid.cell_rect(Cell(0, 0, 0))
+    assert rect == Rect(0, 0, 1, 1)
+    rect = grid.cell_rect(Cell(2, 1, 1))
+    assert rect == Rect(4, 4, 8, 8)
+    top = grid.cell_rect(Cell(4, 0, 0))
+    assert top == Rect(0, 0, 16, 16)
+
+
+def test_locate_consistent_with_cell_rect(grid):
+    p = Point(3.3, 9.7)
+    for level in range(grid.num_levels):
+        cell = grid.locate(p, level)
+        assert grid.cell_rect(cell).contains_point(p)
+
+
+def test_parent_and_children(grid):
+    cell = Cell(0, 5, 7)
+    parent = grid.parent(cell)
+    assert parent == Cell(1, 2, 3)
+    assert cell in grid.children(parent)
+    assert len(grid.children(parent)) == 4
+    with pytest.raises(ValueError):
+        grid.parent(Cell(4, 0, 0))
+    with pytest.raises(ValueError):
+        grid.children(Cell(0, 0, 0))
+
+
+def test_children_tile_parent_exactly(grid):
+    parent = Cell(2, 1, 0)
+    parent_rect = grid.cell_rect(parent)
+    child_area = sum(grid.cell_rect(c).area for c in grid.children(parent))
+    assert child_area == pytest.approx(parent_rect.area)
+    for child in grid.children(parent):
+        assert parent_rect.contains_rect(grid.cell_rect(child))
+
+
+def test_cell_predicates(grid):
+    region = Rect(0, 0, 2.5, 2.5)
+    assert grid.cell_intersects(Cell(0, 0, 0), region)
+    assert grid.cell_inside(Cell(0, 1, 1), region)
+    assert not grid.cell_inside(Cell(0, 2, 2), region)  # partially outside
+    assert not grid.cell_intersects(Cell(0, 10, 10), region)
+
+
+def test_merge_cells_replaces_siblings(grid):
+    # Three siblings of one quad with MERGE_COUNT=2 -> replaced by parent.
+    siblings = {Cell(0, 0, 0), Cell(0, 0, 1), Cell(0, 1, 0)}
+    merged = grid.merge_cells(siblings, merge_count=2)
+    assert merged == {Cell(1, 0, 0)}
+
+
+def test_merge_cells_keeps_small_groups(grid):
+    cells = {Cell(0, 0, 0), Cell(0, 0, 1)}
+    assert grid.merge_cells(cells, merge_count=2) == cells
+
+
+def test_merge_count_one_matches_paper_example(grid):
+    # MERGE_COUNT = 1: two adjacent quad-cells are already too many, as in
+    # the paper's Example 2.5 (cells 9 and 14 merged into 19).
+    cells = {Cell(0, 4, 4), Cell(0, 4, 5)}
+    merged = grid.merge_cells(cells, merge_count=1)
+    assert merged == {Cell(1, 2, 2)}
+
+
+def test_merge_cells_cascades_upward(grid):
+    # All 16 finest cells of one level-2 block collapse all the way up.
+    cells = {Cell(0, r, c) for r in range(4) for c in range(4)}
+    merged = grid.merge_cells(cells, merge_count=1)
+    assert merged == {Cell(2, 0, 0)}
+
+
+def test_merge_cells_rejects_bad_count(grid):
+    with pytest.raises(ValueError):
+        grid.merge_cells(set(), merge_count=0)
+
+
+def test_cells_cover_point(grid):
+    cells = {Cell(1, 2, 3)}  # covers [6,8) x [4,6) roughly
+    rect = grid.cell_rect(Cell(1, 2, 3))
+    inside = Point(rect.xlo + 0.1, rect.ylo + 0.1)
+    outside = Point(rect.xhi + 1, rect.yhi + 1)
+    assert grid.cells_cover_point(cells, inside)
+    assert not grid.cells_cover_point(cells, outside)

@@ -1,0 +1,134 @@
+"""Unit tests for the SOP point indexes (quadtree, uniform grid)."""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.spatial import LinearScanIndex, QuadTree, UniformGridIndex
+
+UNIT = Rect(0, 0, 1, 1)
+
+
+def random_point_entries(rng, n):
+    return [
+        ((x, y, x, y), i)
+        for i, (x, y) in enumerate(
+            (rng.random(), rng.random()) for _ in range(n)
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# QuadTree
+# ----------------------------------------------------------------------
+def test_quadtree_validation():
+    with pytest.raises(ValueError):
+        QuadTree(UNIT, leaf_capacity=0)
+    with pytest.raises(ValueError):
+        QuadTree(UNIT, max_depth=0)
+    with pytest.raises(ValueError):
+        QuadTree(Rect(0, 0, 0, 1))
+    tree = QuadTree(UNIT)
+    with pytest.raises(ValueError):
+        tree.insert_point((2.0, 0.5), "outside")
+    with pytest.raises(ValueError):
+        QuadTree.bulk_load([((0, 0, 1, 1), "box")], UNIT)
+
+
+def test_quadtree_empty():
+    tree = QuadTree(UNIT)
+    assert len(tree) == 0
+    assert tree.search_all((0, 0, 1, 1)) == []
+    assert tree.any_intersecting((0, 0, 1, 1)) is None
+
+
+def test_quadtree_splits():
+    tree = QuadTree(UNIT, leaf_capacity=2)
+    rng = random.Random(1)
+    for i in range(50):
+        tree.insert_point((rng.random(), rng.random()), i)
+    assert tree.depth() >= 2
+    assert len(tree) == 50
+
+
+def test_quadtree_matches_linear_scan():
+    rng = random.Random(2)
+    entries = random_point_entries(rng, 300)
+    tree = QuadTree.bulk_load(entries, UNIT, leaf_capacity=4)
+    reference = LinearScanIndex.bulk_load(entries, dims=2)
+    for _ in range(40):
+        x, y = rng.random() * 0.8, rng.random() * 0.8
+        query = (x, y, x + rng.random() * 0.3, y + rng.random() * 0.3)
+        assert sorted(tree.search_all(query)) == sorted(
+            reference.search_all(query)
+        )
+
+
+def test_quadtree_duplicate_points_bounded_by_max_depth():
+    tree = QuadTree(UNIT, leaf_capacity=2, max_depth=4)
+    for i in range(20):
+        tree.insert_point((0.5, 0.5), i)
+    assert len(tree) == 20
+    assert tree.depth() <= 4
+    assert sorted(tree.search_all((0.5, 0.5, 0.5, 0.5))) == list(range(20))
+
+
+def test_quadtree_boundary_points():
+    tree = QuadTree(UNIT, leaf_capacity=1)
+    tree.insert_point((0.0, 0.0), "sw")
+    tree.insert_point((1.0, 1.0), "ne")
+    tree.insert_point((0.5, 0.5), "mid")
+    assert sorted(tree.search_all((0, 0, 1, 1))) == ["mid", "ne", "sw"]
+
+
+# ----------------------------------------------------------------------
+# UniformGridIndex
+# ----------------------------------------------------------------------
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        UniformGridIndex(UNIT, cells_per_side=0)
+    with pytest.raises(ValueError):
+        UniformGridIndex(Rect(0, 0, 1, 0))
+    grid = UniformGridIndex(UNIT, 4)
+    with pytest.raises(ValueError):
+        grid.insert_point((1.5, 0.5), "outside")
+    with pytest.raises(ValueError):
+        UniformGridIndex.bulk_load([((0, 0, 1, 1), "box")], UNIT)
+
+
+def test_grid_matches_linear_scan():
+    rng = random.Random(4)
+    entries = random_point_entries(rng, 300)
+    grid = UniformGridIndex.bulk_load(entries, UNIT)
+    reference = LinearScanIndex.bulk_load(entries, dims=2)
+    for _ in range(40):
+        x, y = rng.random() * 0.8, rng.random() * 0.8
+        query = (x, y, x + rng.random() * 0.3, y + rng.random() * 0.3)
+        assert sorted(grid.search_all(query)) == sorted(
+            reference.search_all(query)
+        )
+
+
+def test_grid_query_outside_extent():
+    grid = UniformGridIndex(UNIT, 4)
+    grid.insert_point((0.5, 0.5), "a")
+    assert grid.search_all((2, 2, 3, 3)) == []
+    assert grid.search_all((-3, -3, -2, -2)) == []
+    # overlapping query still finds the point
+    assert grid.search_all((-1, -1, 2, 2)) == ["a"]
+
+
+def test_grid_auto_resolution():
+    rng = random.Random(5)
+    grid = UniformGridIndex.bulk_load(random_point_entries(rng, 400), UNIT)
+    assert grid.cells_per_side >= 8
+    assert len(grid) == 400
+
+
+def test_grid_count_and_any():
+    grid = UniformGridIndex(UNIT, 8)
+    for i in range(10):
+        grid.insert_point((i / 10 + 0.01, 0.5), i)
+    assert grid.count_intersecting((0, 0, 1, 1)) == 10
+    assert grid.any_intersecting((0.0, 0.4, 0.3, 0.6)) in (0, 1, 2)

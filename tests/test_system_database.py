@@ -1,0 +1,126 @@
+"""Unit tests for repro.system.database (the integration facade)."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.system import GeosocialDatabase
+
+
+@pytest.fixture
+def db():
+    """Two users, mutual follows, two venues; u0 checks into v0 only."""
+    database = GeosocialDatabase()
+    u0 = database.add_user()
+    u1 = database.add_user()
+    v0 = database.add_venue(0.1, 0.1)
+    v1 = database.add_venue(0.9, 0.9)
+    database.add_follow(u0, u1)
+    database.add_follow(u1, u0)  # mutual: u0 and u1 form an SCC
+    database.add_checkin(u0, v0)
+    return database, u0, u1, v0, v1
+
+
+NEAR_V0 = Rect(0.0, 0.0, 0.2, 0.2)
+NEAR_V1 = Rect(0.8, 0.8, 1.0, 1.0)
+
+
+def test_counts(db):
+    database, *_ = db
+    assert database.num_users == 2
+    assert database.num_venues == 2
+    assert database.num_edges == 3
+
+
+def test_range_reach_through_social_cycle(db):
+    database, u0, u1, v0, v1 = db
+    # u1 reaches v0 through the mutual follow (a cycle the condensation
+    # collapses).
+    assert database.range_reach(u1, NEAR_V0) is True
+    assert database.range_reach(u1, NEAR_V1) is False
+    assert database.range_reach(v1, NEAR_V0) is False
+
+
+def test_counting_and_enumeration(db):
+    database, u0, _, v0, _ = db
+    assert database.count_reachable(u0, NEAR_V0) == 1
+    assert database.reachable_venues(u0, NEAR_V0) == [v0]
+    assert database.reaches_at_least(u0, NEAR_V0, 1)
+    assert not database.reaches_at_least(u0, NEAR_V0, 2)
+
+
+def test_nearest_reachable(db):
+    database, u0, _, v0, _ = db
+    venue, distance = database.nearest_reachable(u0, 0.0, 0.0)
+    assert venue == v0
+    assert distance == pytest.approx((0.1**2 + 0.1**2) ** 0.5)
+
+
+def test_updates_invalidate_snapshot(db):
+    database, u0, u1, v0, v1 = db
+    assert database.range_reach(u1, NEAR_V1) is False
+    rebuilds = database.num_rebuilds
+    assert not database.is_stale
+    database.add_checkin(u1, v1)
+    assert database.is_stale
+    assert database.range_reach(u0, NEAR_V1) is True  # via u0 -> u1 -> v1
+    assert database.num_rebuilds == rebuilds + 1
+
+
+def test_queries_between_writes_reuse_snapshot(db):
+    database, u0, *_ = db
+    database.range_reach(u0, NEAR_V0)
+    rebuilds = database.num_rebuilds
+    for _ in range(5):
+        database.range_reach(u0, NEAR_V1)
+    assert database.num_rebuilds == rebuilds
+
+
+def test_remove_follow(db):
+    database, u0, u1, v0, v1 = db
+    database.add_checkin(u1, v1)
+    assert database.range_reach(u0, NEAR_V1) is True
+    database.remove_follow(u0, u1)
+    assert database.range_reach(u0, NEAR_V1) is False
+    # the mutual back-edge still lets u1 reach v0
+    assert database.range_reach(u1, NEAR_V0) is True
+    with pytest.raises(ValueError):
+        database.remove_follow(u0, u1)
+
+
+def test_duplicate_edges_ignored(db):
+    database, u0, u1, v0, _ = db
+    assert database.add_follow(u0, u1) is False
+    assert database.add_checkin(u0, v0) is False
+    assert database.num_edges == 3
+
+
+def test_type_checking(db):
+    database, u0, u1, v0, v1 = db
+    with pytest.raises(ValueError):
+        database.add_follow(u0, v0)      # venues cannot be followed
+    with pytest.raises(ValueError):
+        database.add_checkin(v0, v1)     # venues cannot check in
+    with pytest.raises(ValueError):
+        database.add_checkin(u0, u1)     # users are not venues
+    with pytest.raises(IndexError):
+        database.range_reach(99, NEAR_V0)
+
+
+def test_query_without_venues_rejected():
+    database = GeosocialDatabase()
+    database.add_user()
+    with pytest.raises(ValueError, match="no venues"):
+        database.range_reach(0, NEAR_V0)
+
+
+def test_refresh_eagerly_rebuilds(db):
+    database, *_ = db
+    assert database.is_stale
+    database.refresh()
+    assert not database.is_stale
+    assert database.num_rebuilds == 1
+
+
+def test_self_follow_rejected_quietly(db):
+    database, u0, *_ = db
+    assert database.add_follow(u0, u0) is False

@@ -1,0 +1,47 @@
+"""Unit tests for workload persistence."""
+
+import pytest
+
+from repro.datasets import make_network
+from repro.workloads import QueryWorkload, load_workload, save_workload
+
+
+@pytest.fixture(scope="module")
+def batch():
+    network = make_network("yelp", scale=0.0005, seed=6)
+    workload = QueryWorkload(network, seed=9)
+    return workload.batch_by_extent(5.0, (1, 4), 25)
+
+
+def test_round_trip(tmp_path, batch):
+    path = tmp_path / "workload.txt"
+    save_workload(batch, path)
+    assert load_workload(path) == batch
+
+
+def test_round_trip_preserves_float_precision(tmp_path, batch):
+    path = tmp_path / "workload.txt"
+    save_workload(batch, path)
+    loaded = load_workload(path)
+    for original, restored in zip(batch, loaded):
+        assert original.region.as_tuple() == restored.region.as_tuple()
+
+
+def test_empty_workload(tmp_path):
+    path = tmp_path / "empty.txt"
+    save_workload([], path)
+    assert load_workload(path) == []
+
+
+def test_rejects_wrong_header(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 0 0 1 1\n")
+    with pytest.raises(ValueError, match="not a repro workload"):
+        load_workload(path)
+
+
+def test_rejects_malformed_line(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("# repro query workload v1\n3 0.0 0.0 1.0\n")
+    with pytest.raises(ValueError, match="malformed"):
+        load_workload(path)
