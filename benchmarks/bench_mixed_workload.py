@@ -1,0 +1,111 @@
+"""Mixed read/write serving: rebuild-per-write vs delta overlay.
+
+The paper's experiments are read-only; this benchmark measures the
+dynamic extension.  Both policies replay the *same* seeded interleaved
+update/query stream through :class:`repro.system.GeosocialDatabase`:
+
+* ``rebuild`` — ``refresh_threshold=0``: every write invalidates the
+  snapshot, the next query pays a full label + R-tree rebuild;
+* ``overlay`` — writes land in the delta log, queries run base ∪ delta,
+  and the snapshot is only rebuilt when the log exceeds the threshold
+  (or a snapshot edge is removed).
+
+The two answer streams are asserted identical before any timing is
+reported — the overlay is only interesting because it is *exact*.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import format_table
+from repro.system import GeosocialDatabase
+from repro.workloads import MixedWorkload, replay_ops
+
+BOOTSTRAP = dict(num_users=250, num_venues=250, num_follows=700, num_checkins=700)
+NUM_MIXED_OPS = 300
+WRITE_FRACTION = 0.3
+SEED = 11
+
+
+def _streams():
+    workload = MixedWorkload(
+        seed=SEED, write_fraction=WRITE_FRACTION, removal_fraction=0.05
+    )
+    bootstrap = workload.bootstrap(**BOOTSTRAP)
+    mixed = workload.ops(NUM_MIXED_OPS)
+    return bootstrap, mixed
+
+
+def _fresh_database(policy: str) -> GeosocialDatabase:
+    if policy == "rebuild":
+        return GeosocialDatabase(refresh_threshold=0)
+    return GeosocialDatabase(refresh_threshold=64)
+
+
+def _replay(policy: str, bootstrap, mixed):
+    database = _fresh_database(policy)
+    replay_ops(database, bootstrap)
+    database.refresh()  # both policies start from a warm snapshot
+    start = time.perf_counter()
+    answers = replay_ops(database, mixed)
+    elapsed = time.perf_counter() - start
+    return database, answers, elapsed
+
+
+def test_policies_answer_identically():
+    bootstrap, mixed = _streams()
+    _, rebuild_answers, _ = _replay("rebuild", bootstrap, mixed)
+    overlay_db, overlay_answers, _ = _replay("overlay", bootstrap, mixed)
+    assert overlay_answers == rebuild_answers
+    assert overlay_db.stats()["overlay_queries"] > 0
+
+
+@pytest.mark.parametrize("policy", ["rebuild", "overlay"])
+def test_mixed_workload_cost(benchmark, policy):
+    bootstrap, mixed = _streams()
+
+    def run():
+        _, answers, _ = _replay(policy, bootstrap, mixed)
+        return len(answers)
+
+    answered = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert answered > 0
+
+
+def test_mixed_workload_report(benchmark, report):
+    bootstrap, mixed = _streams()
+    stats = MixedWorkload.describe(mixed)
+
+    def sweep():
+        rows = []
+        baseline = None
+        for policy in ("rebuild", "overlay"):
+            database, answers, elapsed = _replay(policy, bootstrap, mixed)
+            if baseline is None:
+                baseline = elapsed
+                reference = answers
+            else:
+                assert answers == reference, "overlay diverged from rebuild"
+            counters = database.stats()
+            rows.append([
+                policy,
+                round(elapsed * 1e3, 1),
+                round(baseline / elapsed, 1),
+                counters["rebuilds"],
+                counters["overlay_queries"],
+            ])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["policy", "total [ms]", "speedup", "rebuilds", "overlay queries"],
+            rows,
+            title=(
+                f"Mixed workload ({stats.num_queries} queries / "
+                f"{stats.num_writes} writes, {stats.num_removals} removals): "
+                "rebuild-per-write vs delta overlay"
+            ),
+        )
+    )

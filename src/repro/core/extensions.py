@@ -61,6 +61,23 @@ class GeosocialQueryEngine:
                 return True
         return False
 
+    def reaches(self, u: int, v: int) -> bool:
+        """Vertex-to-vertex reachability over the snapshot (Lemma 3.1).
+
+        Both arguments are *original* vertex ids; the test runs on the
+        condensation's interval labels, so it costs one label lookup.
+        Used by the delta overlay to decide whether a snapshot vertex can
+        reach the source of an edge added after the snapshot was built.
+        """
+        su = self._network.super_of(u)
+        sv = self._network.super_of(v)
+        return su == sv or self._labeling.greach(su, sv)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of original vertices covered by this snapshot."""
+        return len(self._network.component_of)
+
     def count(self, v: int, region: Rect) -> int:
         """Count the spatial vertices inside ``region`` reachable from ``v``.
 

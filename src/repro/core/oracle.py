@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.geometry import Rect
+from repro.geometry import Point, Rect
 from repro.geosocial.network import GeosocialNetwork
 
 
@@ -68,6 +68,44 @@ class RangeReachOracle:
                     out.append(u)
                 queue.append(u)
         return out
+
+    def count(self, v: int, region: Rect) -> int:
+        """Number of reachable spatial vertices inside ``region``."""
+        return len(self.witnesses(v, region))
+
+    def nearest(self, v: int, location: Point) -> tuple[int, float] | None:
+        """Return ``(vertex, distance)`` of the closest reachable spatial
+        vertex to ``location``, or None (ties broken by vertex id).
+
+        The full-BFS counterpart of
+        :meth:`repro.core.GeosocialQueryEngine.nearest`, used by the
+        property tests to verify the delta overlay's nearest path.
+        """
+        network = self._network
+        points = network.points
+        best: tuple[float, int] | None = None
+        visited = [False] * network.num_vertices
+        visited[v] = True
+        queue: deque[int] = deque([v])
+        graph = network.graph
+        point = points[v]
+        if point is not None:
+            best = (location.distance_to(point), v)
+        while queue:
+            w = queue.popleft()
+            for u in graph.successors(w):
+                if visited[u]:
+                    continue
+                visited[u] = True
+                point = points[u]
+                if point is not None:
+                    candidate = (location.distance_to(point), u)
+                    if best is None or candidate < best:
+                        best = candidate
+                queue.append(u)
+        if best is None:
+            return None
+        return best[1], best[0]
 
     def size_bytes(self) -> int:
         return 0

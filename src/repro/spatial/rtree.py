@@ -227,22 +227,26 @@ class RTree:
         return None
 
     def _choose_subtree(self, node: _Node, bounds: Bounds) -> _Node:
+        # Volume enlargement alone degenerates on point-heavy workloads:
+        # collinear or coordinate-sharing entries make every volume 0, so
+        # the choice falls through to margin (perimeter) enlargement, which
+        # stays discriminating for degenerate boxes.
         dims = self._dims
         best: _Node | None = None
-        best_enlargement = math.inf
-        best_volume = math.inf
+        best_key: tuple[float, float, float, float] | None = None
         for child in node.children:
             volume = bounds_volume(child.bounds, dims)
-            enlarged = bounds_volume(
-                bounds_union(child.bounds, bounds, dims), dims
+            margin = bounds_margin(child.bounds, dims)
+            union = bounds_union(child.bounds, bounds, dims)
+            key = (
+                bounds_volume(union, dims) - volume,
+                bounds_margin(union, dims) - margin,
+                volume,
+                margin,
             )
-            enlargement = enlarged - volume
-            if enlargement < best_enlargement or (
-                enlargement == best_enlargement and volume < best_volume
-            ):
+            if best_key is None or key < best_key:
                 best = child
-                best_enlargement = enlargement
-                best_volume = volume
+                best_key = key
         assert best is not None
         return best
 
@@ -310,12 +314,15 @@ class RTree:
         if not remove_from(self._root):
             return False
         self._size -= 1
-        # Shrink a root that lost all but one child.
+        # Normalize the root *before* reinsertion: shrink a root that lost
+        # all but one child, and drop an emptied leaf root unconditionally
+        # (insert() rebuilds from None), so no empty leaf can survive as
+        # the root while orphans are pending and show up in stats().
         while (
             not self._root.is_leaf and len(self._root.children) == 1
         ):
             self._root = self._root.children[0]
-        if self._root.is_leaf and not self._root.entries and not orphans:
+        if self._root.is_leaf and not self._root.entries:
             self._root = None
         self._size -= len(orphans)
         for orphan_bounds, orphan_item in orphans:
@@ -604,19 +611,29 @@ def _rstar_split(items: list, get_bounds, dims: int, min_fill: int):
 
 
 def _quadratic_split(items: list, get_bounds, dims: int, min_fill: int):
-    """Guttman's quadratic split: returns the two groups."""
+    """Guttman's quadratic split: returns the two groups.
+
+    Waste and growth compare ``(volume, margin)`` lexicographically: on
+    point datasets with shared coordinates (collinear venues, grid-aligned
+    check-ins) every volume is 0 and a volume-only comparison degenerates
+    to "always pick the first pair", so margin breaks those ties.
+    """
     assert len(items) >= 2
-    # Pick the pair of seeds wasting the most volume if grouped together.
-    worst = -math.inf
+    # Pick the pair of seeds wasting the most (volume, margin) if grouped.
+    worst = (-math.inf, -math.inf)
     seed_a = seed_b = 0
     for i in range(len(items)):
         bi = get_bounds(items[i])
         for j in range(i + 1, len(items)):
             bj = get_bounds(items[j])
+            union = bounds_union(bi, bj, dims)
             waste = (
-                bounds_volume(bounds_union(bi, bj, dims), dims)
+                bounds_volume(union, dims)
                 - bounds_volume(bi, dims)
-                - bounds_volume(bj, dims)
+                - bounds_volume(bj, dims),
+                bounds_margin(union, dims)
+                - bounds_margin(bi, dims)
+                - bounds_margin(bj, dims),
             )
             if waste > worst:
                 worst = waste
@@ -639,12 +656,20 @@ def _quadratic_split(items: list, get_bounds, dims: int, min_fill: int):
             bounds_b = bounds_union(bounds_b, get_bounds(item), dims)
             continue
         b = get_bounds(item)
-        grow_a = bounds_volume(bounds_union(bounds_a, b, dims), dims) - bounds_volume(bounds_a, dims)
-        grow_b = bounds_volume(bounds_union(bounds_b, b, dims), dims) - bounds_volume(bounds_b, dims)
+        union_a = bounds_union(bounds_a, b, dims)
+        union_b = bounds_union(bounds_b, b, dims)
+        grow_a = (
+            bounds_volume(union_a, dims) - bounds_volume(bounds_a, dims),
+            bounds_margin(union_a, dims) - bounds_margin(bounds_a, dims),
+        )
+        grow_b = (
+            bounds_volume(union_b, dims) - bounds_volume(bounds_b, dims),
+            bounds_margin(union_b, dims) - bounds_margin(bounds_b, dims),
+        )
         if grow_a < grow_b or (grow_a == grow_b and len(group_a) <= len(group_b)):
             group_a.append(item)
-            bounds_a = bounds_union(bounds_a, b, dims)
+            bounds_a = union_a
         else:
             group_b.append(item)
-            bounds_b = bounds_union(bounds_b, b, dims)
+            bounds_b = union_b
     return group_a, group_b

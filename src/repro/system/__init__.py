@@ -4,8 +4,10 @@ The paper's conclusions mention "the incorporation of our methods in
 existing systems for geosocial networks" as future work — and emphasize
 that the methods need "no custom data structures".  This package shows
 that integration: :class:`GeosocialDatabase` is a small OLTP-style facade
-that accepts live updates (users, venues, follows, check-ins) and serves
-the whole RangeReach query family from a lazily rebuilt index snapshot.
+that accepts live updates (users, venues, follows, check-ins and their
+removals) and serves the whole RangeReach query family from an index
+snapshot plus a write-ahead delta overlay, so queries between writes do
+not pay for a full rebuild.
 """
 
 from repro.system.database import GeosocialDatabase

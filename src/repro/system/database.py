@@ -1,21 +1,37 @@
-"""An updatable geosocial store with snapshot-based RangeReach indexing.
+"""An updatable geosocial store with snapshot + delta-overlay serving.
 
-Design: updates (follows, check-ins, new users/venues) are appended to a
-plain adjacency structure; the expensive reachability/spatial indexes are
-built per *snapshot*, lazily, on the first query after a write.  This is
-the standard batch-refresh integration for labeling-based indexes — the
-raw graph is the source of truth, arbitrary updates (including
-cycle-creating follow-backs and unfollows, which no known interval
-labeling maintains incrementally) are absorbed by the rebuild, and the
-snapshot serves reads at full indexed speed.
+Design: the raw adjacency structure is the source of truth; the expensive
+reachability/spatial indexes are built per *snapshot*.  Instead of
+discarding the snapshot on every write (the worst case for interleaved
+update/query workloads), writes that arrive after a snapshot was built
+are appended to a **delta log** and queries are answered as *base ∪
+delta*:
+
+* the indexed base query runs against the (possibly stale) snapshot from
+  every union-graph-reachable snapshot vertex ("root");
+* a bounded BFS over the delta edges — with the snapshot's interval
+  labels deciding in O(1) whether a root reaches a delta-edge source —
+  catches everything the stale snapshot misses, including venues created
+  after the build, which are matched against the region by a linear scan.
+
+Edge *removals* are absorbed exactly when the removed edge lives only in
+the delta log; removing a snapshot edge invalidates the snapshot
+(correctness first — no known interval labeling maintains deletions
+incrementally).  The overlay BFS costs grow with the delta, so once the
+logged operations exceed ``refresh_threshold`` the snapshot is dropped
+and the next query rebuilds — the rebuild is thereby amortized over at
+least ``refresh_threshold`` writes.  ``refresh_threshold=0`` restores the
+old rebuild-per-write behavior.
 
 The snapshot's query engine is the 3DReach transformation
 (:class:`repro.core.GeosocialQueryEngine`), so besides the boolean
 RangeReach the database answers counting, enumeration, thresholds and
-nearest-reachable queries.
+nearest-reachable queries — all with base ∪ delta semantics.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 from repro.core.extensions import GeosocialQueryEngine
 from repro.geometry import Point, Rect
@@ -23,17 +39,37 @@ from repro.geosocial.network import GeosocialNetwork
 from repro.geosocial.scc_handling import condense_network
 from repro.graph.digraph import DiGraph
 
+DEFAULT_REFRESH_THRESHOLD = 64
+
 
 class GeosocialDatabase:
-    """A mutable geosocial network serving indexed RangeReach queries."""
+    """A mutable geosocial network serving indexed RangeReach queries.
 
-    def __init__(self) -> None:
+    Args:
+        refresh_threshold: how many delta operations (new vertices and
+            edges) a snapshot may accumulate before it is dropped and
+            rebuilt on the next query.  ``0`` disables the overlay and
+            rebuilds after every write.
+    """
+
+    def __init__(self, refresh_threshold: int = DEFAULT_REFRESH_THRESHOLD) -> None:
+        if refresh_threshold < 0:
+            raise ValueError("refresh_threshold must be non-negative")
+        self._refresh_threshold = refresh_threshold
         self._graph = DiGraph(0)
         self._points: list[Point | None] = []
         self._kinds: list[str] = []
         self._edges: set[tuple[int, int]] = set()
+        # Snapshot + delta state.
         self._engine: GeosocialQueryEngine | None = None
+        self._snapshot_vertices = 0
+        self._delta_succ: dict[int, list[int]] = {}
+        self._delta_ops = 0
+        # Counters surfaced by stats().
         self._rebuilds = 0
+        self._overlay_queries = 0
+        self._removal_refreshes = 0
+        self._threshold_refreshes = 0
 
     # ------------------------------------------------------------------
     # Updates
@@ -43,7 +79,7 @@ class GeosocialDatabase:
         v = self._graph.add_vertex()
         self._points.append(None)
         self._kinds.append("user")
-        self._engine = None
+        self._note_delta()
         return v
 
     def add_venue(self, x: float, y: float) -> int:
@@ -51,71 +87,240 @@ class GeosocialDatabase:
         v = self._graph.add_vertex()
         self._points.append(Point(x, y))
         self._kinds.append("venue")
-        self._engine = None
+        self._note_delta()
         return v
 
     def add_follow(self, follower: int, followee: int) -> bool:
         """Record ``follower -> followee``; returns False if duplicate.
 
         Mutual follows are fine — the snapshot condensation collapses the
-        resulting strongly connected components.
+        resulting strongly connected components (delta edges may close
+        cycles too; the overlay BFS does not require acyclicity).
         """
-        self._check_vertex(follower)
-        self._check_vertex(followee)
-        if self._kinds[followee] != "user" or self._kinds[follower] != "user":
-            raise ValueError("follow edges connect users")
+        self._check_follow_edge(follower, followee)
         return self._add_edge(follower, followee)
 
     def add_checkin(self, user: int, venue: int) -> bool:
         """Record a check-in; repeat check-ins deduplicate."""
+        self._check_checkin_edge(user, venue)
+        return self._add_edge(user, venue)
+
+    def remove_follow(self, follower: int, followee: int) -> None:
+        """Remove a follow edge (raises if absent or not a follow edge)."""
+        self._check_follow_edge(follower, followee)
+        self._remove_edge(follower, followee)
+
+    def remove_checkin(self, user: int, venue: int) -> None:
+        """Remove a check-in edge (raises if absent or not a check-in)."""
+        self._check_checkin_edge(user, venue)
+        self._remove_edge(user, venue)
+
+    def _check_follow_edge(self, follower: int, followee: int) -> None:
+        self._check_vertex(follower)
+        self._check_vertex(followee)
+        if self._kinds[followee] != "user" or self._kinds[follower] != "user":
+            raise ValueError("follow edges connect users")
+
+    def _check_checkin_edge(self, user: int, venue: int) -> None:
         self._check_vertex(user)
         self._check_vertex(venue)
         if self._kinds[user] != "user":
             raise ValueError(f"vertex {user} is not a user")
         if self._kinds[venue] != "venue":
             raise ValueError(f"vertex {venue} is not a venue")
-        return self._add_edge(user, venue)
-
-    def remove_follow(self, follower: int, followee: int) -> None:
-        """Remove a follow edge (raises if absent)."""
-        if (follower, followee) not in self._edges:
-            raise ValueError(f"edge ({follower}, {followee}) not present")
-        self._graph.remove_edge(follower, followee)
-        self._edges.discard((follower, followee))
-        self._engine = None
 
     def _add_edge(self, source: int, target: int) -> bool:
         if source == target or (source, target) in self._edges:
             return False
         self._graph.add_edge(source, target)
         self._edges.add((source, target))
-        self._engine = None
+        if self._engine is not None:
+            self._delta_succ.setdefault(source, []).append(target)
+        self._note_delta()
         return True
 
+    def _remove_edge(self, source: int, target: int) -> None:
+        if (source, target) not in self._edges:
+            raise ValueError(f"edge ({source}, {target}) not present")
+        self._graph.remove_edge(source, target)
+        self._edges.discard((source, target))
+        if self._engine is None:
+            return
+        targets = self._delta_succ.get(source)
+        if targets is not None and target in targets:
+            # The edge never made it into the snapshot; dropping it from
+            # the delta log restores the exact pre-insert state.
+            targets.remove(target)
+            if not targets:
+                del self._delta_succ[source]
+        else:
+            # Deleting a snapshot edge cannot be patched incrementally:
+            # force a rebuild on the next query (correctness first).
+            self._removal_refreshes += 1
+            self._drop_snapshot()
+
+    def _note_delta(self) -> None:
+        if self._engine is None:
+            return
+        self._delta_ops += 1
+        if self._delta_ops > self._refresh_threshold:
+            self._threshold_refreshes += 1
+            self._drop_snapshot()
+
+    def _drop_snapshot(self) -> None:
+        self._engine = None
+        self._delta_succ = {}
+        self._delta_ops = 0
+        self._snapshot_vertices = 0
+
     # ------------------------------------------------------------------
-    # Queries (trigger a snapshot rebuild when stale)
+    # Queries (base snapshot ∪ delta overlay)
     # ------------------------------------------------------------------
     def range_reach(self, vertex: int, region: Rect) -> bool:
         """Can ``vertex`` geosocially reach ``region``?"""
         self._check_vertex(vertex)
-        return self._snapshot().range_reach(vertex, region)
+        engine = self._snapshot()
+        if not self._has_delta():
+            return engine.range_reach(vertex, region)
+        self._overlay_queries += 1
+        roots, delta_spatial = self._overlay_frontier(vertex)
+        for root in roots:
+            if engine.range_reach(root, region):
+                return True
+        points = self._points
+        return any(region.contains_point(points[v]) for v in delta_spatial)
 
     def count_reachable(self, vertex: int, region: Rect) -> int:
         self._check_vertex(vertex)
-        return self._snapshot().count(vertex, region)
+        engine = self._snapshot()
+        if not self._has_delta():
+            return engine.count(vertex, region)
+        self._overlay_queries += 1
+        return len(self._overlay_witnesses(engine, vertex, region))
 
     def reachable_venues(self, vertex: int, region: Rect) -> list[int]:
+        """All reachable spatial vertices inside ``region`` (sorted)."""
         self._check_vertex(vertex)
-        return self._snapshot().witnesses(vertex, region)
+        engine = self._snapshot()
+        if not self._has_delta():
+            return sorted(engine.witnesses(vertex, region))
+        self._overlay_queries += 1
+        return sorted(self._overlay_witnesses(engine, vertex, region))
 
     def reaches_at_least(self, vertex: int, region: Rect, k: int) -> bool:
         self._check_vertex(vertex)
-        return self._snapshot().at_least(vertex, region, k)
+        engine = self._snapshot()
+        if not self._has_delta():
+            return engine.at_least(vertex, region, k)
+        self._overlay_queries += 1
+        if k <= 0:
+            return True
+        # Witness sets of different roots may overlap, so the early-exit
+        # threshold counts distinct venues.
+        found: set[int] = set()
+        roots, delta_spatial = self._overlay_frontier(vertex)
+        points = self._points
+        for root in roots:
+            for witness in engine.witnesses(root, region):
+                found.add(witness)
+                if len(found) >= k:
+                    return True
+        for v in delta_spatial:
+            if region.contains_point(points[v]):
+                found.add(v)
+                if len(found) >= k:
+                    return True
+        return False
 
     def nearest_reachable(self, vertex: int, x: float, y: float):
         """Return ``(venue, distance)`` or None."""
         self._check_vertex(vertex)
-        return self._snapshot().nearest(vertex, Point(x, y))
+        engine = self._snapshot()
+        location = Point(x, y)
+        if not self._has_delta():
+            return engine.nearest(vertex, location)
+        self._overlay_queries += 1
+        roots, delta_spatial = self._overlay_frontier(vertex)
+        best: tuple[float, int] | None = None
+        for root in roots:
+            hit = engine.nearest(root, location)
+            if hit is not None:
+                candidate = (hit[1], hit[0])
+                if best is None or candidate < best:
+                    best = candidate
+        points = self._points
+        for v in delta_spatial:
+            candidate = (location.distance_to(points[v]), v)
+            if best is None or candidate < best:
+                best = candidate
+        if best is None:
+            return None
+        return best[1], best[0]
+
+    # ------------------------------------------------------------------
+    # Delta overlay
+    # ------------------------------------------------------------------
+    def _has_delta(self) -> bool:
+        return bool(self._delta_succ) or (
+            self._graph.num_vertices > self._snapshot_vertices
+        )
+
+    def _overlay_frontier(self, vertex: int) -> tuple[set[int], set[int]]:
+        """Traverse the union graph from ``vertex`` without expanding the
+        snapshot.
+
+        Returns ``(roots, delta_spatial)``: the snapshot vertices whose
+        *indexed* base reach covers everything reachable through snapshot
+        edges, and the post-snapshot spatial vertices reached.  The BFS
+        only ever walks delta edges; reachability *within* the snapshot is
+        decided by the interval labels (``engine.reaches``), so the cost
+        is bounded by the delta size, not the graph size.
+        """
+        engine = self._engine
+        assert engine is not None
+        snapshot_n = self._snapshot_vertices
+        adjacency = self._delta_succ
+        # Delta edges can also start at snapshot vertices; those sources
+        # are "activated" once any root is known to reach them.
+        pending = {s for s in adjacency if s < snapshot_n}
+        roots: set[int] = set()
+        delta_spatial: set[int] = set()
+        visited = {vertex}
+        queue: deque[int] = deque([vertex])
+        while queue:
+            u = queue.popleft()
+            if u < snapshot_n:
+                roots.add(u)
+                activated = [
+                    s for s in pending if s == u or engine.reaches(u, s)
+                ]
+                for s in activated:
+                    pending.discard(s)
+                    for t in adjacency[s]:
+                        if t not in visited:
+                            visited.add(t)
+                            queue.append(t)
+            else:
+                if self._points[u] is not None:
+                    delta_spatial.add(u)
+                for t in adjacency.get(u, ()):
+                    if t not in visited:
+                        visited.add(t)
+                        queue.append(t)
+        return roots, delta_spatial
+
+    def _overlay_witnesses(
+        self, engine: GeosocialQueryEngine, vertex: int, region: Rect
+    ) -> set[int]:
+        roots, delta_spatial = self._overlay_frontier(vertex)
+        out: set[int] = set()
+        for root in roots:
+            out.update(engine.witnesses(root, region))
+        points = self._points
+        out.update(
+            v for v in delta_spatial if region.contains_point(points[v])
+        )
+        return out
 
     # ------------------------------------------------------------------
     # Snapshot management
@@ -125,27 +330,55 @@ class GeosocialDatabase:
             if not any(p is not None for p in self._points):
                 raise ValueError("database has no venues yet")
             network = GeosocialNetwork(
-                self._graph, self._points, kinds=list(self._kinds),
+                self._graph, list(self._points), kinds=list(self._kinds),
                 name="live",
             )
             condensed = condense_network(network)
             self._engine = GeosocialQueryEngine(condensed)
+            self._snapshot_vertices = self._graph.num_vertices
+            self._delta_succ = {}
+            self._delta_ops = 0
             self._rebuilds += 1
         return self._engine
 
     def refresh(self) -> None:
         """Eagerly rebuild the snapshot (e.g. during an idle period)."""
-        self._engine = None
+        self._drop_snapshot()
         self._snapshot()
 
     @property
     def is_stale(self) -> bool:
-        """True iff the next query will rebuild the snapshot."""
+        """True iff the next query will rebuild the snapshot.
+
+        A pending delta does *not* make the database stale: the overlay
+        serves exact answers without a rebuild (see :attr:`delta_size`).
+        """
         return self._engine is None
+
+    @property
+    def delta_size(self) -> int:
+        """Operations logged against the current snapshot."""
+        return self._delta_ops
+
+    @property
+    def refresh_threshold(self) -> int:
+        return self._refresh_threshold
 
     @property
     def num_rebuilds(self) -> int:
         return self._rebuilds
+
+    def stats(self) -> dict[str, int]:
+        """Serving counters: rebuilds, overlay usage and delta sizes."""
+        return {
+            "rebuilds": self._rebuilds,
+            "overlay_queries": self._overlay_queries,
+            "delta_size": self._delta_ops,
+            "delta_edges": sum(len(t) for t in self._delta_succ.values()),
+            "removal_refreshes": self._removal_refreshes,
+            "threshold_refreshes": self._threshold_refreshes,
+            "refresh_threshold": self._refresh_threshold,
+        }
 
     # ------------------------------------------------------------------
     # Introspection

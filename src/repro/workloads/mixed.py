@@ -1,0 +1,237 @@
+"""Interleaved update/query workloads for the mutable store.
+
+The paper's experiments are read-only; the dynamic extension serves
+*mixed* traffic, where every write potentially staleness-taxes the next
+read.  :class:`MixedWorkload` generates seeded operation streams that are
+directly replayable against :class:`repro.system.GeosocialDatabase` —
+the generator mirrors the database's sequential id assignment, so the
+emitted operations carry concrete vertex ids and never reference an
+entity that does not exist yet.
+
+Used by ``benchmarks/bench_mixed_workload.py`` to compare
+rebuild-per-write against delta-overlay serving on identical streams,
+and by the equivalence tests to check that both policies return the same
+answers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.geometry import Rect
+
+MixedOp = tuple[Any, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class MixedWorkloadStats:
+    """Operation mix of a generated stream."""
+
+    num_queries: int
+    num_writes: int
+    num_removals: int
+
+    @property
+    def num_ops(self) -> int:
+        return self.num_queries + self.num_writes
+
+
+class MixedWorkload:
+    """Seeded generator of interleaved update/query operation streams.
+
+    Operations are tuples tagged by kind:
+
+    * ``("user",)`` / ``("venue", x, y)`` — create a vertex;
+    * ``("follow", a, b)`` / ``("checkin", u, v)`` — add an edge;
+    * ``("unfollow", a, b)`` / ``("uncheckin", u, v)`` — remove an edge;
+    * ``("query", op_name, vertex, region)`` — a read, where ``op_name``
+      is one of ``range_reach`` / ``count`` / ``witnesses``.
+
+    Args:
+        seed: RNG seed; equal seeds produce identical streams.
+        write_fraction: probability that a generated op is a write.
+        removal_fraction: probability that a write is an edge removal.
+        extent_pct: query-region extent as a percentage of the unit space.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        write_fraction: float = 0.25,
+        removal_fraction: float = 0.05,
+        extent_pct: float = 5.0,
+    ) -> None:
+        if not (0.0 <= write_fraction <= 1.0):
+            raise ValueError("write_fraction must be in [0, 1]")
+        if not (0.0 <= removal_fraction <= 1.0):
+            raise ValueError("removal_fraction must be in [0, 1]")
+        if not (0.0 < extent_pct <= 100.0):
+            raise ValueError("extent_pct must be in (0, 100]")
+        self._rng = random.Random(seed)
+        self._write_fraction = write_fraction
+        self._removal_fraction = removal_fraction
+        self._side = (extent_pct / 100.0) ** 0.5
+        # Mirror of the database state; ids are assigned sequentially,
+        # exactly like GeosocialDatabase does.
+        self._next_id = 0
+        self._users: list[int] = []
+        self._venues: list[int] = []
+        self._follows: list[tuple[int, int]] = []
+        self._checkins: list[tuple[int, int]] = []
+        self._edge_set: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def bootstrap(
+        self,
+        num_users: int,
+        num_venues: int,
+        num_follows: int,
+        num_checkins: int,
+    ) -> list[MixedOp]:
+        """Emit the initial population (all writes, no queries)."""
+        ops: list[MixedOp] = []
+        for _ in range(num_users):
+            ops.append(self._new_user())
+        for _ in range(num_venues):
+            ops.append(self._new_venue())
+        for _ in range(num_follows):
+            op = self._new_follow()
+            if op is not None:
+                ops.append(op)
+        for _ in range(num_checkins):
+            op = self._new_checkin()
+            if op is not None:
+                ops.append(op)
+        return ops
+
+    def ops(self, count: int) -> list[MixedOp]:
+        """Emit ``count`` interleaved operations after the bootstrap."""
+        if not self._users or not self._venues:
+            raise ValueError("bootstrap the workload before mixing ops")
+        out: list[MixedOp] = []
+        rng = self._rng
+        while len(out) < count:
+            if rng.random() < self._write_fraction:
+                op = self._random_write()
+            else:
+                op = self._random_query()
+            if op is not None:
+                out.append(op)
+        return out
+
+    @staticmethod
+    def describe(ops: list[MixedOp]) -> MixedWorkloadStats:
+        """Summarize an operation stream."""
+        queries = sum(1 for op in ops if op[0] == "query")
+        removals = sum(1 for op in ops if op[0] in ("unfollow", "uncheckin"))
+        return MixedWorkloadStats(
+            num_queries=queries,
+            num_writes=len(ops) - queries,
+            num_removals=removals,
+        )
+
+    # ------------------------------------------------------------------
+    # Individual ops
+    # ------------------------------------------------------------------
+    def _new_user(self) -> MixedOp:
+        self._users.append(self._next_id)
+        self._next_id += 1
+        return ("user",)
+
+    def _new_venue(self) -> MixedOp:
+        self._venues.append(self._next_id)
+        self._next_id += 1
+        return ("venue", self._rng.random(), self._rng.random())
+
+    def _new_follow(self) -> MixedOp | None:
+        if len(self._users) < 2:
+            return None
+        rng = self._rng
+        for _ in range(8):
+            a, b = rng.sample(self._users, 2)
+            if (a, b) not in self._edge_set:
+                self._edge_set.add((a, b))
+                self._follows.append((a, b))
+                return ("follow", a, b)
+        return None
+
+    def _new_checkin(self) -> MixedOp | None:
+        if not self._users or not self._venues:
+            return None
+        rng = self._rng
+        for _ in range(8):
+            u = rng.choice(self._users)
+            v = rng.choice(self._venues)
+            if (u, v) not in self._edge_set:
+                self._edge_set.add((u, v))
+                self._checkins.append((u, v))
+                return ("checkin", u, v)
+        return None
+
+    def _random_write(self) -> MixedOp | None:
+        rng = self._rng
+        if rng.random() < self._removal_fraction:
+            pool = self._follows if rng.random() < 0.5 else self._checkins
+            if not pool:
+                return None
+            edge = pool.pop(rng.randrange(len(pool)))
+            self._edge_set.discard(edge)
+            kind = "unfollow" if pool is self._follows else "uncheckin"
+            return (kind, *edge)
+        roll = rng.random()
+        if roll < 0.15:
+            return self._new_user()
+        if roll < 0.30:
+            return self._new_venue()
+        if roll < 0.60:
+            return self._new_follow()
+        return self._new_checkin()
+
+    def _random_query(self) -> MixedOp:
+        rng = self._rng
+        vertex = rng.choice(self._users)
+        side = self._side
+        xlo = rng.random() * (1.0 - side)
+        ylo = rng.random() * (1.0 - side)
+        region = Rect(xlo, ylo, xlo + side, ylo + side)
+        op_name = ("range_reach", "count", "witnesses")[rng.randrange(3)]
+        return ("query", op_name, vertex, region)
+
+
+def replay_ops(database, ops: list[MixedOp]) -> list[Any]:
+    """Run an operation stream against a database; returns query answers.
+
+    Two databases fed the same stream must produce identical answer
+    lists regardless of their refresh policy — that is the overlay's
+    equivalence contract, exercised by tests and the mixed benchmark.
+    """
+    answers: list[Any] = []
+    for op in ops:
+        kind = op[0]
+        if kind == "user":
+            database.add_user()
+        elif kind == "venue":
+            database.add_venue(op[1], op[2])
+        elif kind == "follow":
+            database.add_follow(op[1], op[2])
+        elif kind == "checkin":
+            database.add_checkin(op[1], op[2])
+        elif kind == "unfollow":
+            database.remove_follow(op[1], op[2])
+        elif kind == "uncheckin":
+            database.remove_checkin(op[1], op[2])
+        elif kind == "query":
+            _, op_name, vertex, region = op
+            if op_name == "range_reach":
+                answers.append(database.range_reach(vertex, region))
+            elif op_name == "count":
+                answers.append(database.count_reachable(vertex, region))
+            else:
+                answers.append(database.reachable_venues(vertex, region))
+        else:
+            raise ValueError(f"unknown op kind {kind!r}")
+    return answers

@@ -1,9 +1,15 @@
 """Property-based tests for GeosocialDatabase against the BFS oracle.
 
 Hypothesis drives interleaved updates and queries; after any prefix of
-operations the database's snapshot answers must equal a naive oracle
-recomputed from scratch on the same state.
+operations the database's answers must equal a naive oracle recomputed
+from scratch on the same state — whether they are served from a fresh
+snapshot or through the delta overlay.  A second suite runs the same
+streams against two databases at once (overlay vs rebuild-per-write) and
+demands byte-identical answers, covering the removal-forces-rebuild path
+and the ``refresh_threshold`` boundary.
 """
+
+import pytest
 
 from hypothesis import given, settings, strategies as st
 
@@ -83,3 +89,110 @@ def test_database_matches_oracle(sequence):
             region = Rect(x1, y1, x2, y2)
             expected = _oracle_answer(users, venues, edges, vertex, region)
             assert db.range_reach(vertex, region) == expected
+
+
+# ----------------------------------------------------------------------
+# Overlay vs fresh-rebuild equivalence
+# ----------------------------------------------------------------------
+overlay_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("user")),
+        st.tuples(st.just("venue"), unit, unit),
+        st.tuples(st.just("follow"), st.integers(0, 30), st.integers(0, 30)),
+        st.tuples(st.just("checkin"), st.integers(0, 30), st.integers(0, 30)),
+        st.tuples(st.just("unfollow"), st.integers(0, 200)),
+        st.tuples(st.just("uncheckin"), st.integers(0, 200)),
+        st.tuples(st.just("query"), st.integers(0, 60), unit, unit, unit, unit),
+    ),
+    max_size=40,
+)
+
+
+def _build_oracle(db: GeosocialDatabase) -> RangeReachOracle:
+    """Index-free ground truth over the database's *current* raw state."""
+    graph = DiGraph(db._graph.num_vertices)
+    for a, b in db._edges:
+        graph.add_edge(a, b)
+    return RangeReachOracle(GeosocialNetwork(graph, list(db._points)))
+
+
+@given(overlay_ops, st.sampled_from([0, 1, 3, 8, 64]))
+@settings(max_examples=220, deadline=None)
+def test_overlay_matches_fresh_rebuild(sequence, threshold):
+    """Every overlay answer equals the fresh-rebuild answer.
+
+    ``overlay`` accumulates deltas (policy under test); ``fresh`` rebuilds
+    its snapshot after every write, so each of its answers comes from a
+    brand-new index over the exact current state.  Thresholds 0/1/3 cross
+    the ``refresh_threshold`` boundary constantly; unfollow/uncheckin
+    exercise both the removal-forces-rebuild path (snapshot edges) and the
+    delta-log-only removal path.
+    """
+    overlay = GeosocialDatabase(refresh_threshold=threshold)
+    fresh = GeosocialDatabase(refresh_threshold=0)
+    users: list[int] = []
+    venues: list[int] = []
+    follows: list[tuple[int, int]] = []
+    checkins: list[tuple[int, int]] = []
+
+    for op in sequence:
+        kind = op[0]
+        if kind == "user":
+            users.append(overlay.add_user())
+            fresh.add_user()
+        elif kind == "venue":
+            venues.append(overlay.add_venue(op[1], op[2]))
+            fresh.add_venue(op[1], op[2])
+        elif kind == "follow" and len(users) >= 2:
+            a = users[op[1] % len(users)]
+            b = users[op[2] % len(users)]
+            if overlay.add_follow(a, b):
+                follows.append((a, b))
+            fresh.add_follow(a, b)
+        elif kind == "checkin" and users and venues:
+            u = users[op[1] % len(users)]
+            v = venues[op[2] % len(venues)]
+            if overlay.add_checkin(u, v):
+                checkins.append((u, v))
+            fresh.add_checkin(u, v)
+        elif kind == "unfollow" and follows:
+            a, b = follows.pop(op[1] % len(follows))
+            overlay.remove_follow(a, b)
+            fresh.remove_follow(a, b)
+        elif kind == "uncheckin" and checkins:
+            u, v = checkins.pop(op[1] % len(checkins))
+            overlay.remove_checkin(u, v)
+            fresh.remove_checkin(u, v)
+        elif kind == "query" and venues:
+            population = users + venues
+            vertex = population[op[1] % len(population)]
+            x1, x2 = sorted((op[2], op[3]))
+            y1, y2 = sorted((op[4], op[5]))
+            region = Rect(x1, y1, x2, y2)
+            oracle = _build_oracle(overlay)
+            expected_witnesses = sorted(oracle.witnesses(vertex, region))
+            assert overlay.range_reach(vertex, region) == fresh.range_reach(
+                vertex, region
+            ) == bool(expected_witnesses)
+            assert overlay.reachable_venues(vertex, region) == (
+                expected_witnesses
+            )
+            assert overlay.count_reachable(vertex, region) == (
+                fresh.count_reachable(vertex, region)
+            ) == len(expected_witnesses)
+            k = len(expected_witnesses)
+            assert overlay.reaches_at_least(vertex, region, k) is True
+            assert overlay.reaches_at_least(vertex, region, k + 1) is False
+            expected_nearest = oracle.nearest(vertex, Point(0.5, 0.5))
+            got_nearest = overlay.nearest_reachable(vertex, 0.5, 0.5)
+            if expected_nearest is None:
+                assert got_nearest is None
+            else:
+                assert got_nearest is not None
+                assert got_nearest[1] == pytest.approx(
+                    expected_nearest[1], abs=1e-9
+                )
+    if threshold >= 8 and overlay.num_rebuilds:
+        # The whole point of the overlay: strictly fewer rebuilds than
+        # the rebuild-per-write policy on any stream with a write.
+        assert overlay.num_rebuilds <= fresh.num_rebuilds

@@ -78,3 +78,52 @@ def test_3d_trees_work(points):
     tree = RTree.bulk_load(entries, dims=3, capacity=4)
     tree.check_invariants()
     assert tree.count_intersecting((-100, -100, -100, 100, 100, 100)) == len(points)
+
+
+# A 3-D op is ("insert", x, y, z) or ("delete", index-into-live); deletes
+# are drawn twice as often as inserts so runs shrink the tree all the way
+# down through root collapses and orphan reinsertion.
+ops3d = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), coordinate, coordinate, coordinate),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=500)),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=500)),
+    ),
+    max_size=100,
+)
+
+
+@given(ops3d, st.sampled_from([2, 4, 5, 16]))
+@settings(max_examples=50, deadline=None)
+def test_3d_delete_heavy_churn_keeps_invariants(sequence, capacity):
+    """Delete-heavy 3-D churn: invariants and contents after every op.
+
+    Regression for the condense-tree path: the root must be normalized
+    (no empty leaf left as ``_root``, no phantom node in ``stats()``)
+    before orphan reinsertion, at every intermediate state.
+    """
+    # Bulk-load a seed so deletes immediately bite into multi-level trees.
+    seed_entries = [
+        ((i * 0.1, i * 0.07, i * 0.03, i * 0.1, i * 0.07, i * 0.03), -1 - i)
+        for i in range(17)
+    ]
+    tree = RTree.bulk_load(seed_entries, dims=3, capacity=capacity)
+    live = list(seed_entries)
+    next_id = 0
+    for op in sequence:
+        if op[0] == "insert":
+            bounds = (op[1], op[2], op[3], op[1], op[2], op[3])
+            tree.insert(bounds, next_id)
+            live.append((bounds, next_id))
+            next_id += 1
+        elif live:
+            bounds, item = live.pop(op[1] % len(live))
+            assert tree.delete(bounds, item) is True
+        tree.check_invariants()
+        stats = tree.stats()
+        assert stats.num_items == len(live)
+        assert (stats.num_leaves == 0) == (len(live) == 0)
+    everything = (-100.0,) * 3 + (100.0,) * 3
+    assert sorted(tree.search_all(everything)) == sorted(
+        item for _, item in live
+    )

@@ -228,6 +228,141 @@ def test_rstar_split_boxes():
     assert sorted(tree.search_all(query)) == sorted(reference.search_all(query))
 
 
+class _VolumeOnlyRTree(RTree):
+    """The pre-fix split behavior: volume comparisons only.
+
+    On datasets where box volumes tie at zero (collinear points,
+    coordinate-sharing venues), seed picking always selects the first
+    pair and subtree choice is arbitrary — kept here as the degenerate
+    reference the margin fallback must beat.
+    """
+
+    def _choose_subtree(self, node, bounds):
+        import math
+
+        best = None
+        best_enlargement = math.inf
+        best_volume = math.inf
+        for child in node.children:
+            volume = bounds_volume(child.bounds, self._dims)
+            enlarged = bounds_volume(
+                bounds_union(child.bounds, bounds, self._dims), self._dims
+            )
+            enlargement = enlarged - volume
+            if enlargement < best_enlargement or (
+                enlargement == best_enlargement and volume < best_volume
+            ):
+                best = child
+                best_enlargement = enlargement
+                best_volume = volume
+        return best
+
+    def _split_entries(self, items, get_bounds):
+        import math
+
+        dims, min_fill = self._dims, self._min_fill
+        worst = -math.inf
+        seed_a = seed_b = 0
+        for i in range(len(items)):
+            bi = get_bounds(items[i])
+            for j in range(i + 1, len(items)):
+                bj = get_bounds(items[j])
+                waste = (
+                    bounds_volume(bounds_union(bi, bj, dims), dims)
+                    - bounds_volume(bi, dims)
+                    - bounds_volume(bj, dims)
+                )
+                if waste > worst:
+                    worst = waste
+                    seed_a, seed_b = i, j
+        group_a, group_b = [items[seed_a]], [items[seed_b]]
+        bounds_a, bounds_b = get_bounds(items[seed_a]), get_bounds(items[seed_b])
+        rest = [it for k, it in enumerate(items) if k not in (seed_a, seed_b)]
+        for idx, item in enumerate(rest):
+            remaining = len(rest) - idx
+            if len(group_a) + remaining <= min_fill:
+                group_a.append(item)
+                bounds_a = bounds_union(bounds_a, get_bounds(item), dims)
+                continue
+            if len(group_b) + remaining <= min_fill:
+                group_b.append(item)
+                bounds_b = bounds_union(bounds_b, get_bounds(item), dims)
+                continue
+            b = get_bounds(item)
+            grow_a = bounds_volume(bounds_union(bounds_a, b, dims), dims) - bounds_volume(bounds_a, dims)
+            grow_b = bounds_volume(bounds_union(bounds_b, b, dims), dims) - bounds_volume(bounds_b, dims)
+            if grow_a < grow_b or (grow_a == grow_b and len(group_a) <= len(group_b)):
+                group_a.append(item)
+                bounds_a = bounds_union(bounds_a, b, dims)
+            else:
+                group_b.append(item)
+                bounds_b = bounds_union(bounds_b, b, dims)
+        return group_a, group_b
+
+
+def _leaf_bounds(tree):
+    out = []
+    stack = [tree._root] if tree._root is not None else []
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            out.append(node.bounds)
+        else:
+            stack.extend(node.children)
+    return out
+
+
+def _total_leaf_overlap(leaves, dims):
+    """Sum of pairwise overlap margins — volume is useless here because
+    degenerate leaves make every overlap volume 0."""
+    total = 0.0
+    for i in range(len(leaves)):
+        for j in range(i + 1, len(leaves)):
+            a, b = leaves[i], leaves[j]
+            margins = 0.0
+            for d in range(dims):
+                lo = max(a[d], b[d])
+                hi = min(a[dims + d], b[dims + d])
+                if hi < lo:
+                    break
+                margins += hi - lo
+            else:
+                total += margins
+    return total
+
+
+def test_margin_fallback_improves_clustered_point_splits():
+    """Quadratic split on an all-point, volume-degenerate workload.
+
+    Three clusters of collinear venues (x identically 0): every union of
+    two points has zero volume, so the old volume-only comparisons
+    degenerated to "first pair wins" and leaves straddled clusters.  The
+    margin fallback must separate the clusters (less node overlap, no
+    more leaves than the degenerate split produced).
+    """
+    rng = random.Random(5)
+    points = []
+    for cluster_y in (0.0, 10.0, 20.0):
+        points.extend((0.0, cluster_y + rng.random()) for _ in range(40))
+    rng.shuffle(points)
+
+    fixed = RTree(dims=2, capacity=4)
+    degenerate = _VolumeOnlyRTree(dims=2, capacity=4)
+    for i, p in enumerate(points):
+        fixed.insert_point(p, i)
+        degenerate.insert_point(p, i)
+    fixed.check_invariants()
+    degenerate.check_invariants()
+
+    fixed_overlap = _total_leaf_overlap(_leaf_bounds(fixed), 2)
+    degenerate_overlap = _total_leaf_overlap(_leaf_bounds(degenerate), 2)
+    assert fixed_overlap < degenerate_overlap
+    # The improvement is not marginal: the degenerate tree's leaves pile
+    # on top of each other along the line, the fixed tree's barely touch.
+    assert fixed_overlap <= 0.1 * degenerate_overlap
+    assert fixed.stats().num_leaves <= degenerate.stats().num_leaves
+
+
 def test_delete_from_empty_tree():
     tree = RTree(dims=2)
     assert tree.delete((0, 0, 0, 0), "x") is False

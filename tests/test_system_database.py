@@ -55,15 +55,96 @@ def test_nearest_reachable(db):
     assert distance == pytest.approx((0.1**2 + 0.1**2) ** 0.5)
 
 
-def test_updates_invalidate_snapshot(db):
+def test_writes_served_by_overlay_without_rebuild(db):
     database, u0, u1, v0, v1 = db
     assert database.range_reach(u1, NEAR_V1) is False
     rebuilds = database.num_rebuilds
     assert not database.is_stale
     database.add_checkin(u1, v1)
-    assert database.is_stale
+    # The write lands in the delta log; the snapshot is still serving.
+    assert not database.is_stale
+    assert database.delta_size == 1
     assert database.range_reach(u0, NEAR_V1) is True  # via u0 -> u1 -> v1
-    assert database.num_rebuilds == rebuilds + 1
+    assert database.num_rebuilds == rebuilds
+    assert database.stats()["overlay_queries"] >= 1
+
+
+def test_zero_threshold_rebuilds_per_write():
+    rebuild_per_write = GeosocialDatabase(refresh_threshold=0)
+    a = rebuild_per_write.add_user()
+    v = rebuild_per_write.add_venue(0.5, 0.5)
+    rebuild_per_write.add_checkin(a, v)
+    assert rebuild_per_write.range_reach(a, Rect(0.4, 0.4, 0.6, 0.6))
+    rebuilds = rebuild_per_write.num_rebuilds
+    rebuild_per_write.add_venue(0.9, 0.9)
+    assert rebuild_per_write.is_stale
+    assert rebuild_per_write.range_reach(a, Rect(0.4, 0.4, 0.6, 0.6))
+    assert rebuild_per_write.num_rebuilds == rebuilds + 1
+    assert rebuild_per_write.stats()["overlay_queries"] == 0
+
+
+def test_threshold_exceeded_triggers_refresh():
+    database = GeosocialDatabase(refresh_threshold=2)
+    u = database.add_user()
+    v = database.add_venue(0.1, 0.1)
+    database.add_checkin(u, v)
+    database.range_reach(u, NEAR_V0)
+    database.add_venue(0.2, 0.2)   # delta op 1
+    database.add_venue(0.3, 0.3)   # delta op 2 (= threshold)
+    assert not database.is_stale
+    database.add_venue(0.4, 0.4)   # exceeds the threshold
+    assert database.is_stale
+    assert database.stats()["threshold_refreshes"] == 1
+    assert database.delta_size == 0
+
+
+def test_negative_threshold_rejected():
+    with pytest.raises(ValueError):
+        GeosocialDatabase(refresh_threshold=-1)
+
+
+def test_removing_snapshot_edge_forces_rebuild(db):
+    database, u0, u1, v0, v1 = db
+    database.range_reach(u0, NEAR_V0)
+    assert not database.is_stale
+    database.remove_follow(u0, u1)
+    assert database.is_stale  # snapshot edges cannot be patched
+    assert database.stats()["removal_refreshes"] == 1
+
+
+def test_removing_delta_edge_avoids_rebuild(db):
+    database, u0, u1, v0, v1 = db
+    database.range_reach(u0, NEAR_V0)
+    database.add_checkin(u1, v1)
+    assert database.range_reach(u0, NEAR_V1) is True
+    database.remove_checkin(u1, v1)  # the edge only exists in the delta
+    assert not database.is_stale
+    assert database.stats()["removal_refreshes"] == 0
+    assert database.range_reach(u0, NEAR_V1) is False
+
+
+def test_new_vertices_served_by_overlay(db):
+    database, u0, u1, v0, v1 = db
+    database.range_reach(u0, NEAR_V0)
+    rebuilds = database.num_rebuilds
+    u2 = database.add_user()
+    v2 = database.add_venue(0.5, 0.5)
+    database.add_follow(u0, u2)
+    database.add_checkin(u2, v2)
+    center = Rect(0.45, 0.45, 0.55, 0.55)
+    # Old vertex reaching a post-snapshot venue through a new user.
+    assert database.range_reach(u0, center) is True
+    assert database.count_reachable(u0, center) == 1
+    assert database.reachable_venues(u0, center) == [v2]
+    # The new venue reaches itself; the new user reaches it directly.
+    assert database.range_reach(v2, center) is True
+    assert database.range_reach(u2, center) is True
+    # u1 reaches v2 through the mutual follow with u0; v1 reaches nothing.
+    assert database.range_reach(u1, center) is True
+    assert database.range_reach(v1, center) is False
+    venue, distance = database.nearest_reachable(u2, 0.5, 0.5)
+    assert venue == v2 and distance == pytest.approx(0.0)
+    assert database.num_rebuilds == rebuilds
 
 
 def test_queries_between_writes_reuse_snapshot(db):
@@ -85,6 +166,29 @@ def test_remove_follow(db):
     assert database.range_reach(u1, NEAR_V0) is True
     with pytest.raises(ValueError):
         database.remove_follow(u0, u1)
+
+
+def test_remove_follow_rejects_checkin_edges(db):
+    # Regression: remove_follow used to silently delete a check-in edge
+    # because it only checked edge presence, not vertex kinds.
+    database, u0, u1, v0, v1 = db
+    with pytest.raises(ValueError, match="follow edges connect users"):
+        database.remove_follow(u0, v0)
+    assert database.num_edges == 3  # the check-in survived
+
+
+def test_remove_checkin(db):
+    database, u0, u1, v0, v1 = db
+    assert database.range_reach(u0, NEAR_V0) is True
+    database.remove_checkin(u0, v0)
+    assert database.range_reach(u0, NEAR_V0) is False
+    assert database.num_edges == 2
+    with pytest.raises(ValueError):
+        database.remove_checkin(u0, v0)  # already gone
+    with pytest.raises(ValueError):
+        database.remove_checkin(u0, u1)  # not a venue
+    with pytest.raises(ValueError):
+        database.remove_checkin(v0, v1)  # not a user
 
 
 def test_duplicate_edges_ignored(db):
