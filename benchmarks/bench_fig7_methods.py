@@ -9,9 +9,16 @@ is uncompetitive except at very large extents; GeoReach improves with
 extent (pruning bites) but degrades with the query vertex's out-degree.
 """
 
+import json
+
 import pytest
 
-from repro.bench import bench_datasets, format_table, time_queries
+from repro.bench import (
+    bench_datasets,
+    format_table,
+    time_queries,
+    time_queries_counted,
+)
 from repro.bench.experiments import (
     DEFAULT_BUCKET,
     DEFAULT_EXTENT,
@@ -19,7 +26,10 @@ from repro.bench.experiments import (
     run_fig7,
 )
 from repro.bench.harness import PAPER_METHODS, bench_num_queries, get_bundle
+from repro.core import METHOD_REGISTRY
 from repro.workloads import DEFAULT_EXTENTS
+
+REGISTRY_METHODS = tuple(sorted(METHOD_REGISTRY))
 
 
 @pytest.mark.parametrize("method_name", PAPER_METHODS)
@@ -30,11 +40,13 @@ def test_query_default_config(benchmark, dataset, method_name):
         DEFAULT_EXTENT, DEFAULT_BUCKET, bench_num_queries()
     )
     method = bundle[method_name]
-    avg, positives = benchmark.pedantic(
-        lambda: time_queries(method, batch), rounds=3, iterations=1
+    avg, positives, work = benchmark.pedantic(
+        lambda: time_queries_counted(method, batch), rounds=3, iterations=1
     )
     benchmark.extra_info["avg_query_us"] = avg * 1e6
     benchmark.extra_info["positives"] = positives
+    for key, value in work.items():
+        benchmark.extra_info[f"per_query_{key}"] = value
 
 
 @pytest.mark.parametrize("extent", DEFAULT_EXTENTS)
@@ -66,6 +78,66 @@ def test_all_methods_agree(dataset):
         batch,
         reference=RangeReachOracle(get_network(dataset)),
     )
+
+
+def test_fig7_work_counters(benchmark, report, results_dir):
+    """Per-query work counters for every registered method.
+
+    The observability layer's per-method counters reproduce the cost
+    drivers the paper's analysis discusses: label probes (reach tests /
+    cuboid queries), R-tree node visits, and candidates verified.
+    """
+    datasets = bench_datasets()
+    dataset = "gowalla" if "gowalla" in datasets else datasets[0]
+    bundle = get_bundle(dataset, REGISTRY_METHODS)
+    batch = get_workload(dataset).batch_by_extent(
+        DEFAULT_EXTENT, DEFAULT_BUCKET, bench_num_queries()
+    )
+
+    def run():
+        rows = []
+        for name in REGISTRY_METHODS:
+            avg, positives, work = time_queries_counted(bundle[name], batch)
+            rows.append(
+                (
+                    name,
+                    f"{avg * 1e6:.1f}",
+                    f"{work['label_probes']:.1f}",
+                    f"{work['rtree_nodes']:.1f}",
+                    f"{work['candidates_verified']:.1f}",
+                    positives,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(rows) == len(REGISTRY_METHODS)
+    # Every method must have flushed its query counter: the avg work
+    # columns come from the shared registry, not per-method ad-hoc dicts.
+    headers = (
+        "method", "avg us", "label probes/q", "rtree nodes/q",
+        "verified/q", "positives",
+    )
+    report(
+        format_table(
+            headers, rows,
+            title=f"Per-query work counters — {dataset}",
+        )
+    )
+    artifact = results_dir / "fig7_work_counters.json"
+    artifact.write_text(
+        json.dumps(
+            {
+                "dataset": dataset,
+                "headers": list(headers),
+                "rows": [list(r) for r in rows],
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    assert artifact.exists()
 
 
 def test_fig7_report(benchmark, report):

@@ -23,6 +23,7 @@ from repro.bench.harness import (
     get_condensed,
     get_network,
     time_queries,
+    time_queries_counted,
 )
 from repro.bench.tables import format_table
 
@@ -35,5 +36,6 @@ __all__ = [
     "get_condensed",
     "get_network",
     "time_queries",
+    "time_queries_counted",
     "format_table",
 ]

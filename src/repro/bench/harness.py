@@ -97,6 +97,36 @@ def time_queries(
     return elapsed / len(queries), positives
 
 
+def time_queries_counted(
+    method: RangeReachMethod, queries: Sequence[Query]
+) -> tuple[float, int, dict[str, float]]:
+    """Like :func:`time_queries`, but also attach per-query work counters.
+
+    Returns ``(average seconds, positives, work)`` where ``work`` maps the
+    counter deltas observed over the batch — normalized to *per query* —
+    under short column-friendly keys: ``label_probes``, ``rtree_nodes``,
+    ``candidates_verified``.  Requires observability to be enabled (the
+    default); with it disabled the work dict is all zeros.
+    """
+    from repro import obs
+
+    if not queries:
+        raise ValueError("empty query batch")
+    with obs.measure() as delta:
+        avg, positives = time_queries(method, queries)
+    label = f'{{method="{method.name}"}}'
+    n = len(queries)
+    work = {
+        "label_probes":
+            delta.get(f"repro_method_label_probes_total{label}", 0) / n,
+        "rtree_nodes":
+            delta.get("repro_rtree_nodes_visited_total", 0) / n,
+        "candidates_verified":
+            delta.get(f"repro_method_candidates_verified_total{label}", 0) / n,
+    }
+    return avg, positives, work
+
+
 @dataclass(frozen=True, slots=True)
 class SplitTiming:
     """Per-answer-class timing of one query batch.

@@ -4,9 +4,12 @@
 
 * ``generate`` — write a synthetic dataset replica to a directory;
 * ``stats``    — print the Table-3 characteristics of a saved network;
+  with ``--obs`` instead run a query batch and dump the metrics registry
+  as JSON or Prometheus text;
 * ``label``    — build the interval labeling of a saved network's
   condensation and write it to a file (offline index construction);
-* ``query``    — answer one RangeReach query with a chosen method.
+* ``query``    — answer one RangeReach query with a chosen method;
+  ``--trace`` prints the per-query span breakdown.
 
 The benchmark CLI lives separately under ``python -m repro.bench``.
 """
@@ -17,7 +20,8 @@ import argparse
 import sys
 import time
 
-from repro.core import build_method
+from repro import obs
+from repro.core import METHOD_REGISTRY, build_method
 from repro.datasets import DATASET_PROFILES, make_network
 from repro.geometry import Rect
 from repro.geosocial import GeosocialNetwork, condense_network
@@ -44,6 +48,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     network = GeosocialNetwork.load(args.directory)
+    if args.obs:
+        return _dump_obs(network, args)
     s = network.stats()
     print(f"dataset      {s.name}")
     print(f"#users       {s.num_users}")
@@ -54,6 +60,34 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"|P|          {s.num_spatial}")
     print(f"#SCCs        {s.num_sccs}")
     print(f"largest SCC  {s.largest_scc}")
+    return 0
+
+
+def _dump_obs(network: GeosocialNetwork, args: argparse.Namespace) -> int:
+    """Run a query batch with metrics on, then print the registry."""
+    from repro.workloads import QueryWorkload
+
+    methods = args.obs_methods or sorted(METHOD_REGISTRY)
+    for name in methods:
+        if name not in METHOD_REGISTRY:
+            known = ", ".join(sorted(METHOD_REGISTRY))
+            print(f"error: unknown method {name!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+    condensed = condense_network(network)
+    queries = QueryWorkload(network, seed=args.seed).batch_by_extent(
+        5.0, (1, 10**9), args.obs_queries
+    )
+    obs.REGISTRY.reset()
+    with obs.observability(True):
+        for name in methods:
+            method = build_method(name, condensed)
+            for query in queries:
+                method.query(query.vertex, query.region)
+    if args.obs == "json":
+        print(obs.render_json())
+    else:
+        print(obs.render_prometheus(), end="")
     return 0
 
 
@@ -102,18 +136,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
     build_start = time.perf_counter()
     method = build_method(args.method, condensed)
     build_elapsed = time.perf_counter() - build_start
+    query_trace = None
     query_start = time.perf_counter()
-    answer = method.query(args.vertex, args.region)
+    with obs.measure() as work:
+        if args.trace:
+            with obs.trace("query") as query_trace:
+                answer = method.query(args.vertex, args.region)
+        else:
+            answer = method.query(args.vertex, args.region)
     query_elapsed = time.perf_counter() - query_start
     print(f"RangeReach(G, {args.vertex}, {args.region.as_tuple()}) = {answer}")
     print(
         f"method={args.method} build={build_elapsed:.3f}s "
         f"query={query_elapsed * 1e6:.1f}us"
     )
-    stats = getattr(method, "last_stats", None)
-    if stats:
-        detail = " ".join(f"{k}={v}" for k, v in stats.items())
-        print(f"stats: {detail}")
+    if work:
+        detail = " ".join(f"{k}={v}" for k, v in sorted(work.items()))
+        print(f"work: {detail}")
+    if query_trace is not None:
+        print(query_trace.format())
     return 0
 
 
@@ -136,8 +177,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gen.set_defaults(func=_cmd_generate)
 
-    stats = sub.add_parser("stats", help="print a saved network's statistics")
+    stats = sub.add_parser(
+        "stats",
+        help="print a saved network's statistics; --obs dumps the "
+        "metrics registry after a query batch",
+    )
     stats.add_argument("directory")
+    stats.add_argument(
+        "--obs", choices=("json", "prom"), default=None,
+        help="run --obs-queries RangeReach queries per method with "
+        "metrics on, then print the registry in this format",
+    )
+    stats.add_argument(
+        "--obs-queries", type=int, default=20,
+        help="size of the query batch behind --obs (default: 20)",
+    )
+    stats.add_argument(
+        "--obs-methods", nargs="*", metavar="METHOD",
+        help="methods to exercise (default: every registered method)",
+    )
+    stats.add_argument("--seed", type=int, default=0)
     stats.set_defaults(func=_cmd_stats)
 
     label = sub.add_parser("label", help="build and save the interval labeling")
@@ -157,11 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="xlo,ylo,xhi,yhi",
     )
     query.add_argument(
-        "--method", default="3dreach",
-        choices=sorted(
-            ("spareach-bfl", "spareach-int", "georeach", "socreach",
-             "3dreach", "3dreach-rev")
-        ),
+        "--method", default="3dreach", choices=sorted(METHOD_REGISTRY),
+    )
+    query.add_argument(
+        "--trace", action="store_true",
+        help="print the per-query span breakdown (timings and counter "
+        "deltas)",
     )
     query.set_defaults(func=_cmd_query)
     return parser

@@ -22,7 +22,12 @@ region, and share the ``scc_mode`` choice of Section 5 ("replicate" or
 "mbr").
 """
 
-from repro.core.base import RangeReachMethod, build_method, METHOD_REGISTRY
+from repro.core.base import (
+    METHOD_REGISTRY,
+    RangeReachMethod,
+    build_method,
+    sync_known_names_doc,
+)
 from repro.core.extensions import GeosocialQueryEngine
 from repro.core.oracle import RangeReachOracle
 from repro.core.spareach import SpaReach
@@ -32,10 +37,15 @@ from repro.core.threedreach import ThreeDReach
 from repro.core.threedreach_rev import ThreeDReachRev
 from repro.core.verify import Disagreement, assert_agreement, cross_check
 
+# The built-in registrations above are complete: freeze them into the
+# factory's documented name list.
+sync_known_names_doc()
+
 __all__ = [
     "RangeReachMethod",
     "build_method",
     "METHOD_REGISTRY",
+    "sync_known_names_doc",
     "GeosocialQueryEngine",
     "RangeReachOracle",
     "SpaReach",

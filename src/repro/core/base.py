@@ -41,16 +41,30 @@ def register_method(name: str) -> Callable[[MethodFactory], MethodFactory]:
     return decorate
 
 
-def build_method(name: str, network: CondensedNetwork, **options) -> RangeReachMethod:
-    """Instantiate a registered method by paper name.
+_BUILD_METHOD_DOC = """Instantiate a registered method by paper name.
 
-    Known names: ``spareach-bfl``, ``spareach-int``, ``georeach``,
-    ``socreach``, ``3dreach``, ``3dreach-rev`` (see
-    :data:`METHOD_REGISTRY`).
+    Known names: {names} (see :data:`METHOD_REGISTRY`).
     """
+
+
+def build_method(name: str, network: CondensedNetwork, **options) -> RangeReachMethod:
     try:
         factory = METHOD_REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(METHOD_REGISTRY))
         raise ValueError(f"unknown method {name!r}; known: {known}") from None
     return factory(network, **options)
+
+
+def sync_known_names_doc() -> None:
+    """Regenerate :func:`build_method`'s docstring from the registry.
+
+    Called once all built-in methods have registered (at the end of
+    ``repro.core.__init__``) so the documented name list can never drift
+    from :data:`METHOD_REGISTRY`.
+    """
+    names = ", ".join(f"``{name}``" for name in sorted(METHOD_REGISTRY))
+    build_method.__doc__ = _BUILD_METHOD_DOC.format(names=names)
+
+
+sync_known_names_doc()

@@ -25,6 +25,7 @@ import math
 from repro.geometry import Point, Rect
 from repro.geosocial.scc_handling import CondensedNetwork
 from repro.labeling import IntervalLabeling, build_labeling
+from repro.obs.trace import span as _span
 from repro.spatial import RTree
 
 
@@ -56,10 +57,11 @@ class GeosocialQueryEngine:
 
     def range_reach(self, v: int, region: Rect) -> bool:
         """The paper's boolean RangeReach query (3DReach evaluation)."""
-        for cuboid in self._cuboids(v, region):
-            if self._rtree.any_intersecting(cuboid) is not None:
-                return True
-        return False
+        with _span("engine.range_reach"):
+            for cuboid in self._cuboids(v, region):
+                if self._rtree.any_intersecting(cuboid) is not None:
+                    return True
+            return False
 
     def reaches(self, u: int, v: int) -> bool:
         """Vertex-to-vertex reachability over the snapshot (Lemma 3.1).
@@ -84,31 +86,34 @@ class GeosocialQueryEngine:
         Compressed labels are disjoint, so per-cuboid counts add up
         exactly.
         """
-        return sum(
-            self._rtree.count_intersecting(cuboid)
-            for cuboid in self._cuboids(v, region)
-        )
+        with _span("engine.count"):
+            return sum(
+                self._rtree.count_intersecting(cuboid)
+                for cuboid in self._cuboids(v, region)
+            )
 
     def witnesses(self, v: int, region: Rect) -> list[int]:
         """Return the original ids of all reachable spatial vertices in
         ``region``."""
-        out: list[int] = []
-        for cuboid in self._cuboids(v, region):
-            out.extend(self._rtree.search(cuboid))
-        return out
+        with _span("engine.witnesses"):
+            out: list[int] = []
+            for cuboid in self._cuboids(v, region):
+                out.extend(self._rtree.search(cuboid))
+            return out
 
     def at_least(self, v: int, region: Rect, k: int) -> bool:
         """Return True iff at least ``k`` reachable spatial vertices lie
         in ``region`` (early exit as soon as the threshold is met)."""
-        if k <= 0:
-            return True
-        found = 0
-        for cuboid in self._cuboids(v, region):
-            for _ in self._rtree.search(cuboid):
-                found += 1
-                if found >= k:
-                    return True
-        return False
+        with _span("engine.at_least"):
+            if k <= 0:
+                return True
+            found = 0
+            for cuboid in self._cuboids(v, region):
+                for _ in self._rtree.search(cuboid):
+                    found += 1
+                    if found >= k:
+                        return True
+            return False
 
     def nearest(self, v: int, location: Point) -> tuple[int, float] | None:
         """Return ``(vertex, distance)`` of the reachable spatial vertex
@@ -119,38 +124,42 @@ class GeosocialQueryEngine:
         contains the radius-``d`` disc boundary candidates) settles the
         minimum.
         """
-        space = self._network.network.space()
-        # The search must be able to cover the entire indexed space even
-        # when the query point lies far outside it: the stopping radius is
-        # the farthest space corner, not the space diagonal.
-        reach_limit = max(
-            abs(location.x - space.xlo), abs(location.x - space.xhi),
-            abs(location.y - space.ylo), abs(location.y - space.yhi),
-            1e-9,
-        )
-        # Inflate past floating-point cancellation: the final square must
-        # strictly contain the farthest corner, not meet it to the ulp.
-        reach_limit *= 1.0 + 1e-9
-        reach_limit += 1e-12
-        half = reach_limit / 1024.0
-        best: tuple[int, float] | None = None
-        while True:
-            region = Rect(
-                location.x - half, location.y - half,
-                location.x + half, location.y + half,
+        with _span("engine.nearest"):
+            space = self._network.network.space()
+            # The search must be able to cover the entire indexed space
+            # even when the query point lies far outside it: the stopping
+            # radius is the farthest space corner, not the space diagonal.
+            reach_limit = max(
+                abs(location.x - space.xlo), abs(location.x - space.xhi),
+                abs(location.y - space.ylo), abs(location.y - space.yhi),
+                1e-9,
             )
-            best = self._closest_in(v, region, location)
-            if best is not None or half >= reach_limit:
-                break
-            half = min(half * 2.0, reach_limit)
-        if best is None:
-            return None
-        # Points outside the square but within distance best[1] may exist;
-        # one more query over the tight square catches them.
-        d = best[1]
-        region = Rect(location.x - d, location.y - d, location.x + d, location.y + d)
-        refined = self._closest_in(v, region, location)
-        return refined if refined is not None else best
+            # Inflate past floating-point cancellation: the final square
+            # must strictly contain the farthest corner, not meet it to
+            # the ulp.
+            reach_limit *= 1.0 + 1e-9
+            reach_limit += 1e-12
+            half = reach_limit / 1024.0
+            best: tuple[int, float] | None = None
+            while True:
+                region = Rect(
+                    location.x - half, location.y - half,
+                    location.x + half, location.y + half,
+                )
+                best = self._closest_in(v, region, location)
+                if best is not None or half >= reach_limit:
+                    break
+                half = min(half * 2.0, reach_limit)
+            if best is None:
+                return None
+            # Points outside the square but within distance best[1] may
+            # exist; one more query over the tight square catches them.
+            d = best[1]
+            region = Rect(
+                location.x - d, location.y - d, location.x + d, location.y + d
+            )
+            refined = self._closest_in(v, region, location)
+            return refined if refined is not None else best
 
     def _closest_in(
         self, v: int, region: Rect, location: Point

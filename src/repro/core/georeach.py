@@ -29,6 +29,9 @@ from repro.core.base import register_method
 from repro.geometry import Rect
 from repro.geosocial.scc_handling import CondensedNetwork
 from repro.graph.traversal import topological_order
+from repro.obs import instruments as _inst
+from repro.obs.metrics import enabled as _obs_enabled
+from repro.obs.trace import span as _span
 from repro.spatial.grid import Cell, HierarchicalGrid
 
 # Vertex classes of the SPA-graph.
@@ -93,9 +96,11 @@ class GeoReach:
     ) -> None:
         self._network = network
         self._params = params or GeoReachParams()
-        # Diagnostics of the most recent query(): SPA-graph vertices
-        # expanded vs pruned by the class-based tests.
-        self.last_stats: dict[str, int] = {"expanded": 0, "pruned": 0}
+        self._m_queries = _inst.METHOD_QUERIES.labels(method=self.name)
+        self._m_positives = _inst.METHOD_POSITIVES.labels(method=self.name)
+        self._m_verified = _inst.METHOD_CANDIDATES_VERIFIED.labels(
+            method=self.name
+        )
         space = _padded(network.network.space())
         self._grid = HierarchicalGrid(space, num_levels=self._params.grid_levels)
         self._max_rmbr_area = self._params.max_rmbr_ratio * space.area
@@ -187,6 +192,10 @@ class GeoReach:
     # Query: pruned BFS over the SPA-graph.
     # ------------------------------------------------------------------
     def query(self, v: int, region: Rect) -> bool:
+        with _span("georeach.query"):
+            return self._query(v, region)
+
+    def _query(self, v: int, region: Rect) -> bool:
         network = self._network
         dag = network.dag
         grid = self._grid
@@ -195,50 +204,67 @@ class GeoReach:
 
         expanded = 0
         pruned = 0
+        cell_tests = 0
+        point_tests = 0
+        answer = False
         visited = [False] * dag.num_vertices
         visited[source] = True
         queue: deque[int] = deque([source])
-        try:
-            while queue:
-                u = queue.popleft()
-                expanded += 1
-                # A spatial vertex inside R answers the query immediately.
-                for point in network.points_of(u):
-                    if region.contains_point(point):
-                        return True
-                u_class = vertex_class[u]
-                if u_class == _B_VERTEX:
-                    if not self._geo_bit[u]:
-                        pruned += 1
-                        continue  # u reaches no spatial vertex: prune
-                    # Bit TRUE: nothing else is known; expand blindly.
-                elif u_class == _R_VERTEX:
-                    u_rmbr = self._rmbr[u]
-                    if not u_rmbr.intersects(region):
-                        pruned += 1
-                        continue  # no reachable spatial vertex can be in R
-                    if region.contains_rect(u_rmbr):
-                        return True  # every reachable spatial vertex is in R
-                else:  # G-vertex
-                    overlapping = False
-                    for cell in self._reach_grid[u]:
-                        cell_rect = grid.cell_rect(cell)
-                        if region.contains_rect(cell_rect):
-                            # The cell holds >= 1 reachable spatial vertex
-                            # and lies fully inside R: definite TRUE.
-                            return True
-                        if cell_rect.intersects(region):
-                            overlapping = True
-                    if not overlapping:
-                        pruned += 1
-                        continue
-                for w in dag.successors(u):
-                    if not visited[w]:
-                        visited[w] = True
-                        queue.append(w)
-            return False
-        finally:
-            self.last_stats = {"expanded": expanded, "pruned": pruned}
+        while queue:
+            u = queue.popleft()
+            expanded += 1
+            # A spatial vertex inside R answers the query immediately.
+            for point in network.points_of(u):
+                point_tests += 1
+                if region.contains_point(point):
+                    answer = True
+                    break
+            if answer:
+                break
+            u_class = vertex_class[u]
+            if u_class == _B_VERTEX:
+                if not self._geo_bit[u]:
+                    pruned += 1
+                    continue  # u reaches no spatial vertex: prune
+                # Bit TRUE: nothing else is known; expand blindly.
+            elif u_class == _R_VERTEX:
+                u_rmbr = self._rmbr[u]
+                if not u_rmbr.intersects(region):
+                    pruned += 1
+                    continue  # no reachable spatial vertex can be in R
+                if region.contains_rect(u_rmbr):
+                    answer = True  # every reachable spatial vertex is in R
+                    break
+            else:  # G-vertex
+                overlapping = False
+                for cell in self._reach_grid[u]:
+                    cell_tests += 1
+                    cell_rect = grid.cell_rect(cell)
+                    if region.contains_rect(cell_rect):
+                        # The cell holds >= 1 reachable spatial vertex
+                        # and lies fully inside R: definite TRUE.
+                        answer = True
+                        break
+                    if cell_rect.intersects(region):
+                        overlapping = True
+                if answer:
+                    break
+                if not overlapping:
+                    pruned += 1
+                    continue
+            for w in dag.successors(u):
+                if not visited[w]:
+                    visited[w] = True
+                    queue.append(w)
+        if _obs_enabled():
+            self._m_queries.inc()
+            if answer:
+                self._m_positives.inc()
+            self._m_verified.inc(point_tests)
+            _inst.GEOREACH_EXPANDED.inc(expanded)
+            _inst.GEOREACH_PRUNED.inc(pruned)
+            _inst.GEOREACH_CELL_TESTS.inc(cell_tests)
+        return answer
 
     # ------------------------------------------------------------------
     def size_bytes(self) -> int:

@@ -13,6 +13,9 @@ from repro.core.base import register_method
 from repro.geometry import Rect
 from repro.geosocial.scc_handling import CondensedNetwork
 from repro.labeling import IntervalLabeling, build_labeling
+from repro.obs import instruments as _inst
+from repro.obs.metrics import enabled as _obs_enabled
+from repro.obs.trace import span as _span
 
 
 class SocReach:
@@ -41,12 +44,6 @@ class SocReach:
             raise ValueError("descendant_access must be 'array' or 'bptree'")
         self._network = network
         self._access = descendant_access
-        # Diagnostics of the most recent query(): descendant slots scanned
-        # and point-in-region tests performed.
-        self.last_stats: dict[str, int] = {
-            "descendants_scanned": 0,
-            "containment_tests": 0,
-        }
         self._labeling = (
             labeling if labeling is not None else build_labeling(network.dag, mode=mode)
         )
@@ -73,30 +70,80 @@ class SocReach:
                 self._points_at_post[post // stride - 1] = network.points_of(
                     component
                 )
+        self._m_queries = _inst.METHOD_QUERIES.labels(method=self.name)
+        self._m_positives = _inst.METHOD_POSITIVES.labels(method=self.name)
+        self._m_probes = _inst.METHOD_LABEL_PROBES.labels(method=self.name)
+        self._m_verified = _inst.METHOD_CANDIDATES_VERIFIED.labels(
+            method=self.name
+        )
+        self._m_scanned = _inst.SOCREACH_DESCENDANTS.labels(method=self.name)
 
     # ------------------------------------------------------------------
     def query(self, v: int, region: Rect) -> bool:
+        # Dual path: the descendant scan is the whole cost of SocReach,
+        # so the disabled-observability path must not even keep local
+        # tallies — it runs the plain loops below.
+        with _span(f"{self.name}.query"):
+            if _obs_enabled():
+                return self._query_counted(v, region)
+            return self._query_plain(v, region)
+
+    def _query_plain(self, v: int, region: Rect) -> bool:
+        source = self._network.super_of(v)
+        contains = region.contains_point
+        # Every label [l, h] is a range query over post-order numbers
+        # (the D(v) equation in Section 4.1); scan the range and test
+        # each spatial descendant's points until a witness appears.
+        if self._access == "bptree":
+            scan = self._bptree.range_scan
+            for lo, hi in self._labeling.labels_of(source):
+                for _, points in scan(lo, hi):
+                    for point in points:
+                        if contains(point):
+                            return True
+            return False
+        points_at_post = self._points_at_post
+        stride = self._labeling.stride
+        for lo, hi in self._labeling.labels_of(source):
+            start = (lo + stride - 1) // stride
+            end = hi // stride
+            for slot in range(start - 1, end):
+                points = points_at_post[slot]
+                if points is None:
+                    continue
+                for point in points:
+                    if contains(point):
+                        return True
+        return False
+
+    def _query_counted(self, v: int, region: Rect) -> bool:
+        """Same scan as :meth:`_query_plain`, with work tallies."""
         source = self._network.super_of(v)
         contains = region.contains_point
         scanned = 0
+        labels_probed = 0
         containment_tests = 0
-        # Every label [l, h] is a range query over post-order numbers
-        # (the D(v) equation in Section 4.1); scan the range and test each
-        # spatial descendant's points until a witness appears.
-        try:
-            if self._access == "bptree":
-                scan = self._bptree.range_scan
-                for lo, hi in self._labeling.labels_of(source):
-                    for _, points in scan(lo, hi):
-                        scanned += 1
-                        for point in points:
-                            containment_tests += 1
-                            if contains(point):
-                                return True
-                return False
+        answer = False
+        if self._access == "bptree":
+            scan = self._bptree.range_scan
+            for lo, hi in self._labeling.labels_of(source):
+                labels_probed += 1
+                for _, points in scan(lo, hi):
+                    scanned += 1
+                    for point in points:
+                        containment_tests += 1
+                        if contains(point):
+                            answer = True
+                            break
+                    if answer:
+                        break
+                if answer:
+                    break
+        else:
             points_at_post = self._points_at_post
             stride = self._labeling.stride
             for lo, hi in self._labeling.labels_of(source):
+                labels_probed += 1
                 start = (lo + stride - 1) // stride
                 end = hi // stride
                 for slot in range(start - 1, end):
@@ -107,13 +154,19 @@ class SocReach:
                     for point in points:
                         containment_tests += 1
                         if contains(point):
-                            return True
-            return False
-        finally:
-            self.last_stats = {
-                "descendants_scanned": scanned,
-                "containment_tests": containment_tests,
-            }
+                            answer = True
+                            break
+                    if answer:
+                        break
+                if answer:
+                    break
+        self._m_queries.inc()
+        if answer:
+            self._m_positives.inc()
+        self._m_probes.inc(labels_probed)
+        self._m_verified.inc(containment_tests)
+        self._m_scanned.inc(scanned)
+        return answer
 
     def count_descendants(self, v: int) -> int:
         """Return ``|D(v)|`` for the query vertex (diagnostics/benchmarks)."""

@@ -15,6 +15,9 @@ from typing import Callable
 
 from repro.core.base import register_method
 from repro.geometry import Rect
+from repro.obs import instruments as _inst
+from repro.obs.metrics import enabled as _obs_enabled
+from repro.obs.trace import span as _span
 from repro.geosocial.scc_handling import SCC_MODES, CondensedNetwork, SccMode
 from repro.graph.digraph import DiGraph
 from repro.reach import (
@@ -89,10 +92,6 @@ class SpaReach:
         self._network = network
         self._scc_mode = scc_mode
         self._streaming = streaming
-        # Diagnostics of the most recent query() call: how many spatial
-        # candidates the range query produced and how many GReach tests
-        # ran — the two cost drivers the paper's analysis discusses.
-        self.last_stats: dict[str, int] = {"candidates": 0, "reach_tests": 0}
         self._reach = factory(network.dag)
         self.name = f"spareach-{self._reach.name}"
         if scc_mode == "mbr":
@@ -144,24 +143,37 @@ class SpaReach:
             else:
                 self._rtree = UniformGridIndex.bulk_load(entries, extent)
 
+        # Per-method work counters (the two cost drivers the paper's
+        # analysis discusses), resolved once so the query path is a
+        # bound Counter.inc.
+        self._m_queries = _inst.METHOD_QUERIES.labels(method=self.name)
+        self._m_positives = _inst.METHOD_POSITIVES.labels(method=self.name)
+        self._m_probes = _inst.METHOD_LABEL_PROBES.labels(method=self.name)
+        self._m_verified = _inst.METHOD_CANDIDATES_VERIFIED.labels(
+            method=self.name
+        )
+        self._m_candidates = _inst.SPAREACH_CANDIDATES.labels(method=self.name)
+
     # ------------------------------------------------------------------
     def query(self, v: int, region: Rect) -> bool:
-        network = self._network
-        source = network.super_of(v)
-        query_bounds = (region.xlo, region.ylo, region.xhi, region.yhi)
-        reaches = self._reach.reaches
-        candidates_seen = 0
-        reach_tests = 0
-        if self._streaming:
-            candidates = self._rtree.search(query_bounds)
-            counted_upfront = False
-        else:
-            # Faithful SpaReach: evaluate SRange(P, R) in full, *then*
-            # run the series of GReach tests (Section 2.2.1).
-            candidates = self._rtree.search_all(query_bounds)
-            candidates_seen = len(candidates)
-            counted_upfront = True
-        try:
+        with _span(f"{self.name}.query"):
+            network = self._network
+            source = network.super_of(v)
+            query_bounds = (region.xlo, region.ylo, region.xhi, region.yhi)
+            reaches = self._reach.reaches
+            candidates_seen = 0
+            reach_tests = 0
+            verified = 0
+            answer = False
+            if self._streaming:
+                candidates = self._rtree.search(query_bounds)
+                counted_upfront = False
+            else:
+                # Faithful SpaReach: evaluate SRange(P, R) in full, *then*
+                # run the series of GReach tests (Section 2.2.1).
+                candidates = self._rtree.search_all(query_bounds)
+                candidates_seen = len(candidates)
+                counted_upfront = True
             if self._scc_mode == "replicate":
                 # Candidates arrive per point; distinct points of one SCC
                 # map to the same super-vertex, so memoise the outcome.
@@ -173,24 +185,31 @@ class SpaReach:
                         continue
                     tested.add(component)
                     reach_tests += 1
+                    verified += 1
                     if reaches(source, component):
-                        return True
-                return False
-            # MBR mode: an intersecting MBR does not prove a member point
-            # lies inside the region, so candidates are spatially verified.
-            for component in candidates:
-                if not counted_upfront:
-                    candidates_seen += 1
-                if network.component_hits_region(component, region):
-                    reach_tests += 1
-                    if reaches(source, component):
-                        return True
-            return False
-        finally:
-            self.last_stats = {
-                "candidates": candidates_seen,
-                "reach_tests": reach_tests,
-            }
+                        answer = True
+                        break
+            else:
+                # MBR mode: an intersecting MBR does not prove a member
+                # point lies inside the region, so candidates are
+                # spatially verified before the GReach test.
+                for component in candidates:
+                    if not counted_upfront:
+                        candidates_seen += 1
+                    verified += 1
+                    if network.component_hits_region(component, region):
+                        reach_tests += 1
+                        if reaches(source, component):
+                            answer = True
+                            break
+            if _obs_enabled():
+                self._m_queries.inc()
+                if answer:
+                    self._m_positives.inc()
+                self._m_candidates.inc(candidates_seen)
+                self._m_probes.inc(reach_tests)
+                self._m_verified.inc(verified)
+            return answer
 
     # ------------------------------------------------------------------
     def size_bytes(self) -> int:

@@ -15,6 +15,9 @@ from repro.core.base import register_method
 from repro.geometry import Rect
 from repro.geosocial.scc_handling import SCC_MODES, CondensedNetwork, SccMode
 from repro.labeling import IntervalLabeling, build_labeling
+from repro.obs import instruments as _inst
+from repro.obs.metrics import enabled as _obs_enabled
+from repro.obs.trace import span as _span
 from repro.spatial import RTree
 
 
@@ -33,10 +36,13 @@ class ThreeDReach:
             raise ValueError(f"scc_mode must be one of {SCC_MODES}")
         self._network = network
         self._scc_mode = scc_mode
-        # Diagnostics of the most recent query(): number of 3-D range
-        # queries issued (= labels of the query vertex, up to early exit).
-        self.last_stats: dict[str, int] = {"cuboid_queries": 0}
         self.name = "3dreach" if scc_mode == "replicate" else "3dreach-mbr"
+        self._m_queries = _inst.METHOD_QUERIES.labels(method=self.name)
+        self._m_positives = _inst.METHOD_POSITIVES.labels(method=self.name)
+        self._m_probes = _inst.METHOD_LABEL_PROBES.labels(method=self.name)
+        self._m_verified = _inst.METHOD_CANDIDATES_VERIFIED.labels(
+            method=self.name
+        )
         self._labeling = (
             labeling if labeling is not None else build_labeling(network.dag, mode=mode)
         )
@@ -58,32 +64,71 @@ class ThreeDReach:
 
     # ------------------------------------------------------------------
     def query(self, v: int, region: Rect) -> bool:
+        # Dual path (like the R-tree): 3DReach queries run in ~10us, so
+        # even local tallies show up; the disabled path is the plain loop.
+        with _span(f"{self.name}.query"):
+            if _obs_enabled():
+                return self._query_counted(v, region)
+            return self._query_plain(v, region)
+
+    def _query_plain(self, v: int, region: Rect) -> bool:
+        network = self._network
+        source = network.super_of(v)
+        rtree = self._rtree
+        if self._scc_mode == "replicate":
+            # One cuboid per label; the first contained point wins.
+            for lo, hi in self._labeling.labels_of(source):
+                cuboid = (region.xlo, region.ylo, lo,
+                          region.xhi, region.yhi, hi)
+                if rtree.any_intersecting(cuboid) is not None:
+                    return True
+            return False
+        # MBR mode: an intersecting box only proves the super-vertex
+        # is reachable and its MBR overlaps R; verify member points.
+        for lo, hi in self._labeling.labels_of(source):
+            cuboid = (region.xlo, region.ylo, lo,
+                      region.xhi, region.yhi, hi)
+            for component in rtree.search(cuboid):
+                if network.component_hits_region(component, region):
+                    return True
+        return False
+
+    def _query_counted(self, v: int, region: Rect) -> bool:
+        """Same evaluation as :meth:`_query_plain`, with work tallies."""
         network = self._network
         source = network.super_of(v)
         rtree = self._rtree
         cuboids = 0
-        try:
-            if self._scc_mode == "replicate":
-                # One cuboid per label; the first contained point wins.
-                for lo, hi in self._labeling.labels_of(source):
-                    cuboids += 1
-                    cuboid = (region.xlo, region.ylo, lo,
-                              region.xhi, region.yhi, hi)
-                    if rtree.any_intersecting(cuboid) is not None:
-                        return True
-                return False
-            # MBR mode: an intersecting box only proves the super-vertex
-            # is reachable and its MBR overlaps R; verify member points.
+        verified = 0
+        answer = False
+        if self._scc_mode == "replicate":
+            for lo, hi in self._labeling.labels_of(source):
+                cuboids += 1
+                cuboid = (region.xlo, region.ylo, lo,
+                          region.xhi, region.yhi, hi)
+                if rtree.any_intersecting(cuboid) is not None:
+                    answer = True
+                    break
+        else:
             for lo, hi in self._labeling.labels_of(source):
                 cuboids += 1
                 cuboid = (region.xlo, region.ylo, lo,
                           region.xhi, region.yhi, hi)
                 for component in rtree.search(cuboid):
+                    verified += 1
                     if network.component_hits_region(component, region):
-                        return True
-            return False
-        finally:
-            self.last_stats = {"cuboid_queries": cuboids}
+                        answer = True
+                        break
+                if answer:
+                    break
+        self._m_queries.inc()
+        if answer:
+            self._m_positives.inc()
+        # One cuboid per interval label probed (up to early exit).
+        self._m_probes.inc(cuboids)
+        self._m_verified.inc(verified)
+        _inst.THREEDREACH_CUBOIDS.inc(cuboids)
+        return answer
 
     # ------------------------------------------------------------------
     def size_bytes(self) -> int:

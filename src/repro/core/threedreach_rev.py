@@ -15,6 +15,9 @@ from repro.core.base import register_method
 from repro.geometry import Rect
 from repro.geosocial.scc_handling import SCC_MODES, CondensedNetwork, SccMode
 from repro.labeling import IntervalLabeling, build_reversed_labeling
+from repro.obs import instruments as _inst
+from repro.obs.metrics import enabled as _obs_enabled
+from repro.obs.trace import span as _span
 from repro.spatial import RTree
 
 
@@ -34,6 +37,12 @@ class ThreeDReachRev:
         self._network = network
         self._scc_mode = scc_mode
         self.name = "3dreach-rev" if scc_mode == "replicate" else "3dreach-rev-mbr"
+        self._m_queries = _inst.METHOD_QUERIES.labels(method=self.name)
+        self._m_positives = _inst.METHOD_POSITIVES.labels(method=self.name)
+        self._m_probes = _inst.METHOD_LABEL_PROBES.labels(method=self.name)
+        self._m_verified = _inst.METHOD_CANDIDATES_VERIFIED.labels(
+            method=self.name
+        )
         self._labeling = (
             reversed_labeling
             if reversed_labeling is not None
@@ -61,18 +70,32 @@ class ThreeDReachRev:
 
     # ------------------------------------------------------------------
     def query(self, v: int, region: Rect) -> bool:
-        network = self._network
-        source = network.super_of(v)
-        z = float(self._labeling.post_of(source))
-        slab = (region.xlo, region.ylo, z, region.xhi, region.yhi, z)
-        if self._scc_mode == "replicate":
-            # Segments are degenerate in x/y, so box intersection with the
-            # slab is exact: any hit is a witness.
-            return self._rtree.any_intersecting(slab) is not None
-        for component in self._rtree.search(slab):
-            if network.component_hits_region(component, region):
-                return True
-        return False
+        with _span(f"{self.name}.query"):
+            network = self._network
+            source = network.super_of(v)
+            z = float(self._labeling.post_of(source))
+            slab = (region.xlo, region.ylo, z, region.xhi, region.yhi, z)
+            verified = 0
+            if self._scc_mode == "replicate":
+                # Segments are degenerate in x/y, so box intersection with
+                # the slab is exact: any hit is a witness.
+                answer = self._rtree.any_intersecting(slab) is not None
+            else:
+                answer = False
+                for component in self._rtree.search(slab):
+                    verified += 1
+                    if network.component_hits_region(component, region):
+                        answer = True
+                        break
+            if _obs_enabled():
+                self._m_queries.inc()
+                if answer:
+                    self._m_positives.inc()
+                # The single slab query plays the role of the label probe.
+                self._m_probes.inc()
+                self._m_verified.inc(verified)
+                _inst.THREEDREACH_REV_SLABS.inc()
+            return answer
 
     # ------------------------------------------------------------------
     def size_bytes(self) -> int:

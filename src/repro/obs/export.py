@@ -1,0 +1,84 @@
+"""Registry exporters: JSON snapshot and Prometheus text exposition.
+
+Both render from :meth:`MetricsRegistry.snapshot`, so an export is as
+isolated as a snapshot — later updates never leak into an emitted
+document.  The Prometheus renderer follows the text exposition format
+(``# HELP`` / ``# TYPE`` headers, ``_bucket``/``_sum``/``_count``
+histogram series with cumulative ``le`` buckets) without requiring the
+client library.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+__all__ = ["render_json", "render_prometheus"]
+
+
+def render_json(registry: MetricsRegistry | None = None, indent: int = 2) -> str:
+    """Serialize the registry snapshot as a JSON document."""
+    registry = REGISTRY if registry is None else registry
+    snapshot = registry.snapshot()
+    # JSON has no Infinity literal; name the overflow bucket explicitly.
+    for histogram in snapshot["histograms"].values():
+        histogram["buckets"] = [
+            ["+Inf" if bound == float("inf") else bound, count]
+            for bound, count in histogram["buckets"]
+        ]
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _split_key(sample_key: str) -> tuple[str, str]:
+    """Split ``name{labels}`` into ``(name, "{labels}" or "")``."""
+    brace = sample_key.find("{")
+    if brace < 0:
+        return sample_key, ""
+    return sample_key[:brace], sample_key[brace:]
+
+
+def render_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    registry = REGISTRY if registry is None else registry
+    help_by_name = {name: help for name, _, help in registry.describe()}
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    emitted_headers: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name in emitted_headers:
+            return
+        emitted_headers.add(name)
+        help_text = help_by_name.get(name, "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for sample_key, value in sorted(snapshot["counters"].items()):
+        name, labels = _split_key(sample_key)
+        header(name, "counter")
+        lines.append(f"{name}{labels} {_format_value(value)}")
+    for sample_key, value in sorted(snapshot["gauges"].items()):
+        name, labels = _split_key(sample_key)
+        header(name, "gauge")
+        lines.append(f"{name}{labels} {_format_value(value)}")
+    for sample_key, data in sorted(snapshot["histograms"].items()):
+        name, labels = _split_key(sample_key)
+        header(name, "histogram")
+        base_labels = labels[1:-1] if labels else ""
+        for bound, count in data["buckets"]:
+            le = "+Inf" if bound == float("inf") else repr(bound)
+            label_body = f'le="{le}"'
+            if base_labels:
+                label_body = f"{base_labels},{label_body}"
+            lines.append(f"{name}_bucket{{{label_body}}} {count}")
+        lines.append(f"{name}_sum{labels} {data['sum']}")
+        lines.append(f"{name}_count{labels} {data['count']}")
+    return "\n".join(lines) + "\n"

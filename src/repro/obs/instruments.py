@@ -1,0 +1,138 @@
+"""The instruments every hot path in the reproduction flushes into.
+
+Declared in one place so the metric naming scheme stays coherent:
+
+* ``repro_method_*`` — per-RangeReach-method work, labelled by the
+  method's registry/display name (``method="3dreach-rev"`` etc.).  The
+  three cross-method counters mirror the access counts the paper's
+  evaluation compares: interval/reachability **label probes**, spatial
+  **candidates verified**, and queries served (with the TRUE share).
+* ``repro_<method>_*`` — method-specific internals (GeoReach expansion
+  and grid-cell classifications, SocReach descendant scans, 3DReach
+  cuboid and slab queries).
+* ``repro_rtree_*`` — R-tree traversal work: nodes visited, leaves
+  scanned, entry intersection tests, per search call.
+* ``repro_db_*`` — mutable-store serving: overlay vs. snapshot queries,
+  delta-BFS expansions, rebuild counts and durations.  These aggregate
+  over every :class:`~repro.system.database.GeosocialDatabase` in the
+  process; per-instance numbers stay available via ``stats()``.
+
+Counters use the Prometheus ``_total`` suffix convention; durations are
+log-bucket histograms in seconds.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import REGISTRY
+
+# ----------------------------------------------------------------------
+# Cross-method query counters (labelled by method name)
+# ----------------------------------------------------------------------
+METHOD_QUERIES = REGISTRY.counter_family(
+    "repro_method_queries_total",
+    "RangeReach queries evaluated, by method.",
+)
+METHOD_POSITIVES = REGISTRY.counter_family(
+    "repro_method_positives_total",
+    "RangeReach queries answered TRUE, by method.",
+)
+METHOD_LABEL_PROBES = REGISTRY.counter_family(
+    "repro_method_label_probes_total",
+    "Reachability-label probes (interval labels, BFL tests, ...), by method.",
+)
+METHOD_CANDIDATES_VERIFIED = REGISTRY.counter_family(
+    "repro_method_candidates_verified_total",
+    "Spatial candidates verified against the query predicate, by method.",
+)
+
+# ----------------------------------------------------------------------
+# Method-specific internals
+# ----------------------------------------------------------------------
+SPAREACH_CANDIDATES = REGISTRY.counter_family(
+    "repro_spareach_candidates_total",
+    "Spatial range-query candidates produced (SRange step), by variant.",
+)
+GEOREACH_EXPANDED = REGISTRY.counter(
+    "repro_georeach_vertices_expanded_total",
+    "SPA-graph vertices expanded by the pruned BFS.",
+)
+GEOREACH_PRUNED = REGISTRY.counter(
+    "repro_georeach_vertices_pruned_total",
+    "SPA-graph vertices pruned by the B/R/G class tests.",
+)
+GEOREACH_CELL_TESTS = REGISTRY.counter(
+    "repro_georeach_cell_tests_total",
+    "ReachGrid cells classified against the query region (G-vertices).",
+)
+SOCREACH_DESCENDANTS = REGISTRY.counter_family(
+    "repro_socreach_descendants_scanned_total",
+    "Descendant slots scanned during post-order range evaluation.",
+)
+THREEDREACH_CUBOIDS = REGISTRY.counter(
+    "repro_threedreach_cuboid_queries_total",
+    "3-D cuboid range queries issued (one per label, early exit).",
+)
+THREEDREACH_REV_SLABS = REGISTRY.counter(
+    "repro_threedreach_rev_slab_queries_total",
+    "3-D slab queries issued (one per RangeReach query).",
+)
+
+# ----------------------------------------------------------------------
+# R-tree traversal
+# ----------------------------------------------------------------------
+RTREE_SEARCHES = REGISTRY.counter(
+    "repro_rtree_searches_total",
+    "Range searches started (any_intersecting/search_all included).",
+)
+RTREE_NODES_VISITED = REGISTRY.counter(
+    "repro_rtree_nodes_visited_total",
+    "R-tree nodes (inner + leaf) whose bounds were examined.",
+)
+RTREE_LEAVES_SCANNED = REGISTRY.counter(
+    "repro_rtree_leaves_scanned_total",
+    "Leaf nodes whose entry lists were scanned.",
+)
+RTREE_ITEMS_TESTED = REGISTRY.counter(
+    "repro_rtree_items_tested_total",
+    "Leaf entries tested for intersection with the query box.",
+)
+
+# ----------------------------------------------------------------------
+# Mutable store (GeosocialDatabase) serving
+# ----------------------------------------------------------------------
+DB_SNAPSHOT_QUERIES = REGISTRY.counter(
+    "repro_db_snapshot_queries_total",
+    "Queries served directly from the indexed snapshot (no delta).",
+)
+DB_OVERLAY_QUERIES = REGISTRY.counter(
+    "repro_db_overlay_queries_total",
+    "Queries served as base snapshot union delta overlay.",
+)
+DB_DELTA_EXPANSIONS = REGISTRY.counter(
+    "repro_db_delta_bfs_expansions_total",
+    "Vertices expanded by the overlay's bounded delta BFS.",
+)
+DB_REBUILDS = REGISTRY.counter(
+    "repro_db_rebuilds_total",
+    "Snapshot (re)builds, lazy or eager.",
+)
+DB_REMOVAL_REFRESHES = REGISTRY.counter(
+    "repro_db_removal_refreshes_total",
+    "Snapshots invalidated by a snapshot-edge removal.",
+)
+DB_THRESHOLD_REFRESHES = REGISTRY.counter(
+    "repro_db_threshold_refreshes_total",
+    "Snapshots dropped because the delta log exceeded refresh_threshold.",
+)
+DB_REBUILD_SECONDS = REGISTRY.histogram(
+    "repro_db_rebuild_seconds",
+    "Snapshot rebuild duration (condensation + labeling + R-tree).",
+)
+DB_DELTA_OPS = REGISTRY.gauge(
+    "repro_db_delta_ops",
+    "Operations currently logged against the live snapshot.",
+)
+DB_DELTA_EDGES = REGISTRY.gauge(
+    "repro_db_delta_edges",
+    "Edges currently in the delta log.",
+)

@@ -1,0 +1,420 @@
+"""Dependency-free metrics: counters, gauges, log-bucket histograms.
+
+One process-wide :class:`MetricsRegistry` (:data:`REGISTRY`) collects the
+work counters the paper's evaluation reasons about — label probes, R-tree
+node accesses, candidate verifications — so queries can be compared on
+*work done*, not only wall-clock.  Design constraints:
+
+* **No dependencies.**  Everything here is stdlib-only; the exporters
+  (:mod:`repro.obs.export`) emit JSON and Prometheus text without a
+  client library.
+* **Near-zero overhead when disabled.**  Hot paths keep counting in local
+  variables (they must anyway, for early-exit loops) and flush once per
+  query guarded by the module-level :func:`enabled` flag; a disabled
+  process pays one boolean check per query, not per unit of work.
+* **Get-or-create registration.**  Asking for an existing metric name
+  returns the existing instrument, so modules can declare instruments at
+  import time in any order.
+
+Instruments are plain objects (``inc``/``set``/``observe``) and labelled
+*families* (:class:`CounterFamily`) whose children are resolved once —
+e.g. at method-construction time — so the per-query path is a bound
+``Counter.inc``.  The registry is not thread-safe; like the rest of the
+reproduction it assumes single-threaded query serving.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "CounterFamily",
+    "Gauge",
+    "GaugeFamily",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "enabled",
+    "enable",
+    "disable",
+    "observability",
+    "get_registry",
+]
+
+# ----------------------------------------------------------------------
+# Global on/off switch (module-level no-op fast path)
+# ----------------------------------------------------------------------
+_ENABLED = True
+
+
+def enabled() -> bool:
+    """Return True iff instrumentation flushes are active."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn observability on (the default)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn observability off: hot paths skip every metrics flush."""
+    global _ENABLED
+    _ENABLED = False
+
+
+class observability:
+    """Context manager forcing observability on or off within a block."""
+
+    def __init__(self, on: bool) -> None:
+        self._on = on
+        self._previous = True
+
+    def __enter__(self) -> "observability":
+        self._previous = _ENABLED
+        (enable if self._on else disable)()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        (enable if self._previous else disable)()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+def _sample_key(name: str, labels: Mapping[str, str] | None) -> str:
+    """Render the canonical sample key, e.g. ``name{method="3dreach"}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "help", "labels", "_value")
+
+    def __init__(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else None
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0
+
+    @property
+    def sample_key(self) -> str:
+        return _sample_key(self.name, self.labels)
+
+
+class Gauge:
+    """A value that can go up and down (e.g. current delta-log size)."""
+
+    __slots__ = ("name", "help", "labels", "_value")
+
+    def __init__(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else None
+        self._value = 0
+
+    def set(self, value: int | float) -> None:
+        self._value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0
+
+    @property
+    def sample_key(self) -> str:
+        return _sample_key(self.name, self.labels)
+
+
+# Default histogram buckets: 1us .. ~16s in factors of 2, a range wide
+# enough for both query latencies and snapshot rebuild durations.
+DEFAULT_HISTOGRAM_START = 1e-6
+DEFAULT_HISTOGRAM_FACTOR = 2.0
+DEFAULT_HISTOGRAM_BUCKETS = 25
+
+
+class Histogram:
+    """A fixed log-bucket histogram (upper bounds ``start * factor**i``).
+
+    Observations above the last bound land in the implicit ``+Inf``
+    bucket.  The bucket layout is fixed at construction, so ``observe``
+    is one bisect plus two adds.
+    """
+
+    __slots__ = ("name", "help", "labels", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+        start: float = DEFAULT_HISTOGRAM_START,
+        factor: float = DEFAULT_HISTOGRAM_FACTOR,
+        buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+    ) -> None:
+        if start <= 0:
+            raise ValueError("histogram start bound must be positive")
+        if factor <= 1.0:
+            raise ValueError("histogram factor must be > 1")
+        if buckets < 1:
+            raise ValueError("histogram needs at least one bucket")
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else None
+        self._bounds = [start * factor**i for i in range(buckets)]
+        self._counts = [0] * (buckets + 1)  # trailing slot: +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return tuple(self._bounds)
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending with +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self._bounds, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self._counts[-1]))
+        return out
+
+    def _reset(self) -> None:
+        self._counts = [0] * len(self._counts)
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def sample_key(self) -> str:
+        return _sample_key(self.name, self.labels)
+
+
+class _Family:
+    """Shared plumbing for labelled metric families."""
+
+    child_type: type = Counter
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]) -> None:
+        if not label_names:
+            raise ValueError("a family needs at least one label name")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._children: dict[tuple[str, ...], Counter | Gauge] = {}
+
+    def labels(self, **labels: str):
+        """Resolve (creating if needed) the child for one label set."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, got "
+                f"{tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self.child_type(
+                self.name, self.help, dict(zip(self.label_names, key))
+            )
+            self._children[key] = child
+        return child
+
+    def children(self) -> Iterator[Counter | Gauge]:
+        yield from self._children.values()
+
+    def _reset(self) -> None:
+        for child in self._children.values():
+            child._reset()
+
+
+class CounterFamily(_Family):
+    """A counter with labels; ``labels(method=...)`` returns a Counter."""
+
+    child_type = Counter
+
+
+class GaugeFamily(_Family):
+    """A gauge with labels; ``labels(...)`` returns a Gauge."""
+
+    child_type = Gauge
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class MetricsRegistry:
+    """Name -> instrument switchboard with snapshot/reset semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, tuple[str, object]] = {}
+
+    # -- registration (get-or-create) ----------------------------------
+    def _get_or_create(self, kind: str, name: str, factory):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            existing_kind, metric = existing
+            if existing_kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing_kind}, "
+                    f"not {kind}"
+                )
+            return metric
+        metric = factory()
+        self._metrics[name] = (kind, metric)
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create("counter", name, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create("gauge", name, lambda: Gauge(name, help))
+
+    def histogram(self, name: str, help: str = "", **bucket_opts) -> Histogram:
+        return self._get_or_create(
+            "histogram", name, lambda: Histogram(name, help, **bucket_opts)
+        )
+
+    def counter_family(
+        self, name: str, help: str = "", label_names: Sequence[str] = ("method",)
+    ) -> CounterFamily:
+        return self._get_or_create(
+            "counter_family", name, lambda: CounterFamily(name, help, label_names)
+        )
+
+    def gauge_family(
+        self, name: str, help: str = "", label_names: Sequence[str] = ("method",)
+    ) -> GaugeFamily:
+        return self._get_or_create(
+            "gauge_family", name, lambda: GaugeFamily(name, help, label_names)
+        )
+
+    # -- reading -------------------------------------------------------
+    def _flat(self, base: str) -> Iterator[Counter | Gauge]:
+        """Iterate scalar samples of one base kind, families flattened."""
+        for kind, metric in self._metrics.values():
+            if kind == base:
+                yield metric  # type: ignore[misc]
+            elif kind == base + "_family":
+                yield from metric.children()  # type: ignore[union-attr]
+
+    def counter_samples(self) -> dict[str, int | float]:
+        """Flat ``sample_key -> value`` view of every counter sample.
+
+        The tracer and the benchmark harness diff two of these maps to
+        attribute work counters to one query or one timed batch.
+        """
+        return {s.sample_key: s.value for s in self._flat("counter")}
+
+    def value(self, name: str, **labels: str) -> int | float:
+        """Return one sample's current value (0 if never touched)."""
+        entry = self._metrics.get(name)
+        if entry is None:
+            return 0
+        kind, metric = entry
+        if kind in ("counter", "gauge"):
+            return metric.value  # type: ignore[union-attr]
+        if kind in ("counter_family", "gauge_family"):
+            key = tuple(
+                str(labels[n]) for n in metric.label_names if n in labels
+            )
+            if len(key) != len(metric.label_names):
+                raise ValueError(
+                    f"{name} expects labels {metric.label_names}"
+                )
+            child = metric._children.get(key)
+            return 0 if child is None else child.value
+        raise ValueError(f"{name} is a histogram; read snapshot() instead")
+
+    def snapshot(self) -> dict[str, dict]:
+        """Deep-copied point-in-time view of every sample.
+
+        The returned structure shares no state with the registry: later
+        updates never mutate an existing snapshot.
+        """
+        counters = {s.sample_key: s.value for s in self._flat("counter")}
+        gauges = {s.sample_key: s.value for s in self._flat("gauge")}
+        histograms = {}
+        for kind, metric in self._metrics.values():
+            if kind != "histogram":
+                continue
+            histograms[metric.sample_key] = {
+                "count": metric.count,
+                "sum": metric.sum,
+                "buckets": [
+                    [bound, count] for bound, count in metric.bucket_counts()
+                ],
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations and children survive)."""
+        for _, metric in self._metrics.values():
+            metric._reset()  # type: ignore[union-attr]
+
+    def describe(self) -> list[tuple[str, str, str]]:
+        """Return ``(name, kind, help)`` for every registered metric."""
+        return [
+            (name, kind, metric.help)  # type: ignore[union-attr]
+            for name, (kind, metric) in sorted(self._metrics.items())
+        ]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+
+#: The process-wide registry every instrumented module writes to.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """Return the process-wide registry (mirrors prometheus_client)."""
+    return REGISTRY

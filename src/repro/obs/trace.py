@@ -1,0 +1,189 @@
+"""Per-query tracing: a span tree with monotonic timings + counter deltas.
+
+A trace is opened around one query (``with trace("3dreach.query"): ...``);
+instrumented code inside opens nested spans (``with span("rtree.search")``)
+that record a ``time.perf_counter`` interval and the registry counter
+samples that moved while the span was open.  The result attributes both
+*time* and *work* to each phase of a query — the per-query analogue of
+the paper's access-count tables.
+
+When no trace is active, :func:`span` returns a shared no-op context
+manager, so leaving the instrumentation in hot paths costs one ``None``
+check per span site.  Traces are process-global and non-reentrant (one
+query at a time), matching the single-threaded serving model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+from repro.obs.metrics import REGISTRY
+
+__all__ = ["Span", "Trace", "trace", "span", "active_trace", "tracing"]
+
+
+class Span:
+    """One timed phase of a query, with child spans and counter deltas."""
+
+    __slots__ = ("name", "start", "end", "children", "counters", "_before")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.start = 0.0
+        self.end = 0.0
+        self.children: list["Span"] = []
+        # Counter samples that changed while the span was open:
+        # sample_key -> delta (includes work done in child spans).
+        self.counters: dict[str, int | float] = {}
+        self._before: dict[str, int | float] = {}
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds between span open and close."""
+        return self.end - self.start
+
+    def walk(self) -> Iterator[tuple[int, "Span"]]:
+        """Yield ``(depth, span)`` pairs in pre-order."""
+        stack: list[tuple[int, Span]] = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+    def _open(self) -> None:
+        self._before = REGISTRY.counter_samples()
+        self.start = time.perf_counter()
+
+    def _close(self) -> None:
+        self.end = time.perf_counter()
+        after = REGISTRY.counter_samples()
+        before = self._before
+        self.counters = {
+            key: value - before.get(key, 0)
+            for key, value in after.items()
+            if value != before.get(key, 0)
+        }
+        self._before = {}
+
+
+class Trace:
+    """A completed (or in-flight) span tree for one query."""
+
+    def __init__(self, root: Span) -> None:
+        self.root = root
+
+    @property
+    def duration(self) -> float:
+        return self.root.duration
+
+    def format(self) -> str:
+        """Render the span tree as indented text with us timings."""
+        lines = []
+        for depth, node in self.root.walk():
+            label = f"{'  ' * depth}{node.name}"
+            line = f"{label:<40} {node.duration * 1e6:10.1f}us"
+            if node.counters:
+                deltas = " ".join(
+                    f"{key}={value:g}"
+                    for key, value in sorted(node.counters.items())
+                )
+                line += f"  [{deltas}]"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Module state: the active trace and the innermost open span.
+# ----------------------------------------------------------------------
+_ACTIVE: Trace | None = None
+_CURRENT: Span | None = None
+
+
+def active_trace() -> Trace | None:
+    """Return the trace currently being recorded, if any."""
+    return _ACTIVE
+
+
+def tracing() -> bool:
+    """True iff a trace is being recorded right now."""
+    return _ACTIVE is not None
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the inactive fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _SpanContext:
+    __slots__ = ("_span", "_parent")
+
+    def __init__(self, name: str) -> None:
+        self._span = Span(name)
+        self._parent: Span | None = None
+
+    def __enter__(self) -> Span:
+        global _CURRENT
+        self._parent = _CURRENT
+        if self._parent is not None:
+            self._parent.children.append(self._span)
+        _CURRENT = self._span
+        self._span._open()
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        global _CURRENT
+        self._span._close()
+        _CURRENT = self._parent
+        return False
+
+
+def span(name: str):
+    """Open a child span of the running trace; no-op when not tracing."""
+    if _ACTIVE is None:
+        return _NOOP_SPAN
+    return _SpanContext(name)
+
+
+class trace:
+    """Record a span tree for the enclosed block.
+
+    Usage::
+
+        with obs.trace("query") as t:
+            method.query(v, region)
+        print(t.format())
+
+    Traces do not nest — a second ``trace`` while one is active raises,
+    which catches accidental tracing of re-entrant query paths.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._context = _SpanContext(name)
+        self._trace = Trace(self._context._span)
+
+    def __enter__(self) -> Trace:
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("a trace is already active")
+        _ACTIVE = self._trace
+        self._context.__enter__()
+        return self._trace
+
+    def __exit__(self, *exc_info) -> bool:
+        global _ACTIVE, _CURRENT
+        self._context.__exit__(*exc_info)
+        _ACTIVE = None
+        _CURRENT = None
+        return False

@@ -20,6 +20,9 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.obs import instruments as _inst
+from repro.obs.metrics import enabled as _obs_enabled
+
 Bounds = tuple[float, ...]
 
 
@@ -337,8 +340,17 @@ class RTree:
     # Queries
     # ------------------------------------------------------------------
     def search(self, query: Bounds) -> Iterator[Any]:
-        """Yield every item whose bounds intersect ``query``."""
+        """Yield every item whose bounds intersect ``query``.
+
+        With observability enabled the traversal is served by an
+        instrumented twin that counts nodes visited, leaves scanned and
+        entries tested (``repro_rtree_*`` counters); the plain loop below
+        stays increment-free so a disabled run pays only this one check.
+        """
         if self._root is None:
+            return
+        if _obs_enabled():
+            yield from self._search_counted(query)
             return
         dims = self._dims
         stack = [self._root]
@@ -352,6 +364,39 @@ class RTree:
                         yield item
             else:
                 stack.extend(node.children)
+
+    def _search_counted(self, query: Bounds) -> Iterator[Any]:
+        """The metered twin of :meth:`search`.
+
+        Counts accumulate in locals and flush once in ``finally``, which
+        also runs when an early-terminating consumer (``any_intersecting``)
+        closes the generator after the first hit — so per-query work is
+        attributed even for abandoned searches.
+        """
+        dims = self._dims
+        nodes = leaves = items = 0
+        stack = [self._root]
+        try:
+            while stack:
+                node = stack.pop()
+                nodes += 1
+                if node.bounds is None or not bounds_intersect(
+                    node.bounds, query, dims
+                ):
+                    continue
+                if node.is_leaf:
+                    leaves += 1
+                    for bounds, item in node.entries:
+                        items += 1
+                        if bounds_intersect(bounds, query, dims):
+                            yield item
+                else:
+                    stack.extend(node.children)
+        finally:
+            _inst.RTREE_SEARCHES.inc()
+            _inst.RTREE_NODES_VISITED.inc(nodes)
+            _inst.RTREE_LEAVES_SCANNED.inc(leaves)
+            _inst.RTREE_ITEMS_TESTED.inc(items)
 
     def search_all(self, query: Bounds) -> list[Any]:
         """Return all items intersecting ``query`` as a list."""
@@ -413,6 +458,7 @@ class RTree:
             return math.sqrt(total)
 
         results: list[tuple[float, Any]] = []
+        nodes = leaves = items = 0
         counter = 0  # tie-breaker: Python can't compare nodes/items
         heap: list[tuple[float, int, bool, Any]] = [
             (mindist(self._root.bounds), counter, False, self._root)
@@ -427,19 +473,28 @@ class RTree:
                 if len(results) > k:
                     results.pop()
             elif payload.is_leaf:
+                nodes += 1
+                leaves += 1
                 for bounds, item in payload.entries:
                     if item_filter is not None and not item_filter(item):
                         continue
                     counter += 1
+                    items += 1
                     heapq.heappush(
                         heap, (mindist(bounds), counter, True, item)
                     )
             else:
+                nodes += 1
                 for child in payload.children:
                     counter += 1
                     heapq.heappush(
                         heap, (mindist(child.bounds), counter, False, child)
                     )
+        if _obs_enabled():
+            _inst.RTREE_SEARCHES.inc()
+            _inst.RTREE_NODES_VISITED.inc(nodes)
+            _inst.RTREE_LEAVES_SCANNED.inc(leaves)
+            _inst.RTREE_ITEMS_TESTED.inc(items)
         return results
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ nearest-reachable queries — all with base ∪ delta semantics.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 
 from repro.core.extensions import GeosocialQueryEngine
@@ -38,6 +39,9 @@ from repro.geometry import Point, Rect
 from repro.geosocial.network import GeosocialNetwork
 from repro.geosocial.scc_handling import condense_network
 from repro.graph.digraph import DiGraph
+from repro.obs import instruments as _inst
+from repro.obs.metrics import enabled as _obs_enabled
+from repro.obs.trace import span as _span
 
 DEFAULT_REFRESH_THRESHOLD = 64
 
@@ -157,7 +161,11 @@ class GeosocialDatabase:
             # Deleting a snapshot edge cannot be patched incrementally:
             # force a rebuild on the next query (correctness first).
             self._removal_refreshes += 1
+            if _obs_enabled():
+                _inst.DB_REMOVAL_REFRESHES.inc()
             self._drop_snapshot()
+            return
+        self._sync_delta_gauges()
 
     def _note_delta(self) -> None:
         if self._engine is None:
@@ -165,13 +173,34 @@ class GeosocialDatabase:
         self._delta_ops += 1
         if self._delta_ops > self._refresh_threshold:
             self._threshold_refreshes += 1
+            if _obs_enabled():
+                _inst.DB_THRESHOLD_REFRESHES.inc()
             self._drop_snapshot()
+            return
+        self._sync_delta_gauges()
 
     def _drop_snapshot(self) -> None:
         self._engine = None
         self._delta_succ = {}
         self._delta_ops = 0
         self._snapshot_vertices = 0
+        self._sync_delta_gauges()
+
+    def _sync_delta_gauges(self) -> None:
+        if _obs_enabled():
+            _inst.DB_DELTA_OPS.set(self._delta_ops)
+            _inst.DB_DELTA_EDGES.set(
+                sum(len(t) for t in self._delta_succ.values())
+            )
+
+    def _note_query(self, *, overlay: bool) -> None:
+        if overlay:
+            self._overlay_queries += 1
+        if _obs_enabled():
+            if overlay:
+                _inst.DB_OVERLAY_QUERIES.inc()
+            else:
+                _inst.DB_SNAPSHOT_QUERIES.inc()
 
     # ------------------------------------------------------------------
     # Queries (base snapshot ∪ delta overlay)
@@ -181,8 +210,9 @@ class GeosocialDatabase:
         self._check_vertex(vertex)
         engine = self._snapshot()
         if not self._has_delta():
+            self._note_query(overlay=False)
             return engine.range_reach(vertex, region)
-        self._overlay_queries += 1
+        self._note_query(overlay=True)
         roots, delta_spatial = self._overlay_frontier(vertex)
         for root in roots:
             if engine.range_reach(root, region):
@@ -194,8 +224,9 @@ class GeosocialDatabase:
         self._check_vertex(vertex)
         engine = self._snapshot()
         if not self._has_delta():
+            self._note_query(overlay=False)
             return engine.count(vertex, region)
-        self._overlay_queries += 1
+        self._note_query(overlay=True)
         return len(self._overlay_witnesses(engine, vertex, region))
 
     def reachable_venues(self, vertex: int, region: Rect) -> list[int]:
@@ -203,16 +234,18 @@ class GeosocialDatabase:
         self._check_vertex(vertex)
         engine = self._snapshot()
         if not self._has_delta():
+            self._note_query(overlay=False)
             return sorted(engine.witnesses(vertex, region))
-        self._overlay_queries += 1
+        self._note_query(overlay=True)
         return sorted(self._overlay_witnesses(engine, vertex, region))
 
     def reaches_at_least(self, vertex: int, region: Rect, k: int) -> bool:
         self._check_vertex(vertex)
         engine = self._snapshot()
         if not self._has_delta():
+            self._note_query(overlay=False)
             return engine.at_least(vertex, region, k)
-        self._overlay_queries += 1
+        self._note_query(overlay=True)
         if k <= 0:
             return True
         # Witness sets of different roots may overlap, so the early-exit
@@ -238,8 +271,9 @@ class GeosocialDatabase:
         engine = self._snapshot()
         location = Point(x, y)
         if not self._has_delta():
+            self._note_query(overlay=False)
             return engine.nearest(vertex, location)
-        self._overlay_queries += 1
+        self._note_query(overlay=True)
         roots, delta_spatial = self._overlay_frontier(vertex)
         best: tuple[float, int] | None = None
         for root in roots:
@@ -287,26 +321,31 @@ class GeosocialDatabase:
         delta_spatial: set[int] = set()
         visited = {vertex}
         queue: deque[int] = deque([vertex])
-        while queue:
-            u = queue.popleft()
-            if u < snapshot_n:
-                roots.add(u)
-                activated = [
-                    s for s in pending if s == u or engine.reaches(u, s)
-                ]
-                for s in activated:
-                    pending.discard(s)
-                    for t in adjacency[s]:
+        expanded = 0
+        with _span("db.overlay_frontier"):
+            while queue:
+                u = queue.popleft()
+                expanded += 1
+                if u < snapshot_n:
+                    roots.add(u)
+                    activated = [
+                        s for s in pending if s == u or engine.reaches(u, s)
+                    ]
+                    for s in activated:
+                        pending.discard(s)
+                        for t in adjacency[s]:
+                            if t not in visited:
+                                visited.add(t)
+                                queue.append(t)
+                else:
+                    if self._points[u] is not None:
+                        delta_spatial.add(u)
+                    for t in adjacency.get(u, ()):
                         if t not in visited:
                             visited.add(t)
                             queue.append(t)
-            else:
-                if self._points[u] is not None:
-                    delta_spatial.add(u)
-                for t in adjacency.get(u, ()):
-                    if t not in visited:
-                        visited.add(t)
-                        queue.append(t)
+        if _obs_enabled():
+            _inst.DB_DELTA_EXPANSIONS.inc(expanded)
         return roots, delta_spatial
 
     def _overlay_witnesses(
@@ -329,16 +368,23 @@ class GeosocialDatabase:
         if self._engine is None:
             if not any(p is not None for p in self._points):
                 raise ValueError("database has no venues yet")
-            network = GeosocialNetwork(
-                self._graph, list(self._points), kinds=list(self._kinds),
-                name="live",
-            )
-            condensed = condense_network(network)
-            self._engine = GeosocialQueryEngine(condensed)
+            with _span("db.rebuild"):
+                started = time.perf_counter()
+                network = GeosocialNetwork(
+                    self._graph, list(self._points), kinds=list(self._kinds),
+                    name="live",
+                )
+                condensed = condense_network(network)
+                self._engine = GeosocialQueryEngine(condensed)
+                elapsed = time.perf_counter() - started
             self._snapshot_vertices = self._graph.num_vertices
             self._delta_succ = {}
             self._delta_ops = 0
             self._rebuilds += 1
+            if _obs_enabled():
+                _inst.DB_REBUILDS.inc()
+                _inst.DB_REBUILD_SECONDS.observe(elapsed)
+            self._sync_delta_gauges()
         return self._engine
 
     def refresh(self) -> None:

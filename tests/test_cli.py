@@ -97,3 +97,68 @@ def test_query_malformed_region(dataset_dir):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_query_prints_work_counters(dataset_dir, capsys):
+    code = main([
+        "query", str(dataset_dir),
+        "--vertex", "0", "--region=-1,-1,2,2",
+        "--method", "spareach-bfl",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "work:" in out
+    assert 'repro_method_queries_total{method="spareach-bfl"}=1' in out
+
+
+def test_query_trace_prints_span_tree(dataset_dir, capsys):
+    code = main([
+        "query", str(dataset_dir),
+        "--vertex", "0", "--region=-1,-1,2,2",
+        "--method", "3dreach", "--trace",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "query" in out
+    assert "3dreach.query" in out
+    assert "us" in out
+
+
+def test_stats_obs_json(dataset_dir, capsys):
+    import json
+
+    code = main([
+        "stats", str(dataset_dir), "--obs", "json", "--obs-queries", "3",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    counters = payload["counters"]
+    # Every registered method ran the batch.
+    from repro.core import METHOD_REGISTRY, build_method
+    from repro.geosocial import GeosocialNetwork, condense_network
+
+    condensed = condense_network(GeosocialNetwork.load(dataset_dir))
+    for name in METHOD_REGISTRY:
+        display = build_method(name, condensed).name
+        key = f'repro_method_queries_total{{method="{display}"}}'
+        assert counters[key] == 3
+
+
+def test_stats_obs_prometheus(dataset_dir, capsys):
+    code = main([
+        "stats", str(dataset_dir), "--obs", "prom", "--obs-queries", "2",
+        "--obs-methods", "3dreach",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_method_queries_total counter" in out
+    assert 'repro_method_queries_total{method="3dreach"} 2' in out
+
+
+def test_stats_obs_unknown_method(dataset_dir, capsys):
+    code = main([
+        "stats", str(dataset_dir), "--obs", "json",
+        "--obs-methods", "no-such-method",
+    ])
+    assert code == 2
+    assert "unknown method" in capsys.readouterr().err

@@ -47,3 +47,26 @@ def test_build_georeach_with_param_options():
     method = build_method("georeach", condensed, grid_levels=4, merge_count=2)
     assert method.params.grid_levels == 4
     assert method.params.merge_count == 2
+
+
+def test_docstring_lists_every_registered_method():
+    """build_method's known-names doc is generated from the registry."""
+    doc = build_method.__doc__
+    for name in METHOD_REGISTRY:
+        assert f"``{name}``" in doc
+
+
+def test_docstring_resyncs_after_registration():
+    from repro.core.base import register_method, sync_known_names_doc
+
+    @register_method("test-dummy-method")
+    def _build_dummy(network, **options):  # pragma: no cover
+        raise NotImplementedError
+
+    try:
+        sync_known_names_doc()
+        assert "``test-dummy-method``" in build_method.__doc__
+    finally:
+        del METHOD_REGISTRY["test-dummy-method"]
+        sync_known_names_doc()
+    assert "``test-dummy-method``" not in build_method.__doc__

@@ -1,0 +1,86 @@
+"""GeosocialDatabase serving metrics mirrored into the obs registry."""
+
+import pytest
+
+from repro import obs
+from repro.geometry import Rect
+from repro.system import GeosocialDatabase
+
+REGION = Rect(0.0, 0.0, 2.0, 2.0)
+
+
+@pytest.fixture(autouse=True)
+def obs_on():
+    with obs.observability(True):
+        yield
+
+
+def seeded_db(refresh_threshold=64):
+    db = GeosocialDatabase(refresh_threshold=refresh_threshold)
+    users = [db.add_user() for _ in range(3)]
+    venue = db.add_venue(1.0, 1.0)
+    db.add_follow(users[0], users[1])
+    db.add_checkin(users[1], venue)
+    return db, users, venue
+
+
+def test_snapshot_and_overlay_queries_counted():
+    db, users, _ = seeded_db()
+    with obs.measure() as delta:
+        db.range_reach(users[0], REGION)  # builds + serves from snapshot
+        db.add_follow(users[1], users[2])  # delta op
+        db.range_reach(users[0], REGION)  # overlay path
+    assert delta.get("repro_db_rebuilds_total") == 1
+    assert delta.get("repro_db_snapshot_queries_total") == 1
+    assert delta.get("repro_db_overlay_queries_total") == 1
+    assert delta.get("repro_db_delta_bfs_expansions_total", 0) >= 1
+    # Instance stats agree with the registry deltas.
+    stats = db.stats()
+    assert stats["rebuilds"] == 1
+    assert stats["overlay_queries"] == 1
+
+
+def test_rebuild_duration_histogram_observes():
+    before = obs.REGISTRY.snapshot()["histograms"]["repro_db_rebuild_seconds"]
+    db, users, _ = seeded_db()
+    db.range_reach(users[0], REGION)
+    after = obs.REGISTRY.snapshot()["histograms"]["repro_db_rebuild_seconds"]
+    assert after["count"] == before["count"] + 1
+    assert after["sum"] >= before["sum"]
+
+
+def test_threshold_refresh_counted():
+    db, users, venue = seeded_db(refresh_threshold=1)
+    db.range_reach(users[0], REGION)
+    with obs.measure() as delta:
+        db.add_follow(users[0], users[2])  # 1 op: at threshold, kept
+        db.add_follow(users[1], users[2])  # 2nd op: exceeds, drops snapshot
+        db.range_reach(users[0], REGION)  # rebuild
+    assert delta.get("repro_db_threshold_refreshes_total") == 1
+    assert delta.get("repro_db_rebuilds_total") == 1
+
+
+def test_removal_refresh_counted():
+    db, users, venue = seeded_db()
+    db.range_reach(users[0], REGION)
+    with obs.measure() as delta:
+        db.remove_follow(users[0], users[1])  # snapshot edge: invalidates
+        db.range_reach(users[1], REGION)
+    assert delta.get("repro_db_removal_refreshes_total") == 1
+    assert delta.get("repro_db_rebuilds_total") == 1
+
+
+def test_delta_gauges_track_log_size():
+    db, users, _ = seeded_db()
+    db.range_reach(users[0], REGION)  # snapshot built; delta empty
+    assert obs.REGISTRY.value("repro_db_delta_ops") == 0
+    assert obs.REGISTRY.value("repro_db_delta_edges") == 0
+    db.add_follow(users[1], users[2])
+    assert obs.REGISTRY.value("repro_db_delta_ops") == 1
+    assert obs.REGISTRY.value("repro_db_delta_edges") == 1
+    db.add_venue(0.5, 0.5)
+    assert obs.REGISTRY.value("repro_db_delta_ops") == 2
+    assert obs.REGISTRY.value("repro_db_delta_edges") == 1
+    db.refresh()
+    assert obs.REGISTRY.value("repro_db_delta_ops") == 0
+    assert obs.REGISTRY.value("repro_db_delta_edges") == 0

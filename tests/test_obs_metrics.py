@@ -1,0 +1,206 @@
+"""Unit tests for the repro.obs metrics registry and exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import export
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable,
+    enable,
+    enabled,
+    observability,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+def test_counter_semantics(registry):
+    c = registry.counter("c_total", "help text")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 5
+    assert c.sample_key == "c_total"
+
+
+def test_gauge_semantics(registry):
+    g = registry.gauge("g")
+    g.set(10)
+    g.inc(2)
+    g.dec(5)
+    assert g.value == 7
+    g.set(-3)
+    assert g.value == -3
+
+
+def test_histogram_buckets(registry):
+    h = registry.histogram("h_seconds", start=1.0, factor=2.0, buckets=3)
+    # Bounds: 1, 2, 4; +Inf implicit.
+    assert h.bounds == (1.0, 2.0, 4.0)
+    for value in (0.5, 1.0, 3.0, 100.0):
+        h.observe(value)
+    assert h.count == 4
+    assert h.sum == pytest.approx(104.5)
+    buckets = dict(h.bucket_counts())
+    # Cumulative counts; bounds are inclusive (Prometheus `le`).
+    assert buckets[1.0] == 2
+    assert buckets[2.0] == 2
+    assert buckets[4.0] == 3
+    assert buckets[math.inf] == 4
+
+
+def test_histogram_rejects_bad_layout(registry):
+    with pytest.raises(ValueError):
+        Histogram("h", start=0.0)
+    with pytest.raises(ValueError):
+        Histogram("h", factor=1.0)
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=0)
+
+
+def test_counter_family_children(registry):
+    fam = registry.counter_family("f_total", label_names=("method",))
+    a = fam.labels(method="a")
+    b = fam.labels(method="b")
+    assert a is fam.labels(method="a")  # resolved once, cached
+    a.inc(3)
+    b.inc()
+    assert a.sample_key == 'f_total{method="a"}'
+    assert registry.value("f_total", method="a") == 3
+    assert registry.value("f_total", method="b") == 1
+    assert registry.value("f_total", method="never-touched") == 0
+    with pytest.raises(ValueError):
+        fam.labels(wrong="a")
+
+
+def test_get_or_create_and_kind_mismatch(registry):
+    c1 = registry.counter("same")
+    c2 = registry.counter("same")
+    assert c1 is c2
+    with pytest.raises(ValueError):
+        registry.gauge("same")
+    assert "same" in registry
+    assert "other" not in registry
+
+
+def test_counter_samples_flattens_families(registry):
+    registry.counter("plain_total").inc(2)
+    fam = registry.counter_family("fam_total")
+    fam.labels(method="x").inc(7)
+    samples = registry.counter_samples()
+    assert samples == {"plain_total": 2, 'fam_total{method="x"}': 7}
+
+
+def test_snapshot_is_isolated(registry):
+    c = registry.counter("c_total")
+    h = registry.histogram("h_seconds", start=1.0, factor=2.0, buckets=2)
+    c.inc()
+    h.observe(1.5)
+    snap = registry.snapshot()
+    c.inc(10)
+    h.observe(0.5)
+    # The snapshot must not see updates made after it was taken.
+    assert snap["counters"]["c_total"] == 1
+    assert snap["histograms"]["h_seconds"]["count"] == 1
+    assert registry.snapshot()["counters"]["c_total"] == 11
+
+
+def test_reset_zeroes_but_keeps_registrations(registry):
+    c = registry.counter("c_total")
+    g = registry.gauge("g")
+    fam = registry.counter_family("f_total")
+    child = fam.labels(method="m")
+    c.inc(5)
+    g.set(9)
+    child.inc(2)
+    registry.reset()
+    assert c.value == 0
+    assert g.value == 0
+    assert child.value == 0
+    # Same objects still registered: bound references stay valid.
+    assert registry.counter("c_total") is c
+    assert fam.labels(method="m") is child
+
+
+def test_value_on_histogram_raises(registry):
+    registry.histogram("h_seconds")
+    with pytest.raises(ValueError):
+        registry.value("h_seconds")
+
+
+def test_describe(registry):
+    registry.counter("a_total", "first")
+    registry.gauge("b", "second")
+    assert registry.describe() == [
+        ("a_total", "counter", "first"),
+        ("b", "gauge", "second"),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Enable/disable switch
+# ----------------------------------------------------------------------
+def test_observability_switch():
+    assert enabled()  # on by default
+    disable()
+    try:
+        assert not enabled()
+    finally:
+        enable()
+    with observability(False):
+        assert not enabled()
+        with observability(True):
+            assert enabled()
+        assert not enabled()
+    assert enabled()
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def test_render_json(registry):
+    registry.counter("c_total", "a counter").inc(3)
+    registry.gauge("g").set(2)
+    registry.histogram("h_seconds", start=1.0, factor=2.0, buckets=2).observe(5.0)
+    payload = json.loads(export.render_json(registry))
+    assert payload["counters"]["c_total"] == 3
+    assert payload["gauges"]["g"] == 2
+    hist = payload["histograms"]["h_seconds"]
+    assert hist["count"] == 1
+    # +Inf serialized as a string (JSON has no infinity literal).
+    assert hist["buckets"][-1][0] == "+Inf"
+    assert hist["buckets"][-1][1] == 1
+
+
+def test_render_prometheus(registry):
+    registry.counter("c_total", "a counter").inc(3)
+    fam = registry.counter_family("f_total", "a family")
+    fam.labels(method="3dreach").inc(2)
+    registry.histogram("h_seconds", start=1.0, factor=2.0, buckets=2).observe(1.5)
+    text = export.render_prometheus(registry)
+    assert "# HELP c_total a counter\n" in text
+    assert "# TYPE c_total counter\n" in text
+    assert "\nc_total 3\n" in text or text.startswith("c_total 3\n")
+    assert 'f_total{method="3dreach"} 2' in text
+    assert "# TYPE h_seconds histogram" in text
+    assert 'h_seconds_bucket{le="2.0"} 1' in text
+    assert 'h_seconds_bucket{le="+Inf"} 1' in text
+    assert "h_seconds_sum 1.5" in text
+    assert "h_seconds_count 1" in text
+    # Exactly one HELP/TYPE header per metric name.
+    assert text.count("# TYPE f_total") == 1

@@ -1,0 +1,99 @@
+"""Unit tests for the repro.obs span tracer."""
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import _NOOP_SPAN, active_trace, span, tracing
+
+
+def test_span_is_noop_outside_trace():
+    assert not tracing()
+    assert active_trace() is None
+    # Without an active trace, span() hands back the shared no-op —
+    # no allocation on the inactive fast path.
+    assert span("anything") is _NOOP_SPAN
+    with span("anything"):
+        pass  # must be harmless
+
+
+def test_trace_records_nested_spans():
+    with obs.trace("query") as t:
+        assert tracing()
+        assert active_trace() is t
+        with span("phase-a"):
+            with span("phase-a.inner"):
+                pass
+        with span("phase-b"):
+            pass
+    assert not tracing()
+    root = t.root
+    assert root.name == "query"
+    assert [c.name for c in root.children] == ["phase-a", "phase-b"]
+    assert [c.name for c in root.children[0].children] == ["phase-a.inner"]
+    # walk() is pre-order with depths.
+    assert [(d, s.name) for d, s in root.walk()] == [
+        (0, "query"),
+        (1, "phase-a"),
+        (2, "phase-a.inner"),
+        (1, "phase-b"),
+    ]
+    # Timings are monotonic and nested.
+    assert root.duration >= 0
+    for _, node in root.walk():
+        assert node.end >= node.start
+        assert root.start <= node.start and node.end <= root.end
+
+
+def test_trace_captures_counter_deltas():
+    counter = obs.REGISTRY.counter("trace_test_total")
+    with obs.trace("query") as t:
+        with span("work"):
+            counter.inc(3)
+        with span("idle"):
+            pass
+    work, idle = t.root.children
+    assert work.counters == {"trace_test_total": 3}
+    assert idle.counters == {}
+    # The root sees its children's work.
+    assert t.root.counters == {"trace_test_total": 3}
+
+
+def test_traces_do_not_nest():
+    with obs.trace("outer"):
+        with pytest.raises(RuntimeError):
+            with obs.trace("inner"):
+                pass
+    # The failed inner trace must not have corrupted the module state.
+    assert not tracing()
+    with obs.trace("again") as t:
+        pass
+    assert t.root.name == "again"
+
+
+def test_format_output():
+    counter = obs.REGISTRY.counter("fmt_test_total")
+    with obs.trace("query") as t:
+        with span("child"):
+            counter.inc(2)
+    text = t.format()
+    lines = text.splitlines()
+    assert lines[0].startswith("query")
+    assert lines[1].startswith("  child")
+    assert "us" in lines[0]
+    assert "fmt_test_total=2" in lines[1]
+
+
+def test_method_spans_appear_in_trace():
+    from helpers import FIG1_INDEX, FIG1_REGION, fig1_network
+    from repro.core import ThreeDReach
+    from repro.geosocial import condense_network
+
+    method = ThreeDReach(condense_network(fig1_network()))
+    with obs.trace("query") as t:
+        method.query(FIG1_INDEX["a"], FIG1_REGION)
+    names = [s.name for _, s in t.root.walk()]
+    assert "3dreach.query" in names
+    query_span = t.root.children[0]
+    assert query_span.counters.get(
+        'repro_method_queries_total{method="3dreach"}'
+    ) == 1
