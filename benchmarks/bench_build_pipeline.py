@@ -1,0 +1,125 @@
+"""Shared build pipeline — build-all-methods wall time, with and without
+artifact sharing.
+
+Builds the paper's five methods over each dataset twice:
+
+* **independent** — five :func:`repro.core.build_method` calls, each
+  paying its own condensation access, labeling and R-tree load (the
+  pre-pipeline behavior);
+* **shared** — one :func:`repro.core.build_methods` call over a single
+  :class:`repro.pipeline.BuildContext`.
+
+Besides the timing entries, the run asserts the pipeline's contract: the
+shared build condenses at most once and constructs each labeling at most
+once per distinct ``(direction, mode, stride)`` key — checked both on the
+context's local stats and on the ``repro_pipeline_*`` obs counters — and
+writes a JSON artifact to ``benchmarks/results/build_pipeline.json``.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.bench import bench_datasets, format_table, get_condensed
+from repro.core import build_method, build_methods
+from repro.pipeline import BuildContext
+
+PAPER_METHODS = (
+    "spareach-bfl", "georeach", "socreach", "3dreach", "3dreach-rev",
+)
+
+
+def _build_independent(condensed):
+    return {name: build_method(name, condensed) for name in PAPER_METHODS}
+
+
+def _build_shared(condensed):
+    context = BuildContext(condensed)
+    methods = build_methods(PAPER_METHODS, context=context)
+    return methods, context
+
+
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_build_independent(benchmark, dataset):
+    condensed = get_condensed(dataset)
+    methods = benchmark.pedantic(
+        lambda: _build_independent(condensed), rounds=1, iterations=1
+    )
+    assert len(methods) == len(PAPER_METHODS)
+
+
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_build_shared(benchmark, dataset):
+    condensed = get_condensed(dataset)
+    methods, context = benchmark.pedantic(
+        lambda: _build_shared(condensed), rounds=1, iterations=1
+    )
+    assert len(methods) == len(PAPER_METHODS)
+    stats = context.stats()
+    # The pipeline contract: condensation never rebuilt (the context was
+    # seeded with one), labelings built once per distinct key.
+    assert stats["misses"].get("condense", 0) <= 1
+    assert stats["misses"].get("labeling", 0) == len(context.labeling_builds())
+    assert context.labeling_builds() == [
+        ("forward", "subtree", 1),
+        ("reversed", "subtree", 1),
+    ]
+
+
+def test_pipeline_report(report, results_dir):
+    rows = []
+    artifact = {"methods": list(PAPER_METHODS), "datasets": {}}
+    for dataset in bench_datasets():
+        condensed = get_condensed(dataset)
+        obs.REGISTRY.reset()
+        with obs.observability(True):
+            started = time.perf_counter()
+            _build_independent(condensed)
+            independent_s = time.perf_counter() - started
+
+            started = time.perf_counter()
+            _, context = _build_shared(condensed)
+            shared_s = time.perf_counter() - started
+            labeling_misses = obs.REGISTRY.value(
+                "repro_pipeline_cache_misses_total", artifact="labeling"
+            )
+        stats = context.stats()
+        # Obs counters aggregate over both runs; the *independent* run
+        # creates one single-use context per method, so its misses also
+        # land there.  The shared run's own misses come from the context.
+        assert stats["misses"].get("labeling", 0) == len(
+            context.labeling_builds()
+        )
+        # Independent: one context per method => labeling built per
+        # method needing it (spareach-bfl: 0, georeach: 0, socreach: 1,
+        # 3dreach: 1, 3dreach-rev: 1) = 3, plus the shared run's 2.
+        assert labeling_misses >= stats["misses"].get("labeling", 0)
+        speedup = independent_s / shared_s if shared_s > 0 else float("inf")
+        rows.append([
+            dataset,
+            f"{independent_s:.3f}",
+            f"{shared_s:.3f}",
+            f"{speedup:.2f}x",
+            str(stats["hits"].get("labeling", 0)),
+            str(stats["misses"].get("labeling", 0)),
+        ])
+        artifact["datasets"][dataset] = {
+            "independent_seconds": independent_s,
+            "shared_seconds": shared_s,
+            "speedup": speedup,
+            "context_stats": stats,
+            "labeling_builds": [
+                list(key) for key in context.labeling_builds()
+            ],
+        }
+    report(format_table(
+        ["dataset", "independent [s]", "shared [s]", "speedup",
+         "label hits", "label misses"],
+        rows,
+        title="Shared build pipeline: build-all-five-methods wall time",
+    ))
+    out = results_dir / "build_pipeline.json"
+    out.write_text(json.dumps(artifact, indent=2), encoding="utf-8")
+    assert out.exists()

@@ -44,7 +44,9 @@ from repro.core import (
     ThreeDReach,
     ThreeDReachRev,
     build_method,
+    build_methods,
 )
+from repro.pipeline import BuildContext
 
 __version__ = "1.0.0"
 
@@ -70,5 +72,7 @@ __all__ = [
     "ThreeDReach",
     "ThreeDReachRev",
     "build_method",
+    "build_methods",
+    "BuildContext",
     "__version__",
 ]

@@ -17,6 +17,7 @@ from repro.core import (
 from repro.core.base import RangeReachMethod
 from repro.datasets import make_network
 from repro.geosocial import CondensedNetwork, GeosocialNetwork, condense_network
+from repro.pipeline import BuildContext
 from repro.workloads import Query
 
 ALL_DATASETS = ("foursquare", "gowalla", "weeplaces", "yelp")
@@ -70,6 +71,23 @@ def get_condensed(name: str, scale: float | None = None, seed: int = 1) -> Conde
     if key not in _CONDENSED:
         _CONDENSED[key] = condense_network(get_network(name, scale, seed))
     return _CONDENSED[key]
+
+
+_CONTEXTS: dict[tuple[str, float, int], BuildContext] = {}
+
+
+def get_context(name: str, scale: float | None = None, seed: int = 1) -> BuildContext:
+    """Return the (cached) shared build context of a dataset replica.
+
+    Bundles built over the same ``(dataset, scale, seed)`` share one
+    context, so artifacts carry over between benchmark files in a single
+    process.
+    """
+    scale = bench_scale() if scale is None else scale
+    key = (name, scale, seed)
+    if key not in _CONTEXTS:
+        _CONTEXTS[key] = BuildContext(get_condensed(name, scale, seed))
+    return _CONTEXTS[key]
 
 
 # ----------------------------------------------------------------------
@@ -178,34 +196,37 @@ class MethodBundle:
     dataset: str
     methods: dict[str, RangeReachMethod]
     build_seconds: dict[str, float]
+    context: BuildContext | None = None
 
     def __getitem__(self, name: str) -> RangeReachMethod:
         return self.methods[name]
 
 
-_METHOD_FACTORIES: dict[str, Callable[[CondensedNetwork], RangeReachMethod]] = {
-    "spareach-bfl": lambda cn: SpaReach(cn, reach_index="bfl"),
-    "spareach-int": lambda cn: SpaReach(cn, reach_index="interval"),
-    "georeach": lambda cn: GeoReach(cn),
-    "socreach": lambda cn: SocReach(cn),
-    "3dreach": lambda cn: ThreeDReach(cn),
-    "3dreach-rev": lambda cn: ThreeDReachRev(cn),
+# Factories accept an optional shared BuildContext; callers that only
+# pass the condensation (the per-method benchmark files) keep working.
+_METHOD_FACTORIES: dict[str, Callable[..., RangeReachMethod]] = {
+    "spareach-bfl": lambda cn, ctx=None: SpaReach(cn, reach_index="bfl", context=ctx),
+    "spareach-int": lambda cn, ctx=None: SpaReach(cn, reach_index="interval", context=ctx),
+    "georeach": lambda cn, ctx=None: GeoReach(cn, context=ctx),
+    "socreach": lambda cn, ctx=None: SocReach(cn, context=ctx),
+    "3dreach": lambda cn, ctx=None: ThreeDReach(cn, context=ctx),
+    "3dreach-rev": lambda cn, ctx=None: ThreeDReachRev(cn, context=ctx),
     # MBR SCC-handling variants (Section 5 / Figure 5 & the Table 4/5
     # parenthesised numbers).
-    "spareach-bfl-mbr": lambda cn: SpaReach(cn, reach_index="bfl", scc_mode="mbr"),
-    "spareach-int-mbr": lambda cn: SpaReach(cn, reach_index="interval", scc_mode="mbr"),
-    "3dreach-mbr": lambda cn: ThreeDReach(cn, scc_mode="mbr"),
-    "3dreach-rev-mbr": lambda cn: ThreeDReachRev(cn, scc_mode="mbr"),
+    "spareach-bfl-mbr": lambda cn, ctx=None: SpaReach(cn, reach_index="bfl", scc_mode="mbr", context=ctx),
+    "spareach-int-mbr": lambda cn, ctx=None: SpaReach(cn, reach_index="interval", scc_mode="mbr", context=ctx),
+    "3dreach-mbr": lambda cn, ctx=None: ThreeDReach(cn, scc_mode="mbr", context=ctx),
+    "3dreach-rev-mbr": lambda cn, ctx=None: ThreeDReachRev(cn, scc_mode="mbr", context=ctx),
     # Ablation variants (not part of the paper's figures).
-    "spareach-bfl-streaming": lambda cn: SpaReach(cn, reach_index="bfl", streaming=True),
-    "spareach-pll": lambda cn: SpaReach(cn, reach_index="pll"),
-    "spareach-grail": lambda cn: SpaReach(cn, reach_index="grail"),
-    "spareach-feline": lambda cn: SpaReach(cn, reach_index="feline"),
-    "spareach-chain": lambda cn: SpaReach(cn, reach_index="chain"),
-    "spareach-bfl-quadtree": lambda cn: SpaReach(cn, reach_index="bfl", spatial_index="quadtree"),
-    "spareach-bfl-grid": lambda cn: SpaReach(cn, reach_index="bfl", spatial_index="grid"),
-    "spareach-bfl-linear": lambda cn: SpaReach(cn, reach_index="bfl", spatial_index="linear"),
-    "socreach-bptree": lambda cn: SocReach(cn, descendant_access="bptree"),
+    "spareach-bfl-streaming": lambda cn, ctx=None: SpaReach(cn, reach_index="bfl", streaming=True, context=ctx),
+    "spareach-pll": lambda cn, ctx=None: SpaReach(cn, reach_index="pll", context=ctx),
+    "spareach-grail": lambda cn, ctx=None: SpaReach(cn, reach_index="grail", context=ctx),
+    "spareach-feline": lambda cn, ctx=None: SpaReach(cn, reach_index="feline", context=ctx),
+    "spareach-chain": lambda cn, ctx=None: SpaReach(cn, reach_index="chain", context=ctx),
+    "spareach-bfl-quadtree": lambda cn, ctx=None: SpaReach(cn, reach_index="bfl", spatial_index="quadtree", context=ctx),
+    "spareach-bfl-grid": lambda cn, ctx=None: SpaReach(cn, reach_index="bfl", spatial_index="grid", context=ctx),
+    "spareach-bfl-linear": lambda cn, ctx=None: SpaReach(cn, reach_index="bfl", spatial_index="linear", context=ctx),
+    "socreach-bptree": lambda cn, ctx=None: SocReach(cn, descendant_access="bptree", context=ctx),
 }
 
 PAPER_METHODS = ("spareach-bfl", "georeach", "socreach", "3dreach", "3dreach-rev")
@@ -225,14 +246,15 @@ def get_bundle(
     if key in _BUNDLES:
         return _BUNDLES[key]
     condensed = get_condensed(dataset, scale, seed)
+    context = get_context(dataset, scale, seed)
     methods: dict[str, RangeReachMethod] = {}
     build_seconds: dict[str, float] = {}
     for name in method_names:
         factory = _METHOD_FACTORIES[name]
-        method, seconds = build_timed(lambda f=factory: f(condensed))
+        method, seconds = build_timed(lambda f=factory: f(condensed, context))
         methods[name] = method
         build_seconds[name] = seconds
-    bundle = MethodBundle(dataset, methods, build_seconds)
+    bundle = MethodBundle(dataset, methods, build_seconds, context=context)
     _BUNDLES[key] = bundle
     return bundle
 

@@ -21,11 +21,12 @@ import sys
 import time
 
 from repro import obs
-from repro.core import METHOD_REGISTRY, build_method
+from repro.core import METHOD_REGISTRY, build_method, build_methods
 from repro.datasets import DATASET_PROFILES, make_network
 from repro.geometry import Rect
 from repro.geosocial import GeosocialNetwork, condense_network
 from repro.labeling import build_labeling, build_reversed_labeling, save_labeling
+from repro.pipeline import BuildContext
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -74,14 +75,15 @@ def _dump_obs(network: GeosocialNetwork, args: argparse.Namespace) -> int:
             print(f"error: unknown method {name!r}; known: {known}",
                   file=sys.stderr)
             return 2
-    condensed = condense_network(network)
     queries = QueryWorkload(network, seed=args.seed).batch_by_extent(
         5.0, (1, 10**9), args.obs_queries
     )
     obs.REGISTRY.reset()
     with obs.observability(True):
-        for name in methods:
-            method = build_method(name, condensed)
+        # One shared BuildContext: the dump also shows the pipeline's
+        # cache hit/miss counters for the build phase.
+        built = build_methods(methods, network)
+        for method in built.values():
             for query in queries:
                 method.query(query.vertex, query.region)
     if args.obs == "json":
@@ -133,8 +135,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         return 2
     condensed = condense_network(network)
+    context = BuildContext(condensed)
     build_start = time.perf_counter()
-    method = build_method(args.method, condensed)
+    method = build_method(args.method, condensed, context=context)
     build_elapsed = time.perf_counter() - build_start
     query_trace = None
     query_start = time.perf_counter()

@@ -26,6 +26,7 @@ from repro.core.base import (
     METHOD_REGISTRY,
     RangeReachMethod,
     build_method,
+    build_methods,
     sync_known_names_doc,
 )
 from repro.core.extensions import GeosocialQueryEngine
@@ -44,6 +45,7 @@ sync_known_names_doc()
 __all__ = [
     "RangeReachMethod",
     "build_method",
+    "build_methods",
     "METHOD_REGISTRY",
     "sync_known_names_doc",
     "GeosocialQueryEngine",

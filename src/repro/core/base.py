@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Callable, Protocol, runtime_checkable
+from typing import Callable, Iterable, Mapping, Protocol, runtime_checkable
 
 from repro.geometry import Rect
+from repro.geosocial.network import GeosocialNetwork
 from repro.geosocial.scc_handling import CondensedNetwork
+from repro.pipeline import BuildContext
 
 
 @runtime_checkable
@@ -47,13 +49,62 @@ _BUILD_METHOD_DOC = """Instantiate a registered method by paper name.
     """
 
 
-def build_method(name: str, network: CondensedNetwork, **options) -> RangeReachMethod:
+def _resolve_factory(name: str) -> MethodFactory:
     try:
-        factory = METHOD_REGISTRY[name]
+        return METHOD_REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(METHOD_REGISTRY))
         raise ValueError(f"unknown method {name!r}; known: {known}") from None
-    return factory(network, **options)
+
+
+def build_method(name: str, network: CondensedNetwork, **options) -> RangeReachMethod:
+    return _resolve_factory(name)(network, **options)
+
+
+def build_methods(
+    names: Iterable[str],
+    network: GeosocialNetwork | CondensedNetwork | None = None,
+    *,
+    context: BuildContext | None = None,
+    options: Mapping[str, Mapping] | None = None,
+) -> dict[str, RangeReachMethod]:
+    """Build several methods over ONE shared :class:`BuildContext`.
+
+    Unlike N calls to :func:`build_method`, the condensation runs exactly
+    once and each interval labeling at most once per distinct
+    ``(direction, mode, stride)`` key; R-trees and spatial feeds are
+    shared wherever two methods agree on their build parameters.
+
+    Args:
+        names: registered method names, in the order the result dict
+            should iterate; duplicates are built once.
+        network: the network to build over (raw or condensed).  Optional
+            when ``context`` is given.
+        context: an existing :class:`BuildContext` to build through.  When
+            omitted, one is created from ``network``.
+        options: per-method keyword options, keyed by method name (the
+            same keywords :func:`build_method` accepts).
+
+    Returns:
+        Mapping of method name to built method, preserving input order.
+    """
+    names = list(dict.fromkeys(names))
+    factories = {name: _resolve_factory(name) for name in names}
+    if context is None:
+        if network is None:
+            raise ValueError("build_methods needs a network or a context")
+        context = BuildContext(network)
+    condensed = context.condensed()
+    options = options or {}
+    unknown = sorted(set(options) - set(names))
+    if unknown:
+        raise ValueError(
+            f"options given for methods not being built: {', '.join(unknown)}"
+        )
+    return {
+        name: factories[name](condensed, context=context, **options.get(name, {}))
+        for name in names
+    }
 
 
 def sync_known_names_doc() -> None:

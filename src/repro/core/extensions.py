@@ -24,8 +24,9 @@ import math
 
 from repro.geometry import Point, Rect
 from repro.geosocial.scc_handling import CondensedNetwork
-from repro.labeling import IntervalLabeling, build_labeling
+from repro.labeling import IntervalLabeling
 from repro.obs.trace import span as _span
+from repro.pipeline import BuildContext
 from repro.spatial import RTree
 
 
@@ -37,17 +38,26 @@ class GeosocialQueryEngine:
         network: CondensedNetwork,
         labeling: IntervalLabeling | None = None,
         rtree_capacity: int = 16,
+        context: BuildContext | None = None,
     ) -> None:
         self._network = network
-        self._labeling = (
-            labeling if labeling is not None else build_labeling(network.dag)
-        )
-        post = self._labeling.post
-        entries = (
-            ((p.x, p.y, post[c], p.x, p.y, post[c]), vertex)
-            for p, c, vertex in network.vertex_entries()
-        )
-        self._rtree = RTree.bulk_load(entries, dims=3, capacity=rtree_capacity)
+        if labeling is not None:
+            # An explicitly supplied labeling may not match any context
+            # key, so its R-tree is built locally (current behavior).
+            self._labeling = labeling
+            post = labeling.post
+            entries = (
+                ((p.x, p.y, post[c], p.x, p.y, post[c]), vertex)
+                for p, c, vertex in network.vertex_entries()
+            )
+            self._rtree = RTree.bulk_load(
+                entries, dims=3, capacity=rtree_capacity
+            )
+        else:
+            if context is None:
+                context = BuildContext(network)
+            self._labeling = context.labeling()
+            self._rtree = context.vertex_rtree_3d(capacity=rtree_capacity)
 
     # ------------------------------------------------------------------
     def _cuboids(self, v: int, region: Rect):

@@ -32,6 +32,7 @@ from repro.graph.traversal import topological_order
 from repro.obs import instruments as _inst
 from repro.obs.metrics import enabled as _obs_enabled
 from repro.obs.trace import span as _span
+from repro.pipeline import BuildContext
 from repro.spatial.grid import Cell, HierarchicalGrid
 
 # Vertex classes of the SPA-graph.
@@ -93,9 +94,16 @@ class GeoReach:
         self,
         network: CondensedNetwork,
         params: GeoReachParams | None = None,
+        context: BuildContext | None = None,
     ) -> None:
         self._network = network
         self._params = params or GeoReachParams()
+        # GeoReach shares no labeling or R-tree, but it does read the
+        # condensation's coordinate columns; going through the context
+        # keeps the artifact (and its cache accounting) shared.
+        self._columns = (
+            context.columns() if context is not None else network.columns()
+        )
         self._m_queries = _inst.METHOD_QUERIES.labels(method=self.name)
         self._m_positives = _inst.METHOD_POSITIVES.labels(method=self.name)
         self._m_verified = _inst.METHOD_CANDIDATES_VERIFIED.labels(
@@ -201,6 +209,10 @@ class GeoReach:
         grid = self._grid
         vertex_class = self._class
         source = network.super_of(v)
+        columns = self._columns
+        offsets = columns.offsets
+        xs, ys = columns.xs, columns.ys
+        first_contained = region.first_contained
 
         expanded = 0
         pruned = 0
@@ -213,14 +225,16 @@ class GeoReach:
         while queue:
             u = queue.popleft()
             expanded += 1
-            # A spatial vertex inside R answers the query immediately.
-            for point in network.points_of(u):
-                point_tests += 1
-                if region.contains_point(point):
+            # A spatial vertex inside R answers the query immediately;
+            # the member points are scanned as flat coordinate columns.
+            lo, hi = offsets[u], offsets[u + 1]
+            if hi > lo:
+                idx = first_contained(xs, ys, lo, hi)
+                if idx >= 0:
+                    point_tests += idx - lo + 1
                     answer = True
                     break
-            if answer:
-                break
+                point_tests += hi - lo
             u_class = vertex_class[u]
             if u_class == _B_VERTEX:
                 if not self._geo_bit[u]:
@@ -309,7 +323,8 @@ class GeoReach:
 @register_method("georeach")
 def _build_georeach(network: CondensedNetwork, **options) -> GeoReach:
     params = options.pop("params", None)
+    context = options.pop("context", None)
     if params is None and options:
         params = GeoReachParams(**options)
         options = {}
-    return GeoReach(network, params=params)
+    return GeoReach(network, params=params, context=context)

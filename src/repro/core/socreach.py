@@ -5,17 +5,27 @@ query vertex, and spatially verify each against the query region.  No
 spatial index is involved — the descendant set is produced on the fly, so
 (as the paper notes) spatial indexing cannot accelerate the containment
 tests; the method's cost tracks ``|D(v)|``.
+
+The array access path runs over :class:`~repro.geosocial.PostOrderSlabs`:
+each label ``[l, h]`` covers a contiguous run of post-order slots, so its
+descendant scan is one flat-column slice instead of a per-slot walk over
+``Point`` lists.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from typing import Iterator
+
 from repro.core.base import register_method
 from repro.geometry import Rect
+from repro.geosocial.columnar import PostOrderSlabs, build_post_slabs
 from repro.geosocial.scc_handling import CondensedNetwork
-from repro.labeling import IntervalLabeling, build_labeling
+from repro.labeling import IntervalLabeling
 from repro.obs import instruments as _inst
 from repro.obs.metrics import enabled as _obs_enabled
 from repro.obs.trace import span as _span
+from repro.pipeline import BuildContext
 
 
 class SocReach:
@@ -25,7 +35,8 @@ class SocReach:
     Section 4.1 are evaluated — the two options the paper names:
 
     * ``"array"`` (default) — "simple for loops on the array storing the
-      network vertices in main memory";
+      network vertices in main memory"; here backed by post-order-aligned
+      coordinate slabs, so each label scans one contiguous flat range;
     * ``"bptree"`` — "a traditional B+-tree which indexes post(v)"; only
       spatial vertices are indexed, so sparse descendant sets skip the
       non-spatial majority entirely.
@@ -39,37 +50,46 @@ class SocReach:
         labeling: IntervalLabeling | None = None,
         mode: str = "subtree",
         descendant_access: str = "array",
+        context: BuildContext | None = None,
     ) -> None:
         if descendant_access not in ("array", "bptree"):
             raise ValueError("descendant_access must be 'array' or 'bptree'")
         self._network = network
         self._access = descendant_access
-        self._labeling = (
-            labeling if labeling is not None else build_labeling(network.dag, mode=mode)
-        )
+        if labeling is not None:
+            self._labeling = labeling
+            slabs = None if descendant_access == "bptree" else build_post_slabs(
+                network, labeling
+            )
+        else:
+            if context is None:
+                context = BuildContext(network)
+            self._labeling = context.labeling(mode=mode)
+            slabs = (
+                None
+                if descendant_access == "bptree"
+                else context.post_slabs(mode=mode)
+            )
         if descendant_access == "bptree":
             from repro.relational import BPlusTree
 
+            # Sort on the post number alone: with a key function Python
+            # never falls back to comparing the point-list payloads (ties
+            # cannot happen — posts are unique — but the bare-tuple sort
+            # compared lists on the way to proving that).
             pairs = sorted(
-                (self._labeling.post_of(c), network.points_of(c))
-                for c in network.spatial_components()
+                (
+                    (self._labeling.post_of(c), network.points_of(c))
+                    for c in network.spatial_components()
+                ),
+                key=lambda pair: pair[0],
             )
             self._bptree = BPlusTree.from_sorted(pairs)
-            self._points_at_post = None
+            self._slabs: PostOrderSlabs | None = None
             self.name = "socreach-bptree"
         else:
-            # Pre-resolve each super-vertex's points keyed by post-order
-            # slot so descendant enumeration is one array walk.  With a
-            # gapped numbering (stride > 1) slot = post // stride.
             self._bptree = None
-            stride = self._labeling.stride
-            n = self._labeling.num_vertices
-            self._points_at_post = [None] * n
-            for component in network.spatial_components():
-                post = self._labeling.post_of(component)
-                self._points_at_post[post // stride - 1] = network.points_of(
-                    component
-                )
+            self._slabs = slabs
         self._m_queries = _inst.METHOD_QUERIES.labels(method=self.name)
         self._m_positives = _inst.METHOD_POSITIVES.labels(method=self.name)
         self._m_probes = _inst.METHOD_LABEL_PROBES.labels(method=self.name)
@@ -79,6 +99,17 @@ class SocReach:
         self._m_scanned = _inst.SOCREACH_DESCENDANTS.labels(method=self.name)
 
     # ------------------------------------------------------------------
+    def _slot_ranges(self, source: int) -> Iterator[tuple[int, int]]:
+        """Yield each label's inclusive 1-based slot range ``(start, end)``.
+
+        With a gapped numbering (stride > 1) a label may cover no whole
+        slot at all; such labels yield ``end < start`` and still count as
+        probed — callers skip the scan but not the tally.
+        """
+        stride = self._labeling.stride
+        for lo, hi in self._labeling.labels_of(source):
+            yield (lo + stride - 1) // stride, hi // stride
+
     def query(self, v: int, region: Rect) -> bool:
         # Dual path: the descendant scan is the whole cost of SocReach,
         # so the disabled-observability path must not even keep local
@@ -90,11 +121,11 @@ class SocReach:
 
     def _query_plain(self, v: int, region: Rect) -> bool:
         source = self._network.super_of(v)
-        contains = region.contains_point
         # Every label [l, h] is a range query over post-order numbers
         # (the D(v) equation in Section 4.1); scan the range and test
         # each spatial descendant's points until a witness appears.
         if self._access == "bptree":
+            contains = region.contains_point
             scan = self._bptree.range_scan
             for lo, hi in self._labeling.labels_of(source):
                 for _, points in scan(lo, hi):
@@ -102,29 +133,26 @@ class SocReach:
                         if contains(point):
                             return True
             return False
-        points_at_post = self._points_at_post
-        stride = self._labeling.stride
-        for lo, hi in self._labeling.labels_of(source):
-            start = (lo + stride - 1) // stride
-            end = hi // stride
-            for slot in range(start - 1, end):
-                points = points_at_post[slot]
-                if points is None:
-                    continue
-                for point in points:
-                    if contains(point):
-                        return True
+        slabs = self._slabs
+        offsets = slabs.offsets
+        xs, ys = slabs.xs, slabs.ys
+        any_contained = region.any_contained
+        for start, end in self._slot_ranges(source):
+            if end < start:
+                continue
+            if any_contained(xs, ys, offsets[start - 1], offsets[end]):
+                return True
         return False
 
     def _query_counted(self, v: int, region: Rect) -> bool:
         """Same scan as :meth:`_query_plain`, with work tallies."""
         source = self._network.super_of(v)
-        contains = region.contains_point
         scanned = 0
         labels_probed = 0
         containment_tests = 0
         answer = False
         if self._access == "bptree":
+            contains = region.contains_point
             scan = self._bptree.range_scan
             for lo, hi in self._labeling.labels_of(source):
                 labels_probed += 1
@@ -140,25 +168,29 @@ class SocReach:
                 if answer:
                     break
         else:
-            points_at_post = self._points_at_post
-            stride = self._labeling.stride
-            for lo, hi in self._labeling.labels_of(source):
+            slabs = self._slabs
+            offsets = slabs.offsets
+            xs, ys = slabs.xs, slabs.ys
+            first_contained = region.first_contained
+            for start, end in self._slot_ranges(source):
                 labels_probed += 1
-                start = (lo + stride - 1) // stride
-                end = hi // stride
-                for slot in range(start - 1, end):
-                    scanned += 1
-                    points = points_at_post[slot]
-                    if points is None:
-                        continue
-                    for point in points:
-                        containment_tests += 1
-                        if contains(point):
-                            answer = True
-                            break
-                    if answer:
-                        break
-                if answer:
+                if end < start:
+                    continue
+                a, b = offsets[start - 1], offsets[end]
+                idx = first_contained(xs, ys, a, b)
+                if idx < 0:
+                    # A miss visits every slot of the label and tests
+                    # every point in its flat range.
+                    scanned += end - start + 1
+                    containment_tests += b - a
+                else:
+                    # Recover the slot owning the hit point so the tallies
+                    # match the per-slot scan: slots up to and including
+                    # the hit slot, points up to and including the hit.
+                    hit_slot = bisect_right(offsets, idx) - 1
+                    scanned += hit_slot - (start - 1) + 1
+                    containment_tests += idx - a + 1
+                    answer = True
                     break
         self._m_queries.inc()
         if answer:

@@ -30,6 +30,7 @@ from repro.reach import (
     PllReach,
 )
 from repro.reach.base import ReachabilityIndex
+from repro.pipeline import BuildContext
 from repro.spatial import RTree
 
 _REACH_FACTORIES: dict[str, Callable[[DiGraph], ReachabilityIndex]] = {
@@ -66,6 +67,10 @@ class SpaReach:
             ``"quadtree"``, ``"grid"`` or ``"linear"``.  The paper notes
             SpaReach works with any spatial index; the SOP alternatives
             store points only, so they require ``scc_mode="replicate"``.
+        context: shared :class:`BuildContext` to construct through.  Both
+            SpaReach variants draw the same bulk-load feed and R-tree from
+            it, and SpaReach-INT shares the context's forward interval
+            labeling with SocReach/3DReach.
     """
 
     def __init__(
@@ -76,9 +81,12 @@ class SpaReach:
         rtree_capacity: int = 16,
         streaming: bool = False,
         spatial_index: str = "rtree",
+        context: BuildContext | None = None,
     ) -> None:
         if scc_mode not in SCC_MODES:
             raise ValueError(f"scc_mode must be one of {SCC_MODES}")
+        if context is None:
+            context = BuildContext(network)
         if isinstance(reach_index, str):
             try:
                 factory = _REACH_FACTORIES[reach_index]
@@ -92,7 +100,14 @@ class SpaReach:
         self._network = network
         self._scc_mode = scc_mode
         self._streaming = streaming
-        self._reach = factory(network.dag)
+        if reach_index == "interval":
+            # SpaReach-INT's reachability labels are the same forward
+            # interval labeling SocReach/3DReach use — share it.
+            self._reach = IntervalReach(
+                network.dag, labeling=context.labeling()
+            )
+        else:
+            self._reach = factory(network.dag)
         self.name = f"spareach-{self._reach.name}"
         if scc_mode == "mbr":
             self.name += "-mbr"
@@ -111,18 +126,13 @@ class SpaReach:
         if spatial_index != "rtree":
             self.name += f"-{spatial_index}"
 
-        if scc_mode == "replicate":
-            entries = [
-                ((p.x, p.y, p.x, p.y), component)
-                for p, component in network.replicate_entries()
-            ]
-        else:
-            entries = [
-                (mbr.as_tuple(), component)
-                for mbr, component in network.mbr_entries()
-            ]
+        entries = (
+            context.replicate_feed()
+            if scc_mode == "replicate"
+            else context.mbr_feed()
+        )
         if spatial_index == "rtree":
-            self._rtree = RTree.bulk_load(entries, dims=2, capacity=rtree_capacity)
+            self._rtree = context.spatial_rtree(scc_mode, rtree_capacity)
         elif spatial_index == "linear":
             from repro.spatial import LinearScanIndex
 

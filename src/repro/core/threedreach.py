@@ -14,10 +14,11 @@ from __future__ import annotations
 from repro.core.base import register_method
 from repro.geometry import Rect
 from repro.geosocial.scc_handling import SCC_MODES, CondensedNetwork, SccMode
-from repro.labeling import IntervalLabeling, build_labeling
+from repro.labeling import IntervalLabeling
 from repro.obs import instruments as _inst
 from repro.obs.metrics import enabled as _obs_enabled
 from repro.obs.trace import span as _span
+from repro.pipeline import BuildContext
 from repro.spatial import RTree
 
 
@@ -31,6 +32,7 @@ class ThreeDReach:
         scc_mode: SccMode = "replicate",
         mode: str = "subtree",
         rtree_capacity: int = 16,
+        context: BuildContext | None = None,
     ) -> None:
         if scc_mode not in SCC_MODES:
             raise ValueError(f"scc_mode must be one of {SCC_MODES}")
@@ -43,24 +45,35 @@ class ThreeDReach:
         self._m_verified = _inst.METHOD_CANDIDATES_VERIFIED.labels(
             method=self.name
         )
-        self._labeling = (
-            labeling if labeling is not None else build_labeling(network.dag, mode=mode)
-        )
-        post = self._labeling.post
-        if scc_mode == "replicate":
-            # One 3-D point per member point of each spatial super-vertex.
-            entries = (
-                ((p.x, p.y, post[c], p.x, p.y, post[c]), c)
-                for p, c in network.replicate_entries()
+        if labeling is not None:
+            # An explicitly supplied labeling may not match any context
+            # key, so its R-tree is built locally (current behavior).
+            self._labeling = labeling
+            post = labeling.post
+            if scc_mode == "replicate":
+                # One 3-D point per member point of each spatial
+                # super-vertex.
+                entries = (
+                    ((p.x, p.y, post[c], p.x, p.y, post[c]), c)
+                    for p, c in network.replicate_entries()
+                )
+            else:
+                # One flat 3-D box per spatial super-vertex: the member
+                # MBR at height post(c).
+                entries = (
+                    ((m.xlo, m.ylo, post[c], m.xhi, m.yhi, post[c]), c)
+                    for m, c in network.mbr_entries()
+                )
+            self._rtree = RTree.bulk_load(
+                entries, dims=3, capacity=rtree_capacity
             )
         else:
-            # One flat 3-D box per spatial super-vertex: the member MBR at
-            # height post(c).
-            entries = (
-                ((m.xlo, m.ylo, post[c], m.xhi, m.yhi, post[c]), c)
-                for m, c in network.mbr_entries()
+            if context is None:
+                context = BuildContext(network)
+            self._labeling = context.labeling(mode=mode)
+            self._rtree = context.point_rtree_3d(
+                scc_mode, mode=mode, capacity=rtree_capacity
             )
-        self._rtree = RTree.bulk_load(entries, dims=3, capacity=rtree_capacity)
 
     # ------------------------------------------------------------------
     def query(self, v: int, region: Rect) -> bool:

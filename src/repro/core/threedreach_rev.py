@@ -14,10 +14,11 @@ from __future__ import annotations
 from repro.core.base import register_method
 from repro.geometry import Rect
 from repro.geosocial.scc_handling import SCC_MODES, CondensedNetwork, SccMode
-from repro.labeling import IntervalLabeling, build_reversed_labeling
+from repro.labeling import IntervalLabeling
 from repro.obs import instruments as _inst
 from repro.obs.metrics import enabled as _obs_enabled
 from repro.obs.trace import span as _span
+from repro.pipeline import BuildContext
 from repro.spatial import RTree
 
 
@@ -31,6 +32,7 @@ class ThreeDReachRev:
         scc_mode: SccMode = "replicate",
         mode: str = "subtree",
         rtree_capacity: int = 16,
+        context: BuildContext | None = None,
     ) -> None:
         if scc_mode not in SCC_MODES:
             raise ValueError(f"scc_mode must be one of {SCC_MODES}")
@@ -43,30 +45,38 @@ class ThreeDReachRev:
         self._m_verified = _inst.METHOD_CANDIDATES_VERIFIED.labels(
             method=self.name
         )
-        self._labeling = (
-            reversed_labeling
-            if reversed_labeling is not None
-            else build_reversed_labeling(network.dag, mode=mode)
-        )
-        labels = self._labeling.labels
+        if reversed_labeling is not None:
+            # An explicitly supplied labeling may not match any context
+            # key, so its R-tree is built locally (current behavior).
+            self._labeling = reversed_labeling
+            labels = reversed_labeling.labels
 
-        def entries():
-            if self._scc_mode == "replicate":
-                for point, component in network.replicate_entries():
-                    for lo, hi in labels[component]:
-                        yield (
-                            (point.x, point.y, lo, point.x, point.y, hi),
-                            component,
-                        )
-            else:
-                for mbr, component in network.mbr_entries():
-                    for lo, hi in labels[component]:
-                        yield (
-                            (mbr.xlo, mbr.ylo, lo, mbr.xhi, mbr.yhi, hi),
-                            component,
-                        )
+            def entries():
+                if self._scc_mode == "replicate":
+                    for point, component in network.replicate_entries():
+                        for lo, hi in labels[component]:
+                            yield (
+                                (point.x, point.y, lo, point.x, point.y, hi),
+                                component,
+                            )
+                else:
+                    for mbr, component in network.mbr_entries():
+                        for lo, hi in labels[component]:
+                            yield (
+                                (mbr.xlo, mbr.ylo, lo, mbr.xhi, mbr.yhi, hi),
+                                component,
+                            )
 
-        self._rtree = RTree.bulk_load(entries(), dims=3, capacity=rtree_capacity)
+            self._rtree = RTree.bulk_load(
+                entries(), dims=3, capacity=rtree_capacity
+            )
+        else:
+            if context is None:
+                context = BuildContext(network)
+            self._labeling = context.reversed_labeling(mode=mode)
+            self._rtree = context.segment_rtree_3d(
+                scc_mode, mode=mode, capacity=rtree_capacity
+            )
 
     # ------------------------------------------------------------------
     def query(self, v: int, region: Rect) -> bool:

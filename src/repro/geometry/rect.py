@@ -93,6 +93,39 @@ class Rect:
         """Coordinate-pair variant of :meth:`contains_point`."""
         return self.xlo <= x <= self.xhi and self.ylo <= y <= self.yhi
 
+    def any_contained(self, xs, ys, lo: int = 0, hi: int | None = None) -> bool:
+        """Batched containment: is any ``(xs[i], ys[i])``, ``lo <= i < hi``,
+        inside this rectangle?
+
+        ``xs``/``ys`` are parallel coordinate columns (``array('d')`` or
+        any sliceable sequence); the scan iterates slices, so columnar
+        callers avoid per-point object and attribute overhead.
+        """
+        if hi is None:
+            hi = len(xs)
+        rxlo, rylo, rxhi, ryhi = self.xlo, self.ylo, self.xhi, self.yhi
+        for x, y in zip(xs[lo:hi], ys[lo:hi]):
+            if rxlo <= x <= rxhi and rylo <= y <= ryhi:
+                return True
+        return False
+
+    def first_contained(self, xs, ys, lo: int = 0, hi: int | None = None) -> int:
+        """Return the first index in ``[lo, hi)`` whose ``(xs[i], ys[i])``
+        lies inside this rectangle, or ``-1`` if none does.
+
+        The index variant exists for instrumented callers that must know
+        *how far* a scan ran before its early exit.
+        """
+        if hi is None:
+            hi = len(xs)
+        rxlo, rylo, rxhi, ryhi = self.xlo, self.ylo, self.xhi, self.yhi
+        i = lo
+        for x, y in zip(xs[lo:hi], ys[lo:hi]):
+            if rxlo <= x <= rxhi and rylo <= y <= ryhi:
+                return i
+            i += 1
+        return -1
+
     def contains_rect(self, other: "Rect") -> bool:
         """Return True iff ``other`` lies fully inside this rectangle."""
         return (

@@ -8,6 +8,11 @@ information is handled by one of the two strategies of Section 5
 (replicating member points, or the MBR variant).
 """
 
+from repro.geosocial.columnar import (
+    PostOrderSlabs,
+    SpatialColumns,
+    build_post_slabs,
+)
 from repro.geosocial.network import GeosocialNetwork, NetworkStats
 from repro.geosocial.scc_handling import CondensedNetwork, condense_network
 
@@ -16,4 +21,7 @@ __all__ = [
     "NetworkStats",
     "CondensedNetwork",
     "condense_network",
+    "SpatialColumns",
+    "PostOrderSlabs",
+    "build_post_slabs",
 ]

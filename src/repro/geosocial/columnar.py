@@ -1,0 +1,128 @@
+"""Columnar (struct-of-arrays) spatial layout for condensed networks.
+
+The hot query loops of every RangeReach method ultimately reduce to
+"does any member point of these super-vertices fall inside the region?".
+Walking lists of :class:`~repro.geometry.point.Point` objects pays one
+attribute access per coordinate; this module compiles the same data into
+flat ``array('d')`` coordinate columns so the loops become C-speed slice
+iteration (via :meth:`repro.geometry.Rect.any_contained` /
+:meth:`~repro.geometry.Rect.first_contained`):
+
+* :class:`SpatialColumns` — one CSR layout over super-vertices: member
+  points of super-vertex ``c`` occupy ``xs[offsets[c]:offsets[c+1]]``,
+  with the original spatial vertex ids kept aligned in ``vertices``.
+* :class:`PostOrderSlabs` — the same coordinates re-ordered by a
+  labeling's post-order slots, so SocReach's descendant scan of a label
+  ``[l, h]`` is a *single* contiguous slice instead of a per-slot loop.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.geometry import Point
+    from repro.geosocial.scc_handling import CondensedNetwork
+    from repro.labeling import IntervalLabeling
+
+
+class SpatialColumns:
+    """CSR struct-of-arrays view of a condensed network's member points.
+
+    Attributes:
+        xs, ys: flat coordinate columns, grouped by super-vertex.
+        offsets: CSR offsets (length ``num_components + 1``); super-vertex
+            ``c`` owns the half-open range ``offsets[c]:offsets[c+1]``.
+        vertices: original spatial vertex ids aligned with ``xs``/``ys``.
+    """
+
+    __slots__ = ("xs", "ys", "offsets", "vertices")
+
+    def __init__(
+        self,
+        xs: array,
+        ys: array,
+        offsets: array,
+        vertices: array,
+    ) -> None:
+        self.xs = xs
+        self.ys = ys
+        self.offsets = offsets
+        self.vertices = vertices
+
+    @property
+    def num_points(self) -> int:
+        return len(self.xs)
+
+    @property
+    def num_components(self) -> int:
+        return len(self.offsets) - 1
+
+    def slice_of(self, component: int) -> tuple[int, int]:
+        """Return the half-open ``(lo, hi)`` column range of a super-vertex."""
+        return self.offsets[component], self.offsets[component + 1]
+
+
+def compile_columns(
+    points_of: Sequence[Sequence["Point"]],
+    spatial_members: Sequence[Sequence[int]],
+) -> SpatialColumns:
+    """Compile per-component point lists into one CSR column set."""
+    xs = array("d")
+    ys = array("d")
+    vertices = array("q")
+    offsets = array("q", [0])
+    for points, members in zip(points_of, spatial_members):
+        for point in points:
+            xs.append(point.x)
+            ys.append(point.y)
+        vertices.extend(members)
+        offsets.append(len(xs))
+    return SpatialColumns(xs, ys, offsets, vertices)
+
+
+class PostOrderSlabs:
+    """Coordinate slabs aligned with a labeling's post-order slots.
+
+    Slot ``s`` (0-based; the vertex whose post number is ``(s + 1) *
+    stride``) owns ``xs[offsets[s]:offsets[s+1]]``.  Because a label
+    ``[l, h]`` covers a *contiguous* run of slots, its whole descendant
+    scan is the single flat range ``offsets[first_slot] ..
+    offsets[last_slot + 1]`` — non-spatial descendants contribute
+    zero-width slabs and vanish from the loop entirely.
+    """
+
+    __slots__ = ("offsets", "xs", "ys")
+
+    def __init__(self, offsets: array, xs: array, ys: array) -> None:
+        self.offsets = offsets
+        self.xs = xs
+        self.ys = ys
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def num_points(self) -> int:
+        return len(self.xs)
+
+
+def build_post_slabs(
+    network: "CondensedNetwork", labeling: "IntervalLabeling"
+) -> PostOrderSlabs:
+    """Re-order a network's coordinate columns by post-order slot."""
+    columns = network.columns()
+    col_offsets = columns.offsets
+    col_xs, col_ys = columns.xs, columns.ys
+    xs = array("d")
+    ys = array("d")
+    offsets = array("q", [0])
+    for component in labeling.vertex_at_post:
+        lo, hi = col_offsets[component], col_offsets[component + 1]
+        if hi > lo:
+            xs.extend(col_xs[lo:hi])
+            ys.extend(col_ys[lo:hi])
+        offsets.append(len(xs))
+    return PostOrderSlabs(offsets, xs, ys)

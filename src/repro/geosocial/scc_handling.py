@@ -21,6 +21,7 @@ from typing import Iterator, Literal
 from repro.geometry import Point, Rect
 from repro.graph.condensation import Condensation, condense
 from repro.graph.digraph import DiGraph
+from repro.geosocial.columnar import SpatialColumns, compile_columns
 from repro.geosocial.network import GeosocialNetwork
 
 SccMode = Literal["replicate", "mbr"]
@@ -47,6 +48,7 @@ class CondensedNetwork:
         "_spatial_members",
         "_mbr_of",
         "_spatial_components",
+        "_columns",
     )
 
     def __init__(self, network: GeosocialNetwork, condensation: Condensation) -> None:
@@ -68,6 +70,7 @@ class CondensedNetwork:
         self._spatial_members = spatial_members
         self._mbr_of: list[Rect | None] | None = None
         self._spatial_components: list[int] | None = None
+        self._columns: SpatialColumns | None = None
 
     # ------------------------------------------------------------------
     # Structure
@@ -94,6 +97,18 @@ class CondensedNetwork:
                 c for c, pts in enumerate(self._points_of) if pts
             ]
         return self._spatial_components
+
+    def columns(self) -> SpatialColumns:
+        """Return the compiled struct-of-arrays view of the member points.
+
+        Built once on first use; the CSR columns back the columnar inner
+        loops of :meth:`component_hits_region` and the query methods.
+        """
+        if self._columns is None:
+            self._columns = compile_columns(
+                self._points_of, self._spatial_members
+            )
+        return self._columns
 
     def mbr_of(self, component: int) -> Rect | None:
         """Return the MBR of the super-vertex's points (Section 5, option 2)."""
@@ -154,9 +169,9 @@ class CondensedNetwork:
             return False
         if region.contains_rect(mbr):
             return True
-        return any(
-            region.contains_point(p) for p in self._points_of[component]
-        )
+        columns = self.columns()
+        lo, hi = columns.slice_of(component)
+        return region.any_contained(columns.xs, columns.ys, lo, hi)
 
 
 def condense_network(network: GeosocialNetwork) -> CondensedNetwork:

@@ -16,6 +16,12 @@ Declared in one place so the metric naming scheme stays coherent:
   delta-BFS expansions, rebuild counts and durations.  These aggregate
   over every :class:`~repro.system.database.GeosocialDatabase` in the
   process; per-instance numbers stay available via ``stats()``.
+* ``repro_pipeline_*`` — shared build pipeline: artifact-cache hits and
+  misses labelled by artifact kind (``condense``, ``labeling``, ``feed``,
+  ``rtree``, ...) plus one build-seconds histogram per kind.  A
+  build-all-methods run that shares artifacts shows up directly as the
+  hit/miss ratio; per-context numbers stay available via
+  :meth:`repro.pipeline.BuildContext.stats`.
 
 Counters use the Prometheus ``_total`` suffix convention; durations are
 log-bucket histograms in seconds.
@@ -136,3 +142,32 @@ DB_DELTA_EDGES = REGISTRY.gauge(
     "repro_db_delta_edges",
     "Edges currently in the delta log.",
 )
+
+# ----------------------------------------------------------------------
+# Shared build pipeline (BuildContext artifact cache)
+# ----------------------------------------------------------------------
+PIPELINE_CACHE_HITS = REGISTRY.counter_family(
+    "repro_pipeline_cache_hits_total",
+    "BuildContext artifact-cache hits, by artifact kind.",
+    label_names=("artifact",),
+)
+PIPELINE_CACHE_MISSES = REGISTRY.counter_family(
+    "repro_pipeline_cache_misses_total",
+    "BuildContext artifact-cache misses (= actual constructions), "
+    "by artifact kind.",
+    label_names=("artifact",),
+)
+
+
+def pipeline_build_seconds(artifact: str):
+    """Get-or-create the build-duration histogram of one artifact kind.
+
+    Kinds are open-ended (``condense``, ``labeling``, ``feed``, ``rtree``,
+    ``slabs``, ``columns``); the registry's get-or-create semantics make
+    this safe to call on every cache miss.
+    """
+    return REGISTRY.histogram(
+        f"repro_pipeline_{artifact}_build_seconds",
+        f"Wall-clock seconds spent building {artifact} artifacts "
+        "(cache misses only).",
+    )

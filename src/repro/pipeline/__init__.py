@@ -1,0 +1,11 @@
+"""Shared build pipeline for RangeReach index construction.
+
+:class:`BuildContext` is the keyed artifact cache through which all
+method factories construct; see :mod:`repro.pipeline.context` for the
+design and :func:`repro.core.build_methods` for the high-level entry
+point.
+"""
+
+from repro.pipeline.context import ArtifactKey, BuildContext
+
+__all__ = ["ArtifactKey", "BuildContext"]

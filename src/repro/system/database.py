@@ -37,11 +37,11 @@ from collections import deque
 from repro.core.extensions import GeosocialQueryEngine
 from repro.geometry import Point, Rect
 from repro.geosocial.network import GeosocialNetwork
-from repro.geosocial.scc_handling import condense_network
 from repro.graph.digraph import DiGraph
 from repro.obs import instruments as _inst
 from repro.obs.metrics import enabled as _obs_enabled
 from repro.obs.trace import span as _span
+from repro.pipeline import BuildContext
 
 DEFAULT_REFRESH_THRESHOLD = 64
 
@@ -374,8 +374,13 @@ class GeosocialDatabase:
                     self._graph, list(self._points), kinds=list(self._kinds),
                     name="live",
                 )
-                condensed = condense_network(network)
-                self._engine = GeosocialQueryEngine(condensed)
+                # Build through the shared pipeline so the rebuild's
+                # condensation/labeling land in the pipeline metrics and
+                # future snapshot artifacts can be shared.
+                context = BuildContext(network)
+                self._engine = GeosocialQueryEngine(
+                    context.condensed(), context=context
+                )
                 elapsed = time.perf_counter() - started
             self._snapshot_vertices = self._graph.num_vertices
             self._delta_succ = {}

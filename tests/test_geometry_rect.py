@@ -94,3 +94,44 @@ def test_intersection():
 
 def test_as_tuple():
     assert Rect(1, 2, 3, 4).as_tuple() == (1, 2, 3, 4)
+
+
+def test_any_contained():
+    from array import array
+
+    r = Rect(1, 1, 3, 3)
+    xs = array("d", [0.0, 2.0, 5.0])
+    ys = array("d", [0.0, 2.0, 5.0])
+    assert r.any_contained(xs, ys)
+    assert not r.any_contained(xs, ys, 2)       # only (5, 5) left
+    assert not r.any_contained(xs, ys, 0, 1)    # only (0, 0)
+    assert r.any_contained(xs, ys, 1, 2)        # exactly (2, 2)
+    assert not r.any_contained(xs, ys, 1, 1)    # empty range
+    assert not Rect(10, 10, 11, 11).any_contained(xs, ys)
+    # Boundary points are inside (closed-region semantics).
+    assert Rect(2, 2, 9, 9).any_contained(xs, ys)
+
+
+def test_any_contained_matches_contains_point():
+    from array import array
+
+    points = [Point(0.5, 0.5), Point(1.5, 2.5), Point(4.0, 0.1)]
+    xs = array("d", (p.x for p in points))
+    ys = array("d", (p.y for p in points))
+    for r in (Rect(0, 0, 1, 1), Rect(1, 2, 2, 3), Rect(6, 6, 7, 7)):
+        assert r.any_contained(xs, ys) == any(
+            r.contains_point(p) for p in points
+        )
+
+
+def test_first_contained():
+    from array import array
+
+    r = Rect(1, 1, 3, 3)
+    xs = array("d", [0.0, 2.0, 2.5, 5.0])
+    ys = array("d", [0.0, 2.0, 2.5, 5.0])
+    assert r.first_contained(xs, ys) == 1
+    assert r.first_contained(xs, ys, 2) == 2     # indices are absolute
+    assert r.first_contained(xs, ys, 3) == -1
+    assert r.first_contained(xs, ys, 0, 1) == -1
+    assert r.first_contained(xs, ys, 1, 1) == -1  # empty range

@@ -1,0 +1,86 @@
+"""Tests for the columnar snapshot layout (repro.geosocial.columnar)."""
+
+from repro.geometry import Point, Rect
+from repro.geosocial import (
+    GeosocialNetwork,
+    build_post_slabs,
+    condense_network,
+)
+from repro.graph import DiGraph
+from repro.labeling import build_labeling
+
+
+def _network():
+    # 1 <-> 2 form an SCC with two venues; 0 and 3 are spatial singletons;
+    # 4 is a non-spatial user.
+    graph = DiGraph.from_edges(5, [(0, 1), (1, 2), (2, 1), (4, 0), (4, 3)])
+    points = [
+        Point(0.0, 0.0),
+        Point(1.0, 1.0),
+        Point(2.0, 2.0),
+        Point(3.0, 3.0),
+        None,
+    ]
+    return GeosocialNetwork(graph, points)
+
+
+def test_columns_csr_layout():
+    condensed = condense_network(_network())
+    columns = condensed.columns()
+    assert columns.num_components == condensed.num_components
+    assert columns.num_points == 4
+    assert columns.offsets[0] == 0
+    assert columns.offsets[-1] == 4
+    # The columns agree point-for-point with points_of, order included.
+    for component in range(condensed.num_components):
+        lo, hi = columns.slice_of(component)
+        points = condensed.points_of(component)
+        members = condensed.spatial_members(component)
+        assert hi - lo == len(points)
+        for i, (point, vertex) in enumerate(zip(points, members)):
+            assert columns.xs[lo + i] == point.x
+            assert columns.ys[lo + i] == point.y
+            assert columns.vertices[lo + i] == vertex
+
+
+def test_columns_cached_on_condensed_network():
+    condensed = condense_network(_network())
+    assert condensed.columns() is condensed.columns()
+
+
+def test_component_hits_region_matches_point_scan():
+    condensed = condense_network(_network())
+    regions = [
+        Rect(0.5, 0.5, 2.5, 2.5),   # hits the SCC's venues
+        Rect(2.9, 2.9, 3.1, 3.1),   # hits vertex 3 only
+        Rect(5.0, 5.0, 6.0, 6.0),   # hits nothing
+        Rect(0.0, 0.0, 3.0, 3.0),   # encloses everything
+    ]
+    for component in range(condensed.num_components):
+        points = condensed.points_of(component)
+        for region in regions:
+            expected = any(region.contains_point(p) for p in points)
+            assert condensed.component_hits_region(component, region) == expected
+
+
+def test_post_slabs_align_with_labeling():
+    condensed = condense_network(_network())
+    labeling = build_labeling(condensed.dag)
+    slabs = build_post_slabs(condensed, labeling)
+    assert slabs.num_slots == labeling.num_vertices
+    assert slabs.num_points == 4
+    columns = condensed.columns()
+    for slot, component in enumerate(labeling.vertex_at_post):
+        lo, hi = slabs.offsets[slot], slabs.offsets[slot + 1]
+        clo, chi = columns.slice_of(component)
+        assert hi - lo == chi - clo
+        assert list(slabs.xs[lo:hi]) == list(columns.xs[clo:chi])
+        assert list(slabs.ys[lo:hi]) == list(columns.ys[clo:chi])
+
+
+def test_post_slabs_with_stride():
+    condensed = condense_network(_network())
+    labeling = build_labeling(condensed.dag, post_stride=3)
+    slabs = build_post_slabs(condensed, labeling)
+    assert slabs.num_slots == labeling.num_vertices
+    assert slabs.num_points == 4

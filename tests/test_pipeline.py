@@ -1,0 +1,214 @@
+"""Unit tests for the shared build pipeline (repro.pipeline)."""
+
+import pytest
+
+from repro import obs
+from repro.core import (
+    GeosocialQueryEngine,
+    SocReach,
+    SpaReach,
+    ThreeDReach,
+    ThreeDReachRev,
+    build_method,
+    build_methods,
+)
+from repro.geometry import Point
+from repro.geosocial import GeosocialNetwork, condense_network
+from repro.graph import DiGraph
+from repro.pipeline import BuildContext
+
+
+def _network():
+    # 0 -> 1 -> 2 (venue), 1 <-> 3 cycle, 4 isolated venue.
+    graph = DiGraph.from_edges(5, [(0, 1), (1, 2), (1, 3), (3, 1)])
+    points = [None, None, Point(2.0, 2.0), None, Point(8.0, 8.0)]
+    return GeosocialNetwork(graph, points)
+
+
+def test_context_from_raw_network_condenses_once():
+    context = BuildContext(_network())
+    first = context.condensed()
+    second = context.condensed()
+    assert first is second
+    stats = context.stats()
+    assert stats["misses"]["condense"] == 1
+    assert stats["hits"]["condense"] == 1
+
+
+def test_context_seeded_with_condensation_never_rebuilds():
+    condensed = condense_network(_network())
+    context = BuildContext(condensed)
+    assert context.condensed() is condensed
+    stats = context.stats()
+    assert stats["misses"].get("condense", 0) == 0
+    assert stats["hits"]["condense"] == 1
+
+
+def test_context_rejects_other_sources():
+    with pytest.raises(TypeError):
+        BuildContext(object())
+
+
+def test_labeling_cached_per_key():
+    context = BuildContext(_network())
+    a = context.labeling()
+    b = context.labeling(mode="subtree", stride=1)
+    assert a is b
+    strided = context.labeling(stride=2)
+    assert strided is not a
+    rev = context.reversed_labeling()
+    assert rev is not a
+    assert context.labeling_builds() == [
+        ("forward", "subtree", 1),
+        ("forward", "subtree", 2),
+        ("reversed", "subtree", 1),
+    ]
+
+
+def test_spareach_variants_share_one_rtree():
+    context = BuildContext(_network())
+    bfl = SpaReach(context.condensed(), reach_index="bfl", context=context)
+    interval = SpaReach(
+        context.condensed(), reach_index="interval", context=context
+    )
+    assert bfl.rtree is interval.rtree
+    stats = context.stats()
+    assert stats["misses"]["rtree"] == 1
+    assert stats["hits"]["rtree"] == 1
+
+
+def test_labeling_shared_across_methods():
+    context = BuildContext(_network())
+    condensed = context.condensed()
+    soc = SocReach(condensed, context=context)
+    three = ThreeDReach(condensed, context=context)
+    spa = SpaReach(condensed, reach_index="interval", context=context)
+    engine = GeosocialQueryEngine(condensed, context=context)
+    assert soc.labeling is three.labeling
+    assert soc.labeling is spa.reach_index.labeling
+    assert soc.labeling is engine.labeling
+    # Reversed labeling is a distinct artifact.
+    rev = ThreeDReachRev(condensed, context=context)
+    assert rev.labeling is not soc.labeling
+    assert context.stats()["misses"]["labeling"] == 2
+
+
+def test_distinct_rtree_keys_do_not_collide():
+    context = BuildContext(_network())
+    condensed = context.condensed()
+    spa = SpaReach(condensed, context=context)
+    three = ThreeDReach(condensed, context=context)
+    rev = ThreeDReachRev(condensed, context=context)
+    engine = GeosocialQueryEngine(condensed, context=context)
+    trees = {id(spa.rtree), id(three.rtree), id(rev.rtree), id(engine._rtree)}
+    assert len(trees) == 4
+
+
+def test_explicit_labeling_bypasses_context_cache():
+    from repro.labeling import build_labeling
+
+    condensed = condense_network(_network())
+    context = BuildContext(condensed)
+    labeling = build_labeling(condensed.dag, post_stride=2)
+    method = ThreeDReach(condensed, labeling=labeling, context=context)
+    assert method.labeling is labeling
+    # No labeling or R-tree went through the context.
+    stats = context.stats()
+    assert stats["misses"].get("labeling", 0) == 0
+    assert stats["misses"].get("rtree", 0) == 0
+
+
+def test_build_methods_equals_build_method_answers():
+    network = _network()
+    condensed = condense_network(network)
+    names = ["spareach-bfl", "socreach", "3dreach", "3dreach-rev", "georeach"]
+    shared = build_methods(names, condensed)
+    for name in names:
+        independent = build_method(name, condensed)
+        for v in range(network.num_vertices):
+            from repro.geometry import Rect
+
+            for region in (Rect(0, 0, 3, 3), Rect(7, 7, 9, 9), Rect(4, 4, 5, 5)):
+                assert shared[name].query(v, region) == independent.query(
+                    v, region
+                ), f"{name} diverged at v={v}, region={region}"
+
+
+def test_build_methods_validates_names_and_options():
+    condensed = condense_network(_network())
+    with pytest.raises(ValueError, match="unknown method"):
+        build_methods(["no-such-method"], condensed)
+    with pytest.raises(ValueError, match="not being built"):
+        build_methods(["socreach"], condensed, options={"3dreach": {}})
+    with pytest.raises(ValueError, match="network or a context"):
+        build_methods(["socreach"])
+
+
+def test_build_methods_dedupes_and_passes_options():
+    condensed = condense_network(_network())
+    methods = build_methods(
+        ["socreach", "socreach", "3dreach"],
+        condensed,
+        options={"3dreach": {"scc_mode": "mbr"}},
+    )
+    assert list(methods) == ["socreach", "3dreach"]
+    assert methods["3dreach"].name == "3dreach-mbr"
+
+
+def test_pipeline_obs_counters():
+    obs.REGISTRY.reset()
+    with obs.observability(True):
+        context = BuildContext(_network())
+        build_methods(
+            ["spareach-bfl", "spareach-int", "socreach", "3dreach",
+             "3dreach-rev", "georeach"],
+            context=context,
+        )
+    misses = obs.REGISTRY.value(
+        "repro_pipeline_cache_misses_total", artifact="labeling"
+    )
+    assert misses == len(context.labeling_builds()) == 2
+    assert (
+        obs.REGISTRY.value(
+            "repro_pipeline_cache_misses_total", artifact="condense"
+        )
+        == 1
+    )
+    # spareach-int reuses spareach-bfl's 2-D R-tree: at least one hit.
+    assert (
+        obs.REGISTRY.value("repro_pipeline_cache_hits_total", artifact="rtree")
+        >= 1
+    )
+
+
+def test_pipeline_counters_silent_when_disabled():
+    obs.REGISTRY.reset()
+    with obs.observability(False):
+        context = BuildContext(_network())
+        context.labeling()
+        context.labeling()
+    assert obs.REGISTRY.value(
+        "repro_pipeline_cache_misses_total", artifact="labeling"
+    ) == 0
+    # Local stats still track.
+    stats = context.stats()
+    assert stats["misses"]["labeling"] == 1
+    assert stats["hits"]["labeling"] == 1
+
+
+def test_generic_rtree_entries_called_once():
+    context = BuildContext(_network())
+    calls = []
+
+    def entries():
+        calls.append(1)
+        return [((0.0, 0.0, 1.0, 1.0), 0)]
+
+    first = context.rtree("custom", 2, 8, entries)
+    second = context.rtree("custom", 2, 8, entries)
+    assert first is second
+    assert len(calls) == 1
+    # A different capacity is a different artifact.
+    third = context.rtree("custom", 2, 4, entries)
+    assert third is not first
+    assert len(calls) == 2

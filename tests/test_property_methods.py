@@ -15,10 +15,12 @@ from repro.core import (
     SpaReach,
     ThreeDReach,
     ThreeDReachRev,
+    build_methods,
 )
 from repro.geometry import Point, Rect
 from repro.geosocial import GeosocialNetwork, condense_network
 from repro.graph import DiGraph
+from repro.pipeline import BuildContext
 
 coordinate = st.floats(
     min_value=0, max_value=10, allow_nan=False, allow_infinity=False
@@ -72,4 +74,52 @@ def test_all_methods_match_oracle(network, data):
         for method in methods:
             assert method.query(v, region) == expected, (
                 f"{method.name} wrong for vertex {v}, region {region}"
+            )
+
+
+_SHARED_NAMES = (
+    "spareach-bfl", "spareach-int", "georeach", "socreach",
+    "3dreach", "3dreach-rev",
+)
+
+
+@given(networks(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_shared_context_matches_independent_and_oracle(network, data):
+    """Methods built through one BuildContext answer byte-identically to
+    independently built ones and to the BFS oracle — and the shared
+    build respects the pipeline's construction bounds."""
+    oracle = RangeReachOracle(network)
+    condensed = condense_network(network)
+    context = BuildContext(condensed)
+    shared = build_methods(_SHARED_NAMES, context=context)
+    independent = {
+        name: factory(condensed)
+        for name, factory in {
+            "spareach-bfl": lambda cn: SpaReach(cn, reach_index="bfl"),
+            "spareach-int": lambda cn: SpaReach(cn, reach_index="interval"),
+            "georeach": GeoReach,
+            "socreach": SocReach,
+            "3dreach": ThreeDReach,
+            "3dreach-rev": ThreeDReachRev,
+        }.items()
+    }
+    stats = context.stats()
+    # Condensation was seeded, never rebuilt; each labeling key built once.
+    assert stats["misses"].get("condense", 0) == 0
+    assert stats["misses"].get("labeling", 0) == len(context.labeling_builds())
+    assert context.labeling_builds() == [
+        ("forward", "subtree", 1),
+        ("reversed", "subtree", 1),
+    ]
+    for _ in range(5):
+        v = data.draw(st.integers(min_value=0, max_value=network.num_vertices - 1))
+        region = data.draw(regions())
+        expected = oracle.query(v, region)
+        for name in _SHARED_NAMES:
+            assert shared[name].query(v, region) == expected, (
+                f"shared {name} wrong for vertex {v}, region {region}"
+            )
+            assert independent[name].query(v, region) == expected, (
+                f"independent {name} wrong for vertex {v}, region {region}"
             )
