@@ -1,0 +1,153 @@
+"""Batched / parallel execution — throughput vs. the per-query loop.
+
+The serving-side claim behind :mod:`repro.exec`: when a query batch
+reuses regions (hot areas queried by many users), the vectorized
+``query_batch`` overrides amortize index work across the batch — for
+SpaReach each distinct region hits the R-tree **once** — so batched
+throughput beats the per-query ``query()`` loop by a wide margin, and a
+:class:`~repro.exec.ParallelExecutor` preserves that win while adding
+deadline control.
+
+The workload cycles ``UNIQUE_REGIONS`` distinct regions over the batch,
+*grouped by region* — the order a serving layer produces after grouping
+a request log by hot area, and the order that keeps executor chunks
+region-coherent.  Three modes run over identical queries:
+
+* **sequential** — the per-query ``query()`` loop (the pre-batch API);
+* **batched** — one ``query_batch`` call;
+* **parallel** — the batch through ``ParallelExecutor(workers=4)``.
+
+Answers must agree exactly across all three modes for every method
+(asserted unconditionally).  At adequate scale the SpaReach batched and
+parallel modes must clear 2x the sequential throughput.  The run writes
+``benchmarks/results/batch_throughput.json``.
+"""
+
+import json
+import random
+import time
+
+import pytest
+
+from repro.bench import bench_datasets, bench_num_queries, format_table
+from repro.bench.harness import get_bundle, get_network
+from repro.exec import ParallelExecutor
+from repro.workloads import QueryWorkload
+
+UNIQUE_REGIONS = 16
+EXTENT_PCT = 5.0
+WORKERS = 4
+# Below this batch size the timing ratio is noise-dominated; parity is
+# still asserted, the speedup floor is not.
+SPEEDUP_ASSERT_MIN_QUERIES = 200
+METHODS = ("spareach-bfl", "socreach", "3dreach", "3dreach-rev")
+# The region-dedup method the >= 2x acceptance floor is asserted on.
+SPEEDUP_METHOD = "spareach-bfl"
+
+
+def _region_reuse_queries(dataset: str, num_queries: int):
+    """A region-reuse batch: UNIQUE_REGIONS regions, grouped by region."""
+    bundle = get_bundle(dataset, method_names=METHODS)
+    workload = QueryWorkload(get_network(dataset), seed=7)
+    rng = random.Random(7)
+    regions = [
+        workload.region_with_extent(EXTENT_PCT, rng)
+        for _ in range(UNIQUE_REGIONS)
+    ]
+    vertices = workload.sample_vertices(num_queries, (1, 10**9), rng)
+    block = max(1, num_queries // UNIQUE_REGIONS)
+    pairs = [
+        (vertex, regions[(i // block) % UNIQUE_REGIONS])
+        for i, vertex in enumerate(vertices)
+    ]
+    return bundle, pairs
+
+
+def _measure(method, pairs, executor=None):
+    """Return (elapsed seconds, answers) for one execution mode."""
+    start = time.perf_counter()
+    if executor is None:
+        answers = [method.query(v, region) for v, region in pairs]
+    else:
+        answers = executor.run(method, pairs)
+    return time.perf_counter() - start, answers
+
+
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_batch_parity(dataset):
+    """Batched and parallel answers equal the per-query loop, always."""
+    bundle, pairs = _region_reuse_queries(dataset, bench_num_queries())
+    with ParallelExecutor(workers=WORKERS) as executor:
+        for name, method in bundle.methods.items():
+            expected = [method.query(v, region) for v, region in pairs]
+            assert method.query_batch(pairs) == expected, name
+            assert executor.run(method, pairs) == expected, name
+
+
+def test_batch_throughput_report(report, results_dir):
+    # The batch is padded up so the timing ratios mean something even
+    # under a small REPRO_QUERIES; the speedup floor is only asserted
+    # when the configured budget itself is adequate (CI's tiny smoke
+    # profile checks parity and the artifact, not the ratio).
+    num_queries = max(2 * SPEEDUP_ASSERT_MIN_QUERIES, 8 * bench_num_queries())
+    assert_floor = 8 * bench_num_queries() >= SPEEDUP_ASSERT_MIN_QUERIES
+    artifact = {
+        "workers": WORKERS,
+        "unique_regions": UNIQUE_REGIONS,
+        "queries": num_queries,
+        "datasets": {},
+    }
+    rows = []
+    for dataset in bench_datasets():
+        bundle, pairs = _region_reuse_queries(dataset, num_queries)
+        per_dataset = {}
+        # Chunks sized to the workload's region blocks: every chunk then
+        # carries one region, so per-chunk dedup loses nothing.
+        chunk = max(1, len(pairs) // UNIQUE_REGIONS)
+        with ParallelExecutor(workers=WORKERS, chunk_size=chunk) as executor:
+            for name, method in bundle.methods.items():
+                seq_s, expected = _measure(method, pairs)
+                bat_s, batched = _measure(
+                    method, pairs, ParallelExecutor(workers=1)
+                )
+                par_s, parallel = _measure(method, pairs, executor)
+                assert batched == expected, name
+                assert parallel == expected, name
+                seq_qps = len(pairs) / seq_s
+                bat_qps = len(pairs) / bat_s
+                par_qps = len(pairs) / par_s
+                per_dataset[name] = {
+                    "sequential_qps": round(seq_qps, 1),
+                    "batched_qps": round(bat_qps, 1),
+                    "parallel_qps": round(par_qps, 1),
+                    "speedup_batched": round(bat_qps / seq_qps, 2),
+                    "speedup_parallel": round(par_qps / seq_qps, 2),
+                    "positives": sum(expected),
+                }
+                rows.append([
+                    dataset, name, f"{seq_qps:.0f}", f"{bat_qps:.0f}",
+                    f"{par_qps:.0f}", f"{bat_qps / seq_qps:.2f}x",
+                    f"{par_qps / seq_qps:.2f}x",
+                ])
+                if name == SPEEDUP_METHOD and assert_floor:
+                    # The acceptance floor: region dedup must carry the
+                    # batch (and the executor must not squander it).
+                    assert bat_qps >= 2.0 * seq_qps, (
+                        f"{dataset}: batched {bat_qps:.0f} q/s < 2x "
+                        f"sequential {seq_qps:.0f} q/s"
+                    )
+                    assert par_qps >= 2.0 * seq_qps, (
+                        f"{dataset}: parallel {par_qps:.0f} q/s < 2x "
+                        f"sequential {seq_qps:.0f} q/s"
+                    )
+        artifact["datasets"][dataset] = per_dataset
+    report(format_table(
+        ["dataset", "method", "seq q/s", "batch q/s", "par q/s",
+         "batch speedup", "par speedup"],
+        rows,
+        title="Batched execution throughput "
+        f"({num_queries} queries, {UNIQUE_REGIONS} regions, "
+        f"{WORKERS} workers)",
+    ))
+    with open(results_dir / "batch_throughput.json", "w") as fh:
+        json.dump(artifact, fh, indent=2)

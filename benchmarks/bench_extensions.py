@@ -46,7 +46,7 @@ def test_extended_query_cost(benchmark, operation):
         total = 0
         for query in batch:
             if operation == "range_reach":
-                total += engine.range_reach(query.vertex, query.region)
+                total += engine.query(query.vertex, query.region)
             elif operation == "count":
                 total += engine.count(query.vertex, query.region)
             elif operation == "witnesses":
@@ -83,7 +83,7 @@ def test_extended_queries_consistent():
         count = engine.count(query.vertex, query.region)
         witnesses = engine.witnesses(query.vertex, query.region)
         assert len(witnesses) == count
-        assert engine.range_reach(query.vertex, query.region) == (count > 0)
+        assert engine.query(query.vertex, query.region) == (count > 0)
         assert engine.at_least(query.vertex, query.region, count)
         assert not engine.at_least(query.vertex, query.region, count + 1)
 
@@ -96,7 +96,7 @@ def test_extensions_report(benchmark, report):
 
         rows = []
         for label, runner in (
-            ("range_reach", lambda q: engine.range_reach(q.vertex, q.region)),
+            ("range_reach", lambda q: engine.query(q.vertex, q.region)),
             ("count", lambda q: engine.count(q.vertex, q.region)),
             ("witnesses", lambda q: engine.witnesses(q.vertex, q.region)),
             ("at_least(5)", lambda q: engine.at_least(q.vertex, q.region, 5)),

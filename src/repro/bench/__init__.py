@@ -24,6 +24,7 @@ from repro.bench.harness import (
     get_network,
     time_queries,
     time_queries_counted,
+    time_query_batch,
 )
 from repro.bench.tables import format_table
 
@@ -37,5 +38,6 @@ __all__ = [
     "get_network",
     "time_queries",
     "time_queries_counted",
+    "time_query_batch",
     "format_table",
 ]

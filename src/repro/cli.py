@@ -8,8 +8,10 @@
   as JSON or Prometheus text;
 * ``label``    — build the interval labeling of a saved network's
   condensation and write it to a file (offline index construction);
-* ``query``    — answer one RangeReach query with a chosen method;
-  ``--trace`` prints the per-query span breakdown.
+* ``query``    — answer one RangeReach query with a chosen method
+  (``--vertex``/``--region``), or a whole batch from a file
+  (``--batch FILE``, optionally ``--workers N`` / ``--timeout S``);
+  ``--trace`` prints the per-query (or per-batch) span breakdown.
 
 The benchmark CLI lives separately under ``python -m repro.bench``.
 """
@@ -23,6 +25,7 @@ import time
 from repro import obs
 from repro.core import METHOD_REGISTRY, build_method, build_methods
 from repro.datasets import DATASET_PROFILES, make_network
+from repro.exec import BatchTimeoutError, ParallelExecutor
 from repro.geometry import Rect
 from repro.geosocial import GeosocialNetwork, condense_network
 from repro.labeling import build_labeling, build_reversed_labeling, save_labeling
@@ -126,8 +129,50 @@ def _parse_region(raw: str) -> Rect:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _read_batch_file(path: str) -> list[tuple[int, Rect]]:
+    """Parse a batch file: one ``vertex xlo,ylo,xhi,yhi`` per line.
+
+    Blank lines and ``#`` comments are skipped.  Raises ``ValueError``
+    with the offending line number on malformed input.
+    """
+    pairs: list[tuple[int, Rect]] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'vertex xlo,ylo,xhi,yhi', "
+                    f"got {line!r}"
+                )
+            try:
+                vertex = int(parts[0])
+                region = _parse_region(parts[1])
+            except (ValueError, argparse.ArgumentTypeError) as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+            pairs.append((vertex, region))
+    return pairs
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    single = args.vertex is not None or args.region is not None
+    if args.batch is not None and single:
+        print(
+            "error: --batch is mutually exclusive with --vertex/--region",
+            file=sys.stderr,
+        )
+        return 2
+    if args.batch is None and (args.vertex is None or args.region is None):
+        print(
+            "error: provide --vertex and --region, or --batch FILE",
+            file=sys.stderr,
+        )
+        return 2
     network = GeosocialNetwork.load(args.directory)
+    if args.batch is not None:
+        return _run_query_batch(args, network)
     if not (0 <= args.vertex < network.num_vertices):
         print(
             f"error: vertex {args.vertex} outside 0..{network.num_vertices - 1}",
@@ -158,6 +203,69 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"work: {detail}")
     if query_trace is not None:
         print(query_trace.format())
+    return 0
+
+
+def _run_query_batch(args: argparse.Namespace, network: GeosocialNetwork) -> int:
+    try:
+        pairs = _read_batch_file(args.batch)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for vertex, _ in pairs:
+        if not (0 <= vertex < network.num_vertices):
+            print(
+                f"error: vertex {vertex} outside 0..{network.num_vertices - 1}",
+                file=sys.stderr,
+            )
+            return 2
+    condensed = condense_network(network)
+    context = BuildContext(condensed)
+    build_start = time.perf_counter()
+    method = build_method(args.method, condensed, context=context)
+    build_elapsed = time.perf_counter() - build_start
+    executor = (
+        ParallelExecutor(workers=args.workers, timeout=args.timeout)
+        if args.workers > 1 or args.timeout is not None
+        else None
+    )
+    batch_trace = None
+    query_start = time.perf_counter()
+    try:
+        with obs.measure() as work:
+            if args.trace:
+                with obs.trace("query_batch") as batch_trace:
+                    answers = (
+                        executor.run(method, pairs)
+                        if executor is not None
+                        else method.query_batch(pairs)
+                    )
+            else:
+                answers = (
+                    executor.run(method, pairs)
+                    if executor is not None
+                    else method.query_batch(pairs)
+                )
+    except BatchTimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        if executor is not None:
+            executor.close()
+    query_elapsed = time.perf_counter() - query_start
+    for (vertex, region), answer in zip(pairs, answers):
+        print(f"RangeReach(G, {vertex}, {region.as_tuple()}) = {answer}")
+    rate = len(pairs) / query_elapsed if query_elapsed > 0 else float("inf")
+    print(
+        f"method={args.method} build={build_elapsed:.3f}s "
+        f"batch={len(pairs)} workers={args.workers} "
+        f"elapsed={query_elapsed:.3f}s ({rate:.0f} q/s)"
+    )
+    if work:
+        detail = " ".join(f"{k}={v}" for k, v in sorted(work.items()))
+        print(f"work: {detail}")
+    if batch_trace is not None:
+        print(batch_trace.format())
     return 0
 
 
@@ -211,12 +319,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     label.set_defaults(func=_cmd_label)
 
-    query = sub.add_parser("query", help="answer one RangeReach query")
+    query = sub.add_parser(
+        "query", help="answer one RangeReach query, or a batch from a file"
+    )
     query.add_argument("directory")
-    query.add_argument("--vertex", type=int, required=True)
+    query.add_argument("--vertex", type=int, default=None)
     query.add_argument(
-        "--region", type=_parse_region, required=True,
+        "--region", type=_parse_region, default=None,
         help="xlo,ylo,xhi,yhi",
+    )
+    query.add_argument(
+        "--batch", metavar="FILE", default=None,
+        help="answer every query in FILE (one 'vertex xlo,ylo,xhi,yhi' "
+        "per line; blank lines and # comments skipped)",
+    )
+    query.add_argument(
+        "--workers", type=int, default=1,
+        help="thread-pool size for --batch (default: 1 = sequential)",
+    )
+    query.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-batch deadline in seconds for --batch",
     )
     query.add_argument(
         "--method", default="3dreach", choices=sorted(METHOD_REGISTRY),

@@ -24,6 +24,9 @@ region, and share the ``scc_mode`` choice of Section 5 ("replicate" or
 
 from repro.core.base import (
     METHOD_REGISTRY,
+    QueryRequest,
+    QueryResult,
+    RangeReachBase,
     RangeReachMethod,
     build_method,
     build_methods,
@@ -43,6 +46,9 @@ from repro.core.verify import Disagreement, assert_agreement, cross_check
 sync_known_names_doc()
 
 __all__ = [
+    "QueryRequest",
+    "QueryResult",
+    "RangeReachBase",
     "RangeReachMethod",
     "build_method",
     "build_methods",

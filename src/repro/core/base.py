@@ -1,13 +1,73 @@
-"""Shared protocol and factory for RangeReach methods."""
+"""Shared protocol, base class and factory for RangeReach methods.
+
+The unified query surface lives here:
+
+* :class:`QueryRequest` / :class:`QueryResult` — the request/response
+  dataclasses every query layer (method classes, the extended engine,
+  the mutable store) speaks;
+* :class:`RangeReachMethod` — the structural protocol (``query``,
+  ``query_batch``, ``size_bytes``, ``name``);
+* :class:`RangeReachBase` — the concrete base class all built-in methods
+  inherit; it supplies a correct default ``query_batch`` loop (methods
+  override it with vectorized evaluations) and the request-level
+  ``execute`` / ``execute_many`` entry points.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Protocol, runtime_checkable
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    Mapping,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.geometry import Rect
 from repro.geosocial.network import GeosocialNetwork
 from repro.geosocial.scc_handling import CondensedNetwork
+from repro.obs.trace import trace as _trace
+from repro.obs.trace import tracing as _tracing
 from repro.pipeline import BuildContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import ParallelExecutor
+    from repro.obs.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRequest:
+    """One ``RangeReach(G, v, R)`` request: a query vertex and a region.
+
+    The request form of the ``(v, region)`` pair every query layer
+    accepts; :meth:`as_pair` converts to the tuple form the batch API
+    uses.
+    """
+
+    v: int
+    region: Rect
+
+    def as_pair(self) -> tuple[int, Rect]:
+        return (self.v, self.region)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """The answer to one :class:`QueryRequest`.
+
+    Attributes:
+        answer: the boolean RangeReach answer.
+        method: display name of the method/engine that served it.
+        spans: the per-query span tree, when the request was executed
+            with tracing (None otherwise).
+    """
+
+    answer: bool
+    method: str
+    spans: "Trace | None" = field(default=None, compare=False)
 
 
 @runtime_checkable
@@ -20,9 +80,73 @@ class RangeReachMethod(Protocol):
         """Return True iff original vertex ``v`` geosocially reaches ``region``."""
         ...
 
+    def query_batch(self, pairs: Sequence[tuple[int, Rect]]) -> list[bool]:
+        """Answer many ``(v, region)`` queries; aligned with the input."""
+        ...
+
     def size_bytes(self) -> int:
         """Return the analytic index footprint in bytes (Table 4)."""
         ...
+
+
+class RangeReachBase:
+    """Concrete base class of the built-in RangeReach methods.
+
+    Supplies the batched and request-level entry points on top of the
+    subclass's ``query``:
+
+    * :meth:`query_batch` — a correct default loop; SocReach, 3DReach,
+      3DReach-Rev and SpaReach override it with vectorized evaluations
+      that amortize index work across the batch;
+    * :meth:`execute` / :meth:`execute_many` — the
+      :class:`QueryRequest`/:class:`QueryResult` protocol shared with
+      :class:`~repro.system.database.GeosocialDatabase`.
+    """
+
+    name = "rangereach"
+
+    def query(self, v: int, region: Rect) -> bool:
+        raise NotImplementedError
+
+    def query_batch(self, pairs: Sequence[tuple[int, Rect]]) -> list[bool]:
+        """Answer a batch of ``(v, region)`` pairs.
+
+        The default implementation is the plain per-query loop — always
+        correct, never faster.  An empty batch returns immediately
+        without touching any index structure.
+        """
+        if not pairs:
+            return []
+        query = self.query
+        return [query(v, region) for v, region in pairs]
+
+    # ------------------------------------------------------------------
+    # Request-level protocol
+    # ------------------------------------------------------------------
+    def execute(self, request: QueryRequest, *, trace: bool = False) -> QueryResult:
+        """Serve one :class:`QueryRequest` as a :class:`QueryResult`.
+
+        With ``trace=True`` (and no trace already active on this thread)
+        the result carries the query's span tree in ``spans``.
+        """
+        if trace and not _tracing():
+            with _trace(f"{self.name}.execute") as spans:
+                answer = self.query(request.v, request.region)
+            return QueryResult(answer, self.name, spans)
+        return QueryResult(self.query(request.v, request.region), self.name)
+
+    def execute_many(
+        self,
+        requests: Sequence[QueryRequest],
+        executor: "ParallelExecutor | None" = None,
+    ) -> list[QueryResult]:
+        """Serve many requests, optionally through a parallel executor."""
+        pairs = [request.as_pair() for request in requests]
+        if executor is None:
+            answers = self.query_batch(pairs)
+        else:
+            answers = executor.run(self, pairs)
+        return [QueryResult(answer, self.name) for answer in answers]
 
 
 # Factories take the condensed network plus keyword options and return a

@@ -5,7 +5,7 @@ queries" as future work.  This module builds the natural family on top of
 the 3DReach transformation — the same 3-D R-tree over ``(x, y, post)``
 points answers all of them:
 
-* :meth:`GeosocialQueryEngine.range_reach` — the boolean query (3DReach);
+* :meth:`GeosocialQueryEngine.query` — the boolean query (3DReach);
 * :meth:`GeosocialQueryEngine.count` — how many reachable spatial
   vertices lie inside ``R``;
 * :meth:`GeosocialQueryEngine.witnesses` — enumerate them;
@@ -21,7 +21,10 @@ double-counts a vertex.
 from __future__ import annotations
 
 import math
+import warnings
+from typing import Sequence
 
+from repro.core.base import RangeReachBase
 from repro.geometry import Point, Rect
 from repro.geosocial.scc_handling import CondensedNetwork
 from repro.labeling import IntervalLabeling
@@ -30,13 +33,23 @@ from repro.pipeline import BuildContext
 from repro.spatial import RTree
 
 
-class GeosocialQueryEngine:
-    """Answers the extended RangeReach query family over one network."""
+class GeosocialQueryEngine(RangeReachBase):
+    """Answers the extended RangeReach query family over one network.
+
+    The boolean query speaks the same protocol as the method classes:
+    :meth:`query` / :meth:`query_batch` /
+    :meth:`~repro.core.base.RangeReachBase.execute`.  The historical
+    :meth:`range_reach` name remains as a deprecated alias.
+    """
+
+    name = "engine"
 
     def __init__(
         self,
         network: CondensedNetwork,
         labeling: IntervalLabeling | None = None,
+        mode: str = "subtree",
+        stride: int = 1,
         rtree_capacity: int = 16,
         context: BuildContext | None = None,
     ) -> None:
@@ -56,8 +69,10 @@ class GeosocialQueryEngine:
         else:
             if context is None:
                 context = BuildContext(network)
-            self._labeling = context.labeling()
-            self._rtree = context.vertex_rtree_3d(capacity=rtree_capacity)
+            self._labeling = context.labeling(mode=mode, stride=stride)
+            self._rtree = context.vertex_rtree_3d(
+                mode=mode, stride=stride, capacity=rtree_capacity
+            )
 
     # ------------------------------------------------------------------
     def _cuboids(self, v: int, region: Rect):
@@ -65,13 +80,57 @@ class GeosocialQueryEngine:
         for lo, hi in self._labeling.labels_of(source):
             yield (region.xlo, region.ylo, lo, region.xhi, region.yhi, hi)
 
-    def range_reach(self, v: int, region: Rect) -> bool:
+    def query(self, v: int, region: Rect) -> bool:
         """The paper's boolean RangeReach query (3DReach evaluation)."""
-        with _span("engine.range_reach"):
+        with _span("engine.query"):
             for cuboid in self._cuboids(v, region):
                 if self._rtree.any_intersecting(cuboid) is not None:
                     return True
             return False
+
+    def query_batch(self, pairs: Sequence[tuple[int, Rect]]) -> list[bool]:
+        """Batched boolean queries; distinct ``(source, region)`` pairs
+        evaluate once, sorted by first-label height to keep consecutive
+        cuboid descents in overlapping R-tree subtrees."""
+        if not pairs:
+            return []
+        with _span("engine.query_batch"):
+            super_of = self._network.super_of
+            labels_of = self._labeling.labels_of
+            rtree = self._rtree
+            resolved = [
+                (super_of(v), region, region.as_tuple())
+                for v, region in pairs
+            ]
+            unique: dict[tuple[int, tuple], Rect] = {}
+            for source, region, rkey in resolved:
+                unique.setdefault((source, rkey), region)
+
+            def z_of(item: tuple[tuple[int, tuple], Rect]) -> float:
+                labels = labels_of(item[0][0])
+                return labels[0][0] if labels else -1.0
+
+            memo: dict[tuple[int, tuple], bool] = {}
+            for (source, rkey), region in sorted(unique.items(), key=z_of):
+                answer = False
+                for lo, hi in labels_of(source):
+                    cuboid = (region.xlo, region.ylo, lo,
+                              region.xhi, region.yhi, hi)
+                    if rtree.any_intersecting(cuboid) is not None:
+                        answer = True
+                        break
+                memo[(source, rkey)] = answer
+            return [memo[(source, rkey)] for source, _, rkey in resolved]
+
+    def range_reach(self, v: int, region: Rect) -> bool:
+        """Deprecated alias of :meth:`query` (the pre-unification name)."""
+        warnings.warn(
+            "GeosocialQueryEngine.range_reach is deprecated; "
+            "use query(v, region) — the unified RangeReach protocol name",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(v, region)
 
     def reaches(self, u: int, v: int) -> bool:
         """Vertex-to-vertex reachability over the snapshot (Lemma 3.1).

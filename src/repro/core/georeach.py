@@ -25,7 +25,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from repro.core.base import register_method
+from repro.core.base import RangeReachBase, register_method
 from repro.geometry import Rect
 from repro.geosocial.scc_handling import CondensedNetwork
 from repro.graph.traversal import topological_order
@@ -85,7 +85,7 @@ def _padded(space: Rect) -> Rect:
     )
 
 
-class GeoReach:
+class GeoReach(RangeReachBase):
     """The SPA-graph method, reimplemented from the paper's description."""
 
     name = "georeach"

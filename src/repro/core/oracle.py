@@ -4,11 +4,12 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.core.base import RangeReachBase
 from repro.geometry import Point, Rect
 from repro.geosocial.network import GeosocialNetwork
 
 
-class RangeReachOracle:
+class RangeReachOracle(RangeReachBase):
     """Answers RangeReach by plain BFS over the *original* network.
 
     O(|V| + |E|) per query and exact by construction; every other method

@@ -15,9 +15,9 @@ descendant scan is one flat-column slice instead of a per-slot walk over
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterator
+from typing import Iterator, Sequence
 
-from repro.core.base import register_method
+from repro.core.base import RangeReachBase, register_method
 from repro.geometry import Rect
 from repro.geosocial.columnar import PostOrderSlabs, build_post_slabs
 from repro.geosocial.scc_handling import CondensedNetwork
@@ -28,7 +28,7 @@ from repro.obs.trace import span as _span
 from repro.pipeline import BuildContext
 
 
-class SocReach:
+class SocReach(RangeReachBase):
     """Social-first RangeReach evaluation over the interval labeling.
 
     ``descendant_access`` selects how the post-order range queries of
@@ -49,6 +49,7 @@ class SocReach:
         network: CondensedNetwork,
         labeling: IntervalLabeling | None = None,
         mode: str = "subtree",
+        stride: int = 1,
         descendant_access: str = "array",
         context: BuildContext | None = None,
     ) -> None:
@@ -57,6 +58,8 @@ class SocReach:
         self._network = network
         self._access = descendant_access
         if labeling is not None:
+            # An explicit labeling carries its own stride; the keyword
+            # only steers context builds.
             self._labeling = labeling
             slabs = None if descendant_access == "bptree" else build_post_slabs(
                 network, labeling
@@ -64,11 +67,11 @@ class SocReach:
         else:
             if context is None:
                 context = BuildContext(network)
-            self._labeling = context.labeling(mode=mode)
+            self._labeling = context.labeling(mode=mode, stride=stride)
             slabs = (
                 None
                 if descendant_access == "bptree"
-                else context.post_slabs(mode=mode)
+                else context.post_slabs(mode=mode, stride=stride)
             )
         if descendant_access == "bptree":
             from repro.relational import BPlusTree
@@ -199,6 +202,95 @@ class SocReach:
         self._m_verified.inc(containment_tests)
         self._m_scanned.inc(scanned)
         return answer
+
+    # ------------------------------------------------------------------
+    def query_batch(self, pairs: Sequence[tuple[int, Rect]]) -> list[bool]:
+        """Answer many queries in one pass over the coordinate columns.
+
+        The columnar slabs make batching pay: each distinct query source
+        resolves its sorted slot ranges **once** (adjacent labels coalesce
+        into one flat range), and each distinct ``(source, region)`` pair
+        scans the shared x/y arrays once — duplicated queries in the
+        batch reuse the memoized answer.  Vertices with no labels answer
+        FALSE without touching the slabs at all.
+        """
+        if not pairs:
+            return []
+        with _span(f"{self.name}.query_batch"):
+            super_of = self._network.super_of
+            resolved = [(super_of(v), region) for v, region in pairs]
+            if self._access == "bptree":
+                answers = self._batch_bptree(resolved)
+            else:
+                answers = self._batch_array(resolved)
+            if _obs_enabled():
+                self._m_queries.inc(len(pairs))
+                self._m_positives.inc(sum(answers))
+            return answers
+
+    def _flat_ranges(self, source: int) -> tuple[tuple[int, int], ...]:
+        """The source's flat column ranges, adjacent labels coalesced."""
+        offsets = self._slabs.offsets
+        flat: list[tuple[int, int]] = []
+        for start, end in self._slot_ranges(source):
+            if end < start:
+                continue
+            a, b = offsets[start - 1], offsets[end]
+            if b <= a:
+                continue
+            if flat and flat[-1][1] == a:
+                flat[-1] = (flat[-1][0], b)
+            else:
+                flat.append((a, b))
+        return tuple(flat)
+
+    def _batch_array(
+        self, resolved: list[tuple[int, Rect]]
+    ) -> list[bool]:
+        slabs = self._slabs
+        xs, ys = slabs.xs, slabs.ys
+        ranges_of: dict[int, tuple[tuple[int, int], ...]] = {}
+        memo: dict[tuple[int, tuple], bool] = {}
+        answers: list[bool] = []
+        for source, region in resolved:
+            key = (source, region.as_tuple())
+            answer = memo.get(key)
+            if answer is None:
+                ranges = ranges_of.get(source)
+                if ranges is None:
+                    ranges = ranges_of[source] = self._flat_ranges(source)
+                answer = False
+                any_contained = region.any_contained
+                for a, b in ranges:
+                    if any_contained(xs, ys, a, b):
+                        answer = True
+                        break
+                memo[key] = answer
+            answers.append(answer)
+        return answers
+
+    def _batch_bptree(
+        self, resolved: list[tuple[int, Rect]]
+    ) -> list[bool]:
+        scan = self._bptree.range_scan
+        memo: dict[tuple[int, tuple], bool] = {}
+        answers: list[bool] = []
+        for source, region in resolved:
+            key = (source, region.as_tuple())
+            answer = memo.get(key)
+            if answer is None:
+                contains = region.contains_point
+                answer = False
+                for lo, hi in self._labeling.labels_of(source):
+                    for _, points in scan(lo, hi):
+                        if any(contains(point) for point in points):
+                            answer = True
+                            break
+                    if answer:
+                        break
+                memo[key] = answer
+            answers.append(answer)
+        return answers
 
     def count_descendants(self, v: int) -> int:
         """Return ``|D(v)|`` for the query vertex (diagnostics/benchmarks)."""

@@ -11,7 +11,9 @@ indexed point — that point simultaneously satisfies the spatial predicate
 
 from __future__ import annotations
 
-from repro.core.base import register_method
+from typing import Sequence
+
+from repro.core.base import RangeReachBase, register_method
 from repro.geometry import Rect
 from repro.geosocial.scc_handling import SCC_MODES, CondensedNetwork, SccMode
 from repro.labeling import IntervalLabeling
@@ -22,7 +24,7 @@ from repro.pipeline import BuildContext
 from repro.spatial import RTree
 
 
-class ThreeDReach:
+class ThreeDReach(RangeReachBase):
     """Point-based 3DReach over a 3-D R-tree."""
 
     def __init__(
@@ -31,6 +33,7 @@ class ThreeDReach:
         labeling: IntervalLabeling | None = None,
         scc_mode: SccMode = "replicate",
         mode: str = "subtree",
+        stride: int = 1,
         rtree_capacity: int = 16,
         context: BuildContext | None = None,
     ) -> None:
@@ -70,9 +73,9 @@ class ThreeDReach:
         else:
             if context is None:
                 context = BuildContext(network)
-            self._labeling = context.labeling(mode=mode)
+            self._labeling = context.labeling(mode=mode, stride=stride)
             self._rtree = context.point_rtree_3d(
-                scc_mode, mode=mode, capacity=rtree_capacity
+                scc_mode, mode=mode, stride=stride, capacity=rtree_capacity
             )
 
     # ------------------------------------------------------------------
@@ -142,6 +145,70 @@ class ThreeDReach:
         self._m_verified.inc(verified)
         _inst.THREEDREACH_CUBOIDS.inc(cuboids)
         return answer
+
+    # ------------------------------------------------------------------
+    def query_batch(self, pairs: Sequence[tuple[int, Rect]]) -> list[bool]:
+        """Answer many queries with shared, z-ordered R-tree descents.
+
+        Distinct ``(source, region)`` work items are evaluated once (the
+        answer is a pure function of that pair) in ascending order of the
+        source's first label ``z``-extent, so consecutive cuboid queries
+        descend overlapping R-tree subtrees while those nodes are hot.
+        Sources with no labels answer FALSE without touching the R-tree.
+        """
+        if not pairs:
+            return []
+        with _span(f"{self.name}.query_batch"):
+            network = self._network
+            super_of = network.super_of
+            labels_of = self._labeling.labels_of
+            rtree = self._rtree
+            resolved = [
+                (super_of(v), region, region.as_tuple())
+                for v, region in pairs
+            ]
+            unique: dict[tuple[int, tuple], Rect] = {}
+            for source, region, rkey in resolved:
+                unique.setdefault((source, rkey), region)
+
+            def z_of(item: tuple[tuple[int, tuple], Rect]) -> float:
+                labels = labels_of(item[0][0])
+                return labels[0][0] if labels else -1.0
+
+            memo: dict[tuple[int, tuple], bool] = {}
+            cuboids = 0
+            verified = 0
+            replicate = self._scc_mode == "replicate"
+            for (source, rkey), region in sorted(
+                unique.items(), key=z_of
+            ):
+                answer = False
+                for lo, hi in labels_of(source):
+                    cuboids += 1
+                    cuboid = (region.xlo, region.ylo, lo,
+                              region.xhi, region.yhi, hi)
+                    if replicate:
+                        if rtree.any_intersecting(cuboid) is not None:
+                            answer = True
+                    else:
+                        for component in rtree.search(cuboid):
+                            verified += 1
+                            if network.component_hits_region(
+                                component, region
+                            ):
+                                answer = True
+                                break
+                    if answer:
+                        break
+                memo[(source, rkey)] = answer
+            answers = [memo[(source, rkey)] for source, _, rkey in resolved]
+            if _obs_enabled():
+                self._m_queries.inc(len(pairs))
+                self._m_positives.inc(sum(answers))
+                self._m_probes.inc(cuboids)
+                self._m_verified.inc(verified)
+                _inst.THREEDREACH_CUBOIDS.inc(cuboids)
+            return answers
 
     # ------------------------------------------------------------------
     def size_bytes(self) -> int:

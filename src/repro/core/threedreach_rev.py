@@ -11,7 +11,10 @@ segment of ``u`` iff ``v`` is an ancestor of ``u`` (reachability) and
 
 from __future__ import annotations
 
-from repro.core.base import register_method
+import warnings
+from typing import Sequence
+
+from repro.core.base import RangeReachBase, register_method
 from repro.geometry import Rect
 from repro.geosocial.scc_handling import SCC_MODES, CondensedNetwork, SccMode
 from repro.labeling import IntervalLabeling
@@ -22,20 +25,39 @@ from repro.pipeline import BuildContext
 from repro.spatial import RTree
 
 
-class ThreeDReachRev:
-    """Line-based 3DReach over the reversed labeling."""
+class ThreeDReachRev(RangeReachBase):
+    """Line-based 3DReach over the reversed labeling.
+
+    The labeling argument uses the canonical ``labeling=`` keyword shared
+    by every method class; ``reversed_labeling=`` is accepted as a
+    deprecated alias (the value was always the reversed labeling — the
+    class name already says so).
+    """
 
     def __init__(
         self,
         network: CondensedNetwork,
-        reversed_labeling: IntervalLabeling | None = None,
+        labeling: IntervalLabeling | None = None,
         scc_mode: SccMode = "replicate",
         mode: str = "subtree",
         rtree_capacity: int = 16,
         context: BuildContext | None = None,
+        reversed_labeling: IntervalLabeling | None = None,
     ) -> None:
         if scc_mode not in SCC_MODES:
             raise ValueError(f"scc_mode must be one of {SCC_MODES}")
+        if reversed_labeling is not None:
+            if labeling is not None:
+                raise TypeError(
+                    "pass labeling= or reversed_labeling=, not both"
+                )
+            warnings.warn(
+                "ThreeDReachRev(reversed_labeling=...) is deprecated; "
+                "use the canonical labeling= keyword",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            labeling = reversed_labeling
         self._network = network
         self._scc_mode = scc_mode
         self.name = "3dreach-rev" if scc_mode == "replicate" else "3dreach-rev-mbr"
@@ -45,11 +67,11 @@ class ThreeDReachRev:
         self._m_verified = _inst.METHOD_CANDIDATES_VERIFIED.labels(
             method=self.name
         )
-        if reversed_labeling is not None:
+        if labeling is not None:
             # An explicitly supplied labeling may not match any context
             # key, so its R-tree is built locally (current behavior).
-            self._labeling = reversed_labeling
-            labels = reversed_labeling.labels
+            self._labeling = labeling
+            labels = labeling.labels
 
             def entries():
                 if self._scc_mode == "replicate":
@@ -106,6 +128,57 @@ class ThreeDReachRev:
                 self._m_verified.inc(verified)
                 _inst.THREEDREACH_REV_SLABS.inc()
             return answer
+
+    # ------------------------------------------------------------------
+    def query_batch(self, pairs: Sequence[tuple[int, Rect]]) -> list[bool]:
+        """Answer many queries as a z-sorted sweep of slab queries.
+
+        The answer is a pure function of ``(post_rev(source), region)``,
+        so distinct slabs are evaluated once, in ascending slab height:
+        consecutive slab queries cut overlapping R-tree subtrees while
+        those nodes are hot, and duplicated queries reuse the memoized
+        answer without a second R-tree descent.
+        """
+        if not pairs:
+            return []
+        with _span(f"{self.name}.query_batch"):
+            network = self._network
+            super_of = network.super_of
+            post_of = self._labeling.post_of
+            rtree = self._rtree
+            resolved = [
+                (float(post_of(super_of(v))), region.as_tuple(), region)
+                for v, region in pairs
+            ]
+            unique: dict[tuple[float, tuple], Rect] = {}
+            for z, rkey, region in resolved:
+                unique.setdefault((z, rkey), region)
+            memo: dict[tuple[float, tuple], bool] = {}
+            verified = 0
+            replicate = self._scc_mode == "replicate"
+            for (z, rkey) in sorted(unique):
+                region = unique[(z, rkey)]
+                slab = (region.xlo, region.ylo, z,
+                        region.xhi, region.yhi, z)
+                if replicate:
+                    answer = rtree.any_intersecting(slab) is not None
+                else:
+                    answer = False
+                    for component in rtree.search(slab):
+                        verified += 1
+                        if network.component_hits_region(component, region):
+                            answer = True
+                            break
+                memo[(z, rkey)] = answer
+            answers = [memo[(z, rkey)] for z, rkey, _ in resolved]
+            if _obs_enabled():
+                slabs = len(unique)
+                self._m_queries.inc(len(pairs))
+                self._m_positives.inc(sum(answers))
+                self._m_probes.inc(slabs)
+                self._m_verified.inc(verified)
+                _inst.THREEDREACH_REV_SLABS.inc(slabs)
+            return answers
 
     # ------------------------------------------------------------------
     def size_bytes(self) -> int:

@@ -1,0 +1,20 @@
+"""Batched and parallel query execution (the serving-side engine).
+
+``repro.exec`` turns the per-method batch APIs of :mod:`repro.core` into
+a serving component: :class:`ParallelExecutor` chunks a query batch
+across a thread pool over the *immutable* snapshot indexes (every query
+path is read-only), enforces a per-batch deadline, and degrades to
+sequential execution when a pool cannot be created.
+
+Entry points further up the stack:
+
+* :meth:`repro.core.base.RangeReachBase.execute_many` — request-level
+  batches through an optional executor;
+* :meth:`repro.system.database.GeosocialDatabase.range_reach_many` —
+  delta-overlay-aware batches over the mutable store;
+* ``repro-geosocial query --batch FILE --workers N`` — the CLI surface.
+"""
+
+from repro.exec.executor import BatchTimeoutError, ParallelExecutor
+
+__all__ = ["BatchTimeoutError", "ParallelExecutor"]

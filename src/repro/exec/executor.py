@@ -1,0 +1,264 @@
+"""ParallelExecutor: chunked batch execution over a thread pool.
+
+The executor exploits two facts about the reproduction's query paths:
+
+* every built index is **immutable** after construction and every query
+  is read-only, so worker threads can share one snapshot with no locks;
+* the vectorized ``query_batch`` overrides amortize index work *within*
+  a chunk, so chunking preserves most of the batching win while letting
+  chunks overlap in time.
+
+Observability: chunk executions are counted per worker thread
+(``repro_exec_chunks_total``), batches per execution mode, and — when
+the serving thread is tracing — each chunk's wall-clock interval is
+stitched into the batch's span tree via
+:func:`repro.obs.trace.record_span` (worker threads themselves run with
+no active trace; see :mod:`repro.obs.trace`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from math import ceil
+from typing import Sequence
+
+from repro.geometry import Rect
+from repro.obs import instruments as _inst
+from repro.obs.metrics import enabled as _obs_enabled
+from repro.obs.trace import record_span
+from repro.obs.trace import span as _span
+
+# Chunks per worker when no explicit chunk_size is given: more chunks
+# than workers smooths load imbalance (queries vary in cost by orders of
+# magnitude), fewer keeps the per-chunk batching win.
+_CHUNKS_PER_WORKER = 4
+
+
+class BatchTimeoutError(TimeoutError):
+    """A query batch exceeded its deadline.
+
+    Attributes:
+        completed: chunks that had finished when the deadline expired.
+        total: chunks the batch was split into.
+    """
+
+    def __init__(self, message: str, completed: int = 0, total: int = 0):
+        super().__init__(message)
+        self.completed = completed
+        self.total = total
+
+
+def _batch_callable(target):
+    """Normalize a query target to a ``chunk -> list[bool]`` callable.
+
+    Anything with a ``query_batch`` (every :class:`RangeReachBase`
+    subclass) uses it, so chunks keep the vectorized evaluation; a bare
+    ``query`` method is wrapped in the obvious loop.
+    """
+    batch = getattr(target, "query_batch", None)
+    if batch is not None:
+        return batch
+    query = target.query
+
+    def run_chunk(chunk: Sequence[tuple[int, Rect]]) -> list[bool]:
+        return [query(v, region) for v, region in chunk]
+
+    return run_chunk
+
+
+class ParallelExecutor:
+    """Run query batches across a thread pool with a per-batch deadline.
+
+    Args:
+        workers: thread-pool size.  ``1`` means sequential execution
+            (still chunked when a timeout needs deadline checks).
+        chunk_size: queries per chunk.  Default: the batch is split into
+            ``workers * 4`` chunks (at least one query each).
+        timeout: default per-batch deadline in seconds; ``None`` means
+            no deadline.  :meth:`run` can override per batch.
+
+    The pool is created lazily on first parallel run and reused; if
+    creation fails (thread limits, restricted environments) the executor
+    degrades to sequential execution for its remaining lifetime and
+    counts the degradation in ``repro_exec_sequential_fallbacks_total``.
+    Usable as a context manager; :meth:`close` releases the pool.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        chunk_size: int | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self._workers = workers
+        self._chunk_size = chunk_size
+        self._timeout = timeout
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_broken = False
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        target,
+        pairs: Sequence[tuple[int, Rect]],
+        *,
+        timeout: float | None = None,
+    ) -> list[bool]:
+        """Answer ``pairs`` through ``target``, aligned with the input.
+
+        ``target`` is anything speaking the RangeReach protocol (a method
+        class, the extended engine, or a bare ``query`` callable holder).
+        Raises :class:`BatchTimeoutError` when the deadline expires with
+        chunks still outstanding.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        if timeout is None:
+            timeout = self._timeout
+        batch = _batch_callable(target)
+        started = time.perf_counter()
+        with _span("exec.batch"):
+            if self._workers <= 1 or len(pairs) == 1:
+                answers = self._run_sequential(batch, pairs, timeout)
+                mode = "sequential"
+            else:
+                pool = self._get_pool()
+                if pool is None:
+                    if _obs_enabled():
+                        _inst.EXEC_FALLBACKS.inc()
+                    answers = self._run_sequential(batch, pairs, timeout)
+                    mode = "sequential"
+                else:
+                    answers = self._run_parallel(pool, batch, pairs, timeout)
+                    mode = "parallel"
+        if _obs_enabled():
+            _inst.EXEC_BATCHES.labels(mode=mode).inc()
+            _inst.EXEC_BATCH_QUERIES.inc(len(pairs))
+            _inst.EXEC_BATCH_SECONDS.observe(time.perf_counter() - started)
+        return answers
+
+    # ------------------------------------------------------------------
+    def _get_pool(self) -> ThreadPoolExecutor | None:
+        if self._pool is not None:
+            return self._pool
+        if self._pool_broken:
+            return None
+        try:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-exec"
+            )
+        except Exception:
+            # Thread creation can fail under rlimits or sandboxes; the
+            # batch must still be answered.
+            self._pool_broken = True
+            return None
+        return self._pool
+
+    def _chunks(
+        self, pairs: list[tuple[int, Rect]]
+    ) -> list[list[tuple[int, Rect]]]:
+        size = self._chunk_size
+        if size is None:
+            size = max(1, ceil(len(pairs) / (self._workers * _CHUNKS_PER_WORKER)))
+        return [pairs[i:i + size] for i in range(0, len(pairs), size)]
+
+    def _run_parallel(
+        self,
+        pool: ThreadPoolExecutor,
+        batch,
+        pairs: list[tuple[int, Rect]],
+        timeout: float | None,
+    ) -> list[bool]:
+        chunks = self._chunks(pairs)
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def work(chunk):
+            t0 = time.perf_counter()
+            result = batch(chunk)
+            t1 = time.perf_counter()
+            return result, t0, t1, threading.current_thread().name
+
+        futures = [pool.submit(work, chunk) for chunk in chunks]
+        answers: list[bool] = []
+        for i, future in enumerate(futures):
+            remaining = None if deadline is None else deadline - time.monotonic()
+            try:
+                result, t0, t1, worker = future.result(timeout=remaining)
+            except _FuturesTimeout:
+                for pending in futures[i:]:
+                    pending.cancel()
+                if _obs_enabled():
+                    _inst.EXEC_TIMEOUTS.inc()
+                raise BatchTimeoutError(
+                    f"batch deadline of {timeout:g}s exceeded after "
+                    f"{i}/{len(futures)} chunks",
+                    completed=i,
+                    total=len(futures),
+                ) from None
+            answers.extend(result)
+            record_span(f"exec.chunk[{i}]", t0, t1)
+            if _obs_enabled():
+                _inst.EXEC_CHUNKS.labels(worker=worker).inc()
+        return answers
+
+    def _run_sequential(
+        self,
+        batch,
+        pairs: list[tuple[int, Rect]],
+        timeout: float | None,
+    ) -> list[bool]:
+        if timeout is None:
+            # One vectorized evaluation over the whole batch — no chunk
+            # boundaries to dilute the cross-query sharing.
+            return batch(pairs)
+        # With a deadline, chunk so it can be checked between chunks (a
+        # running chunk is never interrupted — same guarantee as the
+        # parallel path, where in-flight chunks run to completion).
+        chunks = self._chunks(pairs)
+        deadline = time.monotonic() + timeout
+        worker = threading.current_thread().name
+        answers: list[bool] = []
+        for i, chunk in enumerate(chunks):
+            if time.monotonic() > deadline:
+                if _obs_enabled():
+                    _inst.EXEC_TIMEOUTS.inc()
+                raise BatchTimeoutError(
+                    f"batch deadline of {timeout:g}s exceeded after "
+                    f"{i}/{len(chunks)} chunks",
+                    completed=i,
+                    total=len(chunks),
+                )
+            t0 = time.perf_counter()
+            answers.extend(batch(chunk))
+            record_span(f"exec.chunk[{i}]", t0, time.perf_counter())
+            if _obs_enabled():
+                _inst.EXEC_CHUNKS.labels(worker=worker).inc()
+        return answers

@@ -50,7 +50,15 @@ from repro.obs.metrics import (
     get_registry,
     observability,
 )
-from repro.obs.trace import Span, Trace, active_trace, span, trace, tracing
+from repro.obs.trace import (
+    Span,
+    Trace,
+    active_trace,
+    record_span,
+    span,
+    trace,
+    tracing,
+)
 
 __all__ = [
     "REGISTRY",
@@ -69,6 +77,7 @@ __all__ = [
     "get_registry",
     "measure",
     "observability",
+    "record_span",
     "render_json",
     "render_prometheus",
     "span",

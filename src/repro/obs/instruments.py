@@ -144,6 +144,36 @@ DB_DELTA_EDGES = REGISTRY.gauge(
 )
 
 # ----------------------------------------------------------------------
+# Batched / parallel query execution (repro.exec)
+# ----------------------------------------------------------------------
+EXEC_BATCHES = REGISTRY.counter_family(
+    "repro_exec_batches_total",
+    "Query batches executed, by execution mode (sequential/parallel).",
+    label_names=("mode",),
+)
+EXEC_BATCH_QUERIES = REGISTRY.counter(
+    "repro_exec_batch_queries_total",
+    "Individual queries answered through the batch execution engine.",
+)
+EXEC_CHUNKS = REGISTRY.counter_family(
+    "repro_exec_chunks_total",
+    "Batch chunks executed, by the worker thread that ran them.",
+    label_names=("worker",),
+)
+EXEC_FALLBACKS = REGISTRY.counter(
+    "repro_exec_sequential_fallbacks_total",
+    "Parallel batches degraded to sequential (pool unavailable).",
+)
+EXEC_TIMEOUTS = REGISTRY.counter(
+    "repro_exec_batch_timeouts_total",
+    "Batches aborted by the per-batch deadline.",
+)
+EXEC_BATCH_SECONDS = REGISTRY.histogram(
+    "repro_exec_batch_seconds",
+    "Wall-clock duration of one executed batch.",
+)
+
+# ----------------------------------------------------------------------
 # Shared build pipeline (BuildContext artifact cache)
 # ----------------------------------------------------------------------
 PIPELINE_CACHE_HITS = REGISTRY.counter_family(

@@ -9,18 +9,30 @@ the paper's access-count tables.
 
 When no trace is active, :func:`span` returns a shared no-op context
 manager, so leaving the instrumentation in hot paths costs one ``None``
-check per span site.  Traces are process-global and non-reentrant (one
-query at a time), matching the single-threaded serving model.
+check per span site.  Traces are **thread-local** and non-reentrant (one
+trace per thread): a trace opened on the serving thread never sees spans
+opened by :class:`~repro.exec.ParallelExecutor` worker threads — workers
+run with no active trace, and the executor attaches their chunk timings
+to the batch trace afterwards via :func:`record_span`.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterator
 
 from repro.obs.metrics import REGISTRY
 
-__all__ = ["Span", "Trace", "trace", "span", "active_trace", "tracing"]
+__all__ = [
+    "Span",
+    "Trace",
+    "trace",
+    "span",
+    "active_trace",
+    "tracing",
+    "record_span",
+]
 
 
 class Span:
@@ -95,20 +107,29 @@ class Trace:
 
 
 # ----------------------------------------------------------------------
-# Module state: the active trace and the innermost open span.
+# Thread-local state: the active trace and the innermost open span.
+# Worker threads start with neither, so spans opened inside a parallel
+# chunk are no-ops rather than racing on the serving thread's tree.
 # ----------------------------------------------------------------------
-_ACTIVE: Trace | None = None
-_CURRENT: Span | None = None
+_STATE = threading.local()
+
+
+def _get_active() -> Trace | None:
+    return getattr(_STATE, "active", None)
+
+
+def _get_current() -> Span | None:
+    return getattr(_STATE, "current", None)
 
 
 def active_trace() -> Trace | None:
-    """Return the trace currently being recorded, if any."""
-    return _ACTIVE
+    """Return the trace currently being recorded on this thread, if any."""
+    return _get_active()
 
 
 def tracing() -> bool:
-    """True iff a trace is being recorded right now."""
-    return _ACTIVE is not None
+    """True iff a trace is being recorded on this thread right now."""
+    return _get_active() is not None
 
 
 class _NoopSpan:
@@ -134,26 +155,43 @@ class _SpanContext:
         self._parent: Span | None = None
 
     def __enter__(self) -> Span:
-        global _CURRENT
-        self._parent = _CURRENT
+        self._parent = _get_current()
         if self._parent is not None:
             self._parent.children.append(self._span)
-        _CURRENT = self._span
+        _STATE.current = self._span
         self._span._open()
         return self._span
 
     def __exit__(self, *exc_info) -> bool:
-        global _CURRENT
         self._span._close()
-        _CURRENT = self._parent
+        _STATE.current = self._parent
         return False
 
 
 def span(name: str):
     """Open a child span of the running trace; no-op when not tracing."""
-    if _ACTIVE is None:
+    if _get_active() is None:
         return _NOOP_SPAN
     return _SpanContext(name)
+
+
+def record_span(name: str, start: float, end: float) -> Span | None:
+    """Attach an already-timed span to the innermost open span.
+
+    Used by the parallel executor: worker threads record plain
+    ``perf_counter`` intervals (they have no active trace of their own),
+    and the serving thread stitches them into the batch's span tree once
+    the chunk results are collected.  No-op (returns None) when the
+    calling thread is not tracing.
+    """
+    current = _get_current()
+    if current is None:
+        return None
+    child = Span(name)
+    child.start = start
+    child.end = end
+    current.children.append(child)
+    return child
 
 
 class trace:
@@ -165,8 +203,9 @@ class trace:
             method.query(v, region)
         print(t.format())
 
-    Traces do not nest — a second ``trace`` while one is active raises,
-    which catches accidental tracing of re-entrant query paths.
+    Traces do not nest — a second ``trace`` while one is active on the
+    same thread raises, which catches accidental tracing of re-entrant
+    query paths.
     """
 
     def __init__(self, name: str) -> None:
@@ -174,16 +213,14 @@ class trace:
         self._trace = Trace(self._context._span)
 
     def __enter__(self) -> Trace:
-        global _ACTIVE
-        if _ACTIVE is not None:
+        if _get_active() is not None:
             raise RuntimeError("a trace is already active")
-        _ACTIVE = self._trace
+        _STATE.active = self._trace
         self._context.__enter__()
         return self._trace
 
     def __exit__(self, *exc_info) -> bool:
-        global _ACTIVE, _CURRENT
         self._context.__exit__(*exc_info)
-        _ACTIVE = None
-        _CURRENT = None
+        _STATE.active = None
+        _STATE.current = None
         return False

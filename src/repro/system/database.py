@@ -34,6 +34,7 @@ from __future__ import annotations
 import time
 from collections import deque
 
+from repro.core.base import RangeReachBase
 from repro.core.extensions import GeosocialQueryEngine
 from repro.geometry import Point, Rect
 from repro.geosocial.network import GeosocialNetwork
@@ -46,7 +47,7 @@ from repro.pipeline import BuildContext
 DEFAULT_REFRESH_THRESHOLD = 64
 
 
-class GeosocialDatabase:
+class GeosocialDatabase(RangeReachBase):
     """A mutable geosocial network serving indexed RangeReach queries.
 
     Args:
@@ -205,20 +206,87 @@ class GeosocialDatabase:
     # ------------------------------------------------------------------
     # Queries (base snapshot ∪ delta overlay)
     # ------------------------------------------------------------------
+    name = "database"
+
     def range_reach(self, vertex: int, region: Rect) -> bool:
         """Can ``vertex`` geosocially reach ``region``?"""
         self._check_vertex(vertex)
         engine = self._snapshot()
         if not self._has_delta():
             self._note_query(overlay=False)
-            return engine.range_reach(vertex, region)
+            return engine.query(vertex, region)
         self._note_query(overlay=True)
         roots, delta_spatial = self._overlay_frontier(vertex)
         for root in roots:
-            if engine.range_reach(root, region):
+            if engine.query(root, region):
                 return True
         points = self._points
         return any(region.contains_point(points[v]) for v in delta_spatial)
+
+    def query(self, vertex: int, region: Rect) -> bool:
+        """Protocol alias of :meth:`range_reach` (the unified name)."""
+        return self.range_reach(vertex, region)
+
+    def range_reach_many(
+        self,
+        pairs,
+        executor=None,
+    ) -> list[bool]:
+        """Answer many ``(vertex, region)`` queries, delta-overlay aware.
+
+        With no pending delta the whole batch goes straight to the
+        snapshot engine's vectorized ``query_batch`` (or through
+        ``executor``, a :class:`repro.exec.ParallelExecutor`).  With a
+        delta, each query is rewritten into its overlay form — the
+        delta-spatial check plus one snapshot sub-query per overlay
+        root, with the per-vertex frontier computed once per distinct
+        vertex — and the flattened sub-queries run as one snapshot
+        batch.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        for vertex, _ in pairs:
+            self._check_vertex(vertex)
+        engine = self._snapshot()
+        if not self._has_delta():
+            for _ in pairs:
+                self._note_query(overlay=False)
+            if executor is not None:
+                return executor.run(engine, pairs)
+            return engine.query_batch(pairs)
+        for _ in pairs:
+            self._note_query(overlay=True)
+        points = self._points
+        frontier: dict[int, tuple[set[int], set[int]]] = {}
+        sub_pairs: list[tuple[int, Rect]] = []
+        plans: list[tuple[int, int, bool]] = []
+        for vertex, region in pairs:
+            front = frontier.get(vertex)
+            if front is None:
+                front = frontier[vertex] = self._overlay_frontier(vertex)
+            roots, delta_spatial = front
+            delta_hit = any(
+                region.contains_point(points[v]) for v in delta_spatial
+            )
+            start = len(sub_pairs)
+            if not delta_hit:
+                sub_pairs.extend((root, region) for root in roots)
+            plans.append((start, len(sub_pairs), delta_hit))
+        if not sub_pairs:
+            sub_answers: list[bool] = []
+        elif executor is not None:
+            sub_answers = executor.run(engine, sub_pairs)
+        else:
+            sub_answers = engine.query_batch(sub_pairs)
+        return [
+            delta_hit or any(sub_answers[start:end])
+            for start, end, delta_hit in plans
+        ]
+
+    def query_batch(self, pairs) -> list[bool]:
+        """Protocol alias of :meth:`range_reach_many` (no executor)."""
+        return self.range_reach_many(pairs)
 
     def count_reachable(self, vertex: int, region: Rect) -> int:
         self._check_vertex(vertex)

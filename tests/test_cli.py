@@ -99,6 +99,120 @@ def test_unknown_command_rejected():
         main(["frobnicate"])
 
 
+@pytest.fixture
+def batch_file(tmp_path):
+    path = tmp_path / "queries.txt"
+    path.write_text(
+        "# hot-area batch\n"
+        "0 -1,-1,2,2\n"
+        "\n"
+        "1 0,0,1,1   # trailing comment\n"
+        "2 -1,-1,2,2\n"
+    )
+    return path
+
+
+def test_query_batch_file(dataset_dir, batch_file, capsys):
+    code = main([
+        "query", str(dataset_dir),
+        "--batch", str(batch_file), "--method", "socreach",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("RangeReach(G, ") == 3
+    assert "batch=3 workers=1" in out
+    assert "q/s" in out
+
+
+def test_query_batch_with_workers(dataset_dir, batch_file, capsys):
+    code = main([
+        "query", str(dataset_dir),
+        "--batch", str(batch_file), "--workers", "4",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "batch=3 workers=4" in out
+
+
+def test_query_batch_mutually_exclusive_with_vertex(
+    dataset_dir, batch_file, capsys
+):
+    code = main([
+        "query", str(dataset_dir),
+        "--batch", str(batch_file), "--vertex", "0",
+    ])
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_query_requires_vertex_and_region_or_batch(dataset_dir, capsys):
+    code = main(["query", str(dataset_dir), "--vertex", "0"])
+    assert code == 2
+    assert "--batch" in capsys.readouterr().err
+
+
+def test_query_batch_malformed_line(dataset_dir, tmp_path, capsys):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 -1,-1,2,2\nnot-a-vertex 0,0,1,1\n")
+    code = main(["query", str(dataset_dir), "--batch", str(path)])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "bad.txt:2" in err
+
+
+def test_query_batch_missing_file(dataset_dir, capsys):
+    code = main([
+        "query", str(dataset_dir), "--batch", "/no/such/file.txt",
+    ])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_query_batch_vertex_out_of_range(dataset_dir, tmp_path, capsys):
+    path = tmp_path / "oob.txt"
+    path.write_text("999999 0,0,1,1\n")
+    code = main(["query", str(dataset_dir), "--batch", str(path)])
+    assert code == 2
+    assert "outside" in capsys.readouterr().err
+
+
+def test_query_batch_matches_single_queries(dataset_dir, batch_file, capsys):
+    assert main([
+        "query", str(dataset_dir),
+        "--batch", str(batch_file), "--method", "3dreach",
+    ]) == 0
+    batch_out = capsys.readouterr().out
+    batch_lines = [
+        line for line in batch_out.splitlines()
+        if line.startswith("RangeReach(")
+    ]
+    singles = []
+    for vertex, region in (("0", "-1,-1,2,2"), ("1", "0,0,1,1"),
+                           ("2", "-1,-1,2,2")):
+        assert main([
+            "query", str(dataset_dir),
+            "--vertex", vertex, f"--region={region}",
+            "--method", "3dreach",
+        ]) == 0
+        out = capsys.readouterr().out
+        singles.extend(
+            line for line in out.splitlines()
+            if line.startswith("RangeReach(")
+        )
+    assert batch_lines == singles
+
+
+def test_query_batch_trace_prints_batch_span(dataset_dir, batch_file, capsys):
+    code = main([
+        "query", str(dataset_dir),
+        "--batch", str(batch_file), "--workers", "2", "--trace",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "exec.batch" in out
+    assert "exec.chunk[" in out
+
+
 def test_query_prints_work_counters(dataset_dir, capsys):
     code = main([
         "query", str(dataset_dir),

@@ -22,8 +22,8 @@ def engine():
 
 
 def test_range_reach_matches_paper_example(engine):
-    assert engine.range_reach(FIG1_INDEX["a"], FIG1_REGION) is True
-    assert engine.range_reach(FIG1_INDEX["c"], FIG1_REGION) is False
+    assert engine.query(FIG1_INDEX["a"], FIG1_REGION) is True
+    assert engine.query(FIG1_INDEX["c"], FIG1_REGION) is False
 
 
 def test_count_paper_example(engine):
@@ -77,7 +77,7 @@ def test_count_matches_oracle_on_random_networks():
             expected = oracle.witnesses(v, region)
             assert engine.count(v, region) == len(expected)
             assert sorted(engine.witnesses(v, region)) == sorted(expected)
-            assert engine.range_reach(v, region) == bool(expected)
+            assert engine.query(v, region) == bool(expected)
             assert engine.at_least(v, region, len(expected)) is True
             assert engine.at_least(v, region, len(expected) + 1) is False
 

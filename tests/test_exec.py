@@ -1,0 +1,196 @@
+"""ParallelExecutor: parity, chunking, deadline, fallback, observability."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import RangeReachOracle, build_methods
+from repro.exec import BatchTimeoutError, ParallelExecutor
+from repro.geometry import Rect
+from repro.pipeline import BuildContext
+
+REGION = Rect(0.0, 0.0, 5.0, 5.0)
+EMPTY_REGION = Rect(90.0, 90.0, 91.0, 91.0)
+
+
+@pytest.fixture
+def built(fig1_condensed):
+    context = BuildContext(fig1_condensed)
+    return build_methods(
+        ("spareach-bfl", "socreach", "3dreach", "3dreach-rev"),
+        context=context,
+    )
+
+
+def _pairs(network) -> list[tuple[int, Rect]]:
+    pairs = []
+    for v in range(network.num_vertices):
+        pairs.append((v, REGION))
+        pairs.append((v, EMPTY_REGION))
+    return pairs * 3
+
+
+# ----------------------------------------------------------------------
+# Parity and basics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 4])
+def test_run_matches_sequential_answers(built, fig1_net, workers):
+    oracle = RangeReachOracle(fig1_net)
+    pairs = _pairs(fig1_net)
+    expected = [oracle.query(v, region) for v, region in pairs]
+    with ParallelExecutor(workers=workers, chunk_size=3) as executor:
+        assert executor.run(oracle, pairs) == expected
+        for name, method in built.items():
+            assert executor.run(method, pairs) == expected, name
+
+
+def test_empty_batch(built):
+    with ParallelExecutor(workers=2) as executor:
+        assert executor.run(built["3dreach"], []) == []
+
+
+def test_single_query_batch(built):
+    method = built["3dreach"]
+    with ParallelExecutor(workers=4) as executor:
+        assert executor.run(method, [(0, REGION)]) == [method.query(0, REGION)]
+
+
+def test_bare_query_target():
+    class QueryOnly:
+        def query(self, v, region):
+            return v % 2 == 0
+
+    pairs = [(v, REGION) for v in range(10)]
+    with ParallelExecutor(workers=2, chunk_size=3) as executor:
+        assert executor.run(QueryOnly(), pairs) == [
+            v % 2 == 0 for v in range(10)
+        ]
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="workers"):
+        ParallelExecutor(workers=0)
+    with pytest.raises(ValueError, match="chunk_size"):
+        ParallelExecutor(chunk_size=0)
+    with pytest.raises(ValueError, match="timeout"):
+        ParallelExecutor(timeout=0)
+
+
+def test_execute_many_through_executor(built, fig1_net):
+    from repro.core import QueryRequest
+
+    method = built["socreach"]
+    requests = [QueryRequest(v, REGION) for v in range(fig1_net.num_vertices)]
+    with ParallelExecutor(workers=2, chunk_size=2) as executor:
+        results = method.execute_many(requests, executor=executor)
+    assert [r.answer for r in results] == method.query_batch(
+        [r.as_pair() for r in requests]
+    )
+    assert all(r.method == method.name for r in results)
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+class _Slow:
+    name = "slow"
+
+    def query_batch(self, chunk):
+        time.sleep(0.02)
+        return [False] * len(chunk)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_deadline_raises_batch_timeout(workers):
+    pairs = [(0, REGION)] * 40
+    executor = ParallelExecutor(workers=workers, chunk_size=2, timeout=0.01)
+    with executor:
+        with pytest.raises(BatchTimeoutError) as info:
+            executor.run(_Slow(), pairs)
+    assert info.value.total == 20
+    assert 0 <= info.value.completed < info.value.total
+
+
+def test_per_run_timeout_overrides_default(built, fig1_net):
+    pairs = _pairs(fig1_net)
+    # Default timeout would trip on the slow target; the generous per-run
+    # override must let a real method finish.
+    with ParallelExecutor(workers=2, timeout=0.001) as executor:
+        answers = executor.run(built["3dreach"], pairs, timeout=60.0)
+    assert len(answers) == len(pairs)
+
+
+def test_timeout_counted(built):
+    with obs.observability(True):
+        obs.REGISTRY.reset()
+        with ParallelExecutor(workers=2, chunk_size=2, timeout=0.01) as ex:
+            with pytest.raises(BatchTimeoutError):
+                ex.run(_Slow(), [(0, REGION)] * 40)
+        samples = obs.REGISTRY.counter_samples()
+    assert samples.get("repro_exec_batch_timeouts_total", 0) == 1
+
+
+# ----------------------------------------------------------------------
+# Pool-unavailable fallback
+# ----------------------------------------------------------------------
+def test_sequential_fallback_when_pool_unavailable(
+    built, fig1_net, monkeypatch
+):
+    def broken_pool(*args, **kwargs):
+        raise RuntimeError("no threads in this environment")
+
+    monkeypatch.setattr(
+        "repro.exec.executor.ThreadPoolExecutor", broken_pool
+    )
+    method = built["3dreach"]
+    pairs = _pairs(fig1_net)
+    expected = method.query_batch(pairs)
+    with obs.observability(True):
+        obs.REGISTRY.reset()
+        with ParallelExecutor(workers=4) as executor:
+            assert executor.run(method, pairs) == expected
+            # The broken pool is remembered; no retry storm.
+            assert executor.run(method, pairs) == expected
+        samples = obs.REGISTRY.counter_samples()
+    assert samples["repro_exec_sequential_fallbacks_total"] == 2
+    assert samples['repro_exec_batches_total{mode="sequential"}'] == 2
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+def test_obs_counters_and_worker_labels(built, fig1_net):
+    method = built["socreach"]
+    pairs = _pairs(fig1_net)
+    with obs.observability(True):
+        obs.REGISTRY.reset()
+        with ParallelExecutor(workers=2, chunk_size=4) as executor:
+            executor.run(method, pairs)
+        samples = obs.REGISTRY.counter_samples()
+    assert samples['repro_exec_batches_total{mode="parallel"}'] == 1
+    assert samples["repro_exec_batch_queries_total"] == len(pairs)
+    # reset() zeroes but keeps label sets from earlier tests (e.g. the
+    # MainThread label of a sequential deadline run); look at non-zero.
+    chunk_counts = {
+        key: value
+        for key, value in samples.items()
+        if key.startswith("repro_exec_chunks_total") and value > 0
+    }
+    assert sum(chunk_counts.values()) == len(executor._chunks(pairs))
+    assert all("repro-exec" in key for key in chunk_counts)
+
+
+def test_batch_trace_stitches_chunk_spans(built, fig1_net):
+    method = built["3dreach"]
+    pairs = _pairs(fig1_net)
+    with obs.observability(True):
+        with ParallelExecutor(workers=2, chunk_size=4) as executor:
+            with obs.trace("serve") as trace:
+                executor.run(method, pairs)
+    names = [node.name for _, node in trace.root.walk()]
+    assert "exec.batch" in names
+    chunk_names = [n for n in names if n.startswith("exec.chunk[")]
+    assert len(chunk_names) == len(executor._chunks(pairs))
+    # Worker-side method spans never leak into the serving thread's tree.
+    assert not any(".query" in name for name in names)

@@ -51,7 +51,7 @@ def test_count_witnesses_threshold_match_oracle(network, data):
         expected = sorted(oracle.witnesses(v, region))
         assert sorted(engine.witnesses(v, region)) == expected
         assert engine.count(v, region) == len(expected)
-        assert engine.range_reach(v, region) == bool(expected)
+        assert engine.query(v, region) == bool(expected)
         k = data.draw(st.integers(0, network.num_vertices + 1))
         assert engine.at_least(v, region, k) == (len(expected) >= k)
 

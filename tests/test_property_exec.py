@@ -1,0 +1,58 @@
+"""Property-based parity: batched + parallel execution equals the oracle.
+
+Hypothesis generates arbitrary (possibly cyclic) geosocial networks plus
+batches of (vertex, region) queries with deliberate region reuse.  For
+every method, four execution paths must agree pairwise and with the BFS
+oracle:
+
+* the per-query ``query()`` loop,
+* one ``query_batch`` call (the vectorized overrides),
+* ``ParallelExecutor(workers=1)`` (chunked sequential path),
+* ``ParallelExecutor(workers=4)`` (thread pool path),
+
+with observability both off and on (counter flushes and trace state must
+never perturb answers).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.core import RangeReachOracle, build_methods
+from repro.exec import ParallelExecutor
+from repro.geosocial import condense_network
+from repro.pipeline import BuildContext
+from tests.test_property_methods import networks, regions
+
+_NAMES = ("spareach-bfl", "georeach", "socreach", "3dreach", "3dreach-rev")
+
+
+@st.composite
+def batches(draw, network, max_queries=12):
+    """A query batch with region reuse: few distinct regions, many pairs."""
+    n_regions = draw(st.integers(min_value=1, max_value=3))
+    distinct = [draw(regions()) for _ in range(n_regions)]
+    n_queries = draw(st.integers(min_value=0, max_value=max_queries))
+    vertex = st.integers(min_value=0, max_value=network.num_vertices - 1)
+    return [
+        (draw(vertex), distinct[draw(st.integers(0, n_regions - 1))])
+        for _ in range(n_queries)
+    ]
+
+
+@given(networks(), st.data(), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_batch_and_parallel_match_oracle(network, data, observe):
+    oracle = RangeReachOracle(network)
+    condensed = condense_network(network)
+    methods = build_methods(_NAMES, context=BuildContext(condensed))
+    pairs = data.draw(batches(network))
+    expected = [oracle.query(v, region) for v, region in pairs]
+    with obs.observability(observe):
+        with ParallelExecutor(workers=1, chunk_size=3) as seq_exec, \
+                ParallelExecutor(workers=4, chunk_size=3) as par_exec:
+            for name, method in methods.items():
+                loop = [method.query(v, region) for v, region in pairs]
+                assert loop == expected, name
+                assert method.query_batch(pairs) == expected, name
+                assert seq_exec.run(method, pairs) == expected, name
+                assert par_exec.run(method, pairs) == expected, name
