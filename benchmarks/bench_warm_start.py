@@ -1,0 +1,191 @@
+"""Warm-start serving — cold startup vs. snapshot load, with identical answers.
+
+The snapshot store's reason to exist: a process that has a persisted
+snapshot must reach serving state much faster than one that starts cold,
+and must answer *exactly* the same queries.  The two startup paths match
+what :class:`~repro.system.GeosocialDatabase` does with ``snapshot_dir``
+configured:
+
+* **cold startup** — acquire the dataset (:func:`make_network`), build
+  the paper's five methods through one fresh
+  :class:`~repro.pipeline.BuildContext` (condensation, labelings,
+  R-trees, SPA-graph, BFL filters from scratch), and persist the
+  snapshot for the next start;
+* **warm startup** — load that snapshot with :meth:`BuildContext.load`
+  and assemble the same five methods from the seeded artifacts.
+
+For each dataset this run measures both paths as the minimum over
+``REPEATS`` attempts (the usual noise-robust estimator on shared CI
+hardware, where scheduler stalls only ever inflate a timing).  Each
+attempt starts after a short idle pause so a cgroup CPU quota drained
+by the previous attempt refills first — the scenario being modelled is
+a process starting on an otherwise idle machine, not one racing the
+tail of an earlier build's throttle window.  The run then asserts
+the warm context constructed **nothing** (zero cache misses, zero
+labeling builds) and that every method answers a query workload
+identically to its cold twin, then reports per-dataset wall-clock and
+the speedup and writes ``benchmarks/results/warm_start.json``.
+
+The ≥5x speedup target is asserted on the **medium-profile aggregate**
+(total cold startup over total warm startup across the dataset suite) —
+per-dataset ratios are reported but not gated, because single datasets
+at this scale finish in tens of milliseconds where a single scheduler
+stall swings the ratio.  Tiny CI-smoke runs (``REPRO_SCALE`` < 0.002)
+only check correctness.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.bench import bench_datasets, bench_num_queries, bench_scale, \
+    format_table, get_network
+from repro.core import build_methods
+from repro.datasets import make_network
+from repro.pipeline import BuildContext
+from repro.workloads import QueryWorkload
+
+PAPER_METHODS = (
+    "spareach-bfl", "georeach", "socreach", "3dreach", "3dreach-rev",
+)
+
+#: Minimum aggregate cold/warm ratio demanded on the medium profile.
+MIN_SPEEDUP = 5.0
+
+#: Timing attempts per startup path; the minimum is reported.
+REPEATS = 3
+
+#: Idle pause before each timed attempt (lets CPU quotas refill).
+SETTLE_SECONDS = 0.15
+
+
+def _cold_startup(dataset, snapshot_dir, repeats=REPEATS):
+    """Best observed cold startup: acquire + build five methods + persist."""
+    best = float("inf")
+    methods = summary = None
+    for _ in range(repeats):
+        time.sleep(SETTLE_SECONDS)
+        started = time.perf_counter()
+        network = make_network(dataset, scale=bench_scale(), seed=1)
+        context = BuildContext(network)
+        methods = build_methods(PAPER_METHODS, network, context=context)
+        summary = context.save(snapshot_dir)
+        best = min(best, time.perf_counter() - started)
+    return methods, summary, best
+
+
+def _warm_startup(snapshot_dir, repeats=REPEATS):
+    """Best observed warm startup: load snapshot + assemble five methods."""
+    best = float("inf")
+    methods = context = None
+    for _ in range(repeats):
+        time.sleep(SETTLE_SECONDS)
+        started = time.perf_counter()
+        context = BuildContext.load(snapshot_dir)
+        methods = build_methods(PAPER_METHODS, context=context)
+        best = min(best, time.perf_counter() - started)
+    return methods, context, best
+
+
+def _workload(network):
+    queries = QueryWorkload(network, seed=5).batch_by_extent(
+        5.0, (1, 10**9), bench_num_queries()
+    )
+    return [(q.vertex, q.region) for q in queries]
+
+
+@pytest.mark.parametrize("dataset", bench_datasets())
+def test_warm_start_identical_answers(dataset, tmp_path):
+    network = get_network(dataset)
+    cold, _, _ = _cold_startup(dataset, tmp_path / "snap", repeats=1)
+    warm, warm_context, _ = _warm_startup(tmp_path / "snap", repeats=1)
+    # The zero-constructions contract: a warm start builds nothing.
+    assert warm_context.miss_keys() == []
+    assert warm_context.labeling_builds() == []
+    for vertex, region in _workload(network):
+        for name in PAPER_METHODS:
+            assert warm[name].query(vertex, region) == cold[name].query(
+                vertex, region
+            ), f"{name} diverged on ({vertex}, {region.as_tuple()})"
+
+
+def test_warm_start_report(report, results_dir, tmp_path):
+    rows = []
+    artifact = {
+        "methods": list(PAPER_METHODS),
+        "scale": bench_scale(),
+        "min_speedup": MIN_SPEEDUP,
+        "repeats": REPEATS,
+        "datasets": {},
+    }
+    cold_total = 0.0
+    warm_total = 0.0
+    for dataset in bench_datasets():
+        network = get_network(dataset)
+        snap = tmp_path / dataset
+        cold, summary, cold_seconds = _cold_startup(dataset, snap)
+        warm, warm_context, warm_seconds = _warm_startup(snap)
+        assert warm_context.miss_keys() == []
+        assert warm_context.labeling_builds() == []
+        mismatches = 0
+        workload = _workload(network)
+        for vertex, region in workload:
+            for name in PAPER_METHODS:
+                if warm[name].query(vertex, region) != cold[name].query(
+                    vertex, region
+                ):
+                    mismatches += 1
+        assert mismatches == 0
+        cold_total += cold_seconds
+        warm_total += warm_seconds
+        speedup = (
+            cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+        )
+        rows.append([
+            dataset,
+            f"{cold_seconds * 1e3:.1f}",
+            f"{warm_seconds * 1e3:.1f}",
+            f"{speedup:.1f}x",
+            str(summary["parts"]),
+            f"{summary['bytes'] / 1024:.0f}",
+        ])
+        artifact["datasets"][dataset] = {
+            "cold_startup_seconds": cold_seconds,
+            "warm_startup_seconds": warm_seconds,
+            "speedup": speedup,
+            "snapshot_parts": summary["parts"],
+            "snapshot_bytes": summary["bytes"],
+            "queries_checked": len(workload) * len(PAPER_METHODS),
+            "mismatches": mismatches,
+        }
+    aggregate = cold_total / warm_total if warm_total > 0 else float("inf")
+    artifact["aggregate"] = {
+        "cold_startup_seconds": cold_total,
+        "warm_startup_seconds": warm_total,
+        "speedup": aggregate,
+    }
+    rows.append([
+        "TOTAL",
+        f"{cold_total * 1e3:.1f}",
+        f"{warm_total * 1e3:.1f}",
+        f"{aggregate:.1f}x",
+        "",
+        "",
+    ])
+    report(format_table(
+        ["dataset", "cold start [ms]", "warm start [ms]", "speedup",
+         "parts", "size [KiB]"],
+        rows,
+        title="Warm start: cold startup (acquire+build+persist) vs. "
+        "snapshot load",
+    ))
+    out = results_dir / "warm_start.json"
+    out.write_text(json.dumps(artifact, indent=2), encoding="utf-8")
+    assert out.exists()
+    # Ratio assertion only where builds are big enough to measure.
+    if bench_scale() >= 0.002:
+        assert aggregate >= MIN_SPEEDUP, (
+            f"warm start only {aggregate:.1f}x faster than cold startup "
+            f"across the suite (need >= {MIN_SPEEDUP}x)"
+        )

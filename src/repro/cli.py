@@ -269,6 +269,80 @@ def _run_query_batch(args: argparse.Namespace, network: GeosocialNetwork) -> int
     return 0
 
 
+def _cmd_snapshot_save(args: argparse.Namespace) -> int:
+    network = GeosocialNetwork.load(args.directory)
+    methods = args.methods or sorted(METHOD_REGISTRY)
+    for name in methods:
+        if name not in METHOD_REGISTRY:
+            known = ", ".join(sorted(METHOD_REGISTRY))
+            print(f"error: unknown method {name!r}; known: {known}",
+                  file=sys.stderr)
+            return 2
+    context = BuildContext(network)
+    build_start = time.perf_counter()
+    build_methods(methods, context=context)
+    build_elapsed = time.perf_counter() - build_start
+    summary = context.save(args.snapshot)
+    print(
+        f"wrote {summary['path']}: {summary['parts']} parts, "
+        f"{summary['bytes']} bytes (build={build_elapsed:.3f}s "
+        f"save={summary['seconds']:.3f}s)"
+    )
+    return 0
+
+
+def _cmd_snapshot_load(args: argparse.Namespace) -> int:
+    from repro.store import SnapshotError
+
+    try:
+        load_start = time.perf_counter()
+        context = BuildContext.load(args.snapshot)
+        load_elapsed = time.perf_counter() - load_start
+        methods = args.methods or sorted(METHOD_REGISTRY)
+        built = build_methods(methods, context=context)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    stats = context.stats()
+    print(
+        f"loaded {args.snapshot}: network={context.network.name} "
+        f"|V|={context.network.num_vertices} "
+        f"artifacts={stats['artifacts']} (load={load_elapsed:.3f}s)"
+    )
+    print(
+        f"built {len(built)} methods warm: "
+        f"hits={sum(stats['hits'].values())} "
+        f"misses={sum(stats['misses'].values())} "
+        f"labeling_builds={len(context.labeling_builds())}"
+    )
+    return 0
+
+
+def _cmd_snapshot_inspect(args: argparse.Namespace) -> int:
+    from repro.store import SnapshotError, inspect_snapshot
+
+    try:
+        report = inspect_snapshot(args.snapshot)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{report['path']}: format={report['format']} "
+        f"v{report['version']} network={report['network']} "
+        f"parts={len(report['parts'])} bytes={report['total_bytes']}"
+    )
+    for part in report["parts"]:
+        key = ",".join(str(k) for k in part["key"])
+        print(
+            f"  {part['file']:<28} {part['kind']:<9} {part['bytes']:>8}B "
+            f"[{key}] {part['status']}"
+        )
+    if not report["ok"]:
+        print("error: snapshot failed verification", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -350,6 +424,43 @@ def build_parser() -> argparse.ArgumentParser:
         "deltas)",
     )
     query.set_defaults(func=_cmd_query)
+
+    snap = sub.add_parser(
+        "snapshot",
+        help="persist built indexes to disk and warm-start from them",
+    )
+    snap_sub = snap.add_subparsers(dest="snapshot_command", required=True)
+
+    snap_save = snap_sub.add_parser(
+        "save", help="build methods over a saved network and persist "
+        "every artifact as a snapshot"
+    )
+    snap_save.add_argument("directory", help="saved network directory")
+    snap_save.add_argument("snapshot", help="snapshot output directory")
+    snap_save.add_argument(
+        "--methods", nargs="*", metavar="METHOD",
+        help="methods to build before saving (default: every registered "
+        "method)",
+    )
+    snap_save.set_defaults(func=_cmd_snapshot_save)
+
+    snap_load = snap_sub.add_parser(
+        "load", help="load a snapshot and rebuild methods warm "
+        "(verifies the zero-constructions property)"
+    )
+    snap_load.add_argument("snapshot", help="snapshot directory")
+    snap_load.add_argument(
+        "--methods", nargs="*", metavar="METHOD",
+        help="methods to build from the loaded artifacts",
+    )
+    snap_load.set_defaults(func=_cmd_snapshot_load)
+
+    snap_inspect = snap_sub.add_parser(
+        "inspect", help="verify a snapshot's manifest and per-part "
+        "checksums without loading it"
+    )
+    snap_inspect.add_argument("snapshot", help="snapshot directory")
+    snap_inspect.set_defaults(func=_cmd_snapshot_inspect)
     return parser
 
 

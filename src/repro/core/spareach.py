@@ -106,6 +106,10 @@ class SpaReach(RangeReachBase):
             self._reach = IntervalReach(
                 network.dag, labeling=context.labeling()
             )
+        elif reach_index == "bfl":
+            # Shared (and snapshot-persisted) BFL index at the default
+            # parameters; custom factories below still bypass the cache.
+            self._reach = context.bfl_reach()
         else:
             self._reach = factory(network.dag)
         self.name = f"spareach-{self._reach.name}"

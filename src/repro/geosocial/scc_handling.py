@@ -58,19 +58,27 @@ class CondensedNetwork:
         self.members: list[list[int]] = condensation.members
 
         # Spatial info per super-vertex; points and the original spatial
-        # vertices they came from are kept aligned.
+        # vertices they came from are kept aligned.  Derived lazily — a
+        # warm-started engine that serves from snapshot artifacts (which
+        # include the compiled columns) never scans the points at all.
+        self._points_of: list[list[Point]] | None = None
+        self._spatial_members: list[list[int]] | None = None
+        self._mbr_of: list[Rect | None] | None = None
+        self._spatial_components: list[int] | None = None
+        self._columns: SpatialColumns | None = None
+
+    def _group_points(self) -> list[list[Point]]:
         points_of: list[list[Point]] = [[] for _ in range(self.dag.num_vertices)]
         spatial_members: list[list[int]] = [[] for _ in range(self.dag.num_vertices)]
-        for v, point in enumerate(network.points):
+        component_of = self.component_of
+        for v, point in enumerate(self.network.points):
             if point is not None:
-                component = self.component_of[v]
+                component = component_of[v]
                 points_of[component].append(point)
                 spatial_members[component].append(v)
         self._points_of = points_of
         self._spatial_members = spatial_members
-        self._mbr_of: list[Rect | None] | None = None
-        self._spatial_components: list[int] | None = None
-        self._columns: SpatialColumns | None = None
+        return points_of
 
     # ------------------------------------------------------------------
     # Structure
@@ -85,16 +93,25 @@ class CondensedNetwork:
 
     def points_of(self, component: int) -> list[Point]:
         """Return the member points of a super-vertex (possibly empty)."""
-        return self._points_of[component]
+        points_of = self._points_of
+        if points_of is None:
+            points_of = self._group_points()
+        return points_of[component]
 
     def has_spatial(self, component: int) -> bool:
-        return bool(self._points_of[component])
+        points_of = self._points_of
+        if points_of is None:
+            points_of = self._group_points()
+        return bool(points_of[component])
 
     def spatial_components(self) -> list[int]:
         """Return all super-vertices that contain at least one point."""
         if self._spatial_components is None:
+            points_of = self._points_of
+            if points_of is None:
+                points_of = self._group_points()
             self._spatial_components = [
-                c for c, pts in enumerate(self._points_of) if pts
+                c for c, pts in enumerate(points_of) if pts
             ]
         return self._spatial_components
 
@@ -105,6 +122,8 @@ class CondensedNetwork:
         loops of :meth:`component_hits_region` and the query methods.
         """
         if self._columns is None:
+            if self._points_of is None:
+                self._group_points()
             self._columns = compile_columns(
                 self._points_of, self._spatial_members
             )
@@ -113,9 +132,12 @@ class CondensedNetwork:
     def mbr_of(self, component: int) -> Rect | None:
         """Return the MBR of the super-vertex's points (Section 5, option 2)."""
         if self._mbr_of is None:
+            points_of = self._points_of
+            if points_of is None:
+                points_of = self._group_points()
             self._mbr_of = [
                 Rect.from_points(pts) if pts else None
-                for pts in self._points_of
+                for pts in points_of
             ]
         return self._mbr_of[component]
 
@@ -128,13 +150,18 @@ class CondensedNetwork:
         The *replicate* strategy: every member point is indexed on its own
         and inherits the super-vertex's reachability information.
         """
-        for component, points in enumerate(self._points_of):
+        points_of = self._points_of
+        if points_of is None:
+            points_of = self._group_points()
+        for component, points in enumerate(points_of):
             for point in points:
                 yield point, component
 
     def spatial_members(self, component: int) -> list[int]:
         """Original spatial vertices of a super-vertex, aligned with
         :meth:`points_of`."""
+        if self._spatial_members is None:
+            self._group_points()
         return self._spatial_members[component]
 
     def vertex_entries(self) -> Iterator[tuple[Point, int, int]]:
@@ -143,6 +170,8 @@ class CondensedNetwork:
         Like :meth:`replicate_entries` but keeps the original spatial
         vertex id, for queries that must report witnesses.
         """
+        if self._spatial_members is None:
+            self._group_points()
         for component, members in enumerate(self._spatial_members):
             points = self._points_of[component]
             for point, vertex in zip(points, members):

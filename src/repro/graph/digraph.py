@@ -7,7 +7,7 @@ matches how the paper's C++ implementation stores the networks.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 
 class DiGraph:
@@ -18,7 +18,7 @@ class DiGraph:
     and the bulk loaders already produce unique edges).
     """
 
-    __slots__ = ("_succ", "_pred", "_num_edges")
+    __slots__ = ("_succ", "_pred", "_num_edges", "_lazy")
 
     def __init__(self, num_vertices: int = 0) -> None:
         if num_vertices < 0:
@@ -26,6 +26,9 @@ class DiGraph:
         self._succ: list[list[int]] = [[] for _ in range(num_vertices)]
         self._pred: list[list[int]] = [[] for _ in range(num_vertices)]
         self._num_edges = 0
+        # Validated adjacency columns awaiting materialization into
+        # per-vertex rows (see :meth:`from_adjacency`); None once built.
+        self._lazy: tuple | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -40,14 +43,83 @@ class DiGraph:
             graph.add_edge(source, target)
         return graph
 
+    @classmethod
+    def from_adjacency(
+        cls,
+        num_vertices: int,
+        out_counts: Sequence[int],
+        out_targets: Sequence[int],
+        in_counts: Sequence[int],
+        in_sources: Sequence[int],
+    ) -> "DiGraph":
+        """Rebuild a graph from per-vertex adjacency columns.
+
+        The bulk path of the snapshot loader: ``out_counts[v]`` gives the
+        out-degree of each vertex and ``out_targets`` concatenates the
+        successor lists in vertex order (``in_counts``/``in_sources``
+        mirror the in-direction).  Adjacency order is preserved exactly,
+        which keeps :meth:`edges` iteration deterministic.
+
+        Lengths, vertex bounds and the per-direction edge totals are all
+        validated here, eagerly — a corrupt column set never produces a
+        graph object.  The slicing of the validated columns into
+        per-vertex rows is deferred until the adjacency is first touched:
+        consumers that only need vertex/edge counts (or none of the
+        adjacency at all, like warm-started query engines that answer
+        from index artifacts) never pay for row construction.
+        """
+        if len(out_counts) != num_vertices or len(in_counts) != num_vertices:
+            raise ValueError("adjacency counts disagree with the vertex count")
+        if len(out_targets) != len(in_sources):
+            raise ValueError("adjacency directions disagree on the edge count")
+        num_edges = len(out_targets)
+        columns = []
+        for counts, flat, what in (
+            (out_counts, out_targets, "target"),
+            (in_counts, in_sources, "source"),
+        ):
+            counts = list(counts)
+            flat = list(flat)
+            if num_vertices and min(counts) < 0:
+                raise ValueError("negative adjacency count")
+            if sum(counts) != num_edges:
+                raise ValueError("adjacency counts disagree with the columns")
+            if num_edges and (min(flat) < 0 or max(flat) >= num_vertices):
+                raise IndexError(f"{what} vertex out of range")
+            columns.append((counts, flat))
+        graph = cls(0)
+        graph._succ = None
+        graph._pred = None
+        graph._num_edges = num_edges
+        graph._lazy = (num_vertices, columns)
+        return graph
+
+    def _materialize(self) -> None:
+        """Slice deferred adjacency columns into per-vertex rows."""
+        num_vertices, columns = self._lazy
+        self._lazy = None
+        for (counts, flat), attr in zip(columns, ("_succ", "_pred")):
+            rows = []
+            append = rows.append
+            cursor = 0
+            for count in counts:
+                nxt = cursor + count
+                append(flat[cursor:nxt])
+                cursor = nxt
+            setattr(self, attr, rows)
+
     def add_vertex(self) -> int:
         """Append a fresh vertex and return its id."""
+        if self._lazy is not None:
+            self._materialize()
         self._succ.append([])
         self._pred.append([])
         return len(self._succ) - 1
 
     def add_edge(self, source: int, target: int) -> None:
         """Add the directed edge ``source -> target``."""
+        if self._lazy is not None:
+            self._materialize()
         if not (0 <= source < len(self._succ)):
             raise IndexError(f"source vertex {source} out of range")
         if not (0 <= target < len(self._succ)):
@@ -62,6 +134,8 @@ class DiGraph:
         Raises:
             ValueError: if the edge is not present.
         """
+        if self._lazy is not None:
+            self._materialize()
         try:
             self._succ[source].remove(target)
         except ValueError:
@@ -74,6 +148,8 @@ class DiGraph:
     # ------------------------------------------------------------------
     @property
     def num_vertices(self) -> int:
+        if self._lazy is not None:
+            return self._lazy[0]
         return len(self._succ)
 
     @property
@@ -82,30 +158,42 @@ class DiGraph:
 
     def vertices(self) -> range:
         """Return the vertex id range."""
-        return range(len(self._succ))
+        return range(self.num_vertices)
 
     def successors(self, v: int) -> list[int]:
         """Return the out-neighbors of ``v`` (the list is owned, not a copy)."""
+        if self._lazy is not None:
+            self._materialize()
         return self._succ[v]
 
     def predecessors(self, v: int) -> list[int]:
         """Return the in-neighbors of ``v`` (the list is owned, not a copy)."""
+        if self._lazy is not None:
+            self._materialize()
         return self._pred[v]
 
     def out_degree(self, v: int) -> int:
+        if self._lazy is not None:
+            self._materialize()
         return len(self._succ[v])
 
     def in_degree(self, v: int) -> int:
+        if self._lazy is not None:
+            self._materialize()
         return len(self._pred[v])
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate over all edges as ``(source, target)`` pairs."""
+        if self._lazy is not None:
+            self._materialize()
         for source, targets in enumerate(self._succ):
             for target in targets:
                 yield (source, target)
 
     def has_edge(self, source: int, target: int) -> bool:
         """Return True iff the edge exists (linear in out-degree)."""
+        if self._lazy is not None:
+            self._materialize()
         return target in self._succ[source]
 
     # ------------------------------------------------------------------
@@ -116,6 +204,8 @@ class DiGraph:
 
         Used to build the *reversed* interval labeling of 3DReach-Rev.
         """
+        if self._lazy is not None:
+            self._materialize()
         reverse = DiGraph(self.num_vertices)
         for source, targets in enumerate(self._succ):
             for target in targets:
@@ -128,6 +218,8 @@ class DiGraph:
         Check-in data produces many repeated user->venue edges; reachability
         only cares about edge existence, so the loaders call this once.
         """
+        if self._lazy is not None:
+            self._materialize()
         out = DiGraph(self.num_vertices)
         for source, targets in enumerate(self._succ):
             seen: set[int] = set()

@@ -16,7 +16,12 @@ from repro.labeling.labeling import IntervalLabeling, LabelingStats
 from repro.labeling.construction import build_labeling, build_reversed_labeling
 from repro.labeling.stabbing import IntervalStabbingIndex
 from repro.labeling.dynamic import DynamicIntervalLabeling
-from repro.labeling.io import load_labeling, save_labeling
+from repro.labeling.io import (
+    labeling_from_state,
+    labeling_state,
+    load_labeling,
+    save_labeling,
+)
 
 __all__ = [
     "compress_intervals",
@@ -28,6 +33,8 @@ __all__ = [
     "build_reversed_labeling",
     "IntervalStabbingIndex",
     "DynamicIntervalLabeling",
+    "labeling_from_state",
+    "labeling_state",
     "load_labeling",
     "save_labeling",
 ]

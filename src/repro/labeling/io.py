@@ -15,11 +15,101 @@ Layout::
 
 from __future__ import annotations
 
+from array import array
 from pathlib import Path
+from typing import Mapping, Sequence
 
 from repro.labeling.labeling import IntervalLabeling
 
 _MAGIC = "# repro interval labeling v1"
+
+
+def labeling_state(labeling: IntervalLabeling) -> dict:
+    """Reduce a labeling to flat typed arrays (the binary-store form).
+
+    The inverse of :func:`labeling_from_state`; label intervals are
+    emitted per vertex in their stored (sorted) order, so the round trip
+    is exact and deterministic.
+    """
+    counts = array("q", (len(ls) for ls in labeling.labels))
+    lo = array("q")
+    hi = array("q")
+    for vertex_labels in labeling.labels:
+        for low, high in vertex_labels:
+            lo.append(low)
+            hi.append(high)
+    return {
+        "post": array("q", labeling.post),
+        "parent": array("q", labeling.parent),
+        "roots": array("q", labeling.roots),
+        "stride": labeling.stride,
+        "uncompressed": labeling.stats().uncompressed_labels,
+        "label_counts": counts,
+        "label_lo": lo,
+        "label_hi": hi,
+        # The inverse post-order permutation is derived state, persisted
+        # so a reload can assign it instead of re-inverting vertex by
+        # vertex (it dominates __init__ time on snapshot-sized graphs).
+        "vertex_at_post": array("q", labeling.vertex_at_post),
+    }
+
+
+def labeling_from_state(state: Mapping[str, object]) -> IntervalLabeling:
+    """Rebuild a labeling from :func:`labeling_state` arrays.
+
+    Raises:
+        ValueError: when the arrays are inconsistent (count/offset
+            mismatches, bad stride multiples — the checks
+            :class:`IntervalLabeling` itself enforces included).
+    """
+    post: Sequence[int] = state["post"]
+    parent: Sequence[int] = state["parent"]
+    counts: Sequence[int] = state["label_counts"]
+    lo: Sequence[int] = state["label_lo"]
+    hi: Sequence[int] = state["label_hi"]
+    if len(counts) != len(post):
+        raise ValueError("label counts disagree with the vertex count")
+    if len(lo) != len(hi) or len(lo) != sum(counts):
+        raise ValueError("label endpoint arrays disagree with the counts")
+    pairs = list(zip(lo, hi))
+    labels: list[tuple[tuple[int, int], ...]] = []
+    cursor = 0
+    for count in counts:
+        labels.append(tuple(pairs[cursor : cursor + count]))
+        cursor += count
+    vertex_at_post = state.get("vertex_at_post")
+    if vertex_at_post is None:
+        # States written before the column existed: let __init__ invert
+        # the post-order numbering (and re-check stride multiples).
+        return IntervalLabeling(
+            post=list(post),
+            labels=labels,
+            parent=list(parent),
+            roots=list(state["roots"]),
+            uncompressed_labels=int(state["uncompressed"]),
+            stride=int(state["stride"]),
+        )
+    if len(vertex_at_post) != len(post):
+        raise ValueError(
+            "vertex_at_post column disagrees with the vertex count"
+        )
+    stride = int(state["stride"])
+    if stride < 1:
+        raise ValueError("stride must be positive")
+    if len(parent) != len(post):
+        raise ValueError("post/labels/parent arrays disagree in length")
+    # Assign the persisted inverse permutation instead of re-deriving it;
+    # the state arrays come out of a checksummed snapshot part, so the
+    # per-element stride checks of __init__ are already known to hold.
+    labeling = IntervalLabeling.__new__(IntervalLabeling)
+    labeling.post = list(post)
+    labeling.labels = labels
+    labeling.parent = list(parent)
+    labeling.roots = list(state["roots"])
+    labeling.stride = stride
+    labeling._uncompressed = int(state["uncompressed"])
+    labeling.vertex_at_post = list(vertex_at_post)
+    return labeling
 
 
 def save_labeling(labeling: IntervalLabeling, path: str | Path) -> None:

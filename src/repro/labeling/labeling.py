@@ -81,12 +81,20 @@ class IntervalLabeling:
         # covered by any existing label (compression never merges across a
         # gap because the endpoints differ by more than one).
         self.vertex_at_post = [0] * len(post)
-        for v, p in enumerate(post):
-            if p % stride != 0:
-                raise ValueError(
-                    f"post number {p} is not a multiple of stride {stride}"
-                )
-            self.vertex_at_post[p // stride - 1] = v
+        vertex_at_post = self.vertex_at_post
+        if stride == 1:
+            # Fast path: every integer is a multiple of 1, so the check
+            # inside the loop would be dead weight on the (default)
+            # stride-1 labelings rebuilt from snapshots.
+            for v, p in enumerate(post):
+                vertex_at_post[p - 1] = v
+        else:
+            for v, p in enumerate(post):
+                if p % stride != 0:
+                    raise ValueError(
+                        f"post number {p} is not a multiple of stride {stride}"
+                    )
+                vertex_at_post[p // stride - 1] = v
 
     # ------------------------------------------------------------------
     # Queries

@@ -174,6 +174,34 @@ EXEC_BATCH_SECONDS = REGISTRY.histogram(
 )
 
 # ----------------------------------------------------------------------
+# Snapshot store (repro.store) persistence
+# ----------------------------------------------------------------------
+STORE_SAVES = REGISTRY.counter(
+    "repro_store_saves_total",
+    "Snapshots written to disk (atomic manifest + parts directories).",
+)
+STORE_LOADS = REGISTRY.counter(
+    "repro_store_loads_total",
+    "Snapshots loaded and verified from disk (warm starts).",
+)
+STORE_SAVE_BYTES = REGISTRY.counter(
+    "repro_store_save_bytes_total",
+    "Artifact part bytes written by snapshot saves.",
+)
+STORE_LOAD_BYTES = REGISTRY.counter(
+    "repro_store_load_bytes_total",
+    "Artifact part bytes read and checksum-verified by snapshot loads.",
+)
+STORE_SAVE_SECONDS = REGISTRY.histogram(
+    "repro_store_save_seconds",
+    "Wall-clock duration of one snapshot save (encode + fsync + rename).",
+)
+STORE_LOAD_SECONDS = REGISTRY.histogram(
+    "repro_store_load_seconds",
+    "Wall-clock duration of one snapshot load (verify + decode + seed).",
+)
+
+# ----------------------------------------------------------------------
 # Shared build pipeline (BuildContext artifact cache)
 # ----------------------------------------------------------------------
 PIPELINE_CACHE_HITS = REGISTRY.counter_family(

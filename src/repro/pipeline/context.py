@@ -286,6 +286,75 @@ class BuildContext:
         return self.rtree(("3d-vertices", mode, stride), 3, capacity, entries)
 
     # ------------------------------------------------------------------
+    # Derived reachability artifacts (SpaGraph, BFL)
+    # ------------------------------------------------------------------
+    def spa_graph(self, params=None):
+        """GeoReach's materialized SPA-graph for one parameter set.
+
+        The dominant single-artifact build cost of a five-method run, so
+        caching (and persisting) it is what makes warm starts fast.
+        """
+        from repro.core.georeach import GeoReachParams, build_spa_graph
+
+        params = params or GeoReachParams()
+        condensed = self.condensed()
+        key = (
+            "spa",
+            params.grid_levels,
+            params.merge_count,
+            params.max_reach_grids,
+            params.max_rmbr_ratio,
+        )
+        return self._get(key, lambda: build_spa_graph(condensed, params))
+
+    def bfl_reach(self, filter_bits: int = 256, seed: int = 7):
+        """The Bloom-filter-labeling reachability index over the DAG."""
+        from repro.reach.bfl import BflReach
+
+        dag = self.condensed().dag
+        return self._get(
+            ("reach", "bfl", int(filter_bits), int(seed)),
+            lambda: BflReach(dag, filter_bits=filter_bits, seed=seed),
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.store)
+    # ------------------------------------------------------------------
+    def seed_artifact(self, key: ArtifactKey, artifact: object) -> None:
+        """Install a pre-built artifact under ``key`` without counting.
+
+        Used by the snapshot loader: seeded artifacts behave exactly like
+        cache contents (every subsequent ``_get`` is a hit), so a warm
+        start shows zero misses and ``labeling_builds() == []``.
+        """
+        self._artifacts[tuple(key)] = artifact
+
+    def artifact_items(self) -> list[tuple[ArtifactKey, object]]:
+        """All cached ``(key, artifact)`` pairs, for the snapshot writer."""
+        return list(self._artifacts.items())
+
+    def save(self, directory) -> dict:
+        """Persist every cached artifact as a snapshot at ``directory``.
+
+        Returns the save summary of :func:`repro.store.save_context`.
+        """
+        from repro.store import save_context
+
+        return save_context(self, directory)
+
+    @classmethod
+    def load(cls, directory) -> "BuildContext":
+        """Rebuild a context from a snapshot written by :meth:`save`.
+
+        Raises:
+            repro.store.SnapshotError: on a missing, malformed or
+                corrupted snapshot.
+        """
+        from repro.store import load_context
+
+        return load_context(directory)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:

@@ -59,6 +59,57 @@ class BflReach:
         self._in = in_filter
 
     # ------------------------------------------------------------------
+    # Persistence hooks (used by repro.store)
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Return the index's computed state as plain Python values.
+
+        The DFS intervals and the two filter columns fully determine
+        query behaviour; the DAG itself is not included (it is persisted
+        separately and passed back to :meth:`from_state`).
+        """
+        return {
+            "filter_bits": self._bits,
+            "post": list(self._post),
+            "min_post": list(self._min_post),
+            "out_filters": list(self._out),
+            "in_filters": list(self._in),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        dag: DiGraph,
+        *,
+        filter_bits: int,
+        post: list[int],
+        min_post: list[int],
+        out_filters: list[int],
+        in_filters: list[int],
+    ) -> "BflReach":
+        """Rebuild an index from :meth:`state` values without any DFS.
+
+        ``dag`` must be the graph the state was computed over — the
+        pruned-DFS fallback walks its adjacency at query time.
+        """
+        n = dag.num_vertices
+        if not (
+            len(post) == len(min_post) == len(out_filters)
+            == len(in_filters) == n
+        ):
+            raise ValueError("BFL state arrays disagree with the DAG size")
+        if filter_bits < 8:
+            raise ValueError("filter must have at least 8 bits")
+        self = cls.__new__(cls)
+        self._graph = dag
+        self._bits = filter_bits
+        self._post = post
+        self._min_post = min_post
+        self._out = out_filters
+        self._in = in_filters
+        return self
+
+    # ------------------------------------------------------------------
     def _definitely_reaches(self, source: int, target: int) -> bool:
         """Subtree-interval test: target inside source's DFS subtree."""
         return self._min_post[source] <= self._post[target] <= self._post[source]

@@ -498,6 +498,167 @@ class RTree:
         return results
 
     # ------------------------------------------------------------------
+    # Flattened form (persistence)
+    # ------------------------------------------------------------------
+    def flatten(self) -> dict:
+        """Reduce the tree to flat preorder arrays (no object graph).
+
+        Children and leaf entries are emitted in their in-node order, so
+        a tree rebuilt by :meth:`from_flat` traverses — and therefore
+        answers :meth:`search` — in exactly the same order as this one.
+        Node bounds are stored too (``node_bounds``, ``2 * dims`` per
+        node), so the rebuild is a straight array walk with no bound
+        recomputation.  Items must be integers (every index in this
+        library stores component or vertex ids).
+        """
+        from array import array
+
+        node_kinds = array("q")
+        child_counts = array("q")
+        entry_counts = array("q")
+        node_bounds = array("d")
+        entry_bounds = array("d")
+        entry_items = array("q")
+
+        width = 2 * self._dims
+
+        def visit(node: _Node) -> None:
+            node_kinds.append(1 if node.is_leaf else 0)
+            # Only an emptied root leaf has no bounds; store zeros and
+            # restore None from the zero entry count on rebuild.
+            node_bounds.extend(
+                node.bounds if node.bounds is not None else (0.0,) * width
+            )
+            if node.is_leaf:
+                child_counts.append(0)
+                entry_counts.append(len(node.entries))
+                for bounds, item in node.entries:
+                    if not isinstance(item, int):
+                        raise ValueError(
+                            "only integer-item R-trees can be flattened, "
+                            f"got {type(item).__name__}"
+                        )
+                    entry_bounds.extend(bounds)
+                    entry_items.append(item)
+            else:
+                child_counts.append(len(node.children))
+                entry_counts.append(0)
+                for child in node.children:
+                    visit(child)
+
+        if self._root is not None:
+            visit(self._root)
+        return {
+            "dims": self._dims,
+            "capacity": self._capacity,
+            "split": self._split_policy,
+            "size": self._size,
+            "node_kinds": node_kinds,
+            "child_counts": child_counts,
+            "entry_counts": entry_counts,
+            "node_bounds": node_bounds,
+            "entry_bounds": entry_bounds,
+            "entry_items": entry_items,
+        }
+
+    @classmethod
+    def from_flat(
+        cls,
+        *,
+        dims: int,
+        capacity: int,
+        split: str,
+        size: int,
+        node_kinds: Sequence[int],
+        child_counts: Sequence[int],
+        entry_counts: Sequence[int],
+        node_bounds: Sequence[float],
+        entry_bounds: Sequence[float],
+        entry_items: Sequence[int],
+    ) -> "RTree":
+        """Rebuild a tree from :meth:`flatten` arrays.
+
+        Raises ``ValueError`` when the arrays are structurally
+        inconsistent (wrong lengths, dangling cursors, bad counts).
+        """
+        tree = cls(dims=dims, capacity=capacity, split=split)
+        num_nodes = len(node_kinds)
+        if len(child_counts) != num_nodes or len(entry_counts) != num_nodes:
+            raise ValueError("flattened node arrays disagree in length")
+        width = 2 * dims
+        if len(node_bounds) != num_nodes * width:
+            raise ValueError("flattened node bounds disagree with node count")
+        total_entries = sum(entry_counts)
+        if len(entry_items) != total_entries:
+            raise ValueError("flattened entry items disagree with counts")
+        if len(entry_bounds) != total_entries * width:
+            raise ValueError("flattened entry bounds disagree with counts")
+        if num_nodes == 0:
+            if size != 0:
+                raise ValueError("empty flattened tree declares a size")
+            return tree
+        if size != total_entries:
+            raise ValueError(
+                f"flattened tree declares {size} items but carries "
+                f"{total_entries}"
+            )
+        # Pre-zip the flat float columns into per-node/per-entry tuples
+        # (C-speed); the pre-order walk below only slices lists.
+        bounds_it = iter(node_bounds)
+        per_node_bounds = list(zip(*([bounds_it] * width)))
+        entries_it = iter(entry_bounds)
+        per_entry_bounds = list(zip(*([entries_it] * width)))
+        entries = list(zip(per_entry_bounds, entry_items))
+
+        # Iterative pre-order reconstruction.  ``stack`` holds the inner
+        # nodes still owed children; nodes were flattened parent-first, so
+        # each new node attaches to the deepest unsatisfied parent.  The
+        # nodes come from checksummed snapshot payloads, so construction
+        # bypasses ``_Node.__init__`` and assigns the slots directly.
+        new = _Node.__new__
+        entry_cursor = 0
+        root = None
+        stack: list[tuple[_Node, int]] = []  # (inner node, children owed)
+        for i in range(num_nodes):
+            if root is not None and not stack:
+                raise ValueError(
+                    f"{num_nodes - i} flattened nodes unreachable from the "
+                    "root"
+                )
+            node = new(_Node)
+            if node_kinds[i]:
+                node.is_leaf = True
+                node.children = None
+                e = entry_cursor
+                entry_cursor = e + entry_counts[i]
+                node.entries = entries[e:entry_cursor]
+                node.bounds = per_node_bounds[i] if node.entries else None
+            else:
+                count = child_counts[i]
+                if count < 1:
+                    raise ValueError("flattened inner node has no children")
+                node.is_leaf = False
+                node.entries = None
+                node.children = []
+                node.bounds = per_node_bounds[i]
+            if root is None:
+                root = node
+            else:
+                parent, owed = stack[-1]
+                parent.children.append(node)
+                if owed == 1:
+                    stack.pop()
+                else:
+                    stack[-1] = (parent, owed - 1)
+            if not node.is_leaf:
+                stack.append((node, child_counts[i]))
+        if stack:
+            raise ValueError("flattened node cursor ran past the end")
+        tree._root = root
+        tree._size = size
+        return tree
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -1,0 +1,33 @@
+"""Persistent snapshot store for built RangeReach indexes.
+
+Serializes every :class:`~repro.pipeline.BuildContext` artifact —
+condensation, interval labelings, columnar coordinates, post-order
+slabs, spatial feeds, bulk-loaded R-trees (as flattened node arrays),
+GeoReach's SPA-graph and the BFL filters — into a versioned on-disk
+format with per-part checksums and atomic write-then-rename, so a
+process can warm-start serving without rebuilding anything.
+
+Entry points: :func:`save_context`, :func:`load_context`,
+:func:`inspect_snapshot`; every failure mode raises
+:class:`SnapshotError`.
+"""
+
+from repro.store.errors import SnapshotError
+from repro.store.snapshot import (
+    FORMAT,
+    MANIFEST_NAME,
+    VERSION,
+    inspect_snapshot,
+    load_context,
+    save_context,
+)
+
+__all__ = [
+    "FORMAT",
+    "MANIFEST_NAME",
+    "VERSION",
+    "SnapshotError",
+    "inspect_snapshot",
+    "load_context",
+    "save_context",
+]

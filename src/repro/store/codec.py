@@ -1,0 +1,163 @@
+"""Deterministic binary records: the payload encoding of snapshot parts.
+
+Every artifact the store persists is first reduced to a flat record — a
+mapping of field names to scalars (int / float / str / bytes) and typed
+arrays (``array('q')`` / ``array('d')``) — and then serialized with
+:func:`encode_record`.  The encoding is **canonical**: fields are written
+sorted by name, integers and floats are fixed-width little-endian, and
+arrays carry an explicit element count.  Canonical bytes are what makes
+the snapshot format *byte-stable*: serializing an artifact, loading it,
+and serializing it again reproduces the identical byte string (and hence
+the identical part checksum).
+
+Layout::
+
+    magic   b"RPRT1\\0"
+    u32     number of fields
+    per field (sorted by name):
+        u16   name length, then the UTF-8 name
+        u8    type tag (i/f/s/b/I/F)
+        u64   payload length in bytes
+        payload
+
+Decoding is strict — any structural surprise (bad magic, short payload,
+trailing bytes, unknown tag) raises
+:class:`~repro.store.errors.SnapshotError`.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from array import array
+
+from repro.store.errors import SnapshotError
+
+MAGIC = b"RPRT1\x00"
+
+_TAG_INT = ord("i")
+_TAG_FLOAT = ord("f")
+_TAG_STR = ord("s")
+_TAG_BYTES = ord("b")
+_TAG_INT_ARRAY = ord("I")
+_TAG_FLOAT_ARRAY = ord("F")
+
+_SWAP = sys.byteorder == "big"
+
+
+def _array_bytes(values: array) -> bytes:
+    """Return the little-endian byte image of a typed array."""
+    if _SWAP:  # pragma: no cover - big-endian hosts only
+        values = array(values.typecode, values)
+        values.byteswap()
+    return values.tobytes()
+
+
+def _array_from_bytes(typecode: str, payload: bytes) -> array:
+    values = array(typecode)
+    try:
+        values.frombytes(payload)
+    except ValueError as exc:
+        raise SnapshotError(f"truncated array payload: {exc}") from None
+    if _SWAP:  # pragma: no cover - big-endian hosts only
+        values.byteswap()
+    return values
+
+
+def encode_record(fields: dict[str, object]) -> bytes:
+    """Serialize a field mapping into canonical record bytes.
+
+    Accepted value types: ``bool``/``int`` (64-bit signed), ``float``,
+    ``str``, ``bytes``, ``array('q')`` and ``array('d')``.  Anything else
+    raises :class:`SnapshotError` — the store never falls back to pickle.
+    """
+    out = [MAGIC, struct.pack("<I", len(fields))]
+    for name in sorted(fields):
+        value = fields[name]
+        name_bytes = name.encode("utf-8")
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, int):
+            tag, payload = _TAG_INT, struct.pack("<q", value)
+        elif isinstance(value, float):
+            tag, payload = _TAG_FLOAT, struct.pack("<d", value)
+        elif isinstance(value, str):
+            tag, payload = _TAG_STR, value.encode("utf-8")
+        elif isinstance(value, bytes):
+            tag, payload = _TAG_BYTES, value
+        elif isinstance(value, array) and value.typecode == "q":
+            tag, payload = _TAG_INT_ARRAY, _array_bytes(value)
+        elif isinstance(value, array) and value.typecode == "d":
+            tag, payload = _TAG_FLOAT_ARRAY, _array_bytes(value)
+        else:
+            raise SnapshotError(
+                f"field {name!r} has unsupported type {type(value).__name__}"
+            )
+        out.append(struct.pack("<HBQ", len(name_bytes), tag, len(payload)))
+        out.append(name_bytes)
+        out.append(payload)
+    return b"".join(out)
+
+
+def decode_record(data: bytes) -> dict[str, object]:
+    """Parse record bytes back into a field mapping (strict)."""
+    if not data.startswith(MAGIC):
+        raise SnapshotError("not a snapshot part record (bad magic)")
+    offset = len(MAGIC)
+    if len(data) < offset + 4:
+        raise SnapshotError("truncated record header")
+    (num_fields,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    fields: dict[str, object] = {}
+    for _ in range(num_fields):
+        if len(data) < offset + 11:
+            raise SnapshotError("truncated field header")
+        name_len, tag, payload_len = struct.unpack_from("<HBQ", data, offset)
+        offset += 11
+        if len(data) < offset + name_len + payload_len:
+            raise SnapshotError("truncated field payload")
+        name = data[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        payload = data[offset : offset + payload_len]
+        offset += payload_len
+        if tag == _TAG_INT:
+            if payload_len != 8:
+                raise SnapshotError(f"field {name!r}: bad int payload")
+            fields[name] = struct.unpack("<q", payload)[0]
+        elif tag == _TAG_FLOAT:
+            if payload_len != 8:
+                raise SnapshotError(f"field {name!r}: bad float payload")
+            fields[name] = struct.unpack("<d", payload)[0]
+        elif tag == _TAG_STR:
+            fields[name] = payload.decode("utf-8")
+        elif tag == _TAG_BYTES:
+            fields[name] = payload
+        elif tag == _TAG_INT_ARRAY:
+            fields[name] = _array_from_bytes("q", payload)
+        elif tag == _TAG_FLOAT_ARRAY:
+            fields[name] = _array_from_bytes("d", payload)
+        else:
+            raise SnapshotError(f"field {name!r}: unknown type tag {tag}")
+    if offset != len(data):
+        raise SnapshotError(f"{len(data) - offset} trailing bytes after record")
+    return fields
+
+
+def require(fields: dict[str, object], name: str, kind: type):
+    """Fetch a typed field, raising :class:`SnapshotError` when absent/wrong."""
+    try:
+        value = fields[name]
+    except KeyError:
+        raise SnapshotError(f"record is missing field {name!r}") from None
+    if kind is int and isinstance(value, bool):  # pragma: no cover - guard
+        value = int(value)
+    if kind is array:
+        if not isinstance(value, array):
+            raise SnapshotError(f"field {name!r} is not an array")
+        return value
+    if not isinstance(value, kind):
+        raise SnapshotError(
+            f"field {name!r} has type {type(value).__name__}, "
+            f"expected {kind.__name__}"
+        )
+    return value

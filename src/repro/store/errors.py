@@ -1,0 +1,16 @@
+"""The typed failure mode of the snapshot store.
+
+Every way a persisted snapshot can be unusable — missing manifest,
+unknown format version, truncated or corrupted part file, checksum
+mismatch, malformed record — surfaces as :class:`SnapshotError`, never
+as a bare ``KeyError``/``struct.error``/silently wrong artifacts.
+Callers that want to degrade gracefully (warm-start falling back to a
+cold build, ``snapshot inspect`` reporting per-part damage) catch this
+one exception type.
+"""
+
+from __future__ import annotations
+
+
+class SnapshotError(Exception):
+    """A persisted snapshot is missing, malformed, or fails verification."""

@@ -55,12 +55,25 @@ class GeosocialDatabase(RangeReachBase):
             edges) a snapshot may accumulate before it is dropped and
             rebuilt on the next query.  ``0`` disables the overlay and
             rebuilds after every write.
+        snapshot_dir: optional directory for persistent warm starts.  When
+            it holds a snapshot written by ``repro.store``, the database
+            loads it on construction and serves immediately — no labeling
+            or R-tree construction — with later writes overlaid as usual.
+            Every snapshot rebuild is then persisted back to the same
+            directory (atomically), so a restarted process warm-starts
+            from the latest built state.  A corrupt or incompatible
+            snapshot raises :class:`repro.store.SnapshotError`.
     """
 
-    def __init__(self, refresh_threshold: int = DEFAULT_REFRESH_THRESHOLD) -> None:
+    def __init__(
+        self,
+        refresh_threshold: int = DEFAULT_REFRESH_THRESHOLD,
+        snapshot_dir: str | None = None,
+    ) -> None:
         if refresh_threshold < 0:
             raise ValueError("refresh_threshold must be non-negative")
         self._refresh_threshold = refresh_threshold
+        self._snapshot_dir = snapshot_dir
         self._graph = DiGraph(0)
         self._points: list[Point | None] = []
         self._kinds: list[str] = []
@@ -75,6 +88,10 @@ class GeosocialDatabase(RangeReachBase):
         self._overlay_queries = 0
         self._removal_refreshes = 0
         self._threshold_refreshes = 0
+        self._warm_starts = 0
+        self._snapshot_saves = 0
+        if snapshot_dir is not None:
+            self._try_warm_start(snapshot_dir)
 
     # ------------------------------------------------------------------
     # Updates
@@ -432,6 +449,47 @@ class GeosocialDatabase(RangeReachBase):
     # ------------------------------------------------------------------
     # Snapshot management
     # ------------------------------------------------------------------
+    def _try_warm_start(self, snapshot_dir: str) -> None:
+        """Load a persisted snapshot, if one exists, and serve from it.
+
+        An empty/absent directory is a normal cold start; a present but
+        unreadable snapshot raises ``SnapshotError`` (a corrupt store
+        should be loud, not silently rebuilt over).
+        """
+        from pathlib import Path
+
+        from repro.store import MANIFEST_NAME
+
+        if not (Path(snapshot_dir) / MANIFEST_NAME).exists():
+            return
+        with _span("db.warm_start"):
+            context = BuildContext.load(snapshot_dir)
+            network = context.network
+            n = network.num_vertices
+            # The live adjacency is mutable; rebuild it as a fresh copy so
+            # later writes never alias the immutable snapshot artifacts.
+            self._graph = DiGraph.from_edges(n, list(network.graph.edges()))
+            self._points = list(network.points)
+            if network.kinds is not None:
+                self._kinds = list(network.kinds)
+            else:
+                self._kinds = [
+                    "venue" if p is not None else "user"
+                    for p in network.points
+                ]
+            self._edges = set(self._graph.edges())
+            self._engine = GeosocialQueryEngine(
+                context.condensed(), context=context
+            )
+            self._snapshot_vertices = n
+        self._warm_starts += 1
+
+    def _persist_snapshot(self, context: BuildContext) -> None:
+        if self._snapshot_dir is None:
+            return
+        context.save(self._snapshot_dir)
+        self._snapshot_saves += 1
+
     def _snapshot(self) -> GeosocialQueryEngine:
         if self._engine is None:
             if not any(p is not None for p in self._points):
@@ -458,6 +516,7 @@ class GeosocialDatabase(RangeReachBase):
                 _inst.DB_REBUILDS.inc()
                 _inst.DB_REBUILD_SECONDS.observe(elapsed)
             self._sync_delta_gauges()
+            self._persist_snapshot(context)
         return self._engine
 
     def refresh(self) -> None:
@@ -497,6 +556,8 @@ class GeosocialDatabase(RangeReachBase):
             "removal_refreshes": self._removal_refreshes,
             "threshold_refreshes": self._threshold_refreshes,
             "refresh_threshold": self._refresh_threshold,
+            "warm_starts": self._warm_starts,
+            "snapshot_saves": self._snapshot_saves,
         }
 
     # ------------------------------------------------------------------

@@ -276,3 +276,70 @@ def test_stats_obs_unknown_method(dataset_dir, capsys):
     ])
     assert code == 2
     assert "unknown method" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# snapshot save / load / inspect
+# ----------------------------------------------------------------------
+@pytest.fixture
+def snapshot_dir(dataset_dir, tmp_path):
+    directory = tmp_path / "snap"
+    assert main(["snapshot", "save", str(dataset_dir), str(directory)]) == 0
+    return directory
+
+
+def test_snapshot_save_writes_manifest_and_parts(dataset_dir, tmp_path, capsys):
+    directory = tmp_path / "fresh-snap"
+    assert main(["snapshot", "save", str(dataset_dir), str(directory)]) == 0
+    assert (directory / "manifest.json").exists()
+    assert any((directory / "parts").iterdir())
+    out = capsys.readouterr().out
+    assert "parts" in out and "bytes" in out
+
+
+def test_snapshot_save_unknown_method(dataset_dir, tmp_path, capsys):
+    code = main([
+        "snapshot", "save", str(dataset_dir), str(tmp_path / "s"),
+        "--methods", "no-such-method",
+    ])
+    assert code == 2
+    assert "unknown method" in capsys.readouterr().err
+
+
+def test_snapshot_load_reports_zero_builds(snapshot_dir, capsys):
+    assert main(["snapshot", "load", str(snapshot_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "misses=0" in out
+    assert "labeling_builds=0" in out
+
+
+def test_snapshot_load_missing_directory(tmp_path, capsys):
+    code = main(["snapshot", "load", str(tmp_path / "absent")])
+    assert code == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_snapshot_inspect_clean(snapshot_dir, capsys):
+    assert main(["snapshot", "inspect", str(snapshot_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "format=repro-snapshot" in out
+    assert "ok" in out
+
+
+def test_snapshot_inspect_reports_corruption(snapshot_dir, capsys):
+    part = sorted((snapshot_dir / "parts").iterdir())[0]
+    data = bytearray(part.read_bytes())
+    data[-1] ^= 0xFF
+    part.write_bytes(bytes(data))
+    code = main(["snapshot", "inspect", str(snapshot_dir)])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "checksum mismatch" in captured.out
+    assert "failed verification" in captured.err
+
+
+def test_snapshot_inspect_missing_manifest(tmp_path, capsys):
+    (tmp_path / "empty").mkdir()
+    code = main(["snapshot", "inspect", str(tmp_path / "empty")])
+    assert code == 1
+    assert "error" in capsys.readouterr().err

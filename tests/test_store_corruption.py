@@ -1,0 +1,200 @@
+"""Hardening tests: every way a snapshot can rot raises SnapshotError.
+
+A persisted snapshot travels through filesystems, containers and
+partial-copy accidents; the loader must refuse — with the typed error,
+never a random ValueError/struct.error/KeyError — on truncated parts,
+flipped bytes, unknown format versions, and missing files.  The
+``snapshot inspect`` CLI must report the same failures cleanly.
+"""
+
+import json
+
+import pytest
+
+from helpers import fig1_network
+from repro.core import build_methods
+from repro.pipeline import BuildContext
+from repro.store import (
+    MANIFEST_NAME,
+    SnapshotError,
+    inspect_snapshot,
+    load_context,
+    save_context,
+)
+from repro.store.codec import decode_record, encode_record
+
+METHODS = ["spareach-bfl", "georeach", "socreach", "3dreach", "3dreach-rev"]
+
+
+@pytest.fixture
+def snapshot_dir(tmp_path):
+    network = fig1_network()
+    context = BuildContext(network)
+    build_methods(METHODS, network, context=context)
+    directory = tmp_path / "snap"
+    save_context(context, directory)
+    return directory
+
+
+def _manifest(directory):
+    return json.loads((directory / MANIFEST_NAME).read_text())
+
+
+def _write_manifest(directory, manifest):
+    (directory / MANIFEST_NAME).write_text(
+        json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+    )
+
+
+def _first_part(directory):
+    manifest = _manifest(directory)
+    return directory / "parts" / manifest["parts"][0]["file"]
+
+
+def test_missing_manifest(tmp_path):
+    empty = tmp_path / "nothing"
+    empty.mkdir()
+    with pytest.raises(SnapshotError, match="manifest"):
+        load_context(empty)
+    with pytest.raises(SnapshotError, match="manifest"):
+        inspect_snapshot(empty)
+
+
+def test_missing_directory(tmp_path):
+    with pytest.raises(SnapshotError):
+        load_context(tmp_path / "never-written")
+
+
+def test_garbled_manifest_json(snapshot_dir):
+    (snapshot_dir / MANIFEST_NAME).write_text("{not json")
+    with pytest.raises(SnapshotError, match="manifest"):
+        load_context(snapshot_dir)
+
+
+def test_wrong_format_name(snapshot_dir):
+    manifest = _manifest(snapshot_dir)
+    manifest["format"] = "some-other-store"
+    _write_manifest(snapshot_dir, manifest)
+    with pytest.raises(SnapshotError, match="format"):
+        load_context(snapshot_dir)
+
+
+def test_unknown_format_version(snapshot_dir):
+    manifest = _manifest(snapshot_dir)
+    manifest["version"] = 999
+    _write_manifest(snapshot_dir, manifest)
+    with pytest.raises(SnapshotError, match="version"):
+        load_context(snapshot_dir)
+    with pytest.raises(SnapshotError, match="version"):
+        inspect_snapshot(snapshot_dir)
+
+
+def test_truncated_part_file(snapshot_dir):
+    part = _first_part(snapshot_dir)
+    data = part.read_bytes()
+    part.write_bytes(data[: len(data) // 2])
+    with pytest.raises(SnapshotError, match="truncated"):
+        load_context(snapshot_dir)
+
+
+def test_checksum_mismatch(snapshot_dir):
+    part = _first_part(snapshot_dir)
+    data = bytearray(part.read_bytes())
+    data[-1] ^= 0xFF  # same size, different content
+    part.write_bytes(bytes(data))
+    with pytest.raises(SnapshotError, match="checksum"):
+        load_context(snapshot_dir)
+
+
+def test_missing_part_file(snapshot_dir):
+    _first_part(snapshot_dir).unlink()
+    with pytest.raises(SnapshotError, match="missing"):
+        load_context(snapshot_dir)
+
+
+def test_padded_part_file(snapshot_dir):
+    part = _first_part(snapshot_dir)
+    part.write_bytes(part.read_bytes() + b"\x00")
+    with pytest.raises(SnapshotError):
+        load_context(snapshot_dir)
+
+
+def test_manifest_entry_missing_fields(snapshot_dir):
+    manifest = _manifest(snapshot_dir)
+    del manifest["parts"][0]["sha256"]
+    _write_manifest(snapshot_dir, manifest)
+    with pytest.raises(SnapshotError):
+        load_context(snapshot_dir)
+
+
+def test_unknown_artifact_kind(snapshot_dir):
+    manifest = _manifest(snapshot_dir)
+    manifest["parts"][0]["kind"] = "hologram"
+    _write_manifest(snapshot_dir, manifest)
+    with pytest.raises(SnapshotError):
+        load_context(snapshot_dir)
+
+
+def test_inspect_reports_part_failures_without_raising(snapshot_dir):
+    part = _first_part(snapshot_dir)
+    data = bytearray(part.read_bytes())
+    data[-1] ^= 0xFF
+    part.write_bytes(bytes(data))
+    report = inspect_snapshot(snapshot_dir)
+    assert report["ok"] is False
+    statuses = {p["file"]: p["status"] for p in report["parts"]}
+    assert any(s.startswith("error") for s in statuses.values())
+    assert sum(1 for s in statuses.values() if s == "ok") == len(statuses) - 1
+
+
+def test_inspect_clean_snapshot_is_ok(snapshot_dir):
+    report = inspect_snapshot(snapshot_dir)
+    assert report["ok"] is True
+    assert all(p["status"] == "ok" for p in report["parts"])
+    assert report["total_bytes"] == sum(p["bytes"] for p in report["parts"])
+
+
+# ----------------------------------------------------------------------
+# Record codec: malformed binary payloads
+# ----------------------------------------------------------------------
+def test_codec_round_trip():
+    fields = {"n": 3, "ratio": 0.5, "name": "x", "blob": b"\x00\x01"}
+    assert decode_record(encode_record(fields)) == fields
+
+
+def test_codec_rejects_bad_magic():
+    with pytest.raises(SnapshotError, match="magic"):
+        decode_record(b"NOTMAGIC" + b"\x00" * 16)
+
+
+def test_codec_rejects_truncation():
+    data = encode_record({"n": 1, "xs": "hello"})
+    for cut in (1, len(data) // 2, len(data) - 1):
+        with pytest.raises(SnapshotError):
+            decode_record(data[:cut])
+
+
+def test_codec_rejects_trailing_bytes():
+    data = encode_record({"n": 1})
+    with pytest.raises(SnapshotError, match="trailing"):
+        decode_record(data + b"\x00")
+
+
+def test_corrupt_artifact_payload_is_snapshot_error(snapshot_dir):
+    """A part whose bytes decode but describe an impossible artifact."""
+    manifest = _manifest(snapshot_dir)
+    for entry in manifest["parts"]:
+        if entry["kind"] == "labeling":
+            break
+    part = snapshot_dir / "parts" / entry["file"]
+    fields = decode_record(part.read_bytes())
+    fields["label_counts"] = fields["label_counts"][:-1]  # wrong length
+    blob = encode_record(fields)
+    part.write_bytes(blob)
+    import hashlib
+
+    entry["sha256"] = hashlib.sha256(blob).hexdigest()
+    entry["bytes"] = len(blob)
+    _write_manifest(snapshot_dir, manifest)
+    with pytest.raises(SnapshotError):
+        load_context(snapshot_dir)

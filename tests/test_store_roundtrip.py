@@ -1,0 +1,189 @@
+"""Differential tests of the snapshot store: save -> load must be exact.
+
+For every RangeReach method, a context built in memory and a context
+rebuilt from its persisted snapshot must answer identical queries — and
+both must equal the index-free BFS oracle.  The snapshot must also be
+*byte-stable*: re-saving a loaded snapshot reproduces identical part
+checksums, so repeated save/load cycles can never drift.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import fig1_network, random_geosocial_network, random_region
+from repro.core import RangeReachOracle, build_methods
+from repro.geometry import Point, Rect
+from repro.geosocial import GeosocialNetwork
+from repro.graph import DiGraph
+from repro.pipeline import BuildContext
+from repro.store import load_context, save_context
+
+METHODS = ["spareach-bfl", "georeach", "socreach", "3dreach", "3dreach-rev"]
+
+
+def _saved_and_loaded(network, tmp_path):
+    """Build all methods, persist, reload; return both method dicts."""
+    context = BuildContext(network)
+    cold = build_methods(METHODS, network, context=context)
+    context.save(tmp_path / "snap")
+    warm_context = BuildContext.load(tmp_path / "snap")
+    warm = build_methods(METHODS, context=warm_context)
+    return cold, warm, context, warm_context
+
+
+def test_fig1_round_trip_parity(tmp_path):
+    network = fig1_network()
+    cold, warm, _, warm_context = _saved_and_loaded(network, tmp_path)
+    oracle = RangeReachOracle(network)
+    rng = random.Random(7)
+    regions = [random_region(rng) for _ in range(20)]
+    regions.append(Rect(3.5, 4.5, 6.0, 7.0))  # the paper's R
+    for vertex in range(network.num_vertices):
+        for region in regions:
+            expected = oracle.query(vertex, region)
+            for name in METHODS:
+                assert cold[name].query(vertex, region) == expected
+                assert warm[name].query(vertex, region) == expected
+
+
+def test_warm_context_builds_nothing(tmp_path):
+    network = fig1_network()
+    _, _, _, warm_context = _saved_and_loaded(network, tmp_path)
+    assert warm_context.labeling_builds() == []
+    assert warm_context.miss_keys() == []
+    stats = warm_context.stats()
+    assert stats["misses"] == {}
+    assert sum(stats["hits"].values()) > 0
+
+
+def test_loaded_network_matches_original(tmp_path):
+    network = random_geosocial_network(random.Random(3))
+    context = BuildContext(network)
+    build_methods(METHODS, network, context=context)
+    save_context(context, tmp_path / "snap")
+    loaded = load_context(tmp_path / "snap").network
+    assert loaded.name == network.name
+    assert loaded.num_vertices == network.num_vertices
+    assert list(loaded.graph.edges()) == list(network.graph.edges())
+    assert loaded.points == network.points
+    assert loaded.kinds == network.kinds
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_network_round_trip_parity(tmp_path, seed):
+    rng = random.Random(seed)
+    network = random_geosocial_network(rng, num_vertices=30, num_edges=70)
+    cold, warm, _, _ = _saved_and_loaded(network, tmp_path)
+    oracle = RangeReachOracle(network)
+    query_rng = random.Random(seed + 100)
+    for _ in range(60):
+        vertex = query_rng.randrange(network.num_vertices)
+        region = random_region(query_rng)
+        expected = oracle.query(vertex, region)
+        for name in METHODS:
+            assert warm[name].query(vertex, region) == expected
+            assert cold[name].query(vertex, region) == expected
+
+
+def _part_checksums(directory):
+    manifest = json.loads((directory / "manifest.json").read_text())
+    return [
+        (p["kind"], json.dumps(p["key"]), p["sha256"], p["bytes"])
+        for p in manifest["parts"]
+    ]
+
+
+@pytest.mark.parametrize("seed", [11, 12])
+def test_round_trip_is_byte_stable(tmp_path, seed):
+    network = random_geosocial_network(random.Random(seed))
+    context = BuildContext(network)
+    build_methods(METHODS, network, context=context)
+    save_context(context, tmp_path / "first")
+    loaded = load_context(tmp_path / "first")
+    build_methods(METHODS, context=loaded)  # extra hits must not change bytes
+    save_context(loaded, tmp_path / "second")
+    assert _part_checksums(tmp_path / "first") == _part_checksums(
+        tmp_path / "second"
+    )
+
+
+def test_resave_over_existing_snapshot_is_atomic_swap(tmp_path):
+    network = fig1_network()
+    context = BuildContext(network)
+    build_methods(METHODS, network, context=context)
+    target = tmp_path / "snap"
+    save_context(context, target)
+    before = _part_checksums(target)
+    save_context(context, target)  # overwrite in place
+    assert _part_checksums(target) == before
+    assert not (tmp_path / "snap.tmp").exists()
+    assert not (tmp_path / "snap.old").exists()
+
+
+def test_save_returns_summary(tmp_path):
+    network = fig1_network()
+    context = BuildContext(network)
+    build_methods(METHODS, network, context=context)
+    summary = save_context(context, tmp_path / "snap")
+    assert summary["parts"] == len(_part_checksums(tmp_path / "snap"))
+    assert summary["bytes"] > 0
+    assert summary["seconds"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: arbitrary networks survive the round trip exactly
+# ----------------------------------------------------------------------
+coordinate = st.floats(
+    min_value=0, max_value=10, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def networks(draw, max_vertices=10):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = (
+        draw(st.lists(st.sampled_from(pairs), unique=True, max_size=30))
+        if pairs
+        else []
+    )
+    graph = DiGraph.from_edges(n, edges)
+    points = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            points.append(Point(draw(coordinate), draw(coordinate)))
+        else:
+            points.append(None)
+    if not any(p is not None for p in points):
+        points[0] = Point(draw(coordinate), draw(coordinate))
+    return GeosocialNetwork(graph, points)
+
+
+@st.composite
+def regions(draw):
+    x1, x2 = sorted((draw(coordinate), draw(coordinate)))
+    y1, y2 = sorted((draw(coordinate), draw(coordinate)))
+    return Rect(x1, y1, x2, y2)
+
+
+@given(network=networks(), data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_property_round_trip_matches_oracle(tmp_path_factory, network, data):
+    tmp_path = tmp_path_factory.mktemp("snap")
+    oracle = RangeReachOracle(network)
+    context = BuildContext(network)
+    build_methods(METHODS, network, context=context)
+    save_context(context, tmp_path / "s")
+    warm_context = load_context(tmp_path / "s")
+    warm = build_methods(METHODS, context=warm_context)
+    assert warm_context.labeling_builds() == []
+    vertex = data.draw(
+        st.integers(min_value=0, max_value=network.num_vertices - 1)
+    )
+    region = data.draw(regions())
+    expected = oracle.query(vertex, region)
+    for name in METHODS:
+        assert warm[name].query(vertex, region) == expected

@@ -1,0 +1,124 @@
+"""Regression tests: flattened R-trees reload with identical behaviour.
+
+The snapshot store persists R-trees as preorder node arrays rather than
+pickled objects, so the rebuilt tree must not just contain the same
+entries — it must *traverse* the same way.  Methods that stop at the
+first hit (``any_intersecting``) and callers that consume ``search``
+lazily depend on the canonical result order, so the saved/loaded tree
+must yield results in exactly the order the freshly built tree does.
+"""
+
+import random
+
+import pytest
+
+from repro.spatial import RTree
+from repro.store import SnapshotError
+from repro.store.snapshot import _decode_rtree, _encode_rtree
+
+
+def _random_boxes(rng, n, dims=2):
+    entries = []
+    for item in range(n):
+        lo = [rng.uniform(0, 100) for _ in range(dims)]
+        hi = [c + rng.uniform(0, 10) for c in lo]
+        entries.append((tuple(lo + hi), item))
+    return entries
+
+
+def _queries(rng, n, dims=2):
+    out = []
+    for _ in range(n):
+        lo = [rng.uniform(-10, 90) for _ in range(dims)]
+        hi = [c + rng.uniform(0, 40) for c in lo]
+        out.append(tuple(lo + hi))
+    out.append(tuple([-1000.0] * dims + [1000.0] * dims))  # everything
+    out.append(tuple([2000.0] * dims + [2001.0] * dims))  # nothing
+    return out
+
+
+def _round_trip(tree):
+    flat = tree.flatten()
+    return RTree.from_flat(**flat)
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+@pytest.mark.parametrize("n", [0, 1, 5, 40, 300])
+def test_search_order_preserved(dims, n):
+    rng = random.Random(dims * 1000 + n)
+    tree = RTree.bulk_load(_random_boxes(rng, n, dims), dims=dims)
+    reloaded = _round_trip(tree)
+    for query in _queries(rng, 25, dims):
+        assert list(reloaded.search(query)) == list(tree.search(query))
+        assert reloaded.search_all(query) == tree.search_all(query)
+        assert reloaded.any_intersecting(query) == tree.any_intersecting(query)
+
+
+def test_incrementally_built_tree_round_trips():
+    rng = random.Random(9)
+    tree = RTree(dims=2, capacity=4)
+    for bounds, item in _random_boxes(rng, 120):
+        tree.insert(bounds, item)
+    reloaded = _round_trip(tree)
+    assert len(reloaded) == len(tree)
+    for query in _queries(rng, 25):
+        assert list(reloaded.search(query)) == list(tree.search(query))
+
+
+def test_flatten_shape_is_consistent():
+    rng = random.Random(1)
+    tree = RTree.bulk_load(_random_boxes(rng, 50), dims=2)
+    flat = tree.flatten()
+    assert flat["dims"] == 2
+    assert flat["size"] == 50
+    assert len(flat["node_kinds"]) == len(flat["child_counts"])
+    assert len(flat["node_kinds"]) == len(flat["entry_counts"])
+    assert len(flat["entry_bounds"]) == 2 * flat["dims"] * sum(
+        flat["entry_counts"]
+    )
+    assert sum(flat["entry_counts"]) == len(flat["entry_items"]) == 50
+
+
+def test_flatten_rejects_non_integer_items():
+    tree = RTree(dims=2)
+    tree.insert((0.0, 0.0, 1.0, 1.0), "a-string")
+    with pytest.raises(ValueError, match="integer"):
+        tree.flatten()
+
+
+def test_from_flat_rejects_inconsistent_arrays():
+    rng = random.Random(2)
+    tree = RTree.bulk_load(_random_boxes(rng, 30), dims=2)
+    flat = tree.flatten()
+
+    broken = dict(flat)
+    broken["entry_items"] = flat["entry_items"][:-1]
+    with pytest.raises(ValueError):
+        RTree.from_flat(**broken)
+
+    broken = dict(flat)
+    broken["size"] = flat["size"] + 1
+    with pytest.raises(ValueError):
+        RTree.from_flat(**broken)
+
+    broken = dict(flat)
+    broken["node_kinds"] = flat["node_kinds"][:-1]
+    with pytest.raises(ValueError):
+        RTree.from_flat(**broken)
+
+
+def test_store_codec_wraps_rtree_errors():
+    rng = random.Random(3)
+    tree = RTree.bulk_load(_random_boxes(rng, 20), dims=2)
+    fields = _encode_rtree(tree)
+    fields["entry_items"] = fields["entry_items"][:-1]
+    with pytest.raises(SnapshotError):
+        _decode_rtree(fields)
+
+
+def test_store_codec_round_trip_preserves_order():
+    rng = random.Random(4)
+    tree = RTree.bulk_load(_random_boxes(rng, 80, 3), dims=3)
+    reloaded = _decode_rtree(_encode_rtree(tree))
+    for query in _queries(rng, 20, 3):
+        assert list(reloaded.search(query)) == list(tree.search(query))

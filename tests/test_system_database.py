@@ -228,3 +228,97 @@ def test_refresh_eagerly_rebuilds(db):
 def test_self_follow_rejected_quietly(db):
     database, u0, *_ = db
     assert database.add_follow(u0, u0) is False
+
+
+# ----------------------------------------------------------------------
+# Persistent snapshots and warm starts
+# ----------------------------------------------------------------------
+def _populate(database):
+    u0 = database.add_user()
+    u1 = database.add_user()
+    v0 = database.add_venue(0.1, 0.1)
+    v1 = database.add_venue(0.9, 0.9)
+    database.add_follow(u0, u1)
+    database.add_checkin(u1, v0)
+    return u0, u1, v0, v1
+
+
+def test_cold_start_persists_snapshot(tmp_path):
+    snap = tmp_path / "snap"
+    database = GeosocialDatabase(snapshot_dir=str(snap))
+    u0, *_ = _populate(database)
+    assert database.range_reach(u0, NEAR_V0) is True
+    assert (snap / "manifest.json").exists()
+    assert database.stats()["snapshot_saves"] == 1
+    assert database.stats()["warm_starts"] == 0
+
+
+def test_warm_start_serves_without_rebuild(tmp_path):
+    snap = tmp_path / "snap"
+    database = GeosocialDatabase(snapshot_dir=str(snap))
+    u0, u1, v0, v1 = _populate(database)
+    expected = {
+        (v, r.as_tuple()): database.range_reach(v, r)
+        for v in (u0, u1, v0, v1)
+        for r in (NEAR_V0, NEAR_V1)
+    }
+    warm = GeosocialDatabase(snapshot_dir=str(snap))
+    assert warm.stats()["warm_starts"] == 1
+    assert not warm.is_stale
+    for (v, r), answer in expected.items():
+        assert warm.range_reach(v, Rect(*r)) == answer
+    assert warm.stats()["rebuilds"] == 0
+    assert warm.num_users == database.num_users
+    assert warm.num_venues == database.num_venues
+    assert warm.num_edges == database.num_edges
+
+
+def test_warm_start_accepts_new_writes_through_overlay(tmp_path):
+    snap = tmp_path / "snap"
+    database = GeosocialDatabase(snapshot_dir=str(snap))
+    _populate(database)
+    database.range_reach(0, NEAR_V0)  # build + persist
+
+    warm = GeosocialDatabase(snapshot_dir=str(snap))
+    u = warm.add_user()
+    v = warm.add_venue(0.5, 0.5)
+    warm.add_checkin(u, v)
+    assert warm.range_reach(u, Rect(0.4, 0.4, 0.6, 0.6)) is True
+    assert warm.stats()["rebuilds"] == 0
+    assert warm.stats()["overlay_queries"] >= 1
+
+
+def test_missing_snapshot_dir_is_cold_start(tmp_path):
+    database = GeosocialDatabase(snapshot_dir=str(tmp_path / "never"))
+    assert database.stats()["warm_starts"] == 0
+    u0, *_ = _populate(database)
+    assert database.range_reach(u0, NEAR_V0) is True
+
+
+def test_corrupt_snapshot_raises(tmp_path):
+    from repro.store import SnapshotError
+
+    snap = tmp_path / "snap"
+    database = GeosocialDatabase(snapshot_dir=str(snap))
+    _populate(database)
+    database.range_reach(0, NEAR_V0)
+    part = sorted((snap / "parts").iterdir())[0]
+    data = bytearray(part.read_bytes())
+    data[-1] ^= 0xFF
+    part.write_bytes(bytes(data))
+    with pytest.raises(SnapshotError):
+        GeosocialDatabase(snapshot_dir=str(snap))
+
+
+def test_rebuild_after_threshold_repersists(tmp_path):
+    snap = tmp_path / "snap"
+    database = GeosocialDatabase(refresh_threshold=1, snapshot_dir=str(snap))
+    u0, u1, v0, v1 = _populate(database)
+    database.range_reach(u0, NEAR_V0)
+    first = (snap / "manifest.json").read_text()
+    # Exceed the threshold, forcing a rebuild on the next query.
+    database.add_checkin(u0, v1)
+    database.add_follow(u1, u0)
+    assert database.range_reach(u0, NEAR_V1) is True
+    assert database.stats()["snapshot_saves"] == 2
+    assert (snap / "manifest.json").read_text() != first
