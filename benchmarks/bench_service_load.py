@@ -1,0 +1,252 @@
+"""Open-loop load test of the network query service (``repro serve``).
+
+The scenario: one :class:`~repro.serve.QueryService` over a
+:class:`~repro.system.GeosocialDatabase`, driven by the open-loop
+generator in :mod:`repro.serve.loadgen` — Poisson arrivals at ramping
+request rates, a mixed read/write operation blend, every request fired
+at its scheduled instant regardless of server progress.  Latency is
+``finished - scheduled`` (coordinated-omission corrected), reported as
+p50/p95/p99 per ramp stage and per operation kind.
+
+The run is also a correctness gate, not just a meter:
+
+* after the load drains, every distinct read is replayed sequentially
+  and checked against a BFS oracle on the reconstructed final graph —
+  **zero mismatches** required while concurrent writes were landing;
+* a synchronized burst past ``max_inflight`` must produce 429s
+  (admission control demonstrably sheds load instead of queueing);
+* the server must drain cleanly at the end.
+
+The artifact ``benchmarks/results/service_load.json`` carries the
+config, per-stage rates and latencies, error counts, the verification
+verdict and the overload probe.  ``python benchmarks/bench_service_load.py
+--smoke`` runs a seconds-scale version and validates the artifact
+schema — the CI service-smoke job runs exactly that.
+
+Knobs (environment variables): ``REPRO_SCALE`` (dataset scale),
+``REPRO_STAGES`` (e.g. ``"40x2,80x2,160x2"``).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import format_table  # noqa: E402
+from repro.datasets import make_network  # noqa: E402
+from repro.exec import ParallelExecutor  # noqa: E402
+from repro.serve import QueryService, start_server  # noqa: E402
+from repro.serve.loadgen import (  # noqa: E402
+    build_schedule,
+    final_network,
+    overload_probe,
+    parse_stages,
+    run_schedule,
+    summarize,
+    verify_reads,
+)
+from repro.system import GeosocialDatabase  # noqa: E402
+
+DEFAULT_STAGES = "40x2,80x2,160x2"
+SMOKE_STAGES = "30x1"
+
+
+def _env_scale(default: float = 0.002) -> float:
+    return float(os.environ.get("REPRO_SCALE", default))
+
+
+def run_service_load(
+    *,
+    dataset: str = "gowalla",
+    scale: float = 0.002,
+    stages_spec: str = DEFAULT_STAGES,
+    seed: int = 17,
+    write_fraction: float = 0.2,
+    batch_fraction: float = 0.15,
+    max_inflight: int = 8,
+    workers: int = 2,
+) -> dict:
+    """Run the full load scenario in-process; return the artifact dict."""
+    stages = parse_stages(stages_spec)
+    network = make_network(dataset, scale=scale, seed=seed)
+    database = GeosocialDatabase.from_network(network)
+    executor = ParallelExecutor(workers=workers) if workers > 1 else None
+    service = QueryService(
+        database, executor=executor, max_inflight=max_inflight
+    )
+    service.warm_up()
+    server = start_server(service)
+    base = f"http://127.0.0.1:{server.port}"
+    try:
+        schedule = build_schedule(
+            network, stages, seed=seed,
+            write_fraction=write_fraction, batch_fraction=batch_fraction,
+        )
+        started = time.perf_counter()
+        outcomes = run_schedule(base, schedule)
+        elapsed = time.perf_counter() - started
+        load = summarize(schedule, outcomes)
+        verification = verify_reads(
+            base, final_network(network, outcomes), schedule.read_pairs
+        )
+        overload = overload_probe(base, max_inflight, network=network)
+    finally:
+        drain = server.drain(persist=False)
+    return {
+        "config": {
+            "dataset": dataset,
+            "scale": scale,
+            "seed": seed,
+            "stages": [
+                {"rps": s.rps, "seconds": s.seconds} for s in stages
+            ],
+            "write_fraction": write_fraction,
+            "batch_fraction": batch_fraction,
+            "max_inflight": max_inflight,
+            "workers": workers,
+            "vertices": network.num_vertices,
+            "edges": network.num_edges,
+        },
+        "load": load,
+        "verification": verification,
+        "overload": overload,
+        "drain": drain,
+        "elapsed_seconds": elapsed,
+    }
+
+
+def validate_artifact(artifact: dict) -> None:
+    """Assert the ``service_load.json`` schema and the acceptance gates."""
+    for key in (
+        "config", "load", "verification", "overload", "drain",
+        "elapsed_seconds",
+    ):
+        assert key in artifact, f"artifact missing {key!r}"
+    config = artifact["config"]
+    assert config["stages"] and all(
+        stage["rps"] > 0 and stage["seconds"] > 0
+        for stage in config["stages"]
+    )
+    load = artifact["load"]
+    assert load["requests"] > 0
+    latency = load["latency"]
+    for field in ("count", "p50_ms", "p95_ms", "p99_ms", "max_ms"):
+        assert isinstance(latency[field], (int, float)), field
+    assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+    assert set(load["latency_by_kind"]) == {"query", "batch", "write"}
+    assert len(load["stages"]) == len(config["stages"])
+    for stage in load["stages"]:
+        assert stage["requests"] == (
+            stage["ok"] + stage["rejected"] + stage["errors"]
+        )
+    # The acceptance gates.
+    assert artifact["verification"]["queries"] > 0
+    assert artifact["verification"]["mismatches"] == 0, (
+        "served answers diverged from the BFS oracle"
+    )
+    assert artifact["overload"]["rejected"] > 0, (
+        "overload burst produced no 429s"
+    )
+    assert artifact["drain"]["inflight_at_drain"] == 0
+
+
+def _stage_rows(artifact: dict) -> list[list[str]]:
+    return [
+        [
+            f"{stage['rps']:g}",
+            f"{stage['seconds']:g}",
+            str(stage["requests"]),
+            str(stage["ok"]),
+            str(stage["rejected"]),
+            str(stage["errors"]),
+            f"{stage['p99_ms']:.1f}",
+        ]
+        for stage in artifact["load"]["stages"]
+    ]
+
+
+def _render(artifact: dict) -> str:
+    latency = artifact["load"]["latency"]
+    table = format_table(
+        ["rps", "secs", "requests", "ok", "429/503", "errors", "p99 [ms]"],
+        _stage_rows(artifact),
+        title="Open-loop service load "
+        f"(mixed read/write, {artifact['config']['dataset']} "
+        f"scale={artifact['config']['scale']:g})",
+    )
+    verdict = artifact["verification"]
+    overload = artifact["overload"]
+    return (
+        f"{table}\n"
+        f"latency: p50={latency['p50_ms']:.1f}ms "
+        f"p95={latency['p95_ms']:.1f}ms p99={latency['p99_ms']:.1f}ms "
+        f"({latency['count']} ok requests)\n"
+        f"verification: {verdict['queries']} reads vs oracle, "
+        f"{verdict['mismatches']} mismatches\n"
+        f"overload: {overload['rejected']}/{overload['attempted']} "
+        "burst requests shed with 429"
+    )
+
+
+def test_service_load_report(report, results_dir):
+    artifact = run_service_load(
+        scale=_env_scale(),
+        stages_spec=os.environ.get("REPRO_STAGES", DEFAULT_STAGES),
+    )
+    validate_artifact(artifact)
+    report(_render(artifact))
+    out = results_dir / "service_load.json"
+    out.write_text(json.dumps(artifact, indent=2), encoding="utf-8")
+    assert out.exists()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Open-loop load test of the repro query service."
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale run that validates the artifact schema",
+    )
+    parser.add_argument("--dataset", default="gowalla")
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument(
+        "--stages", default=None, metavar="SPEC",
+        help=f"RPSxSECONDS[,RPSxSECONDS...] (default: {DEFAULT_STAGES})",
+    )
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--max-inflight", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--out", default=str(Path(__file__).parent / "results"
+                             / "service_load.json"),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        scale = args.scale if args.scale is not None else 0.0005
+        stages_spec = args.stages or SMOKE_STAGES
+    else:
+        scale = args.scale if args.scale is not None else _env_scale()
+        stages_spec = args.stages or os.environ.get(
+            "REPRO_STAGES", DEFAULT_STAGES
+        )
+    artifact = run_service_load(
+        dataset=args.dataset, scale=scale, stages_spec=stages_spec,
+        seed=args.seed, max_inflight=args.max_inflight,
+        workers=args.workers,
+    )
+    validate_artifact(artifact)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(artifact, indent=2), encoding="utf-8")
+    print(_render(artifact))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

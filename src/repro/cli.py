@@ -11,7 +11,13 @@
 * ``query``    — answer one RangeReach query with a chosen method
   (``--vertex``/``--region``), or a whole batch from a file
   (``--batch FILE``, optionally ``--workers N`` / ``--timeout S``);
-  ``--trace`` prints the per-query (or per-batch) span breakdown.
+  ``--trace`` prints the per-query (or per-batch) span breakdown;
+* ``serve``    — run the long-lived HTTP query service over a mutable
+  :class:`~repro.system.GeosocialDatabase`, warm-starting from
+  ``--snapshot-dir`` and/or seeding from a saved ``--network``.
+
+Exit codes: 0 success, 2 usage/input error (one line on stderr, never a
+traceback), 3 batch deadline expired.
 
 The benchmark CLI lives separately under ``python -m repro.bench``.
 """
@@ -302,7 +308,7 @@ def _cmd_snapshot_load(args: argparse.Namespace) -> int:
         built = build_methods(methods, context=context)
     except SnapshotError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
     stats = context.stats()
     print(
         f"loaded {args.snapshot}: network={context.network.name} "
@@ -325,7 +331,7 @@ def _cmd_snapshot_inspect(args: argparse.Namespace) -> int:
         report = inspect_snapshot(args.snapshot)
     except SnapshotError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
     print(
         f"{report['path']}: format={report['format']} "
         f"v{report['version']} network={report['network']} "
@@ -339,8 +345,57 @@ def _cmd_snapshot_inspect(args: argparse.Namespace) -> int:
         )
     if not report["ok"]:
         print("error: snapshot failed verification", file=sys.stderr)
-        return 1
+        return 2
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import QueryService, run_server
+    from repro.system import GeosocialDatabase
+
+    if args.network is None and args.snapshot_dir is None:
+        print(
+            "error: provide --network DIR and/or --snapshot-dir DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if args.network is not None:
+        network = GeosocialNetwork.load(args.network)
+        database = GeosocialDatabase.from_network(
+            network,
+            refresh_threshold=args.refresh_threshold,
+            snapshot_dir=args.snapshot_dir,
+        )
+    else:
+        # Snapshot-only start: a missing snapshot is a hard error (there
+        # would be nothing to serve), a corrupt one raises SnapshotError.
+        database = GeosocialDatabase(
+            refresh_threshold=args.refresh_threshold,
+            snapshot_dir=args.snapshot_dir,
+        )
+        if database.is_stale:
+            print(
+                f"error: {args.snapshot_dir!r} holds no snapshot and no "
+                "--network was given",
+                file=sys.stderr,
+            )
+            return 2
+    executor = (
+        ParallelExecutor(workers=args.workers) if args.workers > 1 else None
+    )
+    service = QueryService(
+        database,
+        executor=executor,
+        max_inflight=args.max_inflight,
+        default_timeout=args.timeout,
+    )
+    try:
+        service.warm_up()
+    except ValueError:
+        pass  # no venues yet: the first effective query builds the index
+    return run_server(
+        service, args.host, args.port, verbose=args.verbose
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -461,10 +516,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     snap_inspect.add_argument("snapshot", help="snapshot directory")
     snap_inspect.set_defaults(func=_cmd_snapshot_inspect)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP query service (see docs/API.md, 'repro.serve')",
+    )
+    serve.add_argument(
+        "--network", metavar="DIR", default=None,
+        help="saved network to seed the database from (ignored when "
+        "--snapshot-dir already holds a snapshot)",
+    )
+    serve.add_argument(
+        "--snapshot-dir", metavar="DIR", default=None,
+        help="persistent snapshot store: warm-start from it if present, "
+        "persist to it on rebuilds and at graceful shutdown",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port; 0 binds an ephemeral port (default: 8642)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="thread-pool size for /batch requests (default: 1 = "
+        "sequential)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-batch deadline in seconds (a request's own "
+        "'timeout' field overrides it)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admission-control bound; requests beyond it get 429 "
+        "(default: 64)",
+    )
+    serve.add_argument(
+        "--refresh-threshold", type=int, default=64,
+        help="delta operations a snapshot may accumulate before rebuild "
+        "(default: 64)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log one line per HTTP request to stderr",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.store import SnapshotError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (SnapshotError, OSError) as exc:
+        # Input errors (missing network directory, corrupt snapshot
+        # store, unbindable address) are one-line diagnostics, not
+        # tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -15,6 +15,6 @@ Entry points further up the stack:
 * ``repro-geosocial query --batch FILE --workers N`` — the CLI surface.
 """
 
-from repro.exec.executor import BatchTimeoutError, ParallelExecutor
+from repro.exec.executor import UNSET, BatchTimeoutError, ParallelExecutor
 
-__all__ = ["BatchTimeoutError", "ParallelExecutor"]
+__all__ = ["BatchTimeoutError", "ParallelExecutor", "UNSET"]

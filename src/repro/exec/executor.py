@@ -37,18 +37,40 @@ from repro.obs.trace import span as _span
 _CHUNKS_PER_WORKER = 4
 
 
+class _Unset:
+    """Sentinel distinguishing "argument omitted" from an explicit None."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UNSET"
+
+
+#: Default for :meth:`ParallelExecutor.run`'s ``timeout`` keyword, so an
+#: explicit ``timeout=None`` can mean "no deadline" even when the
+#: executor was constructed with a default deadline.
+UNSET = _Unset()
+
+
 class BatchTimeoutError(TimeoutError):
     """A query batch exceeded its deadline.
 
     Attributes:
         completed: chunks that had finished when the deadline expired.
         total: chunks the batch was split into.
+        answers: the answers of the completed chunks, in input order (a
+            prefix of the full batch's answer list).
     """
 
-    def __init__(self, message: str, completed: int = 0, total: int = 0):
+    def __init__(
+        self,
+        message: str,
+        completed: int = 0,
+        total: int = 0,
+        answers: list[bool] | None = None,
+    ):
         super().__init__(message)
         self.completed = completed
         self.total = total
+        self.answers = [] if answers is None else answers
 
 
 def _batch_callable(target):
@@ -78,7 +100,8 @@ class ParallelExecutor:
         chunk_size: queries per chunk.  Default: the batch is split into
             ``workers * 4`` chunks (at least one query each).
         timeout: default per-batch deadline in seconds; ``None`` means
-            no deadline.  :meth:`run` can override per batch.
+            no deadline.  :meth:`run` can override per batch, including
+            an explicit ``timeout=None`` to lift a constructor default.
 
     The pool is created lazily on first parallel run and reused; if
     creation fails (thread limits, restricted environments) the executor
@@ -129,36 +152,54 @@ class ParallelExecutor:
         target,
         pairs: Sequence[tuple[int, Rect]],
         *,
-        timeout: float | None = None,
+        timeout: float | None | _Unset = UNSET,
     ) -> list[bool]:
         """Answer ``pairs`` through ``target``, aligned with the input.
 
         ``target`` is anything speaking the RangeReach protocol (a method
         class, the extended engine, or a bare ``query`` callable holder).
+        ``timeout`` defaults to the constructor deadline; passing
+        ``timeout=None`` explicitly disables the deadline for this batch.
         Raises :class:`BatchTimeoutError` when the deadline expires with
-        chunks still outstanding.
+        chunks still outstanding; the exception carries the completed
+        prefix of answers.
         """
         pairs = list(pairs)
         if not pairs:
             return []
-        if timeout is None:
+        if timeout is UNSET:
             timeout = self._timeout
+        elif timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
         batch = _batch_callable(target)
         started = time.perf_counter()
-        with _span("exec.batch"):
-            if self._workers <= 1 or len(pairs) == 1:
-                answers = self._run_sequential(batch, pairs, timeout)
-                mode = "sequential"
-            else:
-                pool = self._get_pool()
-                if pool is None:
-                    if _obs_enabled():
-                        _inst.EXEC_FALLBACKS.inc()
+        mode = "sequential"
+        try:
+            with _span("exec.batch"):
+                if self._workers <= 1 or len(pairs) == 1:
                     answers = self._run_sequential(batch, pairs, timeout)
-                    mode = "sequential"
                 else:
-                    answers = self._run_parallel(pool, batch, pairs, timeout)
-                    mode = "parallel"
+                    pool = self._get_pool()
+                    if pool is None:
+                        if _obs_enabled():
+                            _inst.EXEC_FALLBACKS.inc()
+                        answers = self._run_sequential(batch, pairs, timeout)
+                    else:
+                        mode = "parallel"
+                        answers = self._run_parallel(
+                            pool, batch, pairs, timeout
+                        )
+        except BatchTimeoutError as exc:
+            # A timed-out batch must still reconcile in the metrics:
+            # count the batch under its mode and the queries that were
+            # actually answered before the deadline.
+            if _obs_enabled():
+                _inst.EXEC_BATCHES.labels(mode=mode).inc()
+                _inst.EXEC_BATCH_QUERIES.inc(len(exc.answers))
+                _inst.EXEC_BATCH_SECONDS.observe(
+                    time.perf_counter() - started
+                )
+            raise
         if _obs_enabled():
             _inst.EXEC_BATCHES.labels(mode=mode).inc()
             _inst.EXEC_BATCH_QUERIES.inc(len(pairs))
@@ -222,6 +263,7 @@ class ParallelExecutor:
                     f"{i}/{len(futures)} chunks",
                     completed=i,
                     total=len(futures),
+                    answers=answers,
                 ) from None
             answers.extend(result)
             record_span(f"exec.chunk[{i}]", t0, t1)
@@ -255,6 +297,7 @@ class ParallelExecutor:
                     f"{i}/{len(chunks)} chunks",
                     completed=i,
                     total=len(chunks),
+                    answers=answers,
                 )
             t0 = time.perf_counter()
             answers.extend(batch(chunk))

@@ -31,9 +31,21 @@ def render_json(registry: MetricsRegistry | None = None, indent: int = 2) -> str
 
 
 def _format_value(value: int | float) -> str:
-    if isinstance(value, float) and value.is_integer():
-        return str(int(value))
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        if value.is_integer():
+            return str(int(value))
     return str(value)
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _split_key(sample_key: str) -> tuple[str, str]:
@@ -58,7 +70,7 @@ def render_prometheus(registry: MetricsRegistry | None = None) -> str:
         emitted_headers.add(name)
         help_text = help_by_name.get(name, "")
         if help_text:
-            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {name} {kind}")
 
     for sample_key, value in sorted(snapshot["counters"].items()):

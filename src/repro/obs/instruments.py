@@ -174,6 +174,31 @@ EXEC_BATCH_SECONDS = REGISTRY.histogram(
 )
 
 # ----------------------------------------------------------------------
+# Network query service (repro.serve)
+# ----------------------------------------------------------------------
+SERVE_REQUESTS = REGISTRY.counter_family(
+    "repro_serve_requests_total",
+    "HTTP requests served, by endpoint and response status code.",
+    label_names=("endpoint", "code"),
+)
+SERVE_REJECTED = REGISTRY.counter(
+    "repro_serve_rejected_total",
+    "Requests rejected by admission control (429 overload / 503 drain).",
+)
+SERVE_INFLIGHT = REGISTRY.gauge(
+    "repro_serve_inflight",
+    "Requests currently admitted and executing.",
+)
+SERVE_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_serve_request_seconds",
+    "Wall-clock service time of one admitted request.",
+)
+SERVE_DRAINS = REGISTRY.counter(
+    "repro_serve_drains_total",
+    "Graceful shutdowns begun (SIGTERM/SIGINT drains).",
+)
+
+# ----------------------------------------------------------------------
 # Snapshot store (repro.store) persistence
 # ----------------------------------------------------------------------
 STORE_SAVES = REGISTRY.counter(

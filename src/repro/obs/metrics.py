@@ -32,6 +32,7 @@ __all__ = [
     "Counter",
     "CounterFamily",
     "Gauge",
+    "escape_label_value",
     "GaugeFamily",
     "Histogram",
     "MetricsRegistry",
@@ -86,11 +87,33 @@ class observability:
 # ----------------------------------------------------------------------
 # Instruments
 # ----------------------------------------------------------------------
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping inside quoted label values.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _sample_key(name: str, labels: Mapping[str, str] | None) -> str:
-    """Render the canonical sample key, e.g. ``name{method="3dreach"}``."""
+    """Render the canonical sample key, e.g. ``name{method="3dreach"}``.
+
+    Label values are escaped here, once, so every consumer of sample
+    keys (the Prometheus renderer, ``counter_samples`` diffs, traces)
+    sees well-formed exposition syntax even for values containing
+    ``"``, ``\\`` or newlines.
+    """
     if not labels:
         return name
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    inner = ",".join(
+        f'{k}="{escape_label_value(labels[k])}"' for k in sorted(labels)
+    )
     return f"{name}{{{inner}}}"
 
 

@@ -1,0 +1,364 @@
+"""Stdlib HTTP front-end for :class:`~repro.serve.service.QueryService`.
+
+One :class:`~http.server.ThreadingHTTPServer` exposes the service as
+JSON endpoints:
+
+========  ==========  ====================================================
+method    path        semantics
+========  ==========  ====================================================
+GET       /healthz    liveness (200 while serving, 503 once draining)
+GET       /stats      database + serving counters
+GET       /metrics    Prometheus text exposition of the process registry
+POST      /query      one read query (reach / count / witnesses)
+POST      /batch      many reach queries under one deadline (504 on expiry)
+POST      /write      one mutation (add/remove follow/check-in, vertices)
+========  ==========  ====================================================
+
+Status codes: 400 malformed request, 404 unknown path, 405 wrong
+method, 429 admission control, 503 draining, 504 batch deadline.
+
+**Graceful drain.**  :func:`run_server` installs SIGTERM/SIGINT
+handlers; on the first signal the server stops accepting connections,
+idle keep-alive connections are shut down, in-flight requests run to
+completion (their handler threads are joined), and the snapshot is
+persisted when the service's database has a ``snapshot_dir``.  A
+request that was being processed when the signal arrived always gets
+its response — only connections with *no request in progress* are cut.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exec import BatchTimeoutError
+from repro.obs import instruments as _inst
+from repro.obs.metrics import enabled as _obs_enabled
+from repro.serve.service import QueryService, ServiceError
+
+__all__ = ["QueryHTTPServer", "run_server", "start_server"]
+
+#: Grace period between stopping the accept loop and cutting idle
+#: connections: a request parsed just before shutdown gets to flip its
+#: handler to busy first.
+_DRAIN_GRACE_SECONDS = 0.05
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the service; JSON in, JSON out."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+    server: "QueryHTTPServer"
+
+    # Set while a parsed request is being served; the drain logic never
+    # cuts a connection whose handler is busy.
+    busy = False
+
+    def setup(self) -> None:
+        super().setup()
+        self.server._track(self)
+
+    def finish(self) -> None:
+        self.server._untrack(self)
+        super().finish()
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        self.busy = True
+        try:
+            endpoint = self.path.split("?", 1)[0]
+            service = self.server.service
+            route = _ROUTES.get(endpoint)
+            if route is None:
+                self._send_json(404, {"error": f"unknown path {endpoint!r}"},
+                                endpoint="unknown")
+                return
+            expected_method, handler = route
+            if method != expected_method:
+                self._send_json(
+                    405,
+                    {"error": f"{endpoint} expects {expected_method}"},
+                    endpoint=endpoint,
+                )
+                return
+            handler(self, service, endpoint)
+        finally:
+            self.busy = False
+            if self.server.draining:
+                # Drained connections close after their last response.
+                self.close_connection = True
+
+    # -- endpoint handlers ---------------------------------------------
+    def _get_healthz(self, service: QueryService, endpoint: str) -> None:
+        payload = service.health()
+        code = 503 if payload["status"] == "draining" else 200
+        self._send_json(code, payload, endpoint=endpoint)
+
+    def _get_stats(self, service: QueryService, endpoint: str) -> None:
+        self._send_json(200, service.stats(), endpoint=endpoint)
+
+    def _get_metrics(self, service: QueryService, endpoint: str) -> None:
+        body = service.metrics_text().encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._count(endpoint, 200)
+
+    def _post_query(self, service: QueryService, endpoint: str) -> None:
+        self._admitted(service, endpoint, service.single)
+
+    def _post_batch(self, service: QueryService, endpoint: str) -> None:
+        self._admitted(service, endpoint, service.batch)
+
+    def _post_write(self, service: QueryService, endpoint: str) -> None:
+        self._admitted(service, endpoint, service.write)
+
+    def _admitted(self, service: QueryService, endpoint: str, op) -> None:
+        try:
+            payload = self._read_json()
+            with service.admit():
+                result = op(payload)
+        except BatchTimeoutError as exc:
+            self._send_json(
+                504,
+                {
+                    "error": str(exc),
+                    "completed_chunks": exc.completed,
+                    "total_chunks": exc.total,
+                },
+                endpoint=endpoint,
+            )
+        except ServiceError as exc:
+            body = {"error": str(exc)}
+            headers = {}
+            if exc.status in (429, 503):
+                headers["Retry-After"] = "1"
+            self._send_json(exc.status, body, endpoint=endpoint,
+                            headers=headers)
+        else:
+            self._send_json(200, result, endpoint=endpoint)
+
+    # -- plumbing ------------------------------------------------------
+    def _read_json(self) -> dict:
+        from repro.serve.service import BadRequestError
+
+        length = self.headers.get("Content-Length")
+        try:
+            nbytes = int(length) if length is not None else 0
+        except ValueError:
+            raise BadRequestError("bad Content-Length") from None
+        if nbytes <= 0:
+            raise BadRequestError("request body required")
+        raw = self.rfile.read(nbytes)
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            raise BadRequestError("request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        return payload
+
+    def _send_json(
+        self,
+        code: int,
+        payload: dict,
+        *,
+        endpoint: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self._count(endpoint, code)
+
+    def _count(self, endpoint: str, code: int) -> None:
+        if _obs_enabled():
+            _inst.SERVE_REQUESTS.labels(
+                endpoint=endpoint, code=str(code)
+            ).inc()
+
+
+_ROUTES = {
+    "/healthz": ("GET", _Handler._get_healthz),
+    "/stats": ("GET", _Handler._get_stats),
+    "/metrics": ("GET", _Handler._get_metrics),
+    "/query": ("POST", _Handler._post_query),
+    "/batch": ("POST", _Handler._post_batch),
+    "/write": ("POST", _Handler._post_write),
+}
+
+
+class QueryHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`QueryService`.
+
+    ``block_on_close`` (the ThreadingMixIn default) makes
+    ``server_close`` join every live handler thread, which is exactly
+    the drain guarantee: responses in flight are written before the
+    process exits.
+    """
+
+    daemon_threads = True  # never block interpreter exit on a stuck peer
+    allow_reuse_address = True
+    # The socketserver default backlog (5) resets connections under a
+    # synchronized burst before admission control ever sees them; the
+    # bounded in-flight gate is the real limit, so accept generously.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: QueryService,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        self.draining = False
+        self._handlers_lock = threading.Lock()
+        self._handlers: set[_Handler] = set()
+        super().__init__(address, _Handler)
+
+    # -- connection registry -------------------------------------------
+    def _track(self, handler: _Handler) -> None:
+        with self._handlers_lock:
+            self._handlers.add(handler)
+
+    def _untrack(self, handler: _Handler) -> None:
+        with self._handlers_lock:
+            self._handlers.discard(handler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    # -- graceful shutdown ---------------------------------------------
+    def drain(self, *, persist: bool = True) -> dict:
+        """Stop accepting, cut idle connections, finish in-flight work.
+
+        Returns a summary dict (in-flight count at drain start, whether
+        a snapshot was persisted).  Must not be called from a handler
+        thread.
+        """
+        self.draining = True
+        self.service.begin_drain()
+        inflight = self.service.inflight
+        self.shutdown()  # stop the accept loop (blocks until it exits)
+        time.sleep(_DRAIN_GRACE_SECONDS)
+        with self._handlers_lock:
+            idle = [h for h in self._handlers if not h.busy]
+        for handler in idle:
+            # Unblock the keep-alive readline; the handler loop sees EOF
+            # and exits.  A request racing this shutdown is, by
+            # definition, not in flight yet.
+            try:
+                handler.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        self.server_close()  # joins handler threads: in-flight finishes
+        persisted = self.service.close(persist=persist)
+        return {"inflight_at_drain": inflight, "persisted": persisted}
+
+
+def start_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    verbose: bool = False,
+) -> QueryHTTPServer:
+    """Start a server on a background thread (tests, benchmarks).
+
+    ``port=0`` binds an ephemeral port; read it back from
+    ``server.port``.  Stop with ``server.drain()``.
+    """
+    server = QueryHTTPServer((host, port), service, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return server
+
+
+def run_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    verbose: bool = False,
+    ready=None,
+) -> int:
+    """Serve in the foreground until SIGTERM/SIGINT, then drain.
+
+    The CLI entry point: installs signal handlers, announces readiness
+    (``ready`` callback or a line on stdout), blocks in the accept
+    loop, and performs the graceful drain on the first signal.  Returns
+    0 after a clean drain.
+    """
+    server = QueryHTTPServer((host, port), service, verbose=verbose)
+    drained: dict = {}
+    done = threading.Event()
+
+    def _drain_in_background() -> None:
+        drained.update(server.drain())
+        done.set()
+
+    def _on_signal(signum, frame) -> None:
+        # shutdown() deadlocks if called on the thread running
+        # serve_forever (the signal handler runs on the main thread),
+        # so the drain runs on a helper thread.
+        if not server.draining:
+            threading.Thread(
+                target=_drain_in_background, name="repro-serve-drain",
+                daemon=True,
+            ).start()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _on_signal),
+        signal.SIGINT: signal.signal(signal.SIGINT, _on_signal),
+    }
+    try:
+        if ready is not None:
+            ready(server)
+        else:
+            print(
+                f"serving on http://{host}:{server.port} "
+                f"(max_inflight={service.max_inflight})",
+                flush=True,
+            )
+        server.serve_forever()
+        done.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print(
+        f"drained: {drained.get('inflight_at_drain', 0)} in flight, "
+        f"snapshot_persisted={drained.get('persisted', False)}",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0

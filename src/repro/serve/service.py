@@ -1,0 +1,382 @@
+"""Transport-agnostic request handling for the network query service.
+
+:class:`QueryService` turns a :class:`~repro.system.GeosocialDatabase`
+into a long-running serving component:
+
+* **admission control** — a bounded in-flight counter; a request beyond
+  ``max_inflight`` is rejected immediately (HTTP 429) instead of
+  queueing without bound behind the database lock;
+* **serialized writes, batched reads** — the database is not
+  thread-safe, so every operation holds one lock; batches still win
+  because they run vectorized (and optionally through a
+  :class:`~repro.exec.ParallelExecutor`, whose worker threads
+  parallelize *inside* the locked batch);
+* **deadline propagation** — a batch deadline travels through
+  ``range_reach_many`` into the executor; an expired deadline surfaces
+  as :class:`~repro.exec.BatchTimeoutError` which the HTTP layer maps
+  to 504 with the completed/total chunk counts;
+* **drain** — :meth:`begin_drain` flips the service into draining mode
+  (new requests get 503), :meth:`close` optionally persists the
+  snapshot so a restart warm-starts from the drained state.
+
+The HTTP front-end lives in :mod:`repro.serve.http`; this module knows
+nothing about sockets so the same service object is unit-testable and
+reusable behind other transports.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.exec import ParallelExecutor
+from repro.geometry import Rect
+from repro.obs import instruments as _inst
+from repro.obs import render_prometheus
+from repro.obs.metrics import enabled as _obs_enabled
+from repro.system import GeosocialDatabase
+
+DEFAULT_MAX_INFLIGHT = 64
+
+#: Read operations /query accepts, mapped to database methods.
+_READ_OPS = ("reach", "count", "witnesses")
+
+
+class ServiceError(Exception):
+    """Base class of request failures; ``status`` is the HTTP code."""
+
+    status = 500
+
+
+class BadRequestError(ServiceError):
+    """Malformed or semantically invalid request payload (400)."""
+
+    status = 400
+
+
+class OverloadedError(ServiceError):
+    """Admission control rejected the request (429)."""
+
+    status = 429
+
+
+class DrainingError(ServiceError):
+    """The service is shutting down and accepts no new work (503)."""
+
+    status = 503
+
+
+def _require(payload: dict, key: str):
+    if not isinstance(payload, dict) or key not in payload:
+        raise BadRequestError(f"missing field {key!r}")
+    return payload[key]
+
+
+def _as_int(value, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequestError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def _as_number(value, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequestError(f"{what} must be a number, got {value!r}")
+    return float(value)
+
+
+def parse_region(raw) -> Rect:
+    """Parse the wire form of a region: a ``[xlo, ylo, xhi, yhi]`` list
+    or the CLI-style string ``"xlo,ylo,xhi,yhi"``."""
+    if isinstance(raw, str):
+        try:
+            raw = [float(part) for part in raw.split(",")]
+        except ValueError:
+            raise BadRequestError(
+                f"region string must be 'xlo,ylo,xhi,yhi', got {raw!r}"
+            ) from None
+    if not isinstance(raw, (list, tuple)) or len(raw) != 4:
+        raise BadRequestError(
+            f"region must be [xlo, ylo, xhi, yhi], got {raw!r}"
+        )
+    xlo, ylo, xhi, yhi = (_as_number(c, "region coordinate") for c in raw)
+    if xhi < xlo or yhi < ylo:
+        raise BadRequestError(f"region {raw!r} has negative extent")
+    return Rect(xlo, ylo, xhi, yhi)
+
+
+class QueryService:
+    """The serving facade over one :class:`GeosocialDatabase`.
+
+    Args:
+        database: the store to serve; all access is serialized on an
+            internal lock (the database is not thread-safe).
+        executor: optional :class:`ParallelExecutor` for batch requests.
+            Owned by the service: :meth:`close` closes it.
+        max_inflight: admission-control bound on concurrently admitted
+            requests; the bound is the queue, exceeding it is a 429.
+        default_timeout: per-batch deadline (seconds) applied when a
+            batch request does not carry its own ``timeout`` field.
+    """
+
+    def __init__(
+        self,
+        database: GeosocialDatabase,
+        *,
+        executor: ParallelExecutor | None = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        default_timeout: float | None = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if default_timeout is not None and default_timeout <= 0:
+            raise ValueError("default_timeout must be positive")
+        self._database = database
+        self._executor = executor
+        self._max_inflight = max_inflight
+        self._default_timeout = default_timeout
+        self._db_lock = threading.Lock()
+        self._gate = threading.Lock()  # admission counter + obs flushes
+        self._inflight = 0
+        self._served = 0
+        self._rejected = 0
+        self._draining = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    @property
+    def max_inflight(self) -> int:
+        return self._max_inflight
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @contextmanager
+    def admit(self):
+        """Admit one request or raise Overloaded/Draining immediately.
+
+        The in-flight counter bounds the queue of requests waiting on
+        the database lock: beyond ``max_inflight`` a caller gets a 429
+        *now* rather than a response after an unbounded wait.
+        """
+        with self._gate:
+            if self._draining:
+                self._rejected += 1
+                if _obs_enabled():
+                    _inst.SERVE_REJECTED.inc()
+                raise DrainingError("service is draining")
+            if self._inflight >= self._max_inflight:
+                self._rejected += 1
+                if _obs_enabled():
+                    _inst.SERVE_REJECTED.inc()
+                raise OverloadedError(
+                    f"{self._inflight} requests in flight "
+                    f"(max {self._max_inflight})"
+                )
+            self._inflight += 1
+            if _obs_enabled():
+                _inst.SERVE_INFLIGHT.set(self._inflight)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            with self._gate:
+                self._inflight -= 1
+                self._served += 1
+                if _obs_enabled():
+                    _inst.SERVE_INFLIGHT.set(self._inflight)
+                    _inst.SERVE_REQUEST_SECONDS.observe(
+                        time.perf_counter() - started
+                    )
+
+    # ------------------------------------------------------------------
+    # Request handlers (admitted requests)
+    # ------------------------------------------------------------------
+    def single(self, payload: dict) -> dict:
+        """``POST /query`` — one read: reach (default), count, witnesses."""
+        vertex = _as_int(_require(payload, "vertex"), "vertex")
+        region = parse_region(_require(payload, "region"))
+        op = payload.get("op", "reach")
+        if op not in _READ_OPS:
+            raise BadRequestError(
+                f"unknown op {op!r}; known: {', '.join(_READ_OPS)}"
+            )
+        database = self._database
+        with self._db_lock:
+            try:
+                if op == "reach":
+                    answer = database.range_reach(vertex, region)
+                elif op == "count":
+                    answer = database.count_reachable(vertex, region)
+                else:
+                    answer = database.reachable_venues(vertex, region)
+            except (IndexError, ValueError) as exc:
+                raise BadRequestError(str(exc)) from None
+        return {"op": op, "answer": answer}
+
+    def batch(self, payload: dict) -> dict:
+        """``POST /batch`` — many reach queries, one deadline.
+
+        The deadline (request ``timeout`` field, else the service
+        default) propagates into the executor; expiry raises
+        :class:`BatchTimeoutError` for the transport to map to 504.
+        """
+        queries = _require(payload, "queries")
+        if not isinstance(queries, list):
+            raise BadRequestError("queries must be a list")
+        pairs = []
+        for i, entry in enumerate(queries):
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise BadRequestError(
+                    f"queries[{i}] must be [vertex, region]"
+                )
+            pairs.append((
+                _as_int(entry[0], f"queries[{i}] vertex"),
+                parse_region(entry[1]),
+            ))
+        timeout = self._default_timeout
+        if "timeout" in payload and payload["timeout"] is not None:
+            timeout = _as_number(payload["timeout"], "timeout")
+            if timeout <= 0:
+                raise BadRequestError("timeout must be positive")
+        database = self._database
+        with self._db_lock:
+            try:
+                if self._executor is not None:
+                    answers = database.range_reach_many(
+                        pairs, self._executor, timeout=timeout
+                    )
+                elif timeout is not None:
+                    # No pool: enforce the deadline with a one-shot
+                    # sequential executor (chunked deadline checks).
+                    with ParallelExecutor(workers=1) as sequential:
+                        answers = database.range_reach_many(
+                            pairs, sequential, timeout=timeout
+                        )
+                else:
+                    answers = database.range_reach_many(pairs)
+            except (IndexError, ValueError) as exc:
+                raise BadRequestError(str(exc)) from None
+        return {"answers": answers, "count": len(answers)}
+
+    def write(self, payload: dict) -> dict:
+        """``POST /write`` — one mutation against the live store."""
+        op = _require(payload, "op")
+        database = self._database
+        try:
+            with self._db_lock:
+                if op == "add_user":
+                    return {"op": op, "vertex": database.add_user()}
+                if op == "add_venue":
+                    vertex = database.add_venue(
+                        _as_number(_require(payload, "x"), "x"),
+                        _as_number(_require(payload, "y"), "y"),
+                    )
+                    return {"op": op, "vertex": vertex}
+                if op == "add_follow":
+                    added = database.add_follow(
+                        _as_int(_require(payload, "follower"), "follower"),
+                        _as_int(_require(payload, "followee"), "followee"),
+                    )
+                    return {"op": op, "added": added}
+                if op == "add_checkin":
+                    added = database.add_checkin(
+                        _as_int(_require(payload, "user"), "user"),
+                        _as_int(_require(payload, "venue"), "venue"),
+                    )
+                    return {"op": op, "added": added}
+                if op == "remove_follow":
+                    database.remove_follow(
+                        _as_int(_require(payload, "follower"), "follower"),
+                        _as_int(_require(payload, "followee"), "followee"),
+                    )
+                    return {"op": op, "removed": True}
+                if op == "remove_checkin":
+                    database.remove_checkin(
+                        _as_int(_require(payload, "user"), "user"),
+                        _as_int(_require(payload, "venue"), "venue"),
+                    )
+                    return {"op": op, "removed": True}
+        except (IndexError, ValueError) as exc:
+            raise BadRequestError(str(exc)) from None
+        raise BadRequestError(
+            f"unknown write op {op!r}; known: add_user, add_venue, "
+            "add_follow, add_checkin, remove_follow, remove_checkin"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints (never admission-controlled)
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "inflight": self._inflight,
+        }
+
+    def stats(self) -> dict:
+        with self._db_lock:
+            database = self._database.stats()
+        return {
+            "database": database,
+            "serve": {
+                "inflight": self._inflight,
+                "served": self._served,
+                "rejected": self._rejected,
+                "max_inflight": self._max_inflight,
+                "draining": self._draining,
+            },
+        }
+
+    def metrics_text(self) -> str:
+        """The live Prometheus exposition of the process registry."""
+        return render_prometheus()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def warm_up(self) -> None:
+        """Build the index snapshot before taking traffic (optional)."""
+        with self._db_lock:
+            if self._database.is_stale:
+                self._database.refresh()
+
+    def begin_drain(self) -> None:
+        """Stop admitting requests; in-flight ones run to completion."""
+        with self._gate:
+            if not self._draining:
+                self._draining = True
+                if _obs_enabled():
+                    _inst.SERVE_DRAINS.inc()
+
+    def close(self, *, persist: bool = True) -> bool:
+        """Release resources; returns True when a snapshot was persisted.
+
+        With ``persist`` and a database configured with ``snapshot_dir``,
+        state that diverged from the persisted snapshot (pending delta or
+        a dropped snapshot) is rebuilt and written out so the next start
+        is warm.  Safe to call more than once.
+        """
+        if self._closed:
+            return False
+        self._closed = True
+        self.begin_drain()
+        persisted = False
+        if persist and self._database.snapshot_dir is not None:
+            with self._db_lock:
+                database = self._database
+                if database.is_stale or database.delta_size > 0:
+                    try:
+                        database.refresh()
+                        persisted = True
+                    except ValueError:
+                        pass  # no venues yet: nothing worth persisting
+        if self._executor is not None:
+            self._executor.close()
+        return persisted

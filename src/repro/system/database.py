@@ -36,6 +36,7 @@ from collections import deque
 
 from repro.core.base import RangeReachBase
 from repro.core.extensions import GeosocialQueryEngine
+from repro.exec import UNSET as _UNSET_TIMEOUT
 from repro.geometry import Point, Rect
 from repro.geosocial.network import GeosocialNetwork
 from repro.graph.digraph import DiGraph
@@ -92,6 +93,29 @@ class GeosocialDatabase(RangeReachBase):
         self._snapshot_saves = 0
         if snapshot_dir is not None:
             self._try_warm_start(snapshot_dir)
+
+    @classmethod
+    def from_network(
+        cls,
+        network: GeosocialNetwork,
+        *,
+        refresh_threshold: int = DEFAULT_REFRESH_THRESHOLD,
+        snapshot_dir: str | None = None,
+    ) -> "GeosocialDatabase":
+        """Create a database pre-populated from a saved network.
+
+        When ``snapshot_dir`` already holds a persisted snapshot, the
+        warm start wins and ``network`` is ignored (the snapshot embeds
+        its own network); otherwise the adjacency, points and kinds are
+        seeded from ``network`` and the first query builds (and, with
+        ``snapshot_dir`` set, persists) the index snapshot.
+        """
+        database = cls(
+            refresh_threshold=refresh_threshold, snapshot_dir=snapshot_dir
+        )
+        if database._engine is None:
+            database._seed_from_network(network)
+        return database
 
     # ------------------------------------------------------------------
     # Updates
@@ -248,6 +272,8 @@ class GeosocialDatabase(RangeReachBase):
         self,
         pairs,
         executor=None,
+        *,
+        timeout=_UNSET_TIMEOUT,
     ) -> list[bool]:
         """Answer many ``(vertex, region)`` queries, delta-overlay aware.
 
@@ -259,6 +285,10 @@ class GeosocialDatabase(RangeReachBase):
         root, with the per-vertex frontier computed once per distinct
         vertex — and the flattened sub-queries run as one snapshot
         batch.
+
+        ``timeout`` propagates to ``executor.run`` as the per-batch
+        deadline (``None`` lifts a constructor default; omitted keeps
+        it); it is ignored without an executor.
         """
         pairs = list(pairs)
         if not pairs:
@@ -270,7 +300,7 @@ class GeosocialDatabase(RangeReachBase):
             for _ in pairs:
                 self._note_query(overlay=False)
             if executor is not None:
-                return executor.run(engine, pairs)
+                return executor.run(engine, pairs, timeout=timeout)
             return engine.query_batch(pairs)
         for _ in pairs:
             self._note_query(overlay=True)
@@ -293,7 +323,7 @@ class GeosocialDatabase(RangeReachBase):
         if not sub_pairs:
             sub_answers: list[bool] = []
         elif executor is not None:
-            sub_answers = executor.run(engine, sub_pairs)
+            sub_answers = executor.run(engine, sub_pairs, timeout=timeout)
         else:
             sub_answers = engine.query_batch(sub_pairs)
         return [
@@ -464,25 +494,30 @@ class GeosocialDatabase(RangeReachBase):
             return
         with _span("db.warm_start"):
             context = BuildContext.load(snapshot_dir)
-            network = context.network
-            n = network.num_vertices
-            # The live adjacency is mutable; rebuild it as a fresh copy so
-            # later writes never alias the immutable snapshot artifacts.
-            self._graph = DiGraph.from_edges(n, list(network.graph.edges()))
-            self._points = list(network.points)
-            if network.kinds is not None:
-                self._kinds = list(network.kinds)
-            else:
-                self._kinds = [
-                    "venue" if p is not None else "user"
-                    for p in network.points
-                ]
-            self._edges = set(self._graph.edges())
+            self._seed_from_network(context.network)
             self._engine = GeosocialQueryEngine(
                 context.condensed(), context=context
             )
-            self._snapshot_vertices = n
+            self._snapshot_vertices = context.network.num_vertices
         self._warm_starts += 1
+
+    def _seed_from_network(self, network: GeosocialNetwork) -> None:
+        """Adopt a network's vertices, points, kinds and edges.
+
+        The live adjacency is mutable; it is rebuilt as a fresh copy so
+        later writes never alias an immutable snapshot artifact.
+        """
+        n = network.num_vertices
+        self._graph = DiGraph.from_edges(n, list(network.graph.edges()))
+        self._points = list(network.points)
+        if network.kinds is not None:
+            self._kinds = list(network.kinds)
+        else:
+            self._kinds = [
+                "venue" if p is not None else "user"
+                for p in network.points
+            ]
+        self._edges = set(self._graph.edges())
 
     def _persist_snapshot(self, context: BuildContext) -> None:
         if self._snapshot_dir is None:
@@ -541,6 +576,11 @@ class GeosocialDatabase(RangeReachBase):
     @property
     def refresh_threshold(self) -> int:
         return self._refresh_threshold
+
+    @property
+    def snapshot_dir(self) -> str | None:
+        """Directory persisted snapshots go to (None = in-memory only)."""
+        return self._snapshot_dir
 
     @property
     def num_rebuilds(self) -> int:

@@ -315,7 +315,7 @@ def test_snapshot_load_reports_zero_builds(snapshot_dir, capsys):
 
 def test_snapshot_load_missing_directory(tmp_path, capsys):
     code = main(["snapshot", "load", str(tmp_path / "absent")])
-    assert code == 1
+    assert code == 2
     assert "error" in capsys.readouterr().err
 
 
@@ -332,7 +332,7 @@ def test_snapshot_inspect_reports_corruption(snapshot_dir, capsys):
     data[-1] ^= 0xFF
     part.write_bytes(bytes(data))
     code = main(["snapshot", "inspect", str(snapshot_dir)])
-    assert code == 1
+    assert code == 2
     captured = capsys.readouterr()
     assert "checksum mismatch" in captured.out
     assert "failed verification" in captured.err
@@ -341,5 +341,5 @@ def test_snapshot_inspect_reports_corruption(snapshot_dir, capsys):
 def test_snapshot_inspect_missing_manifest(tmp_path, capsys):
     (tmp_path / "empty").mkdir()
     code = main(["snapshot", "inspect", str(tmp_path / "empty")])
-    assert code == 1
+    assert code == 2
     assert "error" in capsys.readouterr().err

@@ -194,3 +194,95 @@ def test_batch_trace_stitches_chunk_spans(built, fig1_net):
     assert len(chunk_names) == len(executor._chunks(pairs))
     # Worker-side method spans never leak into the serving thread's tree.
     assert not any(".query" in name for name in names)
+
+
+# ----------------------------------------------------------------------
+# timeout=None sentinel and partial answers on timeout
+# ----------------------------------------------------------------------
+class _SlowAlternating:
+    """Slow target with per-query answers, to check prefix correctness."""
+
+    name = "slow-alt"
+
+    def query_batch(self, chunk):
+        time.sleep(0.02)
+        return [v % 2 == 0 for v, _ in chunk]
+
+
+def test_explicit_timeout_none_lifts_constructor_default():
+    pairs = [(0, REGION)] * 40
+    with ParallelExecutor(workers=1, chunk_size=2, timeout=0.01) as executor:
+        with pytest.raises(BatchTimeoutError):
+            executor.run(_Slow(), pairs)
+        # The same batch with timeout=None must run to completion even
+        # though the constructor set a default deadline.
+        assert executor.run(_Slow(), pairs, timeout=None) == [False] * 40
+
+
+def test_run_rejects_nonpositive_timeout(built):
+    with ParallelExecutor(workers=1) as executor:
+        for bad in (0, -1.5):
+            with pytest.raises(ValueError, match="timeout"):
+                executor.run(built["3dreach"], [(0, REGION)], timeout=bad)
+
+
+def test_partial_answers_and_counters_sequential():
+    pairs = [(v, REGION) for v in range(40)]
+    expected = [v % 2 == 0 for v in range(40)]
+    with obs.observability(True):
+        obs.REGISTRY.reset()
+        with ParallelExecutor(workers=1, chunk_size=2, timeout=0.05) as ex:
+            with pytest.raises(BatchTimeoutError) as info:
+                ex.run(_SlowAlternating(), pairs)
+        samples = obs.REGISTRY.counter_samples()
+    exc = info.value
+    assert 0 < exc.completed < exc.total == 20
+    # The carried answers are the completed chunks' answers, in input
+    # order — an exact prefix of the full batch's answer list.
+    assert len(exc.answers) == exc.completed * 2
+    assert exc.answers == expected[: len(exc.answers)]
+    # Counters reconcile: the aborted batch is still counted under its
+    # mode and only actually-answered queries are counted.
+    assert samples['repro_exec_batches_total{mode="sequential"}'] == 1
+    assert samples["repro_exec_batch_queries_total"] == len(exc.answers)
+    assert samples["repro_exec_batch_timeouts_total"] == 1
+
+
+def test_partial_answers_and_counters_parallel():
+    pairs = [(v, REGION) for v in range(60)]
+    expected = [v % 2 == 0 for v in range(60)]
+    with obs.observability(True):
+        obs.REGISTRY.reset()
+        with ParallelExecutor(workers=2, chunk_size=2, timeout=0.06) as ex:
+            with pytest.raises(BatchTimeoutError) as info:
+                ex.run(_SlowAlternating(), pairs)
+        samples = obs.REGISTRY.counter_samples()
+    exc = info.value
+    assert exc.total == 30 and exc.completed < exc.total
+    assert len(exc.answers) == exc.completed * 2
+    assert exc.answers == expected[: len(exc.answers)]
+    assert samples['repro_exec_batches_total{mode="parallel"}'] == 1
+    assert samples["repro_exec_batch_queries_total"] == len(exc.answers)
+    assert samples["repro_exec_batch_timeouts_total"] == 1
+
+
+def test_partial_answers_and_counters_fallback(monkeypatch):
+    def broken_pool(*args, **kwargs):
+        raise RuntimeError("no threads in this environment")
+
+    monkeypatch.setattr(
+        "repro.exec.executor.ThreadPoolExecutor", broken_pool
+    )
+    pairs = [(v, REGION) for v in range(40)]
+    expected = [v % 2 == 0 for v in range(40)]
+    with obs.observability(True):
+        obs.REGISTRY.reset()
+        with ParallelExecutor(workers=4, chunk_size=2, timeout=0.05) as ex:
+            with pytest.raises(BatchTimeoutError) as info:
+                ex.run(_SlowAlternating(), pairs)
+        samples = obs.REGISTRY.counter_samples()
+    exc = info.value
+    assert exc.answers == expected[: len(exc.answers)]
+    assert samples["repro_exec_sequential_fallbacks_total"] == 1
+    assert samples['repro_exec_batches_total{mode="sequential"}'] == 1
+    assert samples["repro_exec_batch_queries_total"] == len(exc.answers)

@@ -1,0 +1,180 @@
+"""Prometheus text exposition format: escaping, headers, parseability.
+
+The scrape parser below is a deliberately strict reimplementation of
+the exposition grammar (metric names, quoted label values with ``\\``,
+``\\"`` and ``\\n`` escapes, HELP/TYPE comment lines) so the renderer is
+tested against the *format*, not against its own output conventions.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry, escape_label_value
+
+_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_VALUE = re.compile(r"[-+]?(\d+(\.\d+)?([eE][-+]?\d+)?|Inf)\Z|NaN\Z")
+
+
+def _parse_labels(raw: str, line: str) -> dict[str, str]:
+    """Parse ``key="value",...`` honoring in-value escapes."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(raw):
+        eq = raw.index("=", i)
+        key = raw[i:eq]
+        assert _NAME.match(key), f"bad label name in {line!r}"
+        assert raw[eq + 1] == '"', f"unquoted label value in {line!r}"
+        i = eq + 2
+        value = []
+        while True:
+            assert i < len(raw), f"unterminated label value in {line!r}"
+            ch = raw[i]
+            if ch == "\\":
+                esc = raw[i + 1]
+                assert esc in ('"', "\\", "n"), f"bad escape in {line!r}"
+                value.append("\n" if esc == "n" else esc)
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            else:
+                assert ch != "\n"
+                value.append(ch)
+                i += 1
+        labels[key] = "".join(value)
+        if i < len(raw):
+            assert raw[i] == ",", f"malformed label list in {line!r}"
+            i += 1
+    return labels
+
+
+def parse_exposition(text: str):
+    """Parse an exposition document into (types, helps, samples).
+
+    Asserts on any grammar violation: that is the test.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    samples: list[tuple[str, dict[str, str], str]] = []
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace in {line!r}"
+        if line.startswith("# HELP "):
+            name, _, doc = line[len("# HELP "):].partition(" ")
+            assert _NAME.match(name), f"bad HELP name in {line!r}"
+            assert name not in helps, f"duplicate HELP for {name}"
+            helps[name] = doc
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            assert _NAME.match(name), f"bad TYPE name in {line!r}"
+            assert kind in ("counter", "gauge", "histogram", "untyped")
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment {line!r}"
+        head, _, value = line.rpartition(" ")
+        assert _VALUE.match(value), f"bad sample value in {line!r}"
+        if head.endswith("}"):
+            brace = head.index("{")
+            name, raw = head[:brace], head[brace + 1:-1]
+            labels = _parse_labels(raw, line)
+        else:
+            name, labels = head, {}
+        assert _NAME.match(name), f"bad metric name in {line!r}"
+        samples.append((name, labels, value))
+    return types, helps, samples
+
+
+def _base_name(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("plain_total", "A plain counter.").inc(3)
+    registry.gauge("level", "A gauge.").set(2.5)
+    registry.histogram("latency_seconds", "A histogram.").observe(0.004)
+    family = registry.counter_family(
+        "labelled_total", "A labelled counter.", label_names=("method",)
+    )
+    family.labels(method="3dreach").inc()
+    return registry
+
+def test_document_parses_and_headers_precede_samples(registry):
+    text = render_prometheus(registry)
+    types, helps, samples = parse_exposition(text)
+    sample_names = {_base_name(name) for name, _, _ in samples}
+    # Every emitted sample has a TYPE header, and vice versa.
+    assert sample_names == set(types)
+    assert types["plain_total"] == "counter"
+    assert types["level"] == "gauge"
+    assert types["latency_seconds"] == "histogram"
+    assert types["labelled_total"] == "counter"
+    assert helps["plain_total"] == "A plain counter."
+    # Histograms expose the three series plus a +Inf bucket.
+    histogram_names = [n for n, _, _ in samples if n.startswith("latency")]
+    assert "latency_seconds_sum" in histogram_names
+    assert "latency_seconds_count" in histogram_names
+    inf_buckets = [
+        labels for name, labels, _ in samples
+        if name == "latency_seconds_bucket" and labels["le"] == "+Inf"
+    ]
+    assert len(inf_buckets) == 1
+
+
+def test_label_values_with_quotes_backslashes_newlines(registry):
+    family = registry.counter_family(
+        "weird_total", "Hostile labels.", label_names=("path",)
+    )
+    hostile = 'quo"te\\back\nnew,brace}'
+    family.labels(path=hostile).inc(7)
+    text = render_prometheus(registry)
+    _, _, samples = parse_exposition(text)
+    found = [
+        (labels, value) for name, labels, value in samples
+        if name == "weird_total"
+    ]
+    assert found == [({"path": hostile}, "7")]
+
+
+def test_escape_label_value_roundtrip_examples():
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value("a\nb") == "a\\nb"
+    assert escape_label_value("plain") == "plain"
+
+
+def test_help_lines_escape_backslash_and_newline(registry):
+    registry.counter("doc_total", "line one\nline \\ two").inc()
+    text = render_prometheus(registry)
+    types, helps, _ = parse_exposition(text)
+    assert helps["doc_total"] == "line one\\nline \\\\ two"
+    assert types["doc_total"] == "counter"
+
+
+def test_special_float_values_render_as_inf_nan(registry):
+    registry.gauge("hot", "Special values.").set(float("inf"))
+    registry.gauge("cold", "Special values.").set(float("-inf"))
+    registry.gauge("odd", "Special values.").set(float("nan"))
+    _, _, samples = parse_exposition(render_prometheus(registry))
+    values = {name: value for name, _, value in samples}
+    assert values["hot"] == "+Inf"
+    assert values["cold"] == "-Inf"
+    assert values["odd"] == "NaN"
+    assert math.isinf(float(values["hot"]))
+
+
+def test_real_registry_document_parses():
+    # The process-wide registry with every instrument module imported.
+    import repro.obs.instruments  # noqa: F401
+    from repro.obs.metrics import REGISTRY
+
+    parse_exposition(render_prometheus(REGISTRY))

@@ -1,0 +1,434 @@
+"""The network query service: endpoints, backpressure, drain.
+
+Endpoint correctness is checked against the BFS oracle; backpressure
+and 504 mapping use stub databases so the tests are deterministic (no
+timing races on the happy path); the SIGTERM drain runs the real CLI
+in a subprocess.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+from test_obs_export import parse_exposition
+
+import repro
+from repro.core import RangeReachOracle
+from repro.datasets import make_network
+from repro.exec import BatchTimeoutError, ParallelExecutor
+from repro.geometry import Rect
+from repro.serve import (
+    DrainingError,
+    OverloadedError,
+    QueryService,
+    start_server,
+)
+from repro.system import GeosocialDatabase
+
+
+@pytest.fixture(scope="module")
+def tiny_net():
+    return make_network("gowalla", scale=0.0005, seed=3)
+
+
+@pytest.fixture
+def service(tiny_net):
+    database = GeosocialDatabase.from_network(tiny_net)
+    service = QueryService(database)
+    service.warm_up()
+    yield service
+    service.close(persist=False)
+
+
+@pytest.fixture
+def server(service):
+    server = start_server(service)
+    yield server, f"http://127.0.0.1:{server.port}"
+    if not server.draining:
+        server.drain(persist=False)
+
+
+def _post(base: str, path: str, payload, *, raw: bytes | None = None):
+    data = raw if raw is not None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        base + path, data=data,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read()), resp.headers
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), exc.headers
+
+
+def _get(base: str, path: str):
+    try:
+        with urllib.request.urlopen(base + path, timeout=30) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+
+
+# ----------------------------------------------------------------------
+# Read endpoints vs. the oracle
+# ----------------------------------------------------------------------
+def test_single_query_matches_oracle(server, tiny_net):
+    _, base = server
+    oracle = RangeReachOracle(tiny_net)
+    space = tiny_net.space()
+    region = [space.xlo, space.ylo,
+              (space.xlo + space.xhi) / 2, (space.ylo + space.yhi) / 2]
+    rect = Rect(*region)
+    for vertex in range(0, tiny_net.num_vertices, 7):
+        code, body, _ = _post(
+            base, "/query", {"vertex": vertex, "region": region}
+        )
+        assert code == 200
+        assert body == {"op": "reach", "answer": oracle.query(vertex, rect)}
+
+
+def test_count_and_witnesses_ops(server, tiny_net):
+    _, base = server
+    oracle = RangeReachOracle(tiny_net)
+    space = tiny_net.space()
+    region = [space.xlo, space.ylo, space.xhi, space.yhi]
+    rect = Rect(*region)
+    vertex = 0
+    code, body, _ = _post(
+        base, "/query", {"vertex": vertex, "region": region, "op": "count"}
+    )
+    assert (code, body["answer"]) == (200, oracle.count(vertex, rect))
+    code, body, _ = _post(
+        base, "/query",
+        {"vertex": vertex, "region": region, "op": "witnesses"},
+    )
+    assert code == 200
+    assert sorted(body["answer"]) == sorted(oracle.witnesses(vertex, rect))
+
+
+def test_region_accepts_cli_string_form(server, tiny_net):
+    _, base = server
+    oracle = RangeReachOracle(tiny_net)
+    space = tiny_net.space()
+    region = [space.xlo, space.ylo, space.xhi, space.yhi]
+    as_string = ",".join(str(c) for c in region)
+    code, body, _ = _post(
+        base, "/query", {"vertex": 0, "region": as_string}
+    )
+    assert code == 200
+    assert body["answer"] == oracle.query(0, Rect(*region))
+    code, body, _ = _post(
+        base, "/query", {"vertex": 0, "region": "0,0,not,numbers"}
+    )
+    assert code == 400
+    assert "region" in body["error"]
+
+
+def test_batch_matches_oracle(server, tiny_net):
+    _, base = server
+    oracle = RangeReachOracle(tiny_net)
+    space = tiny_net.space()
+    region = [space.xlo, space.ylo,
+              (space.xlo + space.xhi) / 2, space.yhi]
+    queries = [[v, region] for v in range(0, tiny_net.num_vertices, 11)]
+    code, body, _ = _post(base, "/batch", {"queries": queries})
+    assert code == 200
+    assert body["count"] == len(queries)
+    assert body["answers"] == [
+        oracle.query(v, Rect(*region)) for v, _ in queries
+    ]
+
+
+def test_write_then_query_reflects_update(server, tiny_net):
+    _, base = server
+    users = [v for v, k in enumerate(tiny_net.kinds) if k == "user"]
+    # A venue far outside the seed SPACE: only the new check-in reaches it.
+    code, body, _ = _post(base, "/write", {"op": "add_venue",
+                                           "x": 999.0, "y": 999.0})
+    assert code == 200
+    venue = body["vertex"]
+    region = [998.0, 998.0, 1000.0, 1000.0]
+    user = users[0]
+    code, body, _ = _post(base, "/query", {"vertex": user, "region": region})
+    assert (code, body["answer"]) == (200, False)
+    code, body, _ = _post(
+        base, "/write", {"op": "add_checkin", "user": user, "venue": venue}
+    )
+    assert (code, body["added"]) == (200, True)
+    code, body, _ = _post(base, "/query", {"vertex": user, "region": region})
+    assert (code, body["answer"]) == (200, True)
+    # And the edge is removable again.
+    code, body, _ = _post(
+        base, "/write",
+        {"op": "remove_checkin", "user": user, "venue": venue},
+    )
+    assert (code, body["removed"]) == (200, True)
+    code, body, _ = _post(base, "/query", {"vertex": user, "region": region})
+    assert (code, body["answer"]) == (200, False)
+
+
+# ----------------------------------------------------------------------
+# Error mapping
+# ----------------------------------------------------------------------
+def test_bad_requests_get_400(server):
+    _, base = server
+    cases = [
+        {"region": [0, 0, 1, 1]},                       # missing vertex
+        {"vertex": "x", "region": [0, 0, 1, 1]},        # non-int vertex
+        {"vertex": True, "region": [0, 0, 1, 1]},       # bool is not int
+        {"vertex": 0, "region": [0, 0, 1]},             # short region
+        {"vertex": 0, "region": [1, 1, 0, 0]},          # negative extent
+        {"vertex": 0, "region": [0, 0, 1, 1], "op": "sum"},  # unknown op
+        {"vertex": 10**9, "region": [0, 0, 1, 1]},      # out of range
+    ]
+    for payload in cases:
+        code, body, _ = _post(base, "/query", payload)
+        assert code == 400, payload
+        assert "error" in body
+    code, body, _ = _post(base, "/query", None, raw=b"{not json")
+    assert code == 400
+    code, body, _ = _post(base, "/query", None, raw=b"[1, 2]")
+    assert code == 400
+    code, body, _ = _post(base, "/write", {"op": "explode"})
+    assert code == 400
+    code, body, _ = _post(base, "/batch", {"queries": [[0]]})
+    assert code == 400
+    code, body, _ = _post(
+        base, "/batch", {"queries": [[0, [0, 0, 1, 1]]], "timeout": -1}
+    )
+    assert code == 400
+
+
+def test_unknown_path_and_wrong_method(server):
+    _, base = server
+    assert _get(base, "/nope")[0] == 404
+    assert _get(base, "/query")[0] == 405  # GET on a POST route
+    code, _, _ = _post(base, "/healthz", {})
+    assert code == 405  # POST on a GET route
+
+
+def test_healthz_stats_metrics(server):
+    _, base = server
+    code, text = _get(base, "/healthz")
+    assert (code, json.loads(text)["status"]) == (200, "ok")
+    code, text = _get(base, "/stats")
+    stats = json.loads(text)
+    assert code == 200
+    assert stats["serve"]["max_inflight"] == 64
+    assert "database" in stats
+    code, text = _get(base, "/metrics")
+    assert code == 200
+    parse_exposition(text)  # strict format check
+
+
+# ----------------------------------------------------------------------
+# Backpressure and deadline mapping (stub databases: deterministic)
+# ----------------------------------------------------------------------
+class _BlockingDatabase:
+    """range_reach parks on an event; everything else is trivial."""
+
+    snapshot_dir = None
+    is_stale = False
+    delta_size = 0
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def range_reach(self, vertex, region):
+        self.entered.set()
+        assert self.release.wait(timeout=30)
+        return True
+
+    def stats(self):
+        return {}
+
+
+def test_admission_control_429_and_drain_503(tiny_net):
+    database = _BlockingDatabase()
+    service = QueryService(database, max_inflight=1)
+    server = start_server(service)
+    base = f"http://127.0.0.1:{server.port}"
+    payload = {"vertex": 0, "region": [0, 0, 1, 1]}
+    first: dict = {}
+
+    def slow_request():
+        first["code"], first["body"], _ = _post(base, "/query", payload)
+
+    thread = threading.Thread(target=slow_request, daemon=True)
+    thread.start()
+    assert database.entered.wait(timeout=10)
+    # One request is in flight and max_inflight=1: the next is rejected
+    # immediately, with a Retry-After hint.
+    code, body, headers = _post(base, "/query", payload)
+    assert code == 429
+    assert "error" in body
+    assert headers.get("Retry-After") == "1"
+    database.release.set()
+    thread.join(timeout=10)
+    assert (first["code"], first["body"]["answer"]) == (200, True)
+    # Draining rejects new work with 503 and flips /healthz.
+    service.begin_drain()
+    code, _, headers = _post(base, "/query", payload)
+    assert code == 503
+    assert headers.get("Retry-After") == "1"
+    code, text = _get(base, "/healthz")
+    assert (code, json.loads(text)["status"]) == (503, "draining")
+    assert service.stats()["serve"]["rejected"] == 2
+    server.drain(persist=False)
+
+
+class _TimingOutDatabase:
+    snapshot_dir = None
+
+    def range_reach_many(self, pairs, executor=None, *, timeout=None):
+        raise BatchTimeoutError(
+            "batch deadline of 1s exceeded after 2/5 chunks",
+            completed=2, total=5, answers=[True, False],
+        )
+
+    def stats(self):
+        return {}
+
+
+def test_batch_timeout_maps_to_504():
+    service = QueryService(_TimingOutDatabase())
+    server = start_server(service)
+    base = f"http://127.0.0.1:{server.port}"
+    code, body, _ = _post(
+        base, "/batch", {"queries": [[0, [0, 0, 1, 1]]] * 5}
+    )
+    assert code == 504
+    assert body["completed_chunks"] == 2
+    assert body["total_chunks"] == 5
+    assert "deadline" in body["error"]
+    server.drain(persist=False)
+
+
+def test_batch_deadline_end_to_end(server, tiny_net):
+    # A real database with an absurdly small request deadline: the
+    # service routes it through a deadline-checking executor and the
+    # expiry surfaces as 504.
+    _, base = server
+    queries = [[v, [0, 0, 1, 1]] for v in range(64)]
+    code, body, _ = _post(
+        base, "/batch", {"queries": queries, "timeout": 1e-9}
+    )
+    assert code == 504
+    assert body["total_chunks"] >= 1
+
+
+def test_service_level_admission_exceptions(tiny_net):
+    database = GeosocialDatabase.from_network(tiny_net)
+    service = QueryService(database, max_inflight=1)
+    with service.admit():
+        with pytest.raises(OverloadedError):
+            with service.admit():
+                pass
+    service.begin_drain()
+    with pytest.raises(DrainingError):
+        with service.admit():
+            pass
+    assert service.stats()["serve"]["rejected"] == 2
+    service.close(persist=False)
+
+
+def test_service_owns_executor_and_batch_parity(tiny_net):
+    database = GeosocialDatabase.from_network(tiny_net)
+    oracle = RangeReachOracle(tiny_net)
+    service = QueryService(
+        database, executor=ParallelExecutor(workers=2, chunk_size=8)
+    )
+    space = tiny_net.space()
+    region = [space.xlo, space.ylo, space.xhi, space.yhi]
+    queries = [[v, region] for v in range(0, tiny_net.num_vertices, 5)]
+    result = service.batch({"queries": queries})
+    assert result["answers"] == [
+        oracle.query(v, Rect(*region)) for v, _ in queries
+    ]
+    service.close(persist=False)
+    # Closing again is a no-op.
+    assert service.close(persist=False) is False
+
+
+# ----------------------------------------------------------------------
+# Graceful SIGTERM drain (real process, real signal)
+# ----------------------------------------------------------------------
+def _serve_env() -> dict:
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _spawn_server(args: list[str]) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=_serve_env(),
+    )
+    line = proc.stdout.readline()
+    assert line.startswith("serving on http://"), line
+    base = line.split()[2]
+    return proc, base
+
+
+def test_sigterm_drains_in_flight_and_persists(tmp_path, tiny_net):
+    net_dir = tmp_path / "net"
+    snap_dir = tmp_path / "snap"
+    tiny_net.save(net_dir)
+    proc, base = _spawn_server(
+        ["--network", str(net_dir), "--snapshot-dir", str(snap_dir)]
+    )
+    try:
+        code, body, _ = _post(base, "/query",
+                              {"vertex": 0, "region": [0, 0, 1, 1]})
+        assert code == 200
+        # Fire a large batch and SIGTERM while it is (likely) in flight;
+        # the drain must still deliver its complete response.
+        queries = [[v % tiny_net.num_vertices, [0.0, 0.0, 0.6, 0.6]]
+                   for v in range(512)]
+        result: dict = {}
+
+        def inflight_batch():
+            result["code"], result["body"], _ = _post(
+                base, "/batch", {"queries": queries}
+            )
+
+        thread = threading.Thread(target=inflight_batch, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        thread.join(timeout=30)
+        assert result["code"] == 200
+        assert result["body"]["count"] == len(queries)
+        stdout, stderr = proc.communicate(timeout=30)
+        assert proc.returncode == 0, stderr
+        assert "drained:" in stderr
+        # The warm snapshot landed on disk.
+        assert (snap_dir / "manifest.json").exists()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    # A snapshot-only restart warm-starts and answers identically.
+    proc2, base2 = _spawn_server(["--snapshot-dir", str(snap_dir)])
+    try:
+        code, body, _ = _post(base2, "/query",
+                              {"vertex": 0, "region": [0, 0, 1, 1]})
+        assert code == 200
+        oracle = RangeReachOracle(tiny_net)
+        assert body["answer"] == oracle.query(0, Rect(0, 0, 1, 1))
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        stdout, stderr = proc2.communicate(timeout=30)
+        assert proc2.returncode == 0, stderr
