@@ -14,7 +14,13 @@
   ``--trace`` prints the per-query (or per-batch) span breakdown;
 * ``serve``    — run the long-lived HTTP query service over a mutable
   :class:`~repro.system.GeosocialDatabase`, warm-starting from
-  ``--snapshot-dir`` and/or seeding from a saved ``--network``.
+  ``--snapshot-dir`` and/or seeding from a saved ``--network``;
+  observability knobs: ``--access-log FILE`` (JSONL, one line per
+  request with stage attribution), ``--slow-k N`` (flight-recorder
+  slow-trace retention), ``--no-tracing``;
+* ``slo``      — query a running server's ``/healthz`` and print the
+  per-endpoint SLO burn rates (exit 0 healthy, 1 fast burn in
+  progress, 2 unreachable/invalid).
 
 Exit codes: 0 success, 2 usage/input error (one line on stderr, never a
 traceback), 3 batch deadline expired.
@@ -350,6 +356,7 @@ def _cmd_snapshot_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import FlightRecorder
     from repro.serve import QueryService, run_server
     from repro.system import GeosocialDatabase
 
@@ -383,11 +390,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     executor = (
         ParallelExecutor(workers=args.workers) if args.workers > 1 else None
     )
+    recorder = FlightRecorder(
+        slow_k=args.slow_k, access_log=args.access_log
+    )
     service = QueryService(
         database,
         executor=executor,
         max_inflight=args.max_inflight,
         default_timeout=args.timeout,
+        recorder=recorder,
+        tracing=not args.no_tracing,
     )
     try:
         service.warm_up()
@@ -396,6 +408,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return run_server(
         service, args.host, args.port, verbose=args.verbose
     )
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/healthz"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+            payload = _json.loads(resp.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"error: {url}: {exc}", file=sys.stderr)
+        return 2
+    slo = payload.get("slo")
+    if not isinstance(slo, dict) or "endpoints" not in slo:
+        print(
+            f"error: {url} carries no SLO block (server started with "
+            "slo=False?)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(_json.dumps(slo, indent=2, sort_keys=True))
+    else:
+        windows = [w["name"] for w in slo["windows"]]
+        print(
+            f"SLO status from {url} "
+            f"(fast-burn factor {slo['fast_burn_factor']:g})"
+        )
+        for endpoint in sorted(slo["endpoints"]):
+            report = slo["endpoints"][endpoint]
+            flag = "FAST BURN" if report["fast_burn"] else "ok"
+            print(
+                f"{endpoint}: {flag}  "
+                f"({report['requests']} requests in longest window)"
+            )
+            for sli in ("latency", "availability"):
+                burns = report[sli]["burn_rates"]
+                rates = " ".join(
+                    f"{name}={burns.get(name, 0.0):.2f}" for name in windows
+                )
+                print(
+                    f"  {sli:<12} burn {rates}  "
+                    f"budget {report[sli]['budget_remaining']:.1%}"
+                )
+    any_fast = any(
+        report["fast_burn"] for report in slo["endpoints"].values()
+    )
+    return 1 if any_fast else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -560,7 +622,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="log one line per HTTP request to stderr",
     )
+    serve.add_argument(
+        "--access-log", metavar="FILE", default=None,
+        help="append one JSONL line per request (trace id, status, "
+        "per-stage seconds) to FILE",
+    )
+    serve.add_argument(
+        "--slow-k", type=int, default=32,
+        help="slowest traces the flight recorder retains for "
+        "/debug/slow (default: 32)",
+    )
+    serve.add_argument(
+        "--no-tracing", action="store_true",
+        help="disable per-request tracing (requests still get ids and "
+        "metrics; /debug/* stays empty)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    slo = sub.add_parser(
+        "slo",
+        help="print a running server's SLO burn rates from /healthz "
+        "(exit 1 when any endpoint is fast-burning)",
+    )
+    slo.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="server base URL (default: http://127.0.0.1:8642)",
+    )
+    slo.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="HTTP timeout in seconds (default: 5)",
+    )
+    slo.add_argument(
+        "--json", action="store_true",
+        help="print the raw SLO block as JSON instead of the summary",
+    )
+    slo.set_defaults(func=_cmd_slo)
     return parser
 
 

@@ -10,10 +10,11 @@ The executor exploits two facts about the reproduction's query paths:
 
 Observability: chunk executions are counted per worker thread
 (``repro_exec_chunks_total``), batches per execution mode, and — when
-the serving thread is tracing — each chunk's wall-clock interval is
-stitched into the batch's span tree via
-:func:`repro.obs.trace.record_span` (worker threads themselves run with
-no active trace; see :mod:`repro.obs.trace`).
+the serving thread is tracing — the trace is handed across threads via
+:func:`repro.obs.trace.capture`: each worker attaches an
+``exec.chunk[i]`` subtree to the batch span, so nested spans and counter
+deltas recorded *inside* a chunk land in the request's trace.  Untraced
+batches skip the handoff entirely (capture returns None).
 """
 
 from __future__ import annotations
@@ -28,7 +29,7 @@ from typing import Sequence
 from repro.geometry import Rect
 from repro.obs import instruments as _inst
 from repro.obs.metrics import enabled as _obs_enabled
-from repro.obs.trace import record_span
+from repro.obs.trace import capture as _capture
 from repro.obs.trace import span as _span
 
 # Chunks per worker when no explicit chunk_size is given: more chunks
@@ -240,19 +241,27 @@ class ParallelExecutor:
     ) -> list[bool]:
         chunks = self._chunks(pairs)
         deadline = None if timeout is None else time.monotonic() + timeout
+        # Hand the serving thread's trace (if any) across to the workers:
+        # each chunk attaches its own subtree, so spans and counter
+        # deltas recorded inside the chunk stitch into the batch span.
+        ctx = _capture()
 
-        def work(chunk):
-            t0 = time.perf_counter()
-            result = batch(chunk)
-            t1 = time.perf_counter()
-            return result, t0, t1, threading.current_thread().name
+        def work(index, chunk):
+            if ctx is None:
+                result = batch(chunk)
+            else:
+                with ctx.attach(f"exec.chunk[{index}]"):
+                    result = batch(chunk)
+            return result, threading.current_thread().name
 
-        futures = [pool.submit(work, chunk) for chunk in chunks]
+        futures = [
+            pool.submit(work, i, chunk) for i, chunk in enumerate(chunks)
+        ]
         answers: list[bool] = []
         for i, future in enumerate(futures):
             remaining = None if deadline is None else deadline - time.monotonic()
             try:
-                result, t0, t1, worker = future.result(timeout=remaining)
+                result, worker = future.result(timeout=remaining)
             except _FuturesTimeout:
                 for pending in futures[i:]:
                     pending.cancel()
@@ -266,7 +275,6 @@ class ParallelExecutor:
                     answers=answers,
                 ) from None
             answers.extend(result)
-            record_span(f"exec.chunk[{i}]", t0, t1)
             if _obs_enabled():
                 _inst.EXEC_CHUNKS.labels(worker=worker).inc()
         return answers
@@ -299,9 +307,8 @@ class ParallelExecutor:
                     total=len(chunks),
                     answers=answers,
                 )
-            t0 = time.perf_counter()
-            answers.extend(batch(chunk))
-            record_span(f"exec.chunk[{i}]", t0, time.perf_counter())
+            with _span(f"exec.chunk[{i}]"):
+                answers.extend(batch(chunk))
             if _obs_enabled():
                 _inst.EXEC_CHUNKS.labels(worker=worker).inc()
         return answers

@@ -10,7 +10,12 @@ span tracer:
 * :mod:`repro.obs.instruments` — the named instruments the hot paths
   flush into (the metric naming scheme lives there);
 * :mod:`repro.obs.trace` — span trees with monotonic timings and
-  counter deltas (``with obs.trace(...)`` / ``obs.span(...)``);
+  counter deltas (``with obs.trace(...)`` / ``obs.span(...)``), W3C
+  trace-id helpers, and cross-thread handoff (:func:`capture`);
+* :mod:`repro.obs.recorder` — the bounded slow-query flight recorder
+  behind the service's ``/debug/*`` endpoints;
+* :mod:`repro.obs.slo` — per-endpoint objectives, multi-window burn
+  rates and error budgets (``repro_slo_*`` gauges, ``/healthz``);
 * :mod:`repro.obs.export` — JSON and Prometheus-text exporters.
 
 Quick tour::
@@ -43,46 +48,67 @@ from repro.obs.metrics import (
     Gauge,
     GaugeFamily,
     Histogram,
+    HistogramFamily,
     MetricsRegistry,
     disable,
     enable,
     enabled,
+    estimate_quantile,
     get_registry,
     observability,
 )
+from repro.obs.recorder import FlightRecorder, RecordedRequest
+from repro.obs.slo import Objective, SLOMonitor, default_objectives
 from repro.obs.trace import (
     Span,
     Trace,
+    TraceContext,
     active_trace,
+    capture,
+    new_trace_id,
+    parse_traceparent,
     record_span,
     span,
     trace,
     tracing,
+    valid_request_id,
 )
 
 __all__ = [
     "REGISTRY",
     "Counter",
     "CounterFamily",
+    "FlightRecorder",
     "Gauge",
     "GaugeFamily",
     "Histogram",
+    "HistogramFamily",
     "MetricsRegistry",
+    "Objective",
+    "RecordedRequest",
+    "SLOMonitor",
     "Span",
     "Trace",
+    "TraceContext",
     "active_trace",
+    "capture",
+    "default_objectives",
     "disable",
     "enable",
     "enabled",
+    "estimate_quantile",
     "get_registry",
     "measure",
+    "new_trace_id",
     "observability",
+    "parse_traceparent",
     "record_span",
     "render_json",
     "render_prometheus",
     "span",
     "trace",
     "tracing",
+    "valid_request_id",
 ]
 
 

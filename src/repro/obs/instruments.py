@@ -197,6 +197,51 @@ SERVE_DRAINS = REGISTRY.counter(
     "repro_serve_drains_total",
     "Graceful shutdowns begun (SIGTERM/SIGINT drains).",
 )
+SERVE_ENDPOINT_SECONDS = REGISTRY.histogram_family(
+    "repro_serve_endpoint_seconds",
+    "End-to-end request wall time by endpoint (the SLO latency signal).",
+    label_names=("endpoint",),
+)
+SERVE_STAGE_SECONDS = REGISTRY.histogram_family(
+    "repro_serve_stage_seconds",
+    "Per-request wall time by endpoint and stage "
+    "(parse / admit / queue.wait / exec / encode).",
+    label_names=("endpoint", "stage"),
+)
+
+# ----------------------------------------------------------------------
+# Flight recorder (repro.obs.recorder)
+# ----------------------------------------------------------------------
+RECORDER_REQUESTS = REGISTRY.counter(
+    "repro_recorder_requests_total",
+    "Request traces offered to the flight recorder.",
+)
+RECORDER_ERRORS = REGISTRY.counter(
+    "repro_recorder_errors_total",
+    "Errored request traces retained by the flight recorder.",
+)
+
+# ----------------------------------------------------------------------
+# SLO monitoring (repro.obs.slo)
+# ----------------------------------------------------------------------
+SLO_BURN_RATE = REGISTRY.gauge_family(
+    "repro_slo_burn_rate",
+    "Error-budget burn rate by endpoint, SLI (latency/availability) and "
+    "window; 1.0 spends exactly the budget, >1 is on track to miss.",
+    label_names=("endpoint", "sli", "window"),
+)
+SLO_BUDGET_REMAINING = REGISTRY.gauge_family(
+    "repro_slo_error_budget_remaining",
+    "Fraction of the error budget left over the longest burn window, "
+    "by endpoint and SLI (1 = untouched, 0 = exhausted).",
+    label_names=("endpoint", "sli"),
+)
+SLO_FAST_BURN = REGISTRY.gauge_family(
+    "repro_slo_fast_burn",
+    "1 while an endpoint burns budget faster than the alert factor in "
+    "every window (the page-now condition), else 0.",
+    label_names=("endpoint",),
+)
 
 # ----------------------------------------------------------------------
 # Snapshot store (repro.store) persistence

@@ -1,0 +1,281 @@
+"""Slow-query flight recorder: bounded retention of request traces.
+
+The recorder is the serving stack's black box.  Every finished request
+offers its :class:`~repro.obs.trace.Trace` (plus endpoint, status and
+wall-clock start) and the recorder retains, under one lock and hard
+memory bounds:
+
+* the **K slowest** requests seen so far (a min-heap on duration) —
+  the population ``/debug/slow`` serves;
+* **errored** requests (status >= 400 or a transport error), newest
+  first in a bounded ring — ``/debug/errors``;
+* the **most recent** requests in a bounded ring, plus a deterministic
+  **1-in-N sample** retained in a second ring so the sample window
+  stretches ``sample_every`` times further back than the recent ring —
+  ``/debug/traces``.
+
+Retention is by *serialized* span tree (:meth:`Trace.to_dict` with a
+span budget), so one entry's memory is bounded no matter how large the
+batch behind it was, and lookups return JSON-ready dicts.  An optional
+**JSONL access log** appends one line per request with the per-stage
+wall-time attribution (queue-wait / exec / encode ...), without the
+span tree — the greppable long-term record.
+
+All methods are thread-safe; the serving threads of
+:class:`~repro.serve.http.QueryHTTPServer` record concurrently.
+"""
+
+from __future__ import annotations
+
+import heapq
+import io
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs import instruments as _inst
+from repro.obs.metrics import enabled as _obs_enabled
+from repro.obs.trace import Trace
+
+__all__ = ["FlightRecorder", "RecordedRequest"]
+
+#: Span budget applied when serializing a trace into an entry; keeps one
+#: retained entry's memory bounded regardless of batch size.
+DEFAULT_MAX_SPANS = 256
+
+
+@dataclass
+class RecordedRequest:
+    """One finished request, as retained by the recorder."""
+
+    trace_id: str
+    endpoint: str
+    status: int
+    started: float  # wall-clock epoch seconds at request start
+    duration: float  # server-side wall seconds (trace root duration)
+    stages: dict[str, float] = field(default_factory=dict)  # name -> seconds
+    unattributed: float = 0.0  # root time not covered by stage spans
+    trace: dict = field(default_factory=dict)  # serialized span tree
+    error: str | None = None
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Trace,
+        *,
+        endpoint: str,
+        status: int,
+        started: float,
+        error: str | None = None,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> "RecordedRequest":
+        stages = trace.stage_seconds()
+        duration = trace.duration
+        return cls(
+            trace_id=trace.trace_id,
+            endpoint=endpoint,
+            status=status,
+            started=started,
+            duration=duration,
+            stages=stages,
+            unattributed=max(0.0, duration - sum(stages.values())),
+            trace=trace.to_dict(max_spans=max_spans),
+            error=error,
+        )
+
+    def to_dict(self, *, include_trace: bool = True) -> dict:
+        out = {
+            "trace_id": self.trace_id,
+            "endpoint": self.endpoint,
+            "status": self.status,
+            "started": self.started,
+            "duration_s": self.duration,
+            "stages_s": {k: v for k, v in sorted(self.stages.items())},
+            "unattributed_s": self.unattributed,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if include_trace:
+            out["trace"] = self.trace
+        return out
+
+
+class FlightRecorder:
+    """Bounded, thread-safe retention of recent/slow/errored requests.
+
+    Args:
+        slow_k: how many slowest requests to retain (min-heap eviction:
+            a new entry displaces the fastest retained one).
+        recent_n: ring size for the most recent requests and for the
+            deterministic sample.
+        errors_n: ring size for errored requests.
+        sample_every: retain every Nth request in the sample ring (a
+            counter, not a coin flip — deterministic under replay).
+        access_log: path (or open text file) for the JSONL access log;
+            None disables it.  Lines carry stage attribution but no span
+            tree.
+    """
+
+    def __init__(
+        self,
+        *,
+        slow_k: int = 32,
+        recent_n: int = 256,
+        errors_n: int = 64,
+        sample_every: int = 16,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        access_log=None,
+    ) -> None:
+        if slow_k < 1 or recent_n < 1 or errors_n < 1:
+            raise ValueError("retention bounds must be >= 1")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self._slow_k = slow_k
+        self._max_spans = max_spans
+        self._sample_every = sample_every
+        self._lock = threading.Lock()
+        self._seq = 0
+        # (duration, seq) min-heap of the K slowest; seq breaks ties.
+        self._slow: list[tuple[float, int, RecordedRequest]] = []
+        self._recent: deque[RecordedRequest] = deque(maxlen=recent_n)
+        self._sampled: deque[RecordedRequest] = deque(maxlen=recent_n)
+        self._errors: deque[RecordedRequest] = deque(maxlen=errors_n)
+        self._errors_seen = 0
+        self._log_handle: io.TextIOBase | None = None
+        self._owns_log = False
+        if access_log is not None:
+            if hasattr(access_log, "write"):
+                self._log_handle = access_log
+            else:
+                self._log_handle = open(access_log, "a", encoding="utf-8")
+                self._owns_log = True
+
+    # ------------------------------------------------------------------
+    @property
+    def recorded(self) -> int:
+        """Requests offered to the recorder so far."""
+        return self._seq
+
+    def record_trace(
+        self,
+        trace: Trace,
+        *,
+        endpoint: str,
+        status: int,
+        started: float,
+        error: str | None = None,
+    ) -> RecordedRequest:
+        """Serialize and retain one finished request's trace."""
+        entry = RecordedRequest.from_trace(
+            trace,
+            endpoint=endpoint,
+            status=status,
+            started=started,
+            error=error,
+            max_spans=self._max_spans,
+        )
+        self.record(entry)
+        return entry
+
+    def record(self, entry: RecordedRequest) -> None:
+        """Retain one entry (thread-safe; all bounds enforced here)."""
+        errored = entry.status >= 400 or entry.error is not None
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            self._recent.append(entry)
+            if seq % self._sample_every == 0:
+                self._sampled.append(entry)
+            if errored:
+                self._errors_seen += 1
+                self._errors.append(entry)
+            if len(self._slow) < self._slow_k:
+                heapq.heappush(self._slow, (entry.duration, seq, entry))
+            elif entry.duration > self._slow[0][0]:
+                heapq.heapreplace(self._slow, (entry.duration, seq, entry))
+            log = self._log_handle
+            if log is not None:
+                line = json.dumps(
+                    entry.to_dict(include_trace=False), sort_keys=True
+                )
+                try:
+                    log.write(line + "\n")
+                    log.flush()
+                except (OSError, ValueError):
+                    # A dead log sink must never fail request serving.
+                    self._log_handle = None
+        if _obs_enabled():
+            _inst.RECORDER_REQUESTS.inc()
+            if errored:
+                _inst.RECORDER_ERRORS.inc()
+
+    # ------------------------------------------------------------------
+    # Read side (each view is a fresh list of JSON-ready dicts)
+    # ------------------------------------------------------------------
+    def slowest(self, limit: int | None = None) -> list[dict]:
+        """The retained slowest requests, slowest first."""
+        with self._lock:
+            ordered = sorted(self._slow, key=lambda t: (-t[0], t[1]))
+        entries = [entry for _, _, entry in ordered]
+        return [e.to_dict() for e in entries[: limit or len(entries)]]
+
+    def errors(self, limit: int | None = None) -> list[dict]:
+        """Retained errored requests, newest first."""
+        with self._lock:
+            entries = list(self._errors)
+        entries.reverse()
+        return [e.to_dict() for e in entries[: limit or len(entries)]]
+
+    def recent(self, limit: int | None = None) -> list[dict]:
+        """Most recent requests, newest first."""
+        with self._lock:
+            entries = list(self._recent)
+        entries.reverse()
+        return [e.to_dict() for e in entries[: limit or len(entries)]]
+
+    def sampled(self, limit: int | None = None) -> list[dict]:
+        """The deterministic 1-in-N sample, newest first."""
+        with self._lock:
+            entries = list(self._sampled)
+        entries.reverse()
+        return [e.to_dict() for e in entries[: limit or len(entries)]]
+
+    def find(self, trace_id: str) -> dict | None:
+        """Look one trace up by id across every retained population."""
+        with self._lock:
+            pools = (
+                self._recent,
+                self._sampled,
+                self._errors,
+                [entry for _, _, entry in self._slow],
+            )
+            for pool in pools:
+                for entry in pool:
+                    if entry.trace_id == trace_id:
+                        return entry.to_dict()
+        return None
+
+    def stats(self) -> dict:
+        """Retention counters for ``/debug`` headers and tests."""
+        with self._lock:
+            return {
+                "recorded": self._seq,
+                "errors_seen": self._errors_seen,
+                "slow_kept": len(self._slow),
+                "recent_kept": len(self._recent),
+                "sampled_kept": len(self._sampled),
+                "errors_kept": len(self._errors),
+                "slow_k": self._slow_k,
+                "sample_every": self._sample_every,
+            }
+
+    def close(self) -> None:
+        """Close an owned access-log handle (idempotent)."""
+        with self._lock:
+            if self._owns_log and self._log_handle is not None:
+                try:
+                    self._log_handle.close()
+                except OSError:
+                    pass
+            self._log_handle = None

@@ -3,19 +3,35 @@
 One :class:`~http.server.ThreadingHTTPServer` exposes the service as
 JSON endpoints:
 
-========  ==========  ====================================================
-method    path        semantics
-========  ==========  ====================================================
-GET       /healthz    liveness (200 while serving, 503 once draining)
-GET       /stats      database + serving counters
-GET       /metrics    Prometheus text exposition of the process registry
-POST      /query      one read query (reach / count / witnesses)
-POST      /batch      many reach queries under one deadline (504 on expiry)
-POST      /write      one mutation (add/remove follow/check-in, vertices)
-========  ==========  ====================================================
+========  =============  =================================================
+method    path           semantics
+========  =============  =================================================
+GET       /healthz       liveness + SLO burn rates (503 once draining)
+GET       /stats         database + serving counters
+GET       /metrics       Prometheus text exposition of the process registry
+GET       /debug/traces  flight recorder: recent/sampled traces, ``?id=``
+                         looks one request up by its id
+GET       /debug/slow    the K slowest retained requests, slowest first
+GET       /debug/errors  retained errored requests, newest first
+POST      /query         one read query (reach / count / witnesses)
+POST      /batch         many reach queries under one deadline (504)
+POST      /write         one mutation (add/remove follow/check-in, ...)
+========  =============  =================================================
 
 Status codes: 400 malformed request, 404 unknown path, 405 wrong
 method, 429 admission control, 503 draining, 504 batch deadline.
+
+**Request ids.**  Every request gets an id: the trace-id of an incoming
+W3C ``traceparent`` header, else a well-formed ``X-Request-Id`` header,
+else a freshly generated 32-hex id.  Every response — success, error,
+404, even ``/metrics`` — echoes it in the ``X-Request-Id`` header;
+error bodies carry it as ``"request_id"`` so a failing client log line
+can be joined against the server's flight recorder
+(``/debug/traces?id=...``) without header plumbing.  The three query
+endpoints run under a trace rooted at the endpoint name whose id *is*
+the request id; stages (``parse`` / ``admit`` / ``queue.wait`` /
+``exec`` / ``encode``) and the executor's per-chunk worker subtrees are
+stitched into that tree.
 
 **Graceful drain.**  :func:`run_server` installs SIGTERM/SIGINT
 handlers; on the first signal the server stops accepting connections,
@@ -35,10 +51,18 @@ import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
 from repro.exec import BatchTimeoutError
 from repro.obs import instruments as _inst
 from repro.obs.metrics import enabled as _obs_enabled
+from repro.obs.trace import (
+    new_trace_id,
+    parse_traceparent,
+    span as _tspan,
+    trace as _trace,
+    valid_request_id,
+)
 from repro.serve.service import QueryService, ServiceError
 
 __all__ = ["QueryHTTPServer", "run_server", "start_server"]
@@ -59,6 +83,8 @@ class _Handler(BaseHTTPRequestHandler):
     # Set while a parsed request is being served; the drain logic never
     # cuts a connection whose handler is busy.
     busy = False
+    # Per-request id, assigned at dispatch; echoed on every response.
+    request_id = ""
 
     def setup(self) -> None:
         super().setup()
@@ -82,18 +108,29 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         self.busy = True
         try:
-            endpoint = self.path.split("?", 1)[0]
+            endpoint, _, query = self.path.partition("?")
+            self._query = parse_qs(query) if query else {}
+            self.request_id = self._extract_request_id()
             service = self.server.service
             route = _ROUTES.get(endpoint)
             if route is None:
-                self._send_json(404, {"error": f"unknown path {endpoint!r}"},
-                                endpoint="unknown")
+                self._send_json(
+                    404,
+                    {
+                        "error": f"unknown path {endpoint!r}",
+                        "request_id": self.request_id,
+                    },
+                    endpoint="unknown",
+                )
                 return
             expected_method, handler = route
             if method != expected_method:
                 self._send_json(
                     405,
-                    {"error": f"{endpoint} expects {expected_method}"},
+                    {
+                        "error": f"{endpoint} expects {expected_method}",
+                        "request_id": self.request_id,
+                    },
                     endpoint=endpoint,
                 )
                 return
@@ -120,6 +157,8 @@ class _Handler(BaseHTTPRequestHandler):
             "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
         )
         self.send_header("Content-Length", str(len(body)))
+        if self.request_id:
+            self.send_header("X-Request-Id", self.request_id)
         self.end_headers()
         self.wfile.write(body)
         self._count(endpoint, 200)
@@ -134,8 +173,33 @@ class _Handler(BaseHTTPRequestHandler):
         self._admitted(service, endpoint, service.write)
 
     def _admitted(self, service: QueryService, endpoint: str, op) -> None:
+        started_wall = time.time()
+        t0 = time.perf_counter()
+        finished_trace = None
+        if service.tracing_enabled:
+            with _trace(
+                endpoint, trace_id=self.request_id, counters=False
+            ) as tr:
+                status, error = self._run_admitted(service, endpoint, op)
+            finished_trace = tr
+        else:
+            status, error = self._run_admitted(service, endpoint, op)
+        service.observe_request(
+            endpoint,
+            status,
+            finished_trace,
+            duration=time.perf_counter() - t0,
+            started=started_wall,
+            error=error,
+        )
+
+    def _run_admitted(
+        self, service: QueryService, endpoint: str, op
+    ) -> tuple[int, str | None]:
+        """Parse, admit, execute, respond; returns (status, error)."""
         try:
-            payload = self._read_json()
+            with _tspan("parse"):
+                payload = self._read_json()
             with service.admit():
                 result = op(payload)
         except BatchTimeoutError as exc:
@@ -145,20 +209,111 @@ class _Handler(BaseHTTPRequestHandler):
                     "error": str(exc),
                     "completed_chunks": exc.completed,
                     "total_chunks": exc.total,
+                    "request_id": self.request_id,
                 },
                 endpoint=endpoint,
             )
+            return 504, str(exc)
         except ServiceError as exc:
-            body = {"error": str(exc)}
+            body = {"error": str(exc), "request_id": self.request_id}
             headers = {}
             if exc.status in (429, 503):
                 headers["Retry-After"] = "1"
             self._send_json(exc.status, body, endpoint=endpoint,
                             headers=headers)
+            return exc.status, str(exc)
         else:
             self._send_json(200, result, endpoint=endpoint)
+            return 200, None
+
+    # -- flight-recorder debug endpoints --------------------------------
+    def _recorder_or_404(self, service: QueryService, endpoint: str):
+        recorder = service.recorder
+        if recorder is None:
+            self._send_json(
+                404,
+                {
+                    "error": "flight recorder disabled",
+                    "request_id": self.request_id,
+                },
+                endpoint=endpoint,
+            )
+        return recorder
+
+    def _query_param(self, name: str) -> str | None:
+        values = self._query.get(name)
+        return values[0] if values else None
+
+    def _limit_param(self) -> int | None:
+        raw = self._query_param("n")
+        if raw is None:
+            return None
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            return None
+
+    def _get_debug_traces(self, service: QueryService, endpoint: str) -> None:
+        recorder = self._recorder_or_404(service, endpoint)
+        if recorder is None:
+            return
+        trace_id = self._query_param("id")
+        if trace_id:
+            entry = recorder.find(trace_id)
+            if entry is None:
+                self._send_json(
+                    404,
+                    {
+                        "error": f"no retained trace with id {trace_id!r}",
+                        "request_id": self.request_id,
+                    },
+                    endpoint=endpoint,
+                )
+            else:
+                self._send_json(200, {"trace": entry}, endpoint=endpoint)
+            return
+        limit = self._limit_param()
+        self._send_json(
+            200,
+            {
+                "recent": recorder.recent(limit),
+                "sampled": recorder.sampled(limit),
+                "stats": recorder.stats(),
+            },
+            endpoint=endpoint,
+        )
+
+    def _get_debug_slow(self, service: QueryService, endpoint: str) -> None:
+        recorder = self._recorder_or_404(service, endpoint)
+        if recorder is None:
+            return
+        self._send_json(
+            200,
+            {"slowest": recorder.slowest(self._limit_param())},
+            endpoint=endpoint,
+        )
+
+    def _get_debug_errors(self, service: QueryService, endpoint: str) -> None:
+        recorder = self._recorder_or_404(service, endpoint)
+        if recorder is None:
+            return
+        self._send_json(
+            200,
+            {"errors": recorder.errors(self._limit_param())},
+            endpoint=endpoint,
+        )
 
     # -- plumbing ------------------------------------------------------
+    def _extract_request_id(self) -> str:
+        """The request's id: traceparent > X-Request-Id > generated."""
+        trace_id = parse_traceparent(self.headers.get("traceparent"))
+        if trace_id is not None:
+            return trace_id
+        token = self.headers.get("X-Request-Id")
+        if token is not None and valid_request_id(token):
+            return token
+        return new_trace_id()
+
     def _read_json(self) -> dict:
         from repro.serve.service import BadRequestError
 
@@ -186,15 +341,20 @@ class _Handler(BaseHTTPRequestHandler):
         endpoint: str,
         headers: dict[str, str] | None = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for key, value in (headers or {}).items():
-            self.send_header(key, value)
-        self.end_headers()
-        self.wfile.write(body)
-        self._count(endpoint, code)
+        # No-op outside a traced request; inside one, serialization and
+        # the response write are the trace's ``encode`` stage.
+        with _tspan("encode"):
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if self.request_id:
+                self.send_header("X-Request-Id", self.request_id)
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+            self._count(endpoint, code)
 
     def _count(self, endpoint: str, code: int) -> None:
         if _obs_enabled():
@@ -207,6 +367,9 @@ _ROUTES = {
     "/healthz": ("GET", _Handler._get_healthz),
     "/stats": ("GET", _Handler._get_stats),
     "/metrics": ("GET", _Handler._get_metrics),
+    "/debug/traces": ("GET", _Handler._get_debug_traces),
+    "/debug/slow": ("GET", _Handler._get_debug_slow),
+    "/debug/errors": ("GET", _Handler._get_debug_errors),
     "/query": ("POST", _Handler._post_query),
     "/batch": ("POST", _Handler._post_batch),
     "/write": ("POST", _Handler._post_write),

@@ -35,6 +35,10 @@ from repro.geometry import Rect
 from repro.obs import instruments as _inst
 from repro.obs import render_prometheus
 from repro.obs.metrics import enabled as _obs_enabled
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLOMonitor
+from repro.obs.trace import Trace
+from repro.obs.trace import span as _tspan
 from repro.system import GeosocialDatabase
 
 DEFAULT_MAX_INFLIGHT = 64
@@ -117,6 +121,15 @@ class QueryService:
             requests; the bound is the queue, exceeding it is a 429.
         default_timeout: per-batch deadline (seconds) applied when a
             batch request does not carry its own ``timeout`` field.
+        recorder: flight recorder behind ``/debug/*``; a default-sized
+            one is created when omitted.  Owned: :meth:`close` closes it.
+        slo: SLO monitor behind the ``repro_slo_*`` gauges and the
+            ``slo`` block of ``/healthz``; default objectives when
+            omitted.  Pass ``slo=False`` (or ``recorder=False``) to
+            disable the component entirely.
+        tracing: when False the HTTP layer skips per-request tracing
+            (request ids still flow) — the knob the overhead benchmark
+            flips.
     """
 
     def __init__(
@@ -126,6 +139,9 @@ class QueryService:
         executor: ParallelExecutor | None = None,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         default_timeout: float | None = None,
+        recorder: FlightRecorder | None | bool = None,
+        slo: SLOMonitor | None | bool = None,
+        tracing: bool = True,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -135,6 +151,13 @@ class QueryService:
         self._executor = executor
         self._max_inflight = max_inflight
         self._default_timeout = default_timeout
+        if recorder is None or recorder is True:
+            recorder = FlightRecorder()
+        self._recorder = recorder if recorder else None
+        if slo is None or slo is True:
+            slo = SLOMonitor()
+        self._slo = slo if slo else None
+        self._tracing = tracing
         self._db_lock = threading.Lock()
         self._gate = threading.Lock()  # admission counter + obs flushes
         self._inflight = 0
@@ -158,6 +181,18 @@ class QueryService:
     def draining(self) -> bool:
         return self._draining
 
+    @property
+    def recorder(self) -> FlightRecorder | None:
+        return self._recorder
+
+    @property
+    def slo(self) -> SLOMonitor | None:
+        return self._slo
+
+    @property
+    def tracing_enabled(self) -> bool:
+        return self._tracing
+
     @contextmanager
     def admit(self):
         """Admit one request or raise Overloaded/Draining immediately.
@@ -166,7 +201,7 @@ class QueryService:
         the database lock: beyond ``max_inflight`` a caller gets a 429
         *now* rather than a response after an unbounded wait.
         """
-        with self._gate:
+        with _tspan("admit"), self._gate:
             if self._draining:
                 self._rejected += 1
                 if _obs_enabled():
@@ -187,7 +222,9 @@ class QueryService:
         try:
             yield
         finally:
-            with self._gate:
+            # Same stage name as the entry span: stage_seconds() sums
+            # them, so admission bookkeeping is attributed, not a gap.
+            with _tspan("admit"), self._gate:
                 self._inflight -= 1
                 self._served += 1
                 if _obs_enabled():
@@ -196,20 +233,36 @@ class QueryService:
                         time.perf_counter() - started
                     )
 
+    @contextmanager
+    def _locked(self):
+        """Hold the database lock; time spent waiting is ``queue.wait``.
+
+        Splitting the wait from the work keeps the trace's stage
+        attribution honest: under contention a request's wall time is
+        dominated by the lock queue, not the query itself.
+        """
+        with _tspan("queue.wait"):
+            self._db_lock.acquire()
+        try:
+            yield
+        finally:
+            self._db_lock.release()
+
     # ------------------------------------------------------------------
     # Request handlers (admitted requests)
     # ------------------------------------------------------------------
     def single(self, payload: dict) -> dict:
         """``POST /query`` — one read: reach (default), count, witnesses."""
-        vertex = _as_int(_require(payload, "vertex"), "vertex")
-        region = parse_region(_require(payload, "region"))
-        op = payload.get("op", "reach")
-        if op not in _READ_OPS:
-            raise BadRequestError(
-                f"unknown op {op!r}; known: {', '.join(_READ_OPS)}"
-            )
+        with _tspan("parse"):
+            vertex = _as_int(_require(payload, "vertex"), "vertex")
+            region = parse_region(_require(payload, "region"))
+            op = payload.get("op", "reach")
+            if op not in _READ_OPS:
+                raise BadRequestError(
+                    f"unknown op {op!r}; known: {', '.join(_READ_OPS)}"
+                )
         database = self._database
-        with self._db_lock:
+        with self._locked(), _tspan("exec"):
             try:
                 if op == "reach":
                     answer = database.range_reach(vertex, region)
@@ -228,26 +281,27 @@ class QueryService:
         default) propagates into the executor; expiry raises
         :class:`BatchTimeoutError` for the transport to map to 504.
         """
-        queries = _require(payload, "queries")
-        if not isinstance(queries, list):
-            raise BadRequestError("queries must be a list")
-        pairs = []
-        for i, entry in enumerate(queries):
-            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
-                raise BadRequestError(
-                    f"queries[{i}] must be [vertex, region]"
-                )
-            pairs.append((
-                _as_int(entry[0], f"queries[{i}] vertex"),
-                parse_region(entry[1]),
-            ))
-        timeout = self._default_timeout
-        if "timeout" in payload and payload["timeout"] is not None:
-            timeout = _as_number(payload["timeout"], "timeout")
-            if timeout <= 0:
-                raise BadRequestError("timeout must be positive")
+        with _tspan("parse"):
+            queries = _require(payload, "queries")
+            if not isinstance(queries, list):
+                raise BadRequestError("queries must be a list")
+            pairs = []
+            for i, entry in enumerate(queries):
+                if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                    raise BadRequestError(
+                        f"queries[{i}] must be [vertex, region]"
+                    )
+                pairs.append((
+                    _as_int(entry[0], f"queries[{i}] vertex"),
+                    parse_region(entry[1]),
+                ))
+            timeout = self._default_timeout
+            if "timeout" in payload and payload["timeout"] is not None:
+                timeout = _as_number(payload["timeout"], "timeout")
+                if timeout <= 0:
+                    raise BadRequestError("timeout must be positive")
         database = self._database
-        with self._db_lock:
+        with self._locked(), _tspan("exec"):
             try:
                 if self._executor is not None:
                     answers = database.range_reach_many(
@@ -271,7 +325,7 @@ class QueryService:
         op = _require(payload, "op")
         database = self._database
         try:
-            with self._db_lock:
+            with self._locked(), _tspan("exec"):
                 if op == "add_user":
                     return {"op": op, "vertex": database.add_user()}
                 if op == "add_venue":
@@ -312,13 +366,62 @@ class QueryService:
         )
 
     # ------------------------------------------------------------------
+    # Per-request observation (called by the transport after each
+    # traced request finishes, success or error)
+    # ------------------------------------------------------------------
+    def observe_request(
+        self,
+        endpoint: str,
+        status: int,
+        trace: Trace | None,
+        *,
+        duration: float | None = None,
+        started: float | None = None,
+        error: str | None = None,
+    ) -> None:
+        """Flush one finished request into histograms, recorder and SLO.
+
+        ``trace`` is the request's closed span tree (None when tracing
+        is off — the latency SLI then needs an explicit ``duration``).
+        ``started`` is the wall-clock epoch the request began, for the
+        recorder.
+        """
+        if duration is None and trace is not None:
+            duration = trace.duration
+        if _obs_enabled() and duration is not None:
+            _inst.SERVE_ENDPOINT_SECONDS.labels(endpoint=endpoint).observe(
+                duration
+            )
+        if trace is not None:
+            if _obs_enabled():
+                for stage, seconds in trace.stage_seconds().items():
+                    _inst.SERVE_STAGE_SECONDS.labels(
+                        endpoint=endpoint, stage=stage
+                    ).observe(seconds)
+            if self._recorder is not None:
+                self._recorder.record_trace(
+                    trace,
+                    endpoint=endpoint,
+                    status=status,
+                    started=time.time() if started is None else started,
+                    error=error,
+                )
+        if self._slo is not None:
+            self._slo.tick()
+
+    # ------------------------------------------------------------------
     # Introspection endpoints (never admission-controlled)
     # ------------------------------------------------------------------
     def health(self) -> dict:
-        return {
+        out = {
             "status": "draining" if self._draining else "ok",
             "inflight": self._inflight,
         }
+        if self._slo is not None:
+            out["slo"] = self._slo.evaluate()
+        if self._recorder is not None:
+            out["recorder"] = self._recorder.stats()
+        return out
 
     def stats(self) -> dict:
         with self._db_lock:
@@ -336,6 +439,10 @@ class QueryService:
 
     def metrics_text(self) -> str:
         """The live Prometheus exposition of the process registry."""
+        if self._slo is not None:
+            # Refresh the repro_slo_* gauges so a scrape always sees
+            # burn rates for "now", not for the last served request.
+            self._slo.evaluate()
         return render_prometheus()
 
     # ------------------------------------------------------------------
@@ -379,4 +486,6 @@ class QueryService:
                         pass  # no venues yet: nothing worth persisting
         if self._executor is not None:
             self._executor.close()
+        if self._recorder is not None:
+            self._recorder.close()
         return persisted

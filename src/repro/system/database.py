@@ -295,41 +295,46 @@ class GeosocialDatabase(RangeReachBase):
             return []
         for vertex, _ in pairs:
             self._check_vertex(vertex)
-        engine = self._snapshot()
-        if not self._has_delta():
+        with _span("db.batch"):
+            engine = self._snapshot()
+            if not self._has_delta():
+                for _ in pairs:
+                    self._note_query(overlay=False)
+                if executor is not None:
+                    return executor.run(engine, pairs, timeout=timeout)
+                return engine.query_batch(pairs)
             for _ in pairs:
-                self._note_query(overlay=False)
-            if executor is not None:
-                return executor.run(engine, pairs, timeout=timeout)
-            return engine.query_batch(pairs)
-        for _ in pairs:
-            self._note_query(overlay=True)
-        points = self._points
-        frontier: dict[int, tuple[set[int], set[int]]] = {}
-        sub_pairs: list[tuple[int, Rect]] = []
-        plans: list[tuple[int, int, bool]] = []
-        for vertex, region in pairs:
-            front = frontier.get(vertex)
-            if front is None:
-                front = frontier[vertex] = self._overlay_frontier(vertex)
-            roots, delta_spatial = front
-            delta_hit = any(
-                region.contains_point(points[v]) for v in delta_spatial
-            )
-            start = len(sub_pairs)
-            if not delta_hit:
-                sub_pairs.extend((root, region) for root in roots)
-            plans.append((start, len(sub_pairs), delta_hit))
-        if not sub_pairs:
-            sub_answers: list[bool] = []
-        elif executor is not None:
-            sub_answers = executor.run(engine, sub_pairs, timeout=timeout)
-        else:
-            sub_answers = engine.query_batch(sub_pairs)
-        return [
-            delta_hit or any(sub_answers[start:end])
-            for start, end, delta_hit in plans
-        ]
+                self._note_query(overlay=True)
+            points = self._points
+            frontier: dict[int, tuple[set[int], set[int]]] = {}
+            sub_pairs: list[tuple[int, Rect]] = []
+            plans: list[tuple[int, int, bool]] = []
+            with _span("db.overlay_plan"):
+                for vertex, region in pairs:
+                    front = frontier.get(vertex)
+                    if front is None:
+                        front = frontier[vertex] = self._overlay_frontier(
+                            vertex
+                        )
+                    roots, delta_spatial = front
+                    delta_hit = any(
+                        region.contains_point(points[v])
+                        for v in delta_spatial
+                    )
+                    start = len(sub_pairs)
+                    if not delta_hit:
+                        sub_pairs.extend((root, region) for root in roots)
+                    plans.append((start, len(sub_pairs), delta_hit))
+            if not sub_pairs:
+                sub_answers: list[bool] = []
+            elif executor is not None:
+                sub_answers = executor.run(engine, sub_pairs, timeout=timeout)
+            else:
+                sub_answers = engine.query_batch(sub_pairs)
+            return [
+                delta_hit or any(sub_answers[start:end])
+                for start, end, delta_hit in plans
+            ]
 
     def query_batch(self, pairs) -> list[bool]:
         """Protocol alias of :meth:`range_reach_many` (no executor)."""

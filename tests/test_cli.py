@@ -343,3 +343,42 @@ def test_snapshot_inspect_missing_manifest(tmp_path, capsys):
     code = main(["snapshot", "inspect", str(tmp_path / "empty")])
     assert code == 2
     assert "error" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# repro slo — SLO status against a live server
+# ----------------------------------------------------------------------
+def test_slo_subcommand_reports_burn_rates(capsys):
+    import json
+    import urllib.request
+
+    from repro.datasets import make_network
+    from repro.serve import QueryService, start_server
+    from repro.system import GeosocialDatabase
+
+    network = make_network("gowalla", scale=0.0005, seed=3)
+    service = QueryService(GeosocialDatabase.from_network(network))
+    service.warm_up()
+    server = start_server(service)
+    base = f"http://127.0.0.1:{server.port}"
+    try:
+        request = urllib.request.Request(
+            base + "/query",
+            data=json.dumps({"vertex": 0, "region": [0, 0, 1, 1]}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            assert resp.status == 200
+        assert main(["slo", "--url", base]) == 0
+        out = capsys.readouterr().out
+        assert "/query" in out and "burn" in out and "budget" in out
+        assert main(["slo", "--url", base, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "/query" in payload["endpoints"]
+    finally:
+        server.drain(persist=False)
+
+
+def test_slo_subcommand_unreachable_server(capsys):
+    assert main(["slo", "--url", "http://127.0.0.1:1", "--timeout", "1"]) == 2
+    assert "error" in capsys.readouterr().err

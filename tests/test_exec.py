@@ -192,8 +192,24 @@ def test_batch_trace_stitches_chunk_spans(built, fig1_net):
     assert "exec.batch" in names
     chunk_names = [n for n in names if n.startswith("exec.chunk[")]
     assert len(chunk_names) == len(executor._chunks(pairs))
-    # Worker-side method spans never leak into the serving thread's tree.
-    assert not any(".query" in name for name in names)
+    # Cross-thread handoff keeps the tree shaped: worker-side spans
+    # attach *under* their exec.chunk subtree, never as flat siblings.
+    batch_span = next(
+        node for _, node in trace.root.walk() if node.name == "exec.batch"
+    )
+    assert all(
+        child.name.startswith("exec.chunk[") for child in batch_span.children
+    )
+    # The attached subtrees carry the worker-side method spans (the whole
+    # point of the handoff): query_batch uses the vectorized path, whose
+    # spans live under each chunk.
+    for chunk in batch_span.children:
+        assert chunk.children, "worker subtree should carry nested spans"
+        assert all(
+            node.name != chunk.name
+            for _, node in chunk.walk()
+            if node is not chunk
+        )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,92 @@
+"""Quantile estimation from log-bucket histograms (repro.obs.metrics).
+
+Documents and enforces the estimator's error bound: the geometric
+midpoint of the nearest-rank bucket is off by at most a factor of
+``sqrt(factor)``, i.e. a relative error of ``sqrt(factor) - 1``
+(~41.4% for factor 2, ~22.5% for factor 1.5) — inside the bucketed
+range.  docs/OBSERVABILITY.md quotes these numbers.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.obs import estimate_quantile
+from repro.obs.metrics import Histogram
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    """Nearest-rank quantile of the raw sample (the reference)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@pytest.mark.parametrize("factor", [2.0, 1.5])
+@pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+def test_relative_error_bound(factor, q):
+    hist = Histogram("qtest", start=1e-6, factor=factor, buckets=60)
+    rng = random.Random(1234)
+    # Log-uniform latencies spanning microseconds to seconds, all well
+    # inside the bucketed range.
+    values = [10 ** rng.uniform(-5.5, 0.5) for _ in range(5000)]
+    for value in values:
+        hist.observe(value)
+    bound = math.sqrt(factor) - 1.0
+    estimate = hist.quantile(q)
+    truth = exact_quantile(values, q)
+    assert estimate == pytest.approx(truth, rel=bound), (
+        f"estimate {estimate} vs true {truth}: outside the "
+        f"sqrt({factor})-1 = {bound:.1%} relative error bound"
+    )
+
+
+def test_single_bucket_midpoint():
+    # All mass in one bucket: the estimate is that bucket's geometric
+    # midpoint, hi / sqrt(factor).
+    hist = Histogram("qtest_one", start=1.0, factor=4.0, buckets=4)
+    for _ in range(10):
+        hist.observe(3.0)  # bucket (1, 4]
+    assert hist.quantile(0.5) == pytest.approx(4.0 / math.sqrt(4.0))
+    # True value 3.0 is within a factor of sqrt(4) = 2 of the estimate.
+    assert hist.quantile(0.5) / 3.0 < 2.0
+    assert 3.0 / hist.quantile(0.5) < 2.0
+
+
+def test_overflow_degrades_to_last_bound():
+    hist = Histogram("qtest_inf", start=1.0, factor=2.0, buckets=3)
+    hist.observe(100.0)  # beyond the last bound (4.0) -> +Inf bucket
+    assert hist.quantile(0.5) == 4.0
+
+
+def test_empty_histogram_is_zero():
+    hist = Histogram("qtest_empty")
+    assert hist.quantile(0.5) == 0.0
+    assert estimate_quantile([1.0, 2.0], [0, 0, 0], 0.9) == 0.0
+
+
+def test_quantile_bounds_validated():
+    hist = Histogram("qtest_valid")
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+    with pytest.raises(ValueError):
+        estimate_quantile([1.0], [1, 0], -0.1)
+
+
+def test_first_bucket_lower_bound_uses_layout_factor():
+    # The first bucket has no predecessor; its implicit lower bound is
+    # hi / factor so the midpoint rule stays uniform across buckets.
+    hist = Histogram("qtest_first", start=8.0, factor=2.0, buckets=2)
+    hist.observe(5.0)  # first bucket (implicit 4, 8]
+    assert hist.quantile(0.5) == pytest.approx((4.0 * 8.0) ** 0.5)
+
+
+def test_monotone_in_q():
+    hist = Histogram("qtest_mono", start=1e-3, factor=2.0, buckets=20)
+    rng = random.Random(7)
+    for _ in range(1000):
+        hist.observe(rng.expovariate(10.0) + 1e-3)
+    qs = [0.1, 0.5, 0.9, 0.99, 1.0]
+    estimates = [hist.quantile(q) for q in qs]
+    assert estimates == sorted(estimates)

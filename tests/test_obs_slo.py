@@ -1,0 +1,179 @@
+"""Unit tests for SLO burn-rate monitoring (repro.obs.slo).
+
+The monitor diffs snapshots of the cumulative serving instruments, so
+tests drive the real registry instruments (observations land on top of
+whatever other tests recorded — only deltas after the monitor's base
+snapshot matter) under an injected fake clock.
+"""
+
+import pytest
+
+from repro.obs import Objective, SLOMonitor, default_objectives
+from repro.obs import instruments as _inst
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def observe(endpoint: str, *, seconds: float = 0.001, code: int = 200):
+    """One finished request, as the serving path records it."""
+    _inst.SERVE_REQUESTS.labels(endpoint=endpoint, code=str(code)).inc()
+    _inst.SERVE_ENDPOINT_SECONDS.labels(endpoint=endpoint).observe(seconds)
+
+
+def test_objective_validation():
+    with pytest.raises(ValueError):
+        Objective("/query", latency_threshold_s=0.0)
+    with pytest.raises(ValueError):
+        Objective("/query", latency_threshold_s=0.1, latency_target=1.0)
+    with pytest.raises(ValueError):
+        Objective("/query", latency_threshold_s=0.1, availability_target=0.0)
+    obj = Objective("/query", latency_threshold_s=0.1)
+    assert obj.to_dict()["latency_threshold_s"] == 0.1
+
+
+def test_default_objectives_cover_every_serving_endpoint():
+    endpoints = {obj.endpoint for obj in default_objectives()}
+    assert endpoints == {"/query", "/batch", "/write"}
+
+
+def test_burn_rate_and_budget_math():
+    clock = FakeClock()
+    monitor = SLOMonitor(
+        [
+            Objective(
+                "/query",
+                latency_threshold_s=0.1,
+                latency_target=0.9,  # 10% of requests may be slow
+                availability_target=0.8,  # 20% may 5xx
+            )
+        ],
+        windows=(("1m", 60.0),),
+        clock=clock,
+    )
+    # 8 fast + 2 very slow; 9 OK + 1 server error.
+    for _ in range(8):
+        observe("/query", seconds=0.001)
+    observe("/query", seconds=10.0)
+    observe("/query", seconds=10.0, code=500)
+    clock.advance(10.0)
+    report = monitor.evaluate()
+    ep = report["endpoints"]["/query"]
+    assert ep["requests"] == 10
+    # Latency: 2/10 bad over a 10% allowance -> burn 2.0, budget gone.
+    assert ep["latency"]["burn_rates"]["1m"] == pytest.approx(2.0)
+    assert ep["latency"]["budget_remaining"] == 0.0
+    # Availability: 1/10 bad over a 20% allowance -> burn 0.5.
+    assert ep["availability"]["burn_rates"]["1m"] == pytest.approx(0.5)
+    assert ep["availability"]["budget_remaining"] == pytest.approx(0.5)
+    assert not ep["fast_burn"]
+
+
+def test_latency_sli_is_conservative_about_bucket_straddle():
+    clock = FakeClock()
+    monitor = SLOMonitor(
+        [Objective("/query", latency_threshold_s=0.1, latency_target=0.5)],
+        windows=(("1m", 60.0),),
+        clock=clock,
+    )
+    # 0.09s is under the threshold, but its factor-2 bucket's upper
+    # bound (0.131s) is not — the conservative SLI counts it bad rather
+    # than letting quantization hide a near-miss.
+    observe("/query", seconds=0.09)
+    clock.advance(5.0)
+    report = monitor.evaluate()
+    burn = report["endpoints"]["/query"]["latency"]["burn_rates"]["1m"]
+    assert burn == pytest.approx(2.0)  # 1/1 bad over a 50% allowance
+
+
+def test_fast_burn_requires_every_window():
+    clock = FakeClock()
+    monitor = SLOMonitor(
+        [
+            Objective(
+                "/query",
+                latency_threshold_s=0.1,
+                availability_target=0.9,
+            )
+        ],
+        windows=(("10s", 10.0), ("1000s", 1000.0)),
+        fast_burn_factor=2.0,
+        clock=clock,
+    )
+    # A long healthy history...
+    for _ in range(100):
+        observe("/query", seconds=0.001)
+    clock.advance(50.0)
+    monitor.tick(force=True)
+    clock.advance(900.0)
+    monitor.tick(force=True)  # now at t=950: short-window diff base
+    # ...then a small recent burst of errors: the short window burns
+    # hot, the long window absorbs it -> no page.
+    for _ in range(10):
+        observe("/query", seconds=0.001, code=500)
+    clock.advance(15.0)
+    report = monitor.evaluate()
+    ep = report["endpoints"]["/query"]
+    assert ep["availability"]["burn_rates"]["10s"] > 2.0
+    assert ep["availability"]["burn_rates"]["1000s"] < 2.0
+    assert not ep["fast_burn"]
+    # A sustained error flood pushes every window past the factor.
+    for _ in range(300):
+        observe("/query", seconds=0.001, code=500)
+    clock.advance(5.0)
+    report = monitor.evaluate()
+    assert report["endpoints"]["/query"]["fast_burn"]
+
+
+def test_tick_is_rate_limited_and_prunes_old_snapshots():
+    clock = FakeClock()
+    monitor = SLOMonitor(
+        [Objective("/query", latency_threshold_s=0.1)],
+        windows=(("10s", 10.0),),
+        min_tick_interval=1.0,
+        clock=clock,
+    )
+    assert not monitor.tick()  # within min_tick_interval of the base
+    clock.advance(2.0)
+    assert monitor.tick()
+    for _ in range(50):
+        clock.advance(2.0)
+        assert monitor.tick()
+    # The horizon is 10s: one snapshot older than the cutoff is kept as
+    # the diff base, so the history stays bounded.
+    assert len(monitor._snapshots) <= 8
+
+
+def test_evaluate_exports_slo_gauges():
+    clock = FakeClock()
+    monitor = SLOMonitor(
+        [Objective("/query", latency_threshold_s=0.1)],
+        windows=(("5m", 300.0),),
+        clock=clock,
+    )
+    observe("/query", seconds=0.001)
+    clock.advance(5.0)
+    monitor.evaluate()
+    burn = _inst.SLO_BURN_RATE.labels(
+        endpoint="/query", sli="latency", window="5m"
+    )
+    budget = _inst.SLO_BUDGET_REMAINING.labels(
+        endpoint="/query", sli="latency"
+    )
+    fast = _inst.SLO_FAST_BURN.labels(endpoint="/query")
+    assert burn.value == 0.0
+    assert budget.value == 1.0
+    assert fast.value == 0
+
+
+def test_windows_required():
+    with pytest.raises(ValueError):
+        SLOMonitor(windows=())

@@ -1,9 +1,20 @@
 """Unit tests for the repro.obs span tracer."""
 
+import threading
+
 import pytest
 
 from repro import obs
-from repro.obs.trace import _NOOP_SPAN, active_trace, span, tracing
+from repro.obs.trace import (
+    _NOOP_SPAN,
+    active_trace,
+    capture,
+    new_trace_id,
+    parse_traceparent,
+    span,
+    tracing,
+    valid_request_id,
+)
 
 
 def test_span_is_noop_outside_trace():
@@ -97,3 +108,158 @@ def test_method_spans_appear_in_trace():
     assert query_span.counters.get(
         'repro_method_queries_total{method="3dreach"}'
     ) == 1
+
+
+def test_counters_false_disables_sampling_for_whole_trace():
+    counter = obs.REGISTRY.counter("trace_nocount_total")
+    with obs.trace("query", counters=False) as t:
+        with span("work"):
+            counter.inc(5)
+    assert t.root.counters == {}
+    assert t.root.children[0].counters == {}
+
+
+def test_trace_ids_and_request_id_validation():
+    tid = new_trace_id()
+    assert len(tid) == 32 and int(tid, 16) >= 0
+    with obs.trace("query", trace_id="my-req-1") as t:
+        pass
+    assert t.trace_id == "my-req-1"
+    # traceparent: version-traceid-parentid-flags.
+    header = f"00-{tid}-00f067aa0ba902b7-01"
+    assert parse_traceparent(header) == tid
+    assert parse_traceparent(header.upper()) == tid.lower()
+    assert parse_traceparent(None) is None
+    assert parse_traceparent("") is None
+    assert parse_traceparent("00-zz-00f067aa0ba902b7-01") is None
+    assert parse_traceparent(f"00-{tid}-01") is None  # missing field
+    assert parse_traceparent(f"00-{'0' * 32}-00f067aa0ba902b7-01") is None
+    assert valid_request_id("abc-123.X_z")
+    assert valid_request_id(tid)
+    assert not valid_request_id(None)
+    assert not valid_request_id("")
+    assert not valid_request_id("has space")
+    assert not valid_request_id("x" * 65)
+
+
+def test_capture_attach_stitches_worker_subtree():
+    with obs.trace("query") as t:
+        with span("exec"):
+            ctx = capture()
+            assert ctx is not None
+            assert ctx.trace_id == t.trace_id
+
+            def work():
+                with ctx.attach("chunk"):
+                    with span("inner"):
+                        pass
+
+            worker = threading.Thread(target=work)
+            worker.start()
+            worker.join()  # the captured span stays open until joined
+    exec_span = t.root.children[0]
+    assert [c.name for c in exec_span.children] == ["chunk"]
+    assert [c.name for c in exec_span.children[0].children] == ["inner"]
+
+
+def test_capture_returns_none_outside_trace():
+    assert capture() is None
+
+
+def test_attach_after_captured_span_closed_drops_subtree():
+    with obs.trace("query") as t:
+        with span("exec"):
+            ctx = capture()
+    # The captured span (and trace) already closed — e.g. a batch timed
+    # out and abandoned this chunk.  The late subtree must be dropped,
+    # not stitched into a tree the recorder may be serializing.
+    with ctx.attach("late-chunk"):
+        pass
+    exec_span = t.root.children[0]
+    assert exec_span.children == []
+
+
+def test_worker_spans_do_not_leak_into_worker_thread_state():
+    with obs.trace("query"):
+        with span("exec"):
+            ctx = capture()
+            state: dict = {}
+
+            def work():
+                with ctx.attach("chunk"):
+                    pass
+                # After detaching, the worker thread is traceless again.
+                state["tracing_after"] = tracing()
+                state["span_after"] = span("x") is _NOOP_SPAN
+
+            worker = threading.Thread(target=work)
+            worker.start()
+            worker.join()
+    assert state == {"tracing_after": False, "span_after": True}
+
+
+def test_concurrent_traces_do_not_cross_talk():
+    # The thread-safety regression test: many threads tracing at once,
+    # each with its own span names; no span may leak across traces.
+    results: list[tuple[str, list[str]]] = []
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(8)
+
+    def run(index: int) -> None:
+        try:
+            barrier.wait()
+            for repeat in range(25):
+                with obs.trace(f"t{index}") as t:
+                    with span(f"t{index}.a"):
+                        with span(f"t{index}.deep"):
+                            pass
+                    with span(f"t{index}.b"):
+                        pass
+                names = [s.name for _, s in t.root.walk()]
+                results.append((f"t{index}", names))
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(results) == 8 * 25
+    for owner, names in results:
+        assert names == [
+            owner, f"{owner}.a", f"{owner}.deep", f"{owner}.b"
+        ], f"{owner} trace captured foreign spans: {names}"
+
+
+def test_to_dict_span_budget_counts_dropped():
+    with obs.trace("query", counters=False) as t:
+        for _ in range(10):
+            with span("child"):
+                pass
+    full = t.root.to_dict()
+    assert len(full["children"]) == 10
+    assert "dropped_spans" not in full
+    budgeted = t.root.to_dict(max_spans=4)
+    # Budget 4 = root + 3 children; the other 7 are counted, not kept.
+    assert len(budgeted["children"]) == 3
+    assert budgeted["dropped_spans"] == 7
+    assert t.root.span_count() == 11
+
+
+def test_stage_seconds_sums_same_name_spans():
+    with obs.trace("query", counters=False) as t:
+        with span("admit"):
+            pass
+        with span("exec"):
+            pass
+        with span("admit"):  # e.g. exit bookkeeping reuses the name
+            pass
+    stages = t.stage_seconds()
+    assert set(stages) == {"admit", "exec"}
+    total = sum(stages.values())
+    assert total <= t.duration
+    assert t.attributed_fraction() == pytest.approx(
+        total / t.duration
+    )

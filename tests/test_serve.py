@@ -432,3 +432,244 @@ def test_sigterm_drains_in_flight_and_persists(tmp_path, tiny_net):
         proc2.send_signal(signal.SIGTERM)
         stdout, stderr = proc2.communicate(timeout=30)
         assert proc2.returncode == 0, stderr
+
+
+# ----------------------------------------------------------------------
+# Request ids, tracing, /debug and SLO observability
+# ----------------------------------------------------------------------
+def _post_h(base: str, path: str, payload, headers: dict):
+    merged = {"Content-Type": "application/json", **headers}
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(),
+        headers=merged, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.loads(resp.read()), resp.headers
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), exc.headers
+
+
+def _get_h(base: str, path: str):
+    try:
+        with urllib.request.urlopen(base + path, timeout=30) as resp:
+            return resp.status, resp.read().decode(), resp.headers
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode(), exc.headers
+
+
+def _find_trace(base: str, rid: str, *, retries: int = 100):
+    """Look a trace up by id, retrying the recorder-flush race.
+
+    The recorder entry lands *after* the response bytes are flushed
+    (the encode stage is part of the trace), so an immediate lookup
+    can transiently 404.
+    """
+    for _ in range(retries):
+        code, text, _ = _get_h(base, f"/debug/traces?id={rid}")
+        if code == 200:
+            return json.loads(text)["trace"]
+        time.sleep(0.01)
+    raise AssertionError(f"trace {rid!r} never appeared in the recorder")
+
+
+def test_every_response_carries_request_id(server):
+    _, base = server
+    checks = [
+        _post(base, "/query", {"vertex": 0, "region": [0, 0, 1, 1]})[2],
+        _post(base, "/query", {"vertex": "bad"})[2],          # 400
+        _post(base, "/healthz", {})[2],                       # 405
+        _get_h(base, "/nope")[2],                             # 404
+        _get_h(base, "/healthz")[2],
+        _get_h(base, "/stats")[2],
+        _get_h(base, "/metrics")[2],
+        _get_h(base, "/debug/traces")[2],
+        _get_h(base, "/debug/slow")[2],
+        _get_h(base, "/debug/errors")[2],
+    ]
+    for headers in checks:
+        rid = headers.get("X-Request-Id")
+        assert rid, "response missing X-Request-Id"
+        assert len(rid) == 32 and int(rid, 16) >= 0  # generated W3C form
+
+
+def test_request_id_echoed_and_in_error_bodies(server):
+    _, base = server
+    code, _, headers = _post_h(
+        base, "/query", {"vertex": 0, "region": [0, 0, 1, 1]},
+        {"X-Request-Id": "client-req-7"},
+    )
+    assert (code, headers.get("X-Request-Id")) == (200, "client-req-7")
+    # Error bodies carry the id too (success bodies stay unchanged).
+    code, body, headers = _post_h(
+        base, "/query", {"vertex": "bad"}, {"X-Request-Id": "client-err-8"}
+    )
+    assert code == 400
+    assert headers.get("X-Request-Id") == "client-err-8"
+    assert body["request_id"] == "client-err-8"
+    # An invalid token is replaced with a generated id.
+    _, _, headers = _post_h(
+        base, "/query", {"vertex": 0, "region": [0, 0, 1, 1]},
+        {"X-Request-Id": "bad id with spaces"},
+    )
+    assert len(headers.get("X-Request-Id")) == 32
+
+
+def test_traceparent_sets_the_request_id(server):
+    _, base = server
+    tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+    code, _, headers = _post_h(
+        base, "/query", {"vertex": 0, "region": [0, 0, 1, 1]},
+        {"traceparent": f"00-{tid}-00f067aa0ba902b7-01",
+         "X-Request-Id": "ignored-when-traceparent-present"},
+    )
+    assert (code, headers.get("X-Request-Id")) == (200, tid)
+    trace = _find_trace(base, tid)
+    assert trace["trace_id"] == tid
+
+
+def test_debug_endpoints_schemas(server):
+    _, base = server
+    code, _, _ = _post_h(
+        base, "/query", {"vertex": 0, "region": [0, 0, 1, 1]},
+        {"X-Request-Id": "debug-ok-1"},
+    )
+    assert code == 200
+    code, _, _ = _post_h(
+        base, "/query", {"vertex": "bad"}, {"X-Request-Id": "debug-err-1"}
+    )
+    assert code == 400
+    entry = _find_trace(base, "debug-ok-1")
+    assert entry["endpoint"] == "/query"
+    assert entry["status"] == 200
+    assert entry["duration_s"] > 0
+    stages = entry["stages_s"]
+    assert {"parse", "admit", "queue.wait", "exec", "encode"} <= set(stages)
+    assert entry["trace"]["spans"]["name"] == "/query"
+    # The overview listing.
+    code, text, _ = _get_h(base, "/debug/traces")
+    overview = json.loads(text)
+    assert code == 200
+    assert {"recent", "sampled", "stats"} <= set(overview)
+    assert any(
+        e["trace_id"] == "debug-ok-1" for e in overview["recent"]
+    )
+    assert overview["stats"]["recorded"] >= 2
+    # Slowest traces, slowest first.
+    code, text, _ = _get_h(base, "/debug/slow?n=5")
+    slow = json.loads(text)["slowest"]
+    assert code == 200 and 1 <= len(slow) <= 5
+    durations = [e["duration_s"] for e in slow]
+    assert durations == sorted(durations, reverse=True)
+    # Errored requests include the 400 with its error string.
+    code, text, _ = _get_h(base, "/debug/errors")
+    errors = json.loads(text)["errors"]
+    assert code == 200
+    bad = next(e for e in errors if e["trace_id"] == "debug-err-1")
+    assert bad["status"] == 400
+    assert bad["error"]
+    # Unknown id -> 404 with a JSON body.
+    code, text, _ = _get_h(base, "/debug/traces?id=no-such-trace")
+    assert code == 404
+    assert "error" in json.loads(text)
+
+
+def test_healthz_carries_slo_and_recorder_blocks(server):
+    _, base = server
+    code, _, _ = _post(base, "/query", {"vertex": 0, "region": [0, 0, 1, 1]})
+    assert code == 200
+    code, text, _ = _get_h(base, "/healthz")
+    health = json.loads(text)
+    assert code == 200
+    slo = health["slo"]
+    assert {"/query", "/batch", "/write"} <= set(slo["endpoints"])
+    report = slo["endpoints"]["/query"]
+    for sli in ("latency", "availability"):
+        assert set(report[sli]["burn_rates"]) == {"5m", "1h"}
+        assert 0.0 <= report[sli]["budget_remaining"] <= 1.0
+    assert report["fast_burn"] is False
+    assert health["recorder"]["recorded"] >= 1
+    # And the SLO gauges reach /metrics.
+    code, text, _ = _get_h(base, "/metrics")
+    types, _, samples = parse_exposition(text)
+    for name in (
+        "repro_slo_burn_rate",
+        "repro_slo_error_budget_remaining",
+        "repro_slo_fast_burn",
+    ):
+        assert types.get(name) == "gauge", f"{name} missing from /metrics"
+    burn_labels = [
+        labels for name, labels, _ in samples
+        if name == "repro_slo_burn_rate" and labels.get("endpoint") == "/query"
+    ]
+    # Subset, not equality: gauge children persist in the process-global
+    # registry, so other tests' monitors may have left extra windows.
+    assert {
+        ("latency", "5m"), ("latency", "1h"),
+        ("availability", "5m"), ("availability", "1h"),
+    } <= {(labels["sli"], labels["window"]) for labels in burn_labels}
+
+
+def test_observability_can_be_disabled(tiny_net):
+    database = GeosocialDatabase.from_network(tiny_net)
+    service = QueryService(
+        database, recorder=False, slo=False, tracing=False
+    )
+    server = start_server(service)
+    base = f"http://127.0.0.1:{server.port}"
+    try:
+        code, _, headers = _post(
+            base, "/query", {"vertex": 0, "region": [0, 0, 1, 1]}
+        )
+        # Requests still get ids; the debug surfaces are gone.
+        assert code == 200 and headers.get("X-Request-Id")
+        assert _get_h(base, "/debug/traces")[0] == 404
+        assert _get_h(base, "/debug/slow")[0] == 404
+        assert _get_h(base, "/debug/errors")[0] == 404
+        code, text, _ = _get_h(base, "/healthz")
+        health = json.loads(text)
+        assert code == 200
+        assert "slo" not in health and "recorder" not in health
+    finally:
+        server.drain(persist=False)
+
+
+def test_concurrent_requests_keep_traces_apart(server, tiny_net):
+    # The serving-side cross-talk regression: parallel requests with
+    # distinct ids must each retain their own trace, attributed to the
+    # right endpoint, with no foreign spans stitched in.
+    _, base = server
+    region = [0.0, 0.0, 1.0, 1.0]
+    n = 12
+    outcomes: dict[str, int] = {}
+
+    def fire(index: int) -> None:
+        rid = f"concurrent-{index:02d}"
+        if index % 3 == 0:
+            code, _, _ = _post_h(
+                base, "/batch",
+                {"queries": [[index, region]] * 4},
+                {"X-Request-Id": rid},
+            )
+        else:
+            code, _, _ = _post_h(
+                base, "/query", {"vertex": index, "region": region},
+                {"X-Request-Id": rid},
+            )
+        outcomes[rid] = code
+
+    threads = [
+        threading.Thread(target=fire, args=(i,)) for i in range(n)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert set(outcomes.values()) == {200}
+    for index in range(n):
+        rid = f"concurrent-{index:02d}"
+        entry = _find_trace(base, rid)
+        expected = "/batch" if index % 3 == 0 else "/query"
+        assert entry["endpoint"] == expected, rid
+        assert entry["trace"]["trace_id"] == rid
+        assert entry["trace"]["spans"]["name"] == expected

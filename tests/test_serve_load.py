@@ -12,6 +12,7 @@ from repro.serve.loadgen import (
     final_network,
     overload_probe,
     parse_stages,
+    reconcile_traces,
     run_schedule,
     summarize,
     verify_reads,
@@ -137,3 +138,35 @@ def test_summarize_empty_schedule(tiny_net):
     report = summarize(schedule, [])
     assert report["requests"] == 0
     assert report["latency"]["p99_ms"] == 0.0
+
+
+def test_reconcile_traces_matches_server_recorder(tiny_net):
+    database = GeosocialDatabase.from_network(tiny_net)
+    service = QueryService(database)
+    service.warm_up()
+    server = start_server(service)
+    base = f"http://127.0.0.1:{server.port}"
+    try:
+        schedule = build_schedule(
+            tiny_net, parse_stages("50x1"), seed=21, write_fraction=0.2
+        )
+        # Every op got a deterministic request id at build time.
+        rids = [op.rid for op in schedule.ops]
+        assert all(rids) and len(set(rids)) == len(rids)
+        assert rids[0].startswith("load-21-")
+        outcomes = run_schedule(base, schedule)
+        recon = reconcile_traces(base, outcomes, limit=10)
+        assert recon["sampled"] > 0
+        assert recon["missing"] == 0
+        # The server-side trace fits inside the client-observed service
+        # time for every sample, and stages cover most of it.
+        assert recon["server_within_client"] == recon["sampled"]
+        assert recon["attributed_fraction_min"] > 0.5
+        assert recon["attributed_fraction_mean"] > 0.8
+        assert recon["transport_gap_ms_max"] >= 0.0
+        for row in recon["samples"]:
+            assert row["kind"] in ("query", "batch")
+            assert row["server_trace_ms"] <= row["client_service_ms"]
+            assert 0.0 <= row["attributed_fraction"] <= 1.0
+    finally:
+        server.drain(persist=False)
