@@ -1,0 +1,432 @@
+"""Sharded scatter-gather serving vs. the monolithic baseline.
+
+Three measurements over one frozen synthetic workload, all against the
+same seed network:
+
+* **Parity gate** — every sharded configuration (2, 4, 8 shards) must
+  answer the frozen region workload *identically* to the unsharded
+  :class:`~repro.system.GeosocialDatabase` and to the BFS oracle; a
+  single mismatch fails the run.  The planner's pruning work is read
+  back from ``stats()``: the artifact reports both the mean fraction of
+  shards **pruned** per region query (MBR miss + boundary-graph
+  unreachable) and its complement, the mean fraction **touched**; the
+  pruning gate requires the touched fraction to stay below 0.5 — i.e.
+  pruning removes more than half the shards on an average region query.
+* **Scatter-gather batch throughput** — batched queries/s through the
+  same :class:`~repro.exec.ParallelExecutor` for the sharded and the
+  monolithic database (reported, not gated: small shards trade some
+  raw throughput for blast radius and pruning).
+* **Delete-churn rebuild seconds** — the tentpole claim.  The same
+  sequence of snapshot-edge removals is applied to a monolithic and a
+  4-shard database, forcing a rebuild after each; total rebuild time
+  comes from the ``repro_db_rebuild_seconds`` histogram (registry reset
+  around each run).  The gate requires the sharded total to be
+  *strictly below* the monolithic one — removals rebuild one shard,
+  not the world.
+
+The artifact ``benchmarks/results/shards.json`` carries config, parity
+verdicts, pruning fractions, throughput, and churn timings.  ``--smoke``
+runs a seconds-scale version that keeps the parity and schema gates but
+skips the timing-sensitive churn/pruning gates (machine noise).
+"""
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import format_table  # noqa: E402
+from repro.core.oracle import RangeReachOracle  # noqa: E402
+from repro.datasets import make_network  # noqa: E402
+from repro.exec import ParallelExecutor  # noqa: E402
+from repro.geometry import Rect  # noqa: E402
+from repro.obs import instruments as _inst  # noqa: E402
+from repro.obs.metrics import REGISTRY, disable, enable  # noqa: E402
+from repro.shard import ShardedDatabase  # noqa: E402
+from repro.system import GeosocialDatabase  # noqa: E402
+
+ARTIFACT_VERSION = 1
+SHARD_COUNTS = (2, 4, 8)
+CHURN_SHARDS = 4
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+def build_workload(network, count: int, seed: int) -> list[tuple[int, Rect]]:
+    """A frozen list of ``(vertex, region)`` pairs: mixed sources
+    (users and venues), regions covering ~1-10% of SPACE per side."""
+    rng = random.Random(seed)
+    space = network.space()
+    width = space.xhi - space.xlo
+    height = space.yhi - space.ylo
+    pairs: list[tuple[int, Rect]] = []
+    for _ in range(count):
+        vertex = rng.randrange(network.num_vertices)
+        side_x = width * rng.uniform(0.1, 0.33)
+        side_y = height * rng.uniform(0.1, 0.33)
+        xlo = space.xlo + rng.random() * (width - side_x)
+        ylo = space.ylo + rng.random() * (height - side_y)
+        pairs.append((vertex, Rect(xlo, ylo, xlo + side_x, ylo + side_y)))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Parity + pruning
+# ----------------------------------------------------------------------
+def run_parity(network, workload, shard_counts) -> dict:
+    oracle = RangeReachOracle(network)
+    monolithic = GeosocialDatabase.from_network(network)
+    expected = monolithic.range_reach_many(workload)
+    oracle_mismatches = sum(
+        1
+        for (vertex, region), answer in zip(workload, expected)
+        if oracle.query(vertex, region) != answer
+    )
+    configs = []
+    for shards in shard_counts:
+        database = ShardedDatabase.from_network(network, shards=shards)
+        answers = database.range_reach_many(workload)
+        mismatches = sum(1 for a, b in zip(answers, expected) if a != b)
+        scatter = database.stats()["scatter"]
+        checks = scatter["region_checks"]
+        pruned = scatter["region_pruned"] + scatter["source_pruned"]
+        configs.append({
+            "shards": shards,
+            "queries": len(workload),
+            "mismatches": mismatches,
+            "cross_edges": scatter["cross_edges"],
+            "subqueries": scatter["subqueries"],
+            "mean_pruned_shard_fraction": pruned / checks if checks else 0.0,
+            "mean_touched_shard_fraction": (
+                (checks - pruned) / checks if checks else 1.0
+            ),
+        })
+    return {
+        "oracle_mismatches": oracle_mismatches,
+        "configs": configs,
+    }
+
+
+# ----------------------------------------------------------------------
+# Batch throughput
+# ----------------------------------------------------------------------
+def _measure_qps(database, workload, workers: int, rounds: int) -> float:
+    with ParallelExecutor(workers=workers) as executor:
+        database.range_reach_many(workload, executor)  # warm the indexes
+        started = time.perf_counter()
+        for _ in range(rounds):
+            database.range_reach_many(workload, executor)
+        elapsed = time.perf_counter() - started
+    return rounds * len(workload) / elapsed if elapsed > 0 else 0.0
+
+
+def run_throughput(network, workload, *, workers: int, rounds: int) -> dict:
+    monolithic = GeosocialDatabase.from_network(network)
+    sharded = ShardedDatabase.from_network(network, shards=CHURN_SHARDS)
+    mono_qps = _measure_qps(monolithic, workload, workers, rounds)
+    shard_qps = _measure_qps(sharded, workload, workers, rounds)
+    return {
+        "workers": workers,
+        "rounds": rounds,
+        "batch_size": len(workload),
+        "monolithic_qps": mono_qps,
+        "sharded_qps": shard_qps,
+        "sharded_over_monolithic": (
+            shard_qps / mono_qps if mono_qps > 0 else 0.0
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Delete-churn rebuild cost
+# ----------------------------------------------------------------------
+def _removal_plan(network, count: int, seed: int) -> list[tuple[int, int, str]]:
+    """``count`` removable snapshot edges (with the op to re-add them not
+    needed — each is removed once), shuffled deterministically."""
+    rng = random.Random(seed)
+    kinds = network.kinds
+    edges = sorted(network.graph.edges())
+    rng.shuffle(edges)
+    plan: list[tuple[int, int, str]] = []
+    for u, v in edges:
+        op = "checkin" if kinds[v] == "venue" else "follow"
+        plan.append((u, v, op))
+        if len(plan) >= count:
+            break
+    return plan
+
+
+def _measure_churn(database, plan) -> dict:
+    # Force every index build *before* the measurement window so the
+    # rebuild histogram captures churn-induced rebuilds only.
+    database.refresh()
+    REGISTRY.reset()
+    started = time.perf_counter()
+    for u, v, op in plan:
+        if op == "checkin":
+            database.remove_checkin(u, v)
+        else:
+            database.remove_follow(u, v)
+        database.refresh()
+    wall = time.perf_counter() - started
+    return {
+        "removals": len(plan),
+        "rebuilds": int(_inst.DB_REBUILDS.value),
+        "rebuild_seconds": _inst.DB_REBUILD_SECONDS.sum,
+        "wall_seconds": wall,
+    }
+
+
+def run_churn(network, removals: int, seed: int) -> dict:
+    plan = _removal_plan(network, removals, seed)
+    enable()
+    try:
+        REGISTRY.reset()
+        monolithic = _measure_churn(
+            GeosocialDatabase.from_network(network), plan
+        )
+        REGISTRY.reset()
+        sharded = _measure_churn(
+            ShardedDatabase.from_network(network, shards=CHURN_SHARDS), plan
+        )
+    finally:
+        disable()
+        REGISTRY.reset()
+    return {
+        "shards": CHURN_SHARDS,
+        "monolithic": monolithic,
+        "sharded": sharded,
+        "sharded_over_monolithic": (
+            sharded["rebuild_seconds"] / monolithic["rebuild_seconds"]
+            if monolithic["rebuild_seconds"] > 0
+            else 0.0
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Artifact
+# ----------------------------------------------------------------------
+def validate_artifact(artifact: dict) -> list[str]:
+    """Schema check the CI smoke gate runs; returns problem strings."""
+    problems: list[str] = []
+
+    def need(mapping, key, kinds, where):
+        if not isinstance(mapping, dict) or key not in mapping:
+            problems.append(f"{where}: missing {key!r}")
+            return None
+        value = mapping[key]
+        if not isinstance(value, kinds) or isinstance(value, bool):
+            problems.append(f"{where}: {key!r} has type {type(value).__name__}")
+            return None
+        return value
+
+    need(artifact, "version", int, "artifact")
+    need(artifact, "config", dict, "artifact")
+    parity = need(artifact, "parity", dict, "artifact")
+    if parity is not None:
+        need(parity, "oracle_mismatches", int, "parity")
+        configs = need(parity, "configs", list, "parity")
+        for i, config in enumerate(configs or []):
+            for key, kinds in (
+                ("shards", int),
+                ("queries", int),
+                ("mismatches", int),
+                ("cross_edges", int),
+                ("subqueries", int),
+                ("mean_pruned_shard_fraction", (int, float)),
+                ("mean_touched_shard_fraction", (int, float)),
+            ):
+                need(config, key, kinds, f"parity.configs[{i}]")
+    throughput = need(artifact, "throughput", dict, "artifact")
+    if throughput is not None:
+        for key in ("monolithic_qps", "sharded_qps"):
+            need(throughput, key, (int, float), "throughput")
+    churn = need(artifact, "churn", dict, "artifact")
+    if churn is not None:
+        for side in ("monolithic", "sharded"):
+            block = need(churn, side, dict, "churn")
+            if block is not None:
+                need(block, "rebuild_seconds", (int, float), f"churn.{side}")
+                need(block, "rebuilds", int, f"churn.{side}")
+    need(artifact, "gates", dict, "artifact")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale run: parity + schema gates only "
+        "(timing gates skipped)",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale (default 0.004; smoke 0.001)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="frozen workload size (default 400; smoke 80)")
+    parser.add_argument("--removals", type=int, default=None,
+                        help="delete-churn removals (default 24; smoke 6)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="throughput rounds (default 8; smoke 2)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--out", default=str(Path(__file__).parent / "results" / "shards.json")
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (
+        0.001 if args.smoke else 0.004
+    )
+    queries = args.queries if args.queries is not None else (
+        80 if args.smoke else 400
+    )
+    removals = args.removals if args.removals is not None else (
+        6 if args.smoke else 24
+    )
+    rounds = args.rounds if args.rounds is not None else (
+        2 if args.smoke else 8
+    )
+
+    network = make_network("gowalla", scale=scale, seed=args.seed)
+    workload = build_workload(network, queries, args.seed + 1)
+    print(
+        f"network: {network.num_vertices} vertices, "
+        f"{network.num_edges} edges, {network.num_spatial} venues; "
+        f"workload: {len(workload)} region queries"
+    )
+
+    parity = run_parity(network, workload, SHARD_COUNTS)
+    throughput = run_throughput(
+        network, workload, workers=args.workers, rounds=rounds
+    )
+    churn = run_churn(network, removals, args.seed + 2)
+
+    total_mismatches = parity["oracle_mismatches"] + sum(
+        c["mismatches"] for c in parity["configs"]
+    )
+    touched_by_shards = {
+        c["shards"]: c["mean_touched_shard_fraction"]
+        for c in parity["configs"]
+    }
+    pruning_ok = touched_by_shards.get(CHURN_SHARDS, 1.0) < 0.5
+    churn_ok = (
+        churn["sharded"]["rebuild_seconds"]
+        < churn["monolithic"]["rebuild_seconds"]
+    )
+    gates = {
+        "parity": {"mismatches": total_mismatches, "ok": total_mismatches == 0},
+        "pruning": {
+            "mean_touched_shard_fraction": touched_by_shards.get(
+                CHURN_SHARDS
+            ),
+            "threshold": 0.5,
+            "ok": pruning_ok,
+            "enforced": not args.smoke,
+        },
+        "churn": {
+            "sharded_rebuild_seconds": churn["sharded"]["rebuild_seconds"],
+            "monolithic_rebuild_seconds": (
+                churn["monolithic"]["rebuild_seconds"]
+            ),
+            "ok": churn_ok,
+            "enforced": not args.smoke,
+        },
+    }
+
+    artifact = {
+        "version": ARTIFACT_VERSION,
+        "benchmark": "shards",
+        "smoke": args.smoke,
+        "config": {
+            "profile": "gowalla",
+            "scale": scale,
+            "seed": args.seed,
+            "queries": queries,
+            "removals": removals,
+            "workers": args.workers,
+            "rounds": rounds,
+            "shard_counts": list(SHARD_COUNTS),
+            "vertices": network.num_vertices,
+            "edges": network.num_edges,
+            "venues": network.num_spatial,
+        },
+        "parity": parity,
+        "throughput": throughput,
+        "churn": churn,
+        "gates": gates,
+    }
+
+    print(format_table(
+        ["shards", "mismatches", "pruned frac", "touched frac", "cross edges"],
+        [
+            [
+                c["shards"],
+                c["mismatches"],
+                f"{c['mean_pruned_shard_fraction']:.3f}",
+                f"{c['mean_touched_shard_fraction']:.3f}",
+                c["cross_edges"],
+            ]
+            for c in parity["configs"]
+        ],
+        title="parity + pruning (vs unsharded and BFS oracle)",
+    ))
+    print(format_table(
+        ["database", "batched qps"],
+        [
+            ["monolithic", f"{throughput['monolithic_qps']:.0f}"],
+            [f"sharded({CHURN_SHARDS})", f"{throughput['sharded_qps']:.0f}"],
+        ],
+        title=f"batch throughput ({args.workers} workers)",
+    ))
+    print(format_table(
+        ["database", "removals", "rebuilds", "rebuild s", "wall s"],
+        [
+            [
+                side,
+                churn[side]["removals"],
+                churn[side]["rebuilds"],
+                f"{churn[side]['rebuild_seconds']:.3f}",
+                f"{churn[side]['wall_seconds']:.3f}",
+            ]
+            for side in ("monolithic", "sharded")
+        ],
+        title=f"delete-churn rebuild cost ({CHURN_SHARDS} shards)",
+    ))
+
+    problems = validate_artifact(artifact)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(artifact, indent=2, sort_keys=True))
+    print(f"artifact: {out}")
+
+    failures: list[str] = list(problems)
+    if total_mismatches:
+        failures.append(f"parity gate: {total_mismatches} mismatches")
+    if not args.smoke:
+        if not pruning_ok:
+            failures.append(
+                "pruning gate: mean touched-shard fraction "
+                f"{touched_by_shards.get(CHURN_SHARDS):.3f} >= 0.5"
+            )
+        if not churn_ok:
+            failures.append(
+                "churn gate: sharded rebuild seconds "
+                f"{churn['sharded']['rebuild_seconds']:.3f} not below "
+                f"monolithic {churn['monolithic']['rebuild_seconds']:.3f}"
+            )
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if not failures:
+        print("all gates passed" if not args.smoke
+              else "smoke gates passed (timing gates skipped)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

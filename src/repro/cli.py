@@ -358,6 +358,7 @@ def _cmd_snapshot_inspect(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import FlightRecorder
     from repro.serve import QueryService, run_server
+    from repro.shard import ShardedDatabase, has_layout
     from repro.system import GeosocialDatabase
 
     if args.network is None and args.snapshot_dir is None:
@@ -366,7 +367,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.network is not None:
+    if args.shards < 0:
+        print("error: --shards must be >= 0", file=sys.stderr)
+        return 2
+    if args.snapshot_dir is not None and has_layout(args.snapshot_dir):
+        # A directory with a shard layout restarts sharded; the layout
+        # is authoritative, an explicit conflicting --shards is an error
+        # (re-sharding means a fresh directory).
+        database = ShardedDatabase.load(
+            args.snapshot_dir, refresh_threshold=args.refresh_threshold
+        )
+        if args.shards and args.shards != database.num_shards:
+            print(
+                f"error: {args.snapshot_dir!r} holds a "
+                f"{database.num_shards}-shard layout but --shards "
+                f"{args.shards} was given; re-shard into a fresh "
+                "directory instead",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.shards:
+        if args.network is None:
+            print(
+                f"error: {args.snapshot_dir!r} holds no shard layout "
+                "and no --network was given",
+                file=sys.stderr,
+            )
+            return 2
+        network = GeosocialNetwork.load(args.network)
+        database = ShardedDatabase.from_network(
+            network,
+            shards=args.shards,
+            refresh_threshold=args.refresh_threshold,
+            snapshot_dir=args.snapshot_dir,
+        )
+    elif args.network is not None:
         network = GeosocialNetwork.load(args.network)
         database = GeosocialDatabase.from_network(
             network,
@@ -592,6 +627,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--snapshot-dir", metavar="DIR", default=None,
         help="persistent snapshot store: warm-start from it if present, "
         "persist to it on rebuilds and at graceful shutdown",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0,
+        help="partition the network into N shards and serve them "
+        "scatter-gather (0 = monolithic; a --snapshot-dir holding a "
+        "shard layout always restarts sharded)",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(

@@ -26,7 +26,7 @@ from typing import (
     runtime_checkable,
 )
 
-from repro.geometry import Rect
+from repro.geometry import Rect, as_rect
 from repro.geosocial.network import GeosocialNetwork
 from repro.geosocial.scc_handling import CondensedNetwork
 from repro.obs.trace import trace as _trace
@@ -44,11 +44,15 @@ class QueryRequest:
 
     The request form of the ``(v, region)`` pair every query layer
     accepts; :meth:`as_pair` converts to the tuple form the batch API
-    uses.
+    uses.  ``region`` accepts either a :class:`Rect` or a plain
+    ``(xlo, ylo, xhi, yhi)`` tuple/list (coerced on construction).
     """
 
     v: int
     region: Rect
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "region", as_rect(self.region))
 
     def as_pair(self) -> tuple[int, Rect]:
         return (self.v, self.region)

@@ -1,0 +1,61 @@
+"""One shared funnel for the library's deprecation warnings.
+
+Every deprecated alias (``GeosocialQueryEngine.range_reach``, the
+``ThreeDReachRev(reversed_labeling=...)`` keyword, legacy HTTP
+endpoints' Python-side helpers, ...) routes its warning through
+:func:`warn_deprecated` so the policy lives in one place:
+
+* the warning is a :class:`DeprecationWarning`, attributed to the
+  *caller* of the deprecated API (not to the shim itself);
+* each distinct **call site** — ``(message, file, line)`` — warns at
+  most once per process, however the interpreter's warning filters are
+  configured.  A loop hammering a deprecated alias produces one line,
+  while two different call sites each get their own.
+
+Tests use :func:`reset` to clear the seen-set between cases.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import warnings
+
+__all__ = ["warn_deprecated", "reset"]
+
+_seen: set[tuple[str, str, int]] = set()
+_lock = threading.Lock()
+
+
+def warn_deprecated(message: str, *, stacklevel: int = 2) -> bool:
+    """Emit ``message`` as a DeprecationWarning, once per call site.
+
+    Args:
+        message: the warning text.
+        stacklevel: which frame the warning is attributed to, counted
+            exactly like :func:`warnings.warn` from the perspective of
+            the function calling this helper — the default ``2`` points
+            at the *caller of the deprecated shim*, which is where the
+            fix belongs.
+
+    Returns:
+        True when the warning was emitted, False when this call site
+        had already warned.
+    """
+    try:
+        frame = sys._getframe(stacklevel)
+        key = (message, frame.f_code.co_filename, frame.f_lineno)
+    except ValueError:  # stack shallower than stacklevel
+        key = (message, "<unknown>", 0)
+    with _lock:
+        if key in _seen:
+            return False
+        _seen.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+    return True
+
+
+def reset() -> None:
+    """Forget every call site that has warned (for tests)."""
+    with _lock:
+        _seen.clear()

@@ -21,11 +21,11 @@ double-counts a vertex.
 from __future__ import annotations
 
 import math
-import warnings
 from typing import Sequence
 
 from repro.core.base import RangeReachBase
-from repro.geometry import Point, Rect
+from repro.core.deprecation import warn_deprecated
+from repro.geometry import Point, Rect, as_rect
 from repro.geosocial.scc_handling import CondensedNetwork
 from repro.labeling import IntervalLabeling
 from repro.obs.trace import span as _span
@@ -82,6 +82,7 @@ class GeosocialQueryEngine(RangeReachBase):
 
     def query(self, v: int, region: Rect) -> bool:
         """The paper's boolean RangeReach query (3DReach evaluation)."""
+        region = as_rect(region)
         with _span("engine.query"):
             for cuboid in self._cuboids(v, region):
                 if self._rtree.any_intersecting(cuboid) is not None:
@@ -99,8 +100,8 @@ class GeosocialQueryEngine(RangeReachBase):
             labels_of = self._labeling.labels_of
             rtree = self._rtree
             resolved = [
-                (super_of(v), region, region.as_tuple())
-                for v, region in pairs
+                (super_of(v), rect, rect.as_tuple())
+                for v, rect in ((v, as_rect(region)) for v, region in pairs)
             ]
             unique: dict[tuple[int, tuple], Rect] = {}
             for source, region, rkey in resolved:
@@ -124,11 +125,9 @@ class GeosocialQueryEngine(RangeReachBase):
 
     def range_reach(self, v: int, region: Rect) -> bool:
         """Deprecated alias of :meth:`query` (the pre-unification name)."""
-        warnings.warn(
+        warn_deprecated(
             "GeosocialQueryEngine.range_reach is deprecated; "
-            "use query(v, region) — the unified RangeReach protocol name",
-            DeprecationWarning,
-            stacklevel=2,
+            "use query(v, region) — the unified RangeReach protocol name"
         )
         return self.query(v, region)
 
@@ -155,6 +154,7 @@ class GeosocialQueryEngine(RangeReachBase):
         Compressed labels are disjoint, so per-cuboid counts add up
         exactly.
         """
+        region = as_rect(region)
         with _span("engine.count"):
             return sum(
                 self._rtree.count_intersecting(cuboid)
@@ -164,6 +164,7 @@ class GeosocialQueryEngine(RangeReachBase):
     def witnesses(self, v: int, region: Rect) -> list[int]:
         """Return the original ids of all reachable spatial vertices in
         ``region``."""
+        region = as_rect(region)
         with _span("engine.witnesses"):
             out: list[int] = []
             for cuboid in self._cuboids(v, region):
@@ -173,6 +174,7 @@ class GeosocialQueryEngine(RangeReachBase):
     def at_least(self, v: int, region: Rect, k: int) -> bool:
         """Return True iff at least ``k`` reachable spatial vertices lie
         in ``region`` (early exit as soon as the threshold is met)."""
+        region = as_rect(region)
         with _span("engine.at_least"):
             if k <= 0:
                 return True

@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.core.base import RangeReachBase
-from repro.geometry import Point, Rect
+from repro.geometry import Point, Rect, as_rect
 from repro.geosocial.network import GeosocialNetwork
 
 
@@ -22,6 +22,7 @@ class RangeReachOracle(RangeReachBase):
         self._network = network
 
     def query(self, v: int, region: Rect) -> bool:
+        region = as_rect(region)
         network = self._network
         points = network.points
         point = points[v]
@@ -48,6 +49,7 @@ class RangeReachOracle(RangeReachBase):
 
         Used by tests and the examples to explain positive answers.
         """
+        region = as_rect(region)
         network = self._network
         points = network.points
         out: list[int] = []

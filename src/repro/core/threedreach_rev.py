@@ -11,10 +11,10 @@ segment of ``u`` iff ``v`` is an ancestor of ``u`` (reachability) and
 
 from __future__ import annotations
 
-import warnings
 from typing import Sequence
 
 from repro.core.base import RangeReachBase, register_method
+from repro.core.deprecation import warn_deprecated
 from repro.geometry import Rect
 from repro.geosocial.scc_handling import SCC_MODES, CondensedNetwork, SccMode
 from repro.labeling import IntervalLabeling
@@ -51,11 +51,9 @@ class ThreeDReachRev(RangeReachBase):
                 raise TypeError(
                     "pass labeling= or reversed_labeling=, not both"
                 )
-            warnings.warn(
+            warn_deprecated(
                 "ThreeDReachRev(reversed_labeling=...) is deprecated; "
-                "use the canonical labeling= keyword",
-                DeprecationWarning,
-                stacklevel=2,
+                "use the canonical labeling= keyword"
             )
             labeling = reversed_labeling
         self._network = network

@@ -9,8 +9,8 @@ used.
 """
 
 from repro.geometry.point import Point
-from repro.geometry.rect import Rect
+from repro.geometry.rect import Rect, as_rect
 from repro.geometry.box3 import Box3
 from repro.geometry.segment3 import Segment3
 
-__all__ = ["Point", "Rect", "Box3", "Segment3"]
+__all__ = ["Point", "Rect", "as_rect", "Box3", "Segment3"]

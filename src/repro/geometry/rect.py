@@ -179,3 +179,29 @@ class Rect:
     def as_tuple(self) -> tuple[float, float, float, float]:
         """Return ``(xlo, ylo, xhi, yhi)``."""
         return (self.xlo, self.ylo, self.xhi, self.yhi)
+
+
+#: The region forms every query surface accepts: a :class:`Rect` or a
+#: ``(xlo, ylo, xhi, yhi)`` sequence (see :func:`as_rect`).
+RegionLike = "Rect | tuple[float, float, float, float] | list[float]"
+
+
+def as_rect(region) -> Rect:
+    """Coerce any accepted region form to a :class:`Rect`.
+
+    The keyword-vocabulary rule of the unified query API: everywhere a
+    region is taken — engine, database, sharded database, service, CLI,
+    load generator — both a ``Rect`` and a plain ``(xlo, ylo, xhi, yhi)``
+    tuple/list are accepted.  A ``Rect`` passes through unchanged (no
+    copy); a 4-sequence is validated by the ``Rect`` constructor, so a
+    degenerate region raises the same ``ValueError`` either way.
+    """
+    if isinstance(region, Rect):
+        return region
+    if isinstance(region, (tuple, list)) and len(region) == 4:
+        xlo, ylo, xhi, yhi = region
+        return Rect(float(xlo), float(ylo), float(xhi), float(yhi))
+    raise TypeError(
+        "region must be a Rect or a (xlo, ylo, xhi, yhi) sequence, "
+        f"got {region!r}"
+    )

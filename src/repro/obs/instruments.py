@@ -208,6 +208,45 @@ SERVE_STAGE_SECONDS = REGISTRY.histogram_family(
     "(parse / admit / queue.wait / exec / encode).",
     label_names=("endpoint", "stage"),
 )
+HTTP_DEPRECATED = REGISTRY.counter_family(
+    "repro_http_deprecated_requests_total",
+    "Requests served through the deprecated pre-/v1 endpoints.",
+    label_names=("endpoint",),
+)
+
+# ----------------------------------------------------------------------
+# Sharded scatter-gather serving (repro.shard)
+# ----------------------------------------------------------------------
+SHARD_PLANS = REGISTRY.counter(
+    "repro_shard_plans_total",
+    "Scatter-gather query plans produced (one per planned RangeReach).",
+)
+SHARD_SCATTER_BATCHES = REGISTRY.counter(
+    "repro_shard_scatter_batches_total",
+    "Batches planned and scattered across the shards.",
+)
+SHARD_SUBQUERIES = REGISTRY.counter_family(
+    "repro_shard_subqueries_total",
+    "Per-shard sub-queries dispatched by the scatter-gather planner.",
+    label_names=("shard",),
+)
+SHARD_REGION_PRUNED = REGISTRY.counter(
+    "repro_shard_region_pruned_total",
+    "Shards skipped because their venue MBR misses the query region.",
+)
+SHARD_SOURCE_PRUNED = REGISTRY.counter(
+    "repro_shard_source_pruned_total",
+    "Shards skipped because the boundary graph proves them unreachable.",
+)
+SHARD_TOUCHED = REGISTRY.counter(
+    "repro_shard_touched_total",
+    "Shards that survived pruning and received a sub-query.",
+)
+SHARD_DELTA_OPS = REGISTRY.gauge_family(
+    "repro_shard_delta_ops",
+    "Operations currently logged against each shard's live snapshot.",
+    label_names=("shard",),
+)
 
 # ----------------------------------------------------------------------
 # Flight recorder (repro.obs.recorder)

@@ -13,13 +13,23 @@ GET       /debug/traces  flight recorder: recent/sampled traces, ``?id=``
                          looks one request up by its id
 GET       /debug/slow    the K slowest retained requests, slowest first
 GET       /debug/errors  retained errored requests, newest first
-POST      /query         one read query (reach / count / witnesses)
-POST      /batch         many reach queries under one deadline (504)
-POST      /write         one mutation (add/remove follow/check-in, ...)
+POST      /v1            the versioned envelope: query / batch / write
+POST      /query         deprecated alias of ``/v1`` op=query
+POST      /batch         deprecated alias of ``/v1`` op=batch (504)
+POST      /write         deprecated alias of ``/v1`` op=write
 ========  =============  =================================================
 
 Status codes: 400 malformed request, 404 unknown path, 405 wrong
 method, 429 admission control, 503 draining, 504 batch deadline.
+
+**The /v1 envelope.**  ``POST /v1`` takes one JSON object
+``{"op": "query"|"batch"|"write", "method": ..., ...}`` (see
+:meth:`QueryService.v1`) and is *strict*: unknown fields for the
+(op, method) pair and fields appearing twice in the JSON body are 400s
+naming the offending field(s).  The pre-/v1 endpoints remain as thin
+aliases; every response through them carries ``Deprecation: true``
+plus a ``Link: </v1>; rel="successor-version"`` pointer and bumps
+``repro_http_deprecated_requests_total``.
 
 **Request ids.**  Every request gets an id: the trace-id of an incoming
 W3C ``traceparent`` header, else a well-formed ``X-Request-Id`` header,
@@ -85,6 +95,12 @@ class _Handler(BaseHTTPRequestHandler):
     busy = False
     # Per-request id, assigned at dispatch; echoed on every response.
     request_id = ""
+    # Per-request flags (handlers persist across keep-alive requests,
+    # so _dispatch resets them): strict JSON parsing collects duplicate
+    # object keys, deprecated routes stamp their responses.
+    _strict_json = False
+    _duplicate_fields: tuple[str, ...] = ()
+    _deprecated = False
 
     def setup(self) -> None:
         super().setup()
@@ -111,6 +127,11 @@ class _Handler(BaseHTTPRequestHandler):
             endpoint, _, query = self.path.partition("?")
             self._query = parse_qs(query) if query else {}
             self.request_id = self._extract_request_id()
+            self._strict_json = False
+            self._duplicate_fields = ()
+            self._deprecated = endpoint in _DEPRECATED_ROUTES
+            if self._deprecated and _obs_enabled():
+                _inst.HTTP_DEPRECATED.labels(endpoint=endpoint).inc()
             service = self.server.service
             route = _ROUTES.get(endpoint)
             if route is None:
@@ -171,6 +192,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _post_write(self, service: QueryService, endpoint: str) -> None:
         self._admitted(service, endpoint, service.write)
+
+    def _post_v1(self, service: QueryService, endpoint: str) -> None:
+        self._strict_json = True
+        self._admitted(
+            service,
+            endpoint,
+            lambda payload: service.v1(
+                payload, duplicates=self._duplicate_fields
+            ),
+        )
 
     def _admitted(self, service: QueryService, endpoint: str, op) -> None:
         started_wall = time.time()
@@ -326,7 +357,21 @@ class _Handler(BaseHTTPRequestHandler):
             raise BadRequestError("request body required")
         raw = self.rfile.read(nbytes)
         try:
-            payload = json.loads(raw)
+            if self._strict_json:
+                duplicates: list[str] = []
+
+                def _no_duplicates(pairs):
+                    out: dict = {}
+                    for key, value in pairs:
+                        if key in out:
+                            duplicates.append(key)
+                        out[key] = value
+                    return out
+
+                payload = json.loads(raw, object_pairs_hook=_no_duplicates)
+                self._duplicate_fields = tuple(duplicates)
+            else:
+                payload = json.loads(raw)
         except ValueError:
             raise BadRequestError("request body is not valid JSON") from None
         if not isinstance(payload, dict):
@@ -350,6 +395,9 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("Content-Length", str(len(body)))
             if self.request_id:
                 self.send_header("X-Request-Id", self.request_id)
+            if self._deprecated:
+                self.send_header("Deprecation", "true")
+                self.send_header("Link", '</v1>; rel="successor-version"')
             for key, value in (headers or {}).items():
                 self.send_header(key, value)
             self.end_headers()
@@ -370,10 +418,16 @@ _ROUTES = {
     "/debug/traces": ("GET", _Handler._get_debug_traces),
     "/debug/slow": ("GET", _Handler._get_debug_slow),
     "/debug/errors": ("GET", _Handler._get_debug_errors),
+    "/v1": ("POST", _Handler._post_v1),
     "/query": ("POST", _Handler._post_query),
     "/batch": ("POST", _Handler._post_batch),
     "/write": ("POST", _Handler._post_write),
 }
+
+#: Pre-/v1 endpoints kept as thin aliases: responses carry a
+#: ``Deprecation`` header and count into
+#: ``repro_http_deprecated_requests_total``.
+_DEPRECATED_ROUTES = frozenset({"/query", "/batch", "/write"})
 
 
 class QueryHTTPServer(ThreadingHTTPServer):

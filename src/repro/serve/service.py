@@ -46,6 +46,31 @@ DEFAULT_MAX_INFLIGHT = 64
 #: Read operations /query accepts, mapped to database methods.
 _READ_OPS = ("reach", "count", "witnesses")
 
+#: Mutations /write accepts (also the /v1 write methods).
+_WRITE_OPS = (
+    "add_user",
+    "add_venue",
+    "add_follow",
+    "add_checkin",
+    "remove_follow",
+    "remove_checkin",
+)
+
+#: The /v1 envelope: every request is ``{"op": ..., "method": ...}``
+#: plus the fields its (op, method) pair allows — nothing else.
+_V1_OPS = ("query", "batch", "write")
+_V1_COMMON_FIELDS = frozenset({"op", "method", "deadline_ms", "shard_hint"})
+_V1_METHOD_FIELDS: dict[tuple[str, str], frozenset[str]] = {
+    **{("query", m): frozenset({"vertex", "region"}) for m in _READ_OPS},
+    ("batch", "reach"): frozenset({"queries"}),
+    ("write", "add_user"): frozenset(),
+    ("write", "add_venue"): frozenset({"x", "y"}),
+    ("write", "add_follow"): frozenset({"follower", "followee"}),
+    ("write", "remove_follow"): frozenset({"follower", "followee"}),
+    ("write", "add_checkin"): frozenset({"user", "venue"}),
+    ("write", "remove_checkin"): frozenset({"user", "venue"}),
+}
+
 
 class ServiceError(Exception):
     """Base class of request failures; ``status`` is the HTTP code."""
@@ -90,8 +115,11 @@ def _as_number(value, what: str) -> float:
 
 
 def parse_region(raw) -> Rect:
-    """Parse the wire form of a region: a ``[xlo, ylo, xhi, yhi]`` list
-    or the CLI-style string ``"xlo,ylo,xhi,yhi"``."""
+    """Parse any accepted region form: a :class:`Rect` (passed through),
+    a ``[xlo, ylo, xhi, yhi]`` list/tuple, or the CLI-style string
+    ``"xlo,ylo,xhi,yhi"``."""
+    if isinstance(raw, Rect):
+        return raw
     if isinstance(raw, str):
         try:
             raw = [float(part) for part in raw.split(",")]
@@ -300,34 +328,55 @@ class QueryService:
                 timeout = _as_number(payload["timeout"], "timeout")
                 if timeout <= 0:
                     raise BadRequestError("timeout must be positive")
+        answers = self._execute_batch(pairs, timeout)
+        return {"answers": answers, "count": len(answers)}
+
+    def _execute_batch(
+        self, pairs, timeout, shard_hint: int | None = None
+    ) -> list[bool]:
         database = self._database
+        kwargs = {}
+        if shard_hint is not None and hasattr(database, "num_shards"):
+            kwargs["shard_hint"] = shard_hint
         with self._locked(), _tspan("exec"):
             try:
                 if self._executor is not None:
                     answers = database.range_reach_many(
-                        pairs, self._executor, timeout=timeout
+                        pairs, self._executor, timeout=timeout, **kwargs
                     )
                 elif timeout is not None:
                     # No pool: enforce the deadline with a one-shot
                     # sequential executor (chunked deadline checks).
                     with ParallelExecutor(workers=1) as sequential:
                         answers = database.range_reach_many(
-                            pairs, sequential, timeout=timeout
+                            pairs, sequential, timeout=timeout, **kwargs
                         )
                 else:
-                    answers = database.range_reach_many(pairs)
+                    answers = database.range_reach_many(pairs, **kwargs)
             except (IndexError, ValueError) as exc:
                 raise BadRequestError(str(exc)) from None
-        return {"answers": answers, "count": len(answers)}
+        return answers
 
-    def write(self, payload: dict) -> dict:
-        """``POST /write`` — one mutation against the live store."""
+    def write(
+        self, payload: dict, *, shard_hint: int | None = None
+    ) -> dict:
+        """``POST /write`` — one mutation against the live store.
+
+        ``shard_hint`` (from the /v1 envelope) routes ``add_user`` to a
+        specific shard of a sharded database; it is ignored elsewhere.
+        """
         op = _require(payload, "op")
         database = self._database
         try:
             with self._locked(), _tspan("exec"):
                 if op == "add_user":
-                    return {"op": op, "vertex": database.add_user()}
+                    if shard_hint is not None and hasattr(
+                        database, "num_shards"
+                    ):
+                        vertex = database.add_user(shard_hint=shard_hint)
+                    else:
+                        vertex = database.add_user()
+                    return {"op": op, "vertex": vertex}
                 if op == "add_venue":
                     vertex = database.add_venue(
                         _as_number(_require(payload, "x"), "x"),
@@ -361,9 +410,143 @@ class QueryService:
         except (IndexError, ValueError) as exc:
             raise BadRequestError(str(exc)) from None
         raise BadRequestError(
-            f"unknown write op {op!r}; known: add_user, add_venue, "
-            "add_follow, add_checkin, remove_follow, remove_checkin"
+            f"unknown write op {op!r}; known: {', '.join(_WRITE_OPS)}"
         )
+
+    # ------------------------------------------------------------------
+    # The /v1 unified envelope
+    # ------------------------------------------------------------------
+    def v1(self, payload: dict, *, duplicates=()) -> dict:
+        """``POST /v1`` — the one versioned envelope over all three ops.
+
+        ``{"op": "query"|"batch"|"write", "method": ..., ...}`` with two
+        optional cross-cutting fields: ``deadline_ms`` (batch deadline in
+        milliseconds; advisory elsewhere) and ``shard_hint`` (preferred
+        shard for query planning and ``add_user`` placement on a sharded
+        database; advisory on a monolithic one).  The envelope is
+        strict: an unknown field for the (op, method) pair — or a field
+        the transport saw twice (``duplicates``) — is a 400 naming the
+        offending field(s), never a silent ignore.
+        """
+        with _tspan("parse"):
+            if duplicates:
+                raise BadRequestError(
+                    "duplicate field(s): "
+                    + ", ".join(sorted(set(duplicates)))
+                )
+            op = _require(payload, "op")
+            if op not in _V1_OPS:
+                raise BadRequestError(
+                    f"unknown op {op!r}; known: {', '.join(_V1_OPS)}"
+                )
+            if op == "write":
+                method = _require(payload, "method")
+            else:
+                method = payload.get("method", "reach")
+            if (op, method) not in _V1_METHOD_FIELDS:
+                known = sorted(
+                    m for o, m in _V1_METHOD_FIELDS if o == op
+                )
+                raise BadRequestError(
+                    f"unknown method {method!r} for op {op!r}; "
+                    f"known: {', '.join(known)}"
+                )
+            allowed = _V1_COMMON_FIELDS | _V1_METHOD_FIELDS[(op, method)]
+            unknown = sorted(k for k in payload if k not in allowed)
+            if unknown:
+                raise BadRequestError(
+                    f"unknown field(s) for {op}/{method}: "
+                    + ", ".join(unknown)
+                )
+            shard_hint = payload.get("shard_hint")
+            if shard_hint is not None:
+                shard_hint = _as_int(shard_hint, "shard_hint")
+                num_shards = getattr(self._database, "num_shards", None)
+                if num_shards is not None and not (
+                    0 <= shard_hint < num_shards
+                ):
+                    raise BadRequestError(
+                        f"shard_hint {shard_hint} out of range "
+                        f"(0..{num_shards - 1})"
+                    )
+            deadline_ms = payload.get("deadline_ms")
+            if deadline_ms is not None:
+                deadline_ms = _as_number(deadline_ms, "deadline_ms")
+                if deadline_ms <= 0:
+                    raise BadRequestError("deadline_ms must be positive")
+        if op == "query":
+            return self._v1_query(payload, method, shard_hint)
+        if op == "batch":
+            return self._v1_batch(payload, deadline_ms, shard_hint)
+        result = self.write(
+            {
+                "op": method,
+                **{
+                    k: payload[k]
+                    for k in _V1_METHOD_FIELDS[("write", method)]
+                    if k in payload
+                },
+            },
+            shard_hint=shard_hint,
+        )
+        result["op"] = "write"
+        result["method"] = method
+        return result
+
+    def _v1_query(
+        self, payload: dict, method: str, shard_hint: int | None
+    ) -> dict:
+        with _tspan("parse"):
+            vertex = _as_int(_require(payload, "vertex"), "vertex")
+            region = parse_region(_require(payload, "region"))
+        database = self._database
+        hinted = shard_hint is not None and hasattr(database, "num_shards")
+        with self._locked(), _tspan("exec"):
+            try:
+                if method == "reach":
+                    if hinted:
+                        answer = database.range_reach(
+                            vertex, region, shard_hint=shard_hint
+                        )
+                    else:
+                        answer = database.range_reach(vertex, region)
+                elif method == "count":
+                    answer = database.count_reachable(vertex, region)
+                else:
+                    answer = database.reachable_venues(vertex, region)
+            except (IndexError, ValueError) as exc:
+                raise BadRequestError(str(exc)) from None
+        return {"op": "query", "method": method, "answer": answer}
+
+    def _v1_batch(
+        self, payload: dict, deadline_ms, shard_hint: int | None
+    ) -> dict:
+        with _tspan("parse"):
+            queries = _require(payload, "queries")
+            if not isinstance(queries, list):
+                raise BadRequestError("queries must be a list")
+            pairs = []
+            for i, entry in enumerate(queries):
+                if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                    raise BadRequestError(
+                        f"queries[{i}] must be [vertex, region]"
+                    )
+                pairs.append((
+                    _as_int(entry[0], f"queries[{i}] vertex"),
+                    parse_region(entry[1]),
+                ))
+            timeout = (
+                deadline_ms / 1000.0
+                if deadline_ms is not None
+                else self._default_timeout
+            )
+        answers = self._execute_batch(pairs, timeout, shard_hint)
+        return {
+            "op": "batch",
+            "method": "reach",
+            "answers": answers,
+            "count": len(answers),
+        }
 
     # ------------------------------------------------------------------
     # Per-request observation (called by the transport after each

@@ -1,0 +1,31 @@
+"""Sharded scatter-gather serving (the ROADMAP's millions-of-users item).
+
+The package partitions one geosocial network into ``N`` shards — spatial
+grid tiles over SPACE, with whole condensation components assigned
+atomically so no SCC is ever split — and serves ``RangeReach`` through a
+scatter-gather planner:
+
+* :mod:`repro.shard.partition` — the grid + component assignment;
+* :mod:`repro.shard.boundary` — the cross-shard boundary graph that
+  prunes shards unreachable from the query source;
+* :mod:`repro.shard.database` — :class:`ShardedDatabase`, a drop-in
+  :class:`~repro.core.RangeReachMethod` whose shards are each a full
+  :class:`~repro.system.GeosocialDatabase` (own snapshot directory, own
+  delta overlay, own rebuild blast radius).
+
+See ``docs/SHARDING.md`` for the design.
+"""
+
+from repro.shard.boundary import BoundaryGraph
+from repro.shard.database import LAYOUT_NAME, ShardedDatabase, has_layout
+from repro.shard.partition import GridSpec, ShardAssignment, partition_network
+
+__all__ = [
+    "BoundaryGraph",
+    "GridSpec",
+    "LAYOUT_NAME",
+    "ShardAssignment",
+    "ShardedDatabase",
+    "has_layout",
+    "partition_network",
+]

@@ -1,0 +1,129 @@
+"""The cross-shard boundary graph: source pruning for scatter-gather.
+
+Shards own their intra-shard edges; every edge whose endpoints live in
+different shards is kept *here*, at the planner.  Source pruning is then
+a BFS over ``(shard, entry-vertex)`` states: from an entry vertex the
+planner asks the owning shard which of its **exit sources** (the shard's
+endpoints of outgoing cross edges) are intra-shard reachable, and each
+reachable exit activates the cross edge's target as an entry vertex of
+its shard.  A shard never activated contributes nothing to the query and
+is skipped entirely.
+
+The per-``(shard, entry)`` exit sets are memoized; any write touching a
+shard bumps its version and lazily discards that shard's memo.  The
+intra-shard reachability test itself is delegated to the caller (the
+sharded database answers it with the shard's interval labels — one O(1)
+probe per exit candidate on a clean snapshot).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+#: reaches(shard, u_global, v_global) -> bool, intra-shard.
+ReachesFn = Callable[[int, int, int], bool]
+
+
+class BoundaryGraph:
+    """Cross-shard edges plus a versioned reach-to-exit memo."""
+
+    def __init__(self) -> None:
+        self._succ: dict[int, list[int]] = {}
+        self._num_edges = 0
+        # shard -> its vertices that source at least one cross edge.
+        self._exit_sources: dict[int, set[int]] = {}
+        # shard -> (version at memo build, {entry vertex -> exit set}).
+        self._memo: dict[int, tuple[int, dict[int, frozenset[int]]]] = {}
+        self._version: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, shard_u: int) -> None:
+        """Record the cross edge ``u -> v`` (``u`` lives in ``shard_u``)."""
+        self._succ.setdefault(u, []).append(v)
+        self._num_edges += 1
+        self._exit_sources.setdefault(shard_u, set()).add(u)
+        self.bump(shard_u)
+
+    def remove_edge(self, u: int, v: int, shard_u: int) -> None:
+        """Drop the cross edge ``u -> v``; raises ``ValueError`` if absent."""
+        targets = self._succ.get(u)
+        if targets is None or v not in targets:
+            raise ValueError(f"edge ({u}, {v}) not present")
+        targets.remove(v)
+        self._num_edges -= 1
+        if not targets:
+            del self._succ[u]
+            sources = self._exit_sources.get(shard_u)
+            if sources is not None:
+                sources.discard(u)
+                if not sources:
+                    del self._exit_sources[shard_u]
+        self.bump(shard_u)
+
+    def bump(self, shard: int) -> None:
+        """Invalidate the memo of one shard (any write to it)."""
+        self._version[shard] = self._version.get(shard, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Every cross edge as ``(source, target)`` global-id pairs."""
+        for u in sorted(self._succ):
+            for v in self._succ[u]:
+                yield (u, v)
+
+    def successors(self, u: int) -> tuple[int, ...]:
+        return tuple(self._succ.get(u, ()))
+
+    # ------------------------------------------------------------------
+    # Source pruning
+    # ------------------------------------------------------------------
+    def frontier(
+        self, start: int, shard_of: Callable[[int], int], reaches: ReachesFn
+    ) -> dict[int, set[int]]:
+        """All shards reachable from ``start``, with their entry vertices.
+
+        Returns ``{shard: entry vertices}``; querying each listed shard
+        from its entry vertices (and no other shard) is equivalent to
+        querying the whole graph from ``start``.
+        """
+        s0 = shard_of(start)
+        sources: dict[int, set[int]] = {s0: {start}}
+        queue: deque[tuple[int, int]] = deque([(s0, start)])
+        while queue:
+            shard, vertex = queue.popleft()
+            for exit_vertex in self._exits(shard, vertex, reaches):
+                for target in self._succ.get(exit_vertex, ()):
+                    target_shard = shard_of(target)
+                    bucket = sources.setdefault(target_shard, set())
+                    if target not in bucket:
+                        bucket.add(target)
+                        queue.append((target_shard, target))
+        return sources
+
+    def _exits(
+        self, shard: int, vertex: int, reaches: ReachesFn
+    ) -> frozenset[int]:
+        version = self._version.get(shard, 0)
+        cached = self._memo.get(shard)
+        if cached is None or cached[0] != version:
+            cached = (version, {})
+            self._memo[shard] = cached
+        table = cached[1]
+        exits = table.get(vertex)
+        if exits is None:
+            exits = frozenset(
+                candidate
+                for candidate in self._exit_sources.get(shard, ())
+                if candidate == vertex or reaches(shard, vertex, candidate)
+            )
+            table[vertex] = exits
+        return exits

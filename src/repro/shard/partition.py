@@ -1,0 +1,148 @@
+"""Partitioning a geosocial network into spatial grid shards.
+
+The partitioning rule follows the paper's spatial-pruning insight (and
+GeoReach's grid): SPACE is cut into ``nx × ny`` tiles and each tile maps
+to one shard, so a region query can discard shards whose venues lie
+entirely outside ``R``.  Reachability pruning needs a second rule:
+vertices of one strongly connected component are mutually reachable, so
+a component must never straddle shards — the whole **condensation
+component** is assigned atomically:
+
+* a component with spatial members goes to the majority tile-shard of
+  its member points (ties break toward the smallest shard id);
+* a purely social component goes to the most common shard among its
+  *successor* components — it exists to reach venues, so co-locating it
+  with what it reaches turns cross-shard edges into intra-shard ones.
+  Components are processed in reverse topological order (Tarjan's
+  emission order), so every successor is assigned first.  A component
+  with no successors falls back to ``component_id % shards``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.geometry import Rect
+from repro.geosocial.network import GeosocialNetwork
+from repro.graph.condensation import Condensation, condense
+
+
+@dataclass(frozen=True, slots=True)
+class GridSpec:
+    """The tile grid over SPACE: ``nx × ny`` tiles, row-major order.
+
+    ``bounds`` is the reference rectangle (typically the seed network's
+    :meth:`~repro.geosocial.network.GeosocialNetwork.space`); points
+    outside it clamp to the border tiles, so venues added later always
+    route somewhere.
+    """
+
+    bounds: Rect
+    nx: int
+    ny: int
+
+    @classmethod
+    def for_shards(cls, bounds: Rect, shards: int) -> "GridSpec":
+        """The most-square grid with at least ``shards`` tiles."""
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        nx = max(1, math.ceil(math.sqrt(shards)))
+        ny = max(1, math.ceil(shards / nx))
+        return cls(bounds=bounds, nx=nx, ny=ny)
+
+    @property
+    def num_tiles(self) -> int:
+        return self.nx * self.ny
+
+    def tile_of(self, x: float, y: float) -> int:
+        """Row-major tile index of ``(x, y)``, clamped into the grid."""
+        bounds = self.bounds
+        width = bounds.xhi - bounds.xlo
+        height = bounds.yhi - bounds.ylo
+        fx = (x - bounds.xlo) / width if width > 0 else 0.0
+        fy = (y - bounds.ylo) / height if height > 0 else 0.0
+        ix = min(self.nx - 1, max(0, int(fx * self.nx)))
+        iy = min(self.ny - 1, max(0, int(fy * self.ny)))
+        return iy * self.nx + ix
+
+    def shard_of_tile(self, tile: int, shards: int) -> int:
+        """Tile → shard: round-robin keeps all N shards populated even
+        when the grid has more tiles than shards."""
+        return tile % shards
+
+    def shard_of_point(self, x: float, y: float, shards: int) -> int:
+        return self.shard_of_tile(self.tile_of(x, y), shards)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardAssignment:
+    """The result of :func:`partition_network`."""
+
+    shards: int
+    grid: GridSpec
+    shard_of: list[int]  # original vertex id -> shard id
+    condensation: Condensation
+
+    def members_of(self, shard: int) -> list[int]:
+        return [v for v, s in enumerate(self.shard_of) if s == shard]
+
+
+def partition_network(
+    network: GeosocialNetwork, shards: int
+) -> ShardAssignment:
+    """Assign every vertex of ``network`` to one of ``shards`` shards.
+
+    Components are assigned atomically (see the module docstring); the
+    returned assignment also carries the condensation so callers can
+    reuse it for cross-shard edge classification.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if network.num_spatial == 0:
+        raise ValueError("cannot partition a network with no venues")
+    grid = GridSpec.for_shards(network.space(), shards)
+    condensation = condense(network.graph)
+    points = network.points
+    dag = condensation.dag
+
+    shard_of_component: list[int] = [-1] * condensation.num_components
+    # Reverse topological order: every successor component is assigned
+    # before the components that point at it.
+    for cid in range(condensation.num_components):
+        member_points = [
+            points[v] for v in condensation.members[cid]
+            if points[v] is not None
+        ]
+        if member_points:
+            votes = Counter(
+                grid.shard_of_point(p.x, p.y, shards) for p in member_points
+            )
+            # max count first, then smallest shard id.
+            shard_of_component[cid] = min(
+                votes, key=lambda s: (-votes[s], s)
+            )
+            continue
+        succ_votes = Counter(
+            shard_of_component[t]
+            for t in dag.successors(cid)
+            if shard_of_component[t] >= 0
+        )
+        if succ_votes:
+            shard_of_component[cid] = min(
+                succ_votes, key=lambda s: (-succ_votes[s], s)
+            )
+        else:
+            shard_of_component[cid] = cid % shards
+
+    shard_of = [
+        shard_of_component[condensation.component_of[v]]
+        for v in range(network.num_vertices)
+    ]
+    return ShardAssignment(
+        shards=shards,
+        grid=grid,
+        shard_of=shard_of,
+        condensation=condensation,
+    )

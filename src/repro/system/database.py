@@ -37,7 +37,7 @@ from collections import deque
 from repro.core.base import RangeReachBase
 from repro.core.extensions import GeosocialQueryEngine
 from repro.exec import UNSET as _UNSET_TIMEOUT
-from repro.geometry import Point, Rect
+from repro.geometry import Point, Rect, as_rect
 from repro.geosocial.network import GeosocialNetwork
 from repro.graph.digraph import DiGraph
 from repro.obs import instruments as _inst
@@ -101,6 +101,7 @@ class GeosocialDatabase(RangeReachBase):
         *,
         refresh_threshold: int = DEFAULT_REFRESH_THRESHOLD,
         snapshot_dir: str | None = None,
+        prefer_snapshot: bool = True,
     ) -> "GeosocialDatabase":
         """Create a database pre-populated from a saved network.
 
@@ -109,12 +110,23 @@ class GeosocialDatabase(RangeReachBase):
         its own network); otherwise the adjacency, points and kinds are
         seeded from ``network`` and the first query builds (and, with
         ``snapshot_dir`` set, persists) the index snapshot.
+
+        ``prefer_snapshot=False`` inverts the tie-break: ``network`` is
+        authoritative and any snapshot in ``snapshot_dir`` is ignored on
+        construction (the directory is still used for future persists).
+        The sharded loader uses this when a shard's on-disk snapshot is
+        known to disagree with the layout manifest.
         """
-        database = cls(
-            refresh_threshold=refresh_threshold, snapshot_dir=snapshot_dir
-        )
-        if database._engine is None:
-            database._seed_from_network(network)
+        if prefer_snapshot:
+            database = cls(
+                refresh_threshold=refresh_threshold, snapshot_dir=snapshot_dir
+            )
+            if database._engine is None:
+                database._seed_from_network(network)
+            return database
+        database = cls(refresh_threshold=refresh_threshold)
+        database._snapshot_dir = snapshot_dir
+        database._seed_from_network(network)
         return database
 
     # ------------------------------------------------------------------
@@ -252,12 +264,13 @@ class GeosocialDatabase(RangeReachBase):
     def range_reach(self, vertex: int, region: Rect) -> bool:
         """Can ``vertex`` geosocially reach ``region``?"""
         self._check_vertex(vertex)
+        region = as_rect(region)
         engine = self._snapshot()
         if not self._has_delta():
             self._note_query(overlay=False)
             return engine.query(vertex, region)
         self._note_query(overlay=True)
-        roots, delta_spatial = self._overlay_frontier(vertex)
+        roots, delta_spatial, _ = self._overlay_frontier(vertex)
         for root in roots:
             if engine.query(root, region):
                 return True
@@ -290,7 +303,7 @@ class GeosocialDatabase(RangeReachBase):
         deadline (``None`` lifts a constructor default; omitted keeps
         it); it is ignored without an executor.
         """
-        pairs = list(pairs)
+        pairs = [(vertex, as_rect(region)) for vertex, region in pairs]
         if not pairs:
             return []
         for vertex, _ in pairs:
@@ -306,7 +319,7 @@ class GeosocialDatabase(RangeReachBase):
             for _ in pairs:
                 self._note_query(overlay=True)
             points = self._points
-            frontier: dict[int, tuple[set[int], set[int]]] = {}
+            frontier: dict[int, tuple[set[int], set[int], set[int]]] = {}
             sub_pairs: list[tuple[int, Rect]] = []
             plans: list[tuple[int, int, bool]] = []
             with _span("db.overlay_plan"):
@@ -316,7 +329,7 @@ class GeosocialDatabase(RangeReachBase):
                         front = frontier[vertex] = self._overlay_frontier(
                             vertex
                         )
-                    roots, delta_spatial = front
+                    roots, delta_spatial, _ = front
                     delta_hit = any(
                         region.contains_point(points[v])
                         for v in delta_spatial
@@ -342,6 +355,7 @@ class GeosocialDatabase(RangeReachBase):
 
     def count_reachable(self, vertex: int, region: Rect) -> int:
         self._check_vertex(vertex)
+        region = as_rect(region)
         engine = self._snapshot()
         if not self._has_delta():
             self._note_query(overlay=False)
@@ -352,6 +366,7 @@ class GeosocialDatabase(RangeReachBase):
     def reachable_venues(self, vertex: int, region: Rect) -> list[int]:
         """All reachable spatial vertices inside ``region`` (sorted)."""
         self._check_vertex(vertex)
+        region = as_rect(region)
         engine = self._snapshot()
         if not self._has_delta():
             self._note_query(overlay=False)
@@ -361,6 +376,7 @@ class GeosocialDatabase(RangeReachBase):
 
     def reaches_at_least(self, vertex: int, region: Rect, k: int) -> bool:
         self._check_vertex(vertex)
+        region = as_rect(region)
         engine = self._snapshot()
         if not self._has_delta():
             self._note_query(overlay=False)
@@ -371,7 +387,7 @@ class GeosocialDatabase(RangeReachBase):
         # Witness sets of different roots may overlap, so the early-exit
         # threshold counts distinct venues.
         found: set[int] = set()
-        roots, delta_spatial = self._overlay_frontier(vertex)
+        roots, delta_spatial, _ = self._overlay_frontier(vertex)
         points = self._points
         for root in roots:
             for witness in engine.witnesses(root, region):
@@ -394,7 +410,7 @@ class GeosocialDatabase(RangeReachBase):
             self._note_query(overlay=False)
             return engine.nearest(vertex, location)
         self._note_query(overlay=True)
-        roots, delta_spatial = self._overlay_frontier(vertex)
+        roots, delta_spatial, _ = self._overlay_frontier(vertex)
         best: tuple[float, int] | None = None
         for root in roots:
             hit = engine.nearest(root, location)
@@ -411,6 +427,54 @@ class GeosocialDatabase(RangeReachBase):
             return None
         return best[1], best[0]
 
+    def reaches(self, u: int, v: int) -> bool:
+        """Exact vertex-to-vertex reachability over the live graph.
+
+        Base ∪ delta semantics like every query: with a clean snapshot
+        this is one interval-label probe; with a pending delta the
+        overlay frontier settles post-snapshot targets and the labels
+        settle snapshot targets.  A database that cannot build a
+        snapshot yet (no venues) falls back to a plain BFS — the
+        cross-shard boundary planner relies on this to traverse
+        venue-less shards.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return True
+        if self._engine is None:
+            if not any(p is not None for p in self._points):
+                return self._bfs_reaches(u, v)
+            self._snapshot()
+        engine = self._engine
+        assert engine is not None
+        if not self._has_delta():
+            return engine.reaches(u, v)
+        roots, _, visited = self._overlay_frontier(u)
+        if v in visited:
+            return True
+        if v < self._snapshot_vertices:
+            return any(engine.reaches(root, v) for root in roots)
+        return False
+
+    def _bfs_reaches(self, u: int, v: int) -> bool:
+        graph = self._graph
+        visited = {u}
+        queue: deque[int] = deque([u])
+        while queue:
+            w = queue.popleft()
+            for t in graph.successors(w):
+                if t == v:
+                    return True
+                if t not in visited:
+                    visited.add(t)
+                    queue.append(t)
+        return False
+
+    def size_bytes(self) -> int:
+        """Index footprint of the current snapshot (0 while stale)."""
+        return 0 if self._engine is None else self._engine.size_bytes()
+
     # ------------------------------------------------------------------
     # Delta overlay
     # ------------------------------------------------------------------
@@ -419,13 +483,17 @@ class GeosocialDatabase(RangeReachBase):
             self._graph.num_vertices > self._snapshot_vertices
         )
 
-    def _overlay_frontier(self, vertex: int) -> tuple[set[int], set[int]]:
+    def _overlay_frontier(
+        self, vertex: int
+    ) -> tuple[set[int], set[int], set[int]]:
         """Traverse the union graph from ``vertex`` without expanding the
         snapshot.
 
-        Returns ``(roots, delta_spatial)``: the snapshot vertices whose
-        *indexed* base reach covers everything reachable through snapshot
-        edges, and the post-snapshot spatial vertices reached.  The BFS
+        Returns ``(roots, delta_spatial, visited)``: the snapshot
+        vertices whose *indexed* base reach covers everything reachable
+        through snapshot edges, the post-snapshot spatial vertices
+        reached, and every vertex the delta BFS touched directly (used
+        by :meth:`reaches` to settle post-snapshot targets).  The BFS
         only ever walks delta edges; reachability *within* the snapshot is
         decided by the interval labels (``engine.reaches``), so the cost
         is bounded by the delta size, not the graph size.
@@ -466,12 +534,12 @@ class GeosocialDatabase(RangeReachBase):
                             queue.append(t)
         if _obs_enabled():
             _inst.DB_DELTA_EXPANSIONS.inc(expanded)
-        return roots, delta_spatial
+        return roots, delta_spatial, visited
 
     def _overlay_witnesses(
         self, engine: GeosocialQueryEngine, vertex: int, region: Rect
     ) -> set[int]:
-        roots, delta_spatial = self._overlay_frontier(vertex)
+        roots, delta_spatial, _ = self._overlay_frontier(vertex)
         out: set[int] = set()
         for root in roots:
             out.update(engine.witnesses(root, region))

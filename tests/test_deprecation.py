@@ -1,0 +1,123 @@
+"""The shared deprecation funnel and the uniform region vocabulary.
+
+``warn_deprecated`` warns once per call site however the interpreter's
+filters are set; ``as_rect`` is the one coercion point that lets every
+region-taking API accept a ``Rect`` or a plain 4-sequence.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core import RangeReachOracle
+from repro.core.deprecation import reset, warn_deprecated
+from repro.geometry import Point, Rect, as_rect
+from repro.geosocial import GeosocialNetwork
+from repro.graph import DiGraph
+from repro.system import GeosocialDatabase
+
+
+@pytest.fixture(autouse=True)
+def _fresh_seen_set():
+    reset()
+    yield
+    reset()
+
+
+# ----------------------------------------------------------------------
+# warn_deprecated
+# ----------------------------------------------------------------------
+def test_warns_once_per_call_site():
+    def hammer():
+        return warn_deprecated("use shiny_new() instead")
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fired = [hammer() for _ in range(5)]
+    assert fired == [True, False, False, False, False]
+    assert len(caught) == 1
+    assert issubclass(caught[0].category, DeprecationWarning)
+    assert "shiny_new" in str(caught[0].message)
+
+
+def test_distinct_call_sites_each_warn():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        warn_deprecated("old api", stacklevel=1)
+        warn_deprecated("old api", stacklevel=1)  # different line: warns
+    assert len(caught) == 2
+
+
+def test_reset_forgets_seen_sites():
+    def shim():
+        return warn_deprecated("going away")
+
+    def call_site():
+        return shim()  # one fixed (file, line) for every invocation
+
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")
+        assert call_site() is True
+        assert call_site() is False
+        reset()
+        assert call_site() is True
+
+
+def test_warning_attributed_to_the_caller():
+    def deprecated_shim():
+        warn_deprecated("shim is deprecated")  # stacklevel=2 -> our caller
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        deprecated_shim()
+    assert caught[0].filename == __file__
+
+
+# ----------------------------------------------------------------------
+# as_rect / uniform region acceptance
+# ----------------------------------------------------------------------
+def test_as_rect_passes_rect_through_unchanged():
+    rect = Rect(0.0, 0.0, 1.0, 1.0)
+    assert as_rect(rect) is rect
+
+
+def test_as_rect_coerces_sequences():
+    assert as_rect((0.0, 0.25, 1.0, 0.75)) == Rect(0.0, 0.25, 1.0, 0.75)
+    assert as_rect([0, 0, 1, 1]) == Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def test_as_rect_rejects_junk():
+    with pytest.raises(TypeError, match="region must be a Rect"):
+        as_rect("0,0,1,1")
+    with pytest.raises(TypeError, match="region must be a Rect"):
+        as_rect((0.0, 0.0, 1.0))
+    with pytest.raises(ValueError):
+        as_rect((1.0, 0.0, 0.0, 1.0))  # degenerate, same as Rect(...)
+
+
+def _two_vertex_db():
+    db = GeosocialDatabase()
+    user = db.add_user()
+    venue = db.add_venue(0.5, 0.5)
+    db.add_checkin(user, venue)
+    return db, user
+
+
+def test_database_accepts_tuple_regions_uniformly():
+    db, user = _two_vertex_db()
+    for region in (Rect(0, 0, 1, 1), (0, 0, 1, 1), [0, 0, 1, 1]):
+        assert db.range_reach(user, region) is True
+        assert db.count_reachable(user, region) == 1
+        assert db.reachable_venues(user, region) == [1]
+        assert db.reaches_at_least(user, region, 1) is True
+    assert db.range_reach_many(
+        [(user, (0, 0, 1, 1)), (user, Rect(0.6, 0.6, 1, 1))]
+    ) == [True, False]
+
+
+def test_oracle_accepts_tuple_regions():
+    graph = DiGraph.from_edges(2, [(0, 1)])
+    network = GeosocialNetwork(graph, [None, Point(0.5, 0.5)])
+    oracle = RangeReachOracle(network)
+    assert oracle.query(0, (0, 0, 1, 1)) is True
+    assert oracle.witnesses(0, [0, 0, 1, 1]) == [1]

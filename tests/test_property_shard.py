@@ -1,0 +1,182 @@
+"""Property-based equivalence: ShardedDatabase vs GeosocialDatabase.
+
+Hypothesis drives two suites.  The first builds a random static network
+and checks every vertex against the BFS oracle for 2/4/8-shard layouts,
+including regions small enough to leave every shard pruned.  The second
+replays a mixed read/write churn stream against a sharded and an
+unsharded database side by side — vertex ids are assigned identically,
+so every answer (boolean, witness lists, counts) must match, and the
+oracle recomputed from the monolithic raw state arbitrates both.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RangeReachOracle
+from repro.geometry import Point, Rect
+from repro.geosocial import GeosocialNetwork
+from repro.graph import DiGraph
+from repro.shard import ShardedDatabase
+from repro.system import GeosocialDatabase
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+shard_counts = st.sampled_from([2, 4, 8])
+
+
+# ----------------------------------------------------------------------
+# Static networks: partition + scatter vs the oracle
+# ----------------------------------------------------------------------
+networks = st.builds(
+    lambda venue_xy, edge_ix: (venue_xy, edge_ix),
+    st.lists(st.tuples(unit, unit), min_size=1, max_size=8),
+    st.lists(st.tuples(st.integers(0, 13), st.integers(0, 13)), max_size=30),
+)
+
+
+def _make_network(venue_xy, edge_ix, users=6):
+    n = users + len(venue_xy)
+    points = [None] * users + [Point(x, y) for x, y in venue_xy]
+    kinds = ["user"] * users + ["venue"] * len(venue_xy)
+    edges = set()
+    for a, b in edge_ix:
+        a %= n
+        b %= n
+        # keep only semantically valid, non-loop edges: user -> any.
+        if a != b and a < users:
+            edges.add((a, b))
+    return GeosocialNetwork(
+        DiGraph.from_edges(n, sorted(edges)), points, kinds=kinds
+    )
+
+
+@given(networks, shard_counts, st.tuples(unit, unit, unit, unit))
+@settings(max_examples=60, deadline=None)
+def test_static_partition_matches_oracle(spec, shards, corners):
+    network = _make_network(*spec)
+    oracle = RangeReachOracle(network)
+    database = ShardedDatabase.from_network(network, shards=shards)
+    x1, x2 = sorted(corners[:2])
+    y1, y2 = sorted(corners[2:])
+    regions = [
+        Rect(0.0, 0.0, 1.0, 1.0),
+        Rect(x1, y1, x2, y2),  # often misses every venue / every shard
+    ]
+    pairs = []
+    expected = []
+    for vertex in range(network.num_vertices):
+        for region in regions:
+            want = oracle.query(vertex, region)
+            assert database.range_reach(vertex, region) == want
+            assert database.reachable_venues(vertex, region) == sorted(
+                oracle.witnesses(vertex, region)
+            )
+            pairs.append((vertex, region))
+            expected.append(want)
+    assert database.range_reach_many(pairs) == expected
+
+
+# ----------------------------------------------------------------------
+# Churn streams: sharded vs unsharded, oracle-arbitrated
+# ----------------------------------------------------------------------
+churn_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("user")),
+        st.tuples(st.just("venue"), unit, unit),
+        st.tuples(st.just("follow"), st.integers(0, 30), st.integers(0, 30)),
+        st.tuples(st.just("checkin"), st.integers(0, 30), st.integers(0, 30)),
+        st.tuples(st.just("unfollow"), st.integers(0, 200)),
+        st.tuples(st.just("uncheckin"), st.integers(0, 200)),
+        st.tuples(st.just("query"), st.integers(0, 60), unit, unit, unit, unit),
+    ),
+    max_size=30,
+)
+
+
+def _raw_oracle(db: GeosocialDatabase) -> RangeReachOracle:
+    graph = DiGraph(db._graph.num_vertices)
+    for a, b in db._edges:
+        graph.add_edge(a, b)
+    return RangeReachOracle(GeosocialNetwork(graph, list(db._points)))
+
+
+@given(churn_ops, shard_counts, st.sampled_from([0, 3, 64]))
+@settings(max_examples=60, deadline=None)
+def test_churn_sharded_matches_unsharded(sequence, shards, threshold):
+    sharded = ShardedDatabase(shards=shards, refresh_threshold=threshold)
+    mono = GeosocialDatabase(refresh_threshold=threshold)
+    users: list[int] = []
+    venues: list[int] = []
+    follows: list[tuple[int, int]] = []
+    checkins: list[tuple[int, int]] = []
+
+    for op in sequence:
+        kind = op[0]
+        if kind == "user":
+            assert sharded.add_user() == mono.add_user()
+            users.append(mono.num_users + mono.num_venues - 1)
+        elif kind == "venue":
+            assert sharded.add_venue(op[1], op[2]) == mono.add_venue(
+                op[1], op[2]
+            )
+            venues.append(mono.num_users + mono.num_venues - 1)
+        elif kind == "follow" and len(users) >= 2:
+            a = users[op[1] % len(users)]
+            b = users[op[2] % len(users)]
+            added = sharded.add_follow(a, b)
+            assert added == mono.add_follow(a, b)
+            if added:
+                follows.append((a, b))
+        elif kind == "checkin" and users and venues:
+            u = users[op[1] % len(users)]
+            v = venues[op[2] % len(venues)]
+            added = sharded.add_checkin(u, v)
+            assert added == mono.add_checkin(u, v)
+            if added:
+                checkins.append((u, v))
+        elif kind == "unfollow" and follows:
+            a, b = follows.pop(op[1] % len(follows))
+            sharded.remove_follow(a, b)
+            mono.remove_follow(a, b)
+        elif kind == "uncheckin" and checkins:
+            u, v = checkins.pop(op[1] % len(checkins))
+            sharded.remove_checkin(u, v)
+            mono.remove_checkin(u, v)
+        elif kind == "query" and venues:
+            population = users + venues
+            vertex = population[op[1] % len(population)]
+            x1, x2 = sorted((op[2], op[3]))
+            y1, y2 = sorted((op[4], op[5]))
+            region = Rect(x1, y1, x2, y2)
+            oracle = _raw_oracle(mono)
+            expected_witnesses = sorted(oracle.witnesses(vertex, region))
+            assert sharded.range_reach(vertex, region) == mono.range_reach(
+                vertex, region
+            ) == bool(expected_witnesses)
+            assert sharded.reachable_venues(vertex, region) == (
+                expected_witnesses
+            )
+            assert sharded.count_reachable(vertex, region) == len(
+                expected_witnesses
+            )
+            k = len(expected_witnesses)
+            assert sharded.reaches_at_least(vertex, region, k) is True
+            assert sharded.reaches_at_least(vertex, region, k + 1) is False
+            hint = vertex % shards
+            assert sharded.range_reach(
+                vertex, region, shard_hint=hint
+            ) == bool(expected_witnesses)
+
+    # Final sweep: batch path over the full space and a slim stripe.
+    if venues:
+        population = users + venues
+        for region in (Rect(0.0, 0.0, 1.0, 1.0), Rect(0.0, 0.0, 0.1, 1.0)):
+            oracle = _raw_oracle(mono)
+            pairs = [(v, region) for v in population]
+            assert sharded.range_reach_many(pairs) == [
+                bool(oracle.witnesses(v, region)) for v in population
+            ]
+    assert sharded.num_users == mono.num_users
+    assert sharded.num_venues == mono.num_venues
+    assert sharded.num_edges == mono.num_edges
