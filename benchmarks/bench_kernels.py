@@ -1,0 +1,343 @@
+"""Microbenchmarks of the vectorized kernels vs their python twins.
+
+Three single-thread microkernels over one frozen workload, each timed
+against the pure-python oracle twin on identical probe sequences:
+
+* **slab** — SocReach's descendant scan: ``any_in_flat`` over the flat
+  coordinate ranges covered by each query source's interval labels.
+* **cuboid** — the 3DReach containment sweep: ``any_in_zrange`` per
+  interval label (cuboid ``region x [lo, hi]``), the same slot
+  arithmetic SocReach uses.
+* **bfl** — SpaReach's candidate loop: ``reaches_many`` over whole
+  candidate batches (vectorized interval + Bloom-filter tests with the
+  scalar DFS fallback for survivors).
+
+Every probe is answered by both backends and compared — a single
+disagreement fails the run (the parity gate is always enforced).  The
+full run additionally gates **>= 5x** python-over-numpy speedup on the
+slab and cuboid microkernels; the bfl speedup is reported, not gated
+(its cost is dominated by the DFS fallback rate of the workload).
+``--smoke`` runs a seconds-scale version keeping only parity + schema.
+
+The artifact ``benchmarks/results/kernels.json`` carries config,
+per-kernel timings, speedups, and gate verdicts.
+"""
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import format_table  # noqa: E402
+from repro.datasets import make_network  # noqa: E402
+from repro.geometry import Rect  # noqa: E402
+from repro.geosocial import condense_network  # noqa: E402
+from repro.kernels import numpy_available  # noqa: E402
+from repro.pipeline import BuildContext  # noqa: E402
+
+ARTIFACT_VERSION = 1
+GATE_SPEEDUP = 5.0
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+def build_queries(
+    network, condensed, labeling, count: int, seed: int
+) -> list[tuple[int, Rect]]:
+    """Frozen ``(vertex, region)`` pairs; regions are small (1-10% of
+    SPACE per side), so most containment probes are misses — the
+    worst case for the scalar scan and the common case in the paper's
+    workloads.  Sources are the heaviest quartile (by descendant count)
+    of a 4x oversample: the microkernel exists for the queries whose
+    descendant scans dominate, so that is what it is timed on.
+    """
+    rng = random.Random(seed)
+    space = network.space()
+    width = space.xhi - space.xlo
+    height = space.yhi - space.ylo
+    sampled = [rng.randrange(network.num_vertices) for _ in range(4 * count)]
+    sampled.sort(
+        key=lambda v: labeling.num_descendants(condensed.super_of(v)),
+        reverse=True,
+    )
+    pairs: list[tuple[int, Rect]] = []
+    for vertex in sampled[:count]:
+        side_x = width * rng.uniform(0.01, 0.1)
+        side_y = height * rng.uniform(0.01, 0.1)
+        xlo = space.xlo + rng.random() * (width - side_x)
+        ylo = space.ylo + rng.random() * (height - side_y)
+        pairs.append((vertex, Rect(xlo, ylo, xlo + side_x, ylo + side_y)))
+    return pairs
+
+
+def _time_probes(fn, probes, rounds: int) -> float:
+    fn(*probes[0])  # warm caches outside the window
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for probe in probes:
+            fn(*probe)
+    return time.perf_counter() - started
+
+
+def _speedup(python_seconds: float, numpy_seconds: float) -> float:
+    return python_seconds / numpy_seconds if numpy_seconds > 0 else 0.0
+
+
+# ----------------------------------------------------------------------
+# Microkernels
+# ----------------------------------------------------------------------
+def run_slab(context, condensed, queries, rounds: int) -> dict:
+    """``any_in_flat`` over each source's coalesced label flat ranges."""
+    py = context.slab_kernel(backend="python")
+    np_ = context.slab_kernel(backend="numpy")
+    labeling = context.labeling()
+    offsets = context.post_slabs().offsets
+    probes = []
+    for vertex, region in queries:
+        source = condensed.super_of(vertex)
+        for lo, hi in labeling.labels_of(source):
+            start, end = py.slot_range(lo, hi)
+            if end < start:
+                continue
+            probes.append((region, offsets[start - 1], offsets[end]))
+    mismatches = sum(
+        1
+        for probe in probes
+        if py.any_in_flat(*probe) != np_.any_in_flat(*probe)
+    )
+    python_seconds = _time_probes(py.any_in_flat, probes, rounds)
+    numpy_seconds = _time_probes(np_.any_in_flat, probes, rounds)
+    return {
+        "probes": len(probes),
+        "rounds": rounds,
+        "points_scanned": sum(b - a for _, a, b in probes),
+        "mismatches": mismatches,
+        "python_seconds": python_seconds,
+        "numpy_seconds": numpy_seconds,
+        "speedup": _speedup(python_seconds, numpy_seconds),
+    }
+
+
+def run_cuboid(context, condensed, queries, rounds: int) -> dict:
+    """``any_in_zrange`` per interval label — the 3DReach cuboid sweep."""
+    py = context.slab_kernel(backend="python")
+    np_ = context.slab_kernel(backend="numpy")
+    labeling = context.labeling()
+    probes = []
+    for vertex, region in queries:
+        source = condensed.super_of(vertex)
+        for lo, hi in labeling.labels_of(source):
+            probes.append((region, lo, hi))
+    mismatches = sum(
+        1
+        for probe in probes
+        if py.any_in_zrange(*probe) != np_.any_in_zrange(*probe)
+    )
+    python_seconds = _time_probes(py.any_in_zrange, probes, rounds)
+    numpy_seconds = _time_probes(np_.any_in_zrange, probes, rounds)
+    return {
+        "probes": len(probes),
+        "rounds": rounds,
+        "mismatches": mismatches,
+        "python_seconds": python_seconds,
+        "numpy_seconds": numpy_seconds,
+        "speedup": _speedup(python_seconds, numpy_seconds),
+    }
+
+
+def run_bfl(context, condensed, queries, rounds: int, seed: int) -> dict:
+    """``reaches_many`` over whole candidate batches (reported only)."""
+    rng = random.Random(seed)
+    py = context.bfl_kernel(backend="python")
+    np_ = context.bfl_kernel(backend="numpy")
+    n = condensed.num_components
+    spatial = list(condensed.spatial_components()) or list(range(n))
+    probes = []
+    for vertex, _ in queries[: max(1, len(queries) // 4)]:
+        source = condensed.super_of(vertex)
+        batch = [rng.choice(spatial) for _ in range(min(64, len(spatial)))]
+        probes.append((source, batch))
+    mismatches = sum(
+        1
+        for probe in probes
+        if py.reaches_many(*probe) != np_.reaches_many(*probe)
+    )
+    python_seconds = _time_probes(py.reaches_many, probes, rounds)
+    numpy_seconds = _time_probes(np_.reaches_many, probes, rounds)
+    return {
+        "probes": len(probes),
+        "rounds": rounds,
+        "batch_size": len(probes[0][1]) if probes else 0,
+        "mismatches": mismatches,
+        "python_seconds": python_seconds,
+        "numpy_seconds": numpy_seconds,
+        "speedup": _speedup(python_seconds, numpy_seconds),
+    }
+
+
+# ----------------------------------------------------------------------
+# Artifact
+# ----------------------------------------------------------------------
+def validate_artifact(artifact: dict) -> list[str]:
+    """Schema check the CI smoke gate runs; returns problem strings."""
+    problems: list[str] = []
+
+    def need(mapping, key, kinds, where):
+        if not isinstance(mapping, dict) or key not in mapping:
+            problems.append(f"{where}: missing {key!r}")
+            return None
+        value = mapping[key]
+        if not isinstance(value, kinds) or isinstance(value, bool):
+            problems.append(f"{where}: {key!r} has type {type(value).__name__}")
+            return None
+        return value
+
+    need(artifact, "version", int, "artifact")
+    need(artifact, "config", dict, "artifact")
+    kernels = need(artifact, "kernels", dict, "artifact")
+    for name in ("slab", "cuboid", "bfl"):
+        block = need(kernels or {}, name, dict, "kernels")
+        if block is None:
+            continue
+        need(block, "probes", int, f"kernels.{name}")
+        need(block, "mismatches", int, f"kernels.{name}")
+        need(block, "python_seconds", (int, float), f"kernels.{name}")
+        need(block, "numpy_seconds", (int, float), f"kernels.{name}")
+        need(block, "speedup", (int, float), f"kernels.{name}")
+    need(artifact, "gates", dict, "artifact")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale run: parity + schema gates only "
+        "(speedup gates skipped)",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale (default 0.02; smoke 0.002)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="frozen workload size (default 200; smoke 40)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="timing rounds (default 5; smoke 1)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).parent / "results" / "kernels.json"),
+    )
+    args = parser.parse_args(argv)
+
+    if not numpy_available():
+        print("error: numpy is not importable; nothing to benchmark",
+              file=sys.stderr)
+        return 1
+
+    scale = args.scale if args.scale is not None else (
+        0.002 if args.smoke else 0.02
+    )
+    queries = args.queries if args.queries is not None else (
+        40 if args.smoke else 200
+    )
+    rounds = args.rounds if args.rounds is not None else (
+        1 if args.smoke else 5
+    )
+
+    network = make_network("gowalla", scale=scale, seed=args.seed)
+    condensed = condense_network(network)
+    context = BuildContext(condensed)
+    workload = build_queries(
+        network, condensed, context.labeling(), queries, args.seed + 1
+    )
+    print(
+        f"network: {network.num_vertices} vertices, "
+        f"{network.num_edges} edges, {network.num_spatial} venues; "
+        f"workload: {len(workload)} queries"
+    )
+
+    kernels = {
+        "slab": run_slab(context, condensed, workload, rounds),
+        "cuboid": run_cuboid(context, condensed, workload, rounds),
+        "bfl": run_bfl(context, condensed, workload, rounds, args.seed + 2),
+    }
+
+    total_mismatches = sum(k["mismatches"] for k in kernels.values())
+    gates = {
+        "parity": {
+            "mismatches": total_mismatches,
+            "ok": total_mismatches == 0,
+        },
+    }
+    for name in ("slab", "cuboid"):
+        gates[name] = {
+            "speedup": kernels[name]["speedup"],
+            "threshold": GATE_SPEEDUP,
+            "ok": kernels[name]["speedup"] >= GATE_SPEEDUP,
+            "enforced": not args.smoke,
+        }
+
+    artifact = {
+        "version": ARTIFACT_VERSION,
+        "benchmark": "kernels",
+        "smoke": args.smoke,
+        "config": {
+            "profile": "gowalla",
+            "scale": scale,
+            "seed": args.seed,
+            "queries": queries,
+            "rounds": rounds,
+            "vertices": network.num_vertices,
+            "edges": network.num_edges,
+            "venues": network.num_spatial,
+        },
+        "kernels": kernels,
+        "gates": gates,
+    }
+
+    print(format_table(
+        ["kernel", "probes", "mismatches", "python s", "numpy s", "speedup"],
+        [
+            [
+                name,
+                block["probes"],
+                block["mismatches"],
+                f"{block['python_seconds']:.3f}",
+                f"{block['numpy_seconds']:.3f}",
+                f"{block['speedup']:.1f}x",
+            ]
+            for name, block in kernels.items()
+        ],
+        title="kernel microbenchmarks (single thread)",
+    ))
+
+    problems = validate_artifact(artifact)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(artifact, indent=2, sort_keys=True))
+    print(f"artifact: {out}")
+
+    failures: list[str] = list(problems)
+    if total_mismatches:
+        failures.append(f"parity gate: {total_mismatches} mismatches")
+    if not args.smoke:
+        for name in ("slab", "cuboid"):
+            if kernels[name]["speedup"] < GATE_SPEEDUP:
+                failures.append(
+                    f"{name} gate: speedup {kernels[name]['speedup']:.1f}x "
+                    f"< {GATE_SPEEDUP:.0f}x"
+                )
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    if not failures:
+        print("all gates passed" if not args.smoke
+              else "smoke gates passed (speedup gates skipped)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,6 +101,15 @@ def run_parity(network, workload, shard_counts) -> dict:
             "mismatches": mismatches,
             "cross_edges": scatter["cross_edges"],
             "subqueries": scatter["subqueries"],
+            # Exit-set reachability probes the boundary planner issued
+            # (memoized per (shard, entry): repeats in the workload are
+            # free, so per-query means below 1.0 are possible).
+            "boundary_probes": scatter["boundary_probes"],
+            "boundary_probes_per_query": (
+                scatter["boundary_probes"] / len(workload)
+                if workload
+                else 0.0
+            ),
             "mean_pruned_shard_fraction": pruned / checks if checks else 0.0,
             "mean_touched_shard_fraction": (
                 (checks - pruned) / checks if checks else 1.0
@@ -130,6 +139,16 @@ def run_throughput(network, workload, *, workers: int, rounds: int) -> dict:
     sharded = ShardedDatabase.from_network(network, shards=CHURN_SHARDS)
     mono_qps = _measure_qps(monolithic, workload, workers, rounds)
     shard_qps = _measure_qps(sharded, workload, workers, rounds)
+    # The same layout under each kernel backend isolates how much of
+    # the scatter cost the vectorized kernels win back.
+    by_backend = {}
+    for backend in ("python", "numpy"):
+        database = ShardedDatabase.from_network(
+            network, shards=CHURN_SHARDS, kernels=backend
+        )
+        by_backend[backend] = _measure_qps(
+            database, workload, workers, rounds
+        )
     return {
         "workers": workers,
         "rounds": rounds,
@@ -138,6 +157,13 @@ def run_throughput(network, workload, *, workers: int, rounds: int) -> dict:
         "sharded_qps": shard_qps,
         "sharded_over_monolithic": (
             shard_qps / mono_qps if mono_qps > 0 else 0.0
+        ),
+        "sharded_python_qps": by_backend["python"],
+        "sharded_numpy_qps": by_backend["numpy"],
+        "numpy_over_python": (
+            by_backend["numpy"] / by_backend["python"]
+            if by_backend["python"] > 0
+            else 0.0
         ),
     }
 
@@ -239,13 +265,20 @@ def validate_artifact(artifact: dict) -> list[str]:
                 ("mismatches", int),
                 ("cross_edges", int),
                 ("subqueries", int),
+                ("boundary_probes", int),
+                ("boundary_probes_per_query", (int, float)),
                 ("mean_pruned_shard_fraction", (int, float)),
                 ("mean_touched_shard_fraction", (int, float)),
             ):
                 need(config, key, kinds, f"parity.configs[{i}]")
     throughput = need(artifact, "throughput", dict, "artifact")
     if throughput is not None:
-        for key in ("monolithic_qps", "sharded_qps"):
+        for key in (
+            "monolithic_qps",
+            "sharded_qps",
+            "sharded_python_qps",
+            "sharded_numpy_qps",
+        ):
             need(throughput, key, (int, float), "throughput")
     churn = need(artifact, "churn", dict, "artifact")
     if churn is not None:
@@ -363,7 +396,8 @@ def main(argv=None) -> int:
     }
 
     print(format_table(
-        ["shards", "mismatches", "pruned frac", "touched frac", "cross edges"],
+        ["shards", "mismatches", "pruned frac", "touched frac", "cross edges",
+         "probes/query"],
         [
             [
                 c["shards"],
@@ -371,6 +405,7 @@ def main(argv=None) -> int:
                 f"{c['mean_pruned_shard_fraction']:.3f}",
                 f"{c['mean_touched_shard_fraction']:.3f}",
                 c["cross_edges"],
+                f"{c['boundary_probes_per_query']:.2f}",
             ]
             for c in parity["configs"]
         ],
@@ -381,6 +416,14 @@ def main(argv=None) -> int:
         [
             ["monolithic", f"{throughput['monolithic_qps']:.0f}"],
             [f"sharded({CHURN_SHARDS})", f"{throughput['sharded_qps']:.0f}"],
+            [
+                f"sharded({CHURN_SHARDS}, python)",
+                f"{throughput['sharded_python_qps']:.0f}",
+            ],
+            [
+                f"sharded({CHURN_SHARDS}, numpy)",
+                f"{throughput['sharded_numpy_qps']:.0f}",
+            ],
         ],
         title=f"batch throughput ({args.workers} workers)",
     ))

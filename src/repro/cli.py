@@ -192,7 +192,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         return 2
     condensed = condense_network(network)
-    context = BuildContext(condensed)
+    context = BuildContext(condensed, kernels=args.kernels)
     build_start = time.perf_counter()
     method = build_method(args.method, condensed, context=context)
     build_elapsed = time.perf_counter() - build_start
@@ -232,7 +232,7 @@ def _run_query_batch(args: argparse.Namespace, network: GeosocialNetwork) -> int
             )
             return 2
     condensed = condense_network(network)
-    context = BuildContext(condensed)
+    context = BuildContext(condensed, kernels=args.kernels)
     build_start = time.perf_counter()
     method = build_method(args.method, condensed, context=context)
     build_elapsed = time.perf_counter() - build_start
@@ -375,7 +375,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # is authoritative, an explicit conflicting --shards is an error
         # (re-sharding means a fresh directory).
         database = ShardedDatabase.load(
-            args.snapshot_dir, refresh_threshold=args.refresh_threshold
+            args.snapshot_dir,
+            refresh_threshold=args.refresh_threshold,
+            kernels=args.kernels,
         )
         if args.shards and args.shards != database.num_shards:
             print(
@@ -400,6 +402,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             shards=args.shards,
             refresh_threshold=args.refresh_threshold,
             snapshot_dir=args.snapshot_dir,
+            kernels=args.kernels,
         )
     elif args.network is not None:
         network = GeosocialNetwork.load(args.network)
@@ -407,6 +410,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             network,
             refresh_threshold=args.refresh_threshold,
             snapshot_dir=args.snapshot_dir,
+            kernels=args.kernels,
         )
     else:
         # Snapshot-only start: a missing snapshot is a hard error (there
@@ -414,6 +418,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         database = GeosocialDatabase(
             refresh_threshold=args.refresh_threshold,
             snapshot_dir=args.snapshot_dir,
+            kernels=args.kernels,
         )
         if database.is_stale:
             print(
@@ -575,6 +580,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-query span breakdown (timings and counter "
         "deltas)",
     )
+    query.add_argument(
+        "--kernels", choices=("numpy", "python"), default=None,
+        help="inner-loop backend (default: REPRO_KERNELS env, else numpy "
+        "when importable)",
+    )
     query.set_defaults(func=_cmd_query)
 
     snap = sub.add_parser(
@@ -677,6 +687,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-tracing", action="store_true",
         help="disable per-request tracing (requests still get ids and "
         "metrics; /debug/* stays empty)",
+    )
+    serve.add_argument(
+        "--kernels", choices=("numpy", "python"), default=None,
+        help="inner-loop backend for the served database (default: "
+        "REPRO_KERNELS env, else numpy when importable)",
     )
     serve.set_defaults(func=_cmd_serve)
 

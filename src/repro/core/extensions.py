@@ -26,7 +26,13 @@ from typing import Sequence
 from repro.core.base import RangeReachBase
 from repro.core.deprecation import warn_deprecated
 from repro.geometry import Point, Rect, as_rect
+from repro.geosocial.columnar import build_post_slabs
 from repro.geosocial.scc_handling import CondensedNetwork
+from repro.kernels import (
+    make_label_kernel,
+    make_slab_kernel,
+    resolve_backend,
+)
 from repro.labeling import IntervalLabeling
 from repro.obs.trace import span as _span
 from repro.pipeline import BuildContext
@@ -52,6 +58,7 @@ class GeosocialQueryEngine(RangeReachBase):
         stride: int = 1,
         rtree_capacity: int = 16,
         context: BuildContext | None = None,
+        kernels: str | None = None,
     ) -> None:
         self._network = network
         if labeling is not None:
@@ -66,13 +73,43 @@ class GeosocialQueryEngine(RangeReachBase):
             self._rtree = RTree.bulk_load(
                 entries, dims=3, capacity=rtree_capacity
             )
+            self.kernels = resolve_backend(kernels)
+            if self.kernels == "numpy":
+                self._skernel = make_slab_kernel(
+                    "numpy",
+                    build_post_slabs(network, labeling),
+                    labeling.stride,
+                )
+                self._lkernel = make_label_kernel("numpy", labeling)
+            else:
+                self._skernel = None
+                self._lkernel = None
         else:
             if context is None:
-                context = BuildContext(network)
+                context = BuildContext(network, kernels=kernels)
+            self.kernels = (
+                context.kernels if kernels is None else resolve_backend(kernels)
+            )
             self._labeling = context.labeling(mode=mode, stride=stride)
             self._rtree = context.vertex_rtree_3d(
                 mode=mode, stride=stride, capacity=rtree_capacity
             )
+            # The numpy backend answers the boolean query with slab
+            # sweeps (the slabs index every member point, so existence
+            # matches the vertex R-tree) and batches ``reaches`` probes
+            # through the label kernel.  Extended queries (count,
+            # witnesses, nearest) need vertex identities and stay on the
+            # R-tree under both backends.
+            if self.kernels == "numpy":
+                self._skernel = context.slab_kernel(
+                    mode=mode, stride=stride, backend="numpy"
+                )
+                self._lkernel = context.label_kernel(
+                    mode=mode, stride=stride, backend="numpy"
+                )
+            else:
+                self._skernel = None
+                self._lkernel = None
 
     # ------------------------------------------------------------------
     def _cuboids(self, v: int, region: Rect):
@@ -84,6 +121,13 @@ class GeosocialQueryEngine(RangeReachBase):
         """The paper's boolean RangeReach query (3DReach evaluation)."""
         region = as_rect(region)
         with _span("engine.query"):
+            if self._skernel is not None:
+                source = self._network.super_of(v)
+                any_in_zrange = self._skernel.any_in_zrange
+                for lo, hi in self._labeling.labels_of(source):
+                    if any_in_zrange(region, lo, hi):
+                        return True
+                return False
             for cuboid in self._cuboids(v, region):
                 if self._rtree.any_intersecting(cuboid) is not None:
                     return True
@@ -112,9 +156,19 @@ class GeosocialQueryEngine(RangeReachBase):
                 return labels[0][0] if labels else -1.0
 
             memo: dict[tuple[int, tuple], bool] = {}
+            sweep = (
+                self._skernel.any_in_zrange
+                if self._skernel is not None
+                else None
+            )
             for (source, rkey), region in sorted(unique.items(), key=z_of):
                 answer = False
                 for lo, hi in labels_of(source):
+                    if sweep is not None:
+                        if sweep(region, lo, hi):
+                            answer = True
+                            break
+                        continue
                     cuboid = (region.xlo, region.ylo, lo,
                               region.xhi, region.yhi, hi)
                     if rtree.any_intersecting(cuboid) is not None:
@@ -142,6 +196,21 @@ class GeosocialQueryEngine(RangeReachBase):
         su = self._network.super_of(u)
         sv = self._network.super_of(v)
         return su == sv or self._labeling.greach(su, sv)
+
+    def reaches_many(self, u: int, targets: Sequence[int]) -> list[bool]:
+        """Batched :meth:`reaches`: one source, many target vertices.
+
+        Under the numpy backend the whole batch resolves with a single
+        ``searchsorted`` over the source's sorted, disjoint labels; the
+        python backend runs the scalar probes.  Answers are identical.
+        """
+        super_of = self._network.super_of
+        su = super_of(u)
+        supers = [super_of(t) for t in targets]
+        if self._lkernel is not None:
+            return self._lkernel.covers_many(su, supers)
+        greach = self._labeling.greach
+        return [su == sv or greach(su, sv) for sv in supers]
 
     @property
     def num_vertices(self) -> int:

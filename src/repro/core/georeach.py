@@ -29,6 +29,7 @@ from repro.core.base import RangeReachBase, register_method
 from repro.geometry import Rect
 from repro.geosocial.scc_handling import CondensedNetwork
 from repro.graph.traversal import topological_order
+from repro.kernels import make_point_kernel, resolve_backend
 from repro.obs import instruments as _inst
 from repro.obs.metrics import enabled as _obs_enabled
 from repro.obs.trace import span as _span
@@ -208,6 +209,7 @@ class GeoReach(RangeReachBase):
         network: CondensedNetwork,
         params: GeoReachParams | None = None,
         context: BuildContext | None = None,
+        kernels: str | None = None,
     ) -> None:
         self._network = network
         self._params = params or GeoReachParams()
@@ -218,9 +220,15 @@ class GeoReach(RangeReachBase):
         if context is not None:
             self._columns = context.columns()
             spa = context.spa_graph(self._params)
+            self.kernels = (
+                context.kernels if kernels is None else resolve_backend(kernels)
+            )
+            self._pkernel = context.point_kernel(backend=self.kernels)
         else:
             self._columns = network.columns()
             spa = build_spa_graph(network, self._params)
+            self.kernels = resolve_backend(kernels)
+            self._pkernel = make_point_kernel(self.kernels, self._columns)
         self._m_queries = _inst.METHOD_QUERIES.labels(method=self.name)
         self._m_positives = _inst.METHOD_POSITIVES.labels(method=self.name)
         self._m_verified = _inst.METHOD_CANDIDATES_VERIFIED.labels(
@@ -247,10 +255,10 @@ class GeoReach(RangeReachBase):
         grid = self._grid
         vertex_class = self._class
         source = network.super_of(v)
-        columns = self._columns
-        offsets = columns.offsets
-        xs, ys = columns.xs, columns.ys
-        first_contained = region.first_contained
+        offsets = self._columns.offsets
+        # Member-point verification routes through the point kernel;
+        # the python kernel is the verbatim columnar scan.
+        first_contained = self._pkernel.first_contained
 
         expanded = 0
         pruned = 0
@@ -267,7 +275,7 @@ class GeoReach(RangeReachBase):
             # the member points are scanned as flat coordinate columns.
             lo, hi = offsets[u], offsets[u + 1]
             if hi > lo:
-                idx = first_contained(xs, ys, lo, hi)
+                idx = first_contained(region, lo, hi)
                 if idx >= 0:
                     point_tests += idx - lo + 1
                     answer = True
@@ -362,7 +370,8 @@ class GeoReach(RangeReachBase):
 def _build_georeach(network: CondensedNetwork, **options) -> GeoReach:
     params = options.pop("params", None)
     context = options.pop("context", None)
+    kernels = options.pop("kernels", None)
     if params is None and options:
         params = GeoReachParams(**options)
         options = {}
-    return GeoReach(network, params=params, context=context)
+    return GeoReach(network, params=params, context=context, kernels=kernels)

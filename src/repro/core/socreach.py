@@ -21,6 +21,7 @@ from repro.core.base import RangeReachBase, register_method
 from repro.geometry import Rect
 from repro.geosocial.columnar import PostOrderSlabs, build_post_slabs
 from repro.geosocial.scc_handling import CondensedNetwork
+from repro.kernels import make_slab_kernel, resolve_backend
 from repro.labeling import IntervalLabeling
 from repro.obs import instruments as _inst
 from repro.obs.metrics import enabled as _obs_enabled
@@ -52,27 +53,41 @@ class SocReach(RangeReachBase):
         stride: int = 1,
         descendant_access: str = "array",
         context: BuildContext | None = None,
+        kernels: str | None = None,
     ) -> None:
         if descendant_access not in ("array", "bptree"):
             raise ValueError("descendant_access must be 'array' or 'bptree'")
         self._network = network
         self._access = descendant_access
+        self._skernel = None
         if labeling is not None:
             # An explicit labeling carries its own stride; the keyword
             # only steers context builds.
             self._labeling = labeling
+            self.kernels = resolve_backend(kernels)
             slabs = None if descendant_access == "bptree" else build_post_slabs(
                 network, labeling
             )
+            if slabs is not None:
+                self._skernel = make_slab_kernel(
+                    self.kernels, slabs, labeling.stride
+                )
         else:
             if context is None:
-                context = BuildContext(network)
+                context = BuildContext(network, kernels=kernels)
+            self.kernels = (
+                context.kernels if kernels is None else resolve_backend(kernels)
+            )
             self._labeling = context.labeling(mode=mode, stride=stride)
             slabs = (
                 None
                 if descendant_access == "bptree"
                 else context.post_slabs(mode=mode, stride=stride)
             )
+            if slabs is not None:
+                self._skernel = context.slab_kernel(
+                    mode=mode, stride=stride, backend=self.kernels
+                )
         if descendant_access == "bptree":
             from repro.relational import BPlusTree
 
@@ -136,14 +151,14 @@ class SocReach(RangeReachBase):
                         if contains(point):
                             return True
             return False
-        slabs = self._slabs
-        offsets = slabs.offsets
-        xs, ys = slabs.xs, slabs.ys
-        any_contained = region.any_contained
+        offsets = self._slabs.offsets
+        # Both backends route through the slab kernel; the python kernel
+        # is the verbatim ``Rect.any_contained`` scan.
+        any_in_flat = self._skernel.any_in_flat
         for start, end in self._slot_ranges(source):
             if end < start:
                 continue
-            if any_contained(xs, ys, offsets[start - 1], offsets[end]):
+            if any_in_flat(region, offsets[start - 1], offsets[end]):
                 return True
         return False
 
@@ -171,16 +186,14 @@ class SocReach(RangeReachBase):
                 if answer:
                     break
         else:
-            slabs = self._slabs
-            offsets = slabs.offsets
-            xs, ys = slabs.xs, slabs.ys
-            first_contained = region.first_contained
+            offsets = self._slabs.offsets
+            first_in_flat = self._skernel.first_in_flat
             for start, end in self._slot_ranges(source):
                 labels_probed += 1
                 if end < start:
                     continue
                 a, b = offsets[start - 1], offsets[end]
-                idx = first_contained(xs, ys, a, b)
+                idx = first_in_flat(region, a, b)
                 if idx < 0:
                     # A miss visits every slot of the label and tests
                     # every point in its flat range.
@@ -247,8 +260,7 @@ class SocReach(RangeReachBase):
     def _batch_array(
         self, resolved: list[tuple[int, Rect]]
     ) -> list[bool]:
-        slabs = self._slabs
-        xs, ys = slabs.xs, slabs.ys
+        any_in_flat = self._skernel.any_in_flat
         ranges_of: dict[int, tuple[tuple[int, int], ...]] = {}
         memo: dict[tuple[int, tuple], bool] = {}
         answers: list[bool] = []
@@ -260,9 +272,8 @@ class SocReach(RangeReachBase):
                 if ranges is None:
                     ranges = ranges_of[source] = self._flat_ranges(source)
                 answer = False
-                any_contained = region.any_contained
                 for a, b in ranges:
-                    if any_contained(xs, ys, a, b):
+                    if any_in_flat(region, a, b):
                         answer = True
                         break
                 memo[key] = answer

@@ -20,6 +20,7 @@ from repro.obs.metrics import enabled as _obs_enabled
 from repro.obs.trace import span as _span
 from repro.geosocial.scc_handling import SCC_MODES, CondensedNetwork, SccMode
 from repro.graph.digraph import DiGraph
+from repro.kernels import make_bfl_kernel, resolve_backend
 from repro.reach import (
     BflReach,
     BfsReach,
@@ -82,11 +83,15 @@ class SpaReach(RangeReachBase):
         streaming: bool = False,
         spatial_index: str = "rtree",
         context: BuildContext | None = None,
+        kernels: str | None = None,
     ) -> None:
         if scc_mode not in SCC_MODES:
             raise ValueError(f"scc_mode must be one of {SCC_MODES}")
         if context is None:
-            context = BuildContext(network)
+            context = BuildContext(network, kernels=kernels)
+        self.kernels = (
+            context.kernels if kernels is None else resolve_backend(kernels)
+        )
         if isinstance(reach_index, str):
             try:
                 factory = _REACH_FACTORIES[reach_index]
@@ -157,6 +162,19 @@ class SpaReach(RangeReachBase):
             else:
                 self._rtree = UniformGridIndex.bulk_load(entries, extent)
 
+        # Candidate verification routes through the point kernel (the
+        # python kernel is the verbatim columnar scan); the batched BFL
+        # kernel answers whole candidate lists when the reachability
+        # index is BFL and the backend is numpy.
+        self._pkernel = context.point_kernel(backend=self.kernels)
+        if self.kernels == "numpy" and isinstance(self._reach, BflReach):
+            if reach_index == "bfl":
+                self._bkernel = context.bfl_kernel(backend="numpy")
+            else:
+                self._bkernel = make_bfl_kernel("numpy", self._reach)
+        else:
+            self._bkernel = None
+
         # Per-method work counters (the two cost drivers the paper's
         # analysis discusses), resolved once so the query path is a
         # bound Counter.inc.
@@ -188,7 +206,29 @@ class SpaReach(RangeReachBase):
                 candidates = self._rtree.search_all(query_bounds)
                 candidates_seen = len(candidates)
                 counted_upfront = True
-            if self._scc_mode == "replicate":
+            if self._bkernel is not None and counted_upfront:
+                # Batched BFL path: one vectorized interval + filter pass
+                # over the whole (deduplicated, MBR-verified) candidate
+                # list; survivors fall back to the pruned DFS inside the
+                # kernel.  Same answer as the scalar series of GReach
+                # tests — without the early exit, so the probe tally is
+                # the full candidate count.
+                distinct = list(dict.fromkeys(candidates))
+                if self._scc_mode == "mbr":
+                    verified = len(distinct)
+                    distinct = [
+                        c
+                        for c in distinct
+                        if self._pkernel.component_hits_region(
+                            network, c, region
+                        )
+                    ]
+                    reach_tests = len(distinct)
+                else:
+                    reach_tests = len(distinct)
+                    verified = reach_tests
+                answer = self._bkernel.any_reaches(source, distinct)
+            elif self._scc_mode == "replicate":
                 # Candidates arrive per point; distinct points of one SCC
                 # map to the same super-vertex, so memoise the outcome.
                 tested: set[int] = set()
@@ -211,7 +251,9 @@ class SpaReach(RangeReachBase):
                     if not counted_upfront:
                         candidates_seen += 1
                     verified += 1
-                    if network.component_hits_region(component, region):
+                    if self._pkernel.component_hits_region(
+                        network, component, region
+                    ):
                         reach_tests += 1
                         if reaches(source, component):
                             answer = True
@@ -266,22 +308,32 @@ class SpaReach(RangeReachBase):
                     verified += len(distinct)
                     distinct = [
                         c for c in distinct
-                        if network.component_hits_region(c, region)
+                        if self._pkernel.component_hits_region(
+                            network, c, region
+                        )
                     ]
                 candidates_of[rkey] = distinct
             memo: dict[tuple[int, tuple], bool] = {}
             reach_tests = 0
+            any_reaches = (
+                self._bkernel.any_reaches if self._bkernel is not None else None
+            )
             answers: list[bool] = []
             for source, _, rkey in resolved:
                 key = (source, rkey)
                 answer = memo.get(key)
                 if answer is None:
-                    answer = False
-                    for component in candidates_of[rkey]:
-                        reach_tests += 1
-                        if reaches(source, component):
-                            answer = True
-                            break
+                    if any_reaches is not None:
+                        components = candidates_of[rkey]
+                        reach_tests += len(components)
+                        answer = any_reaches(source, components)
+                    else:
+                        answer = False
+                        for component in candidates_of[rkey]:
+                            reach_tests += 1
+                            if reaches(source, component):
+                                answer = True
+                                break
                     memo[key] = answer
                 answers.append(answer)
             if _obs_enabled():

@@ -15,7 +15,9 @@ from typing import Sequence
 
 from repro.core.base import RangeReachBase, register_method
 from repro.geometry import Rect
+from repro.geosocial.columnar import build_post_slabs
 from repro.geosocial.scc_handling import SCC_MODES, CondensedNetwork, SccMode
+from repro.kernels import make_slab_kernel, resolve_backend
 from repro.labeling import IntervalLabeling
 from repro.obs import instruments as _inst
 from repro.obs.metrics import enabled as _obs_enabled
@@ -36,6 +38,7 @@ class ThreeDReach(RangeReachBase):
         stride: int = 1,
         rtree_capacity: int = 16,
         context: BuildContext | None = None,
+        kernels: str | None = None,
     ) -> None:
         if scc_mode not in SCC_MODES:
             raise ValueError(f"scc_mode must be one of {SCC_MODES}")
@@ -70,12 +73,33 @@ class ThreeDReach(RangeReachBase):
             self._rtree = RTree.bulk_load(
                 entries, dims=3, capacity=rtree_capacity
             )
+            self.kernels = resolve_backend(kernels)
+            self._skernel = (
+                make_slab_kernel(
+                    "numpy",
+                    build_post_slabs(network, labeling),
+                    labeling.stride,
+                )
+                if self.kernels == "numpy"
+                else None
+            )
         else:
             if context is None:
-                context = BuildContext(network)
+                context = BuildContext(network, kernels=kernels)
+            self.kernels = (
+                context.kernels if kernels is None else resolve_backend(kernels)
+            )
             self._labeling = context.labeling(mode=mode, stride=stride)
             self._rtree = context.point_rtree_3d(
                 scc_mode, mode=mode, stride=stride, capacity=rtree_capacity
+            )
+            # The numpy backend answers each cuboid with one slab sweep
+            # (identical slot arithmetic to SocReach); python keeps the
+            # R-tree descent as the oracle path.
+            self._skernel = (
+                context.slab_kernel(mode=mode, stride=stride, backend="numpy")
+                if self.kernels == "numpy"
+                else None
             )
 
     # ------------------------------------------------------------------
@@ -91,6 +115,15 @@ class ThreeDReach(RangeReachBase):
         network = self._network
         source = network.super_of(v)
         rtree = self._rtree
+        if self._skernel is not None:
+            # Each cuboid (R x [lo, hi]) contains an indexed point iff
+            # the post-order slab sweep over the same z-range hits R —
+            # in both SCC modes the witness is a member point.
+            any_in_zrange = self._skernel.any_in_zrange
+            for lo, hi in self._labeling.labels_of(source):
+                if any_in_zrange(region, lo, hi):
+                    return True
+            return False
         if self._scc_mode == "replicate":
             # One cuboid per label; the first contained point wins.
             for lo, hi in self._labeling.labels_of(source):
@@ -117,7 +150,14 @@ class ThreeDReach(RangeReachBase):
         cuboids = 0
         verified = 0
         answer = False
-        if self._scc_mode == "replicate":
+        if self._skernel is not None:
+            any_in_zrange = self._skernel.any_in_zrange
+            for lo, hi in self._labeling.labels_of(source):
+                cuboids += 1
+                if any_in_zrange(region, lo, hi):
+                    answer = True
+                    break
+        elif self._scc_mode == "replicate":
             for lo, hi in self._labeling.labels_of(source):
                 cuboids += 1
                 cuboid = (region.xlo, region.ylo, lo,
@@ -179,12 +219,21 @@ class ThreeDReach(RangeReachBase):
             cuboids = 0
             verified = 0
             replicate = self._scc_mode == "replicate"
+            sweep = (
+                self._skernel.any_in_zrange if self._skernel is not None else None
+            )
             for (source, rkey), region in sorted(
                 unique.items(), key=z_of
             ):
                 answer = False
                 for lo, hi in labels_of(source):
                     cuboids += 1
+                    if sweep is not None:
+                        if sweep(region, lo, hi):
+                            answer = True
+                        if answer:
+                            break
+                        continue
                     cuboid = (region.xlo, region.ylo, lo,
                               region.xhi, region.yhi, hi)
                     if replicate:

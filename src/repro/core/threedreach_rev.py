@@ -17,6 +17,7 @@ from repro.core.base import RangeReachBase, register_method
 from repro.core.deprecation import warn_deprecated
 from repro.geometry import Rect
 from repro.geosocial.scc_handling import SCC_MODES, CondensedNetwork, SccMode
+from repro.kernels import make_segment_kernel, resolve_backend
 from repro.labeling import IntervalLabeling
 from repro.obs import instruments as _inst
 from repro.obs.metrics import enabled as _obs_enabled
@@ -43,6 +44,7 @@ class ThreeDReachRev(RangeReachBase):
         rtree_capacity: int = 16,
         context: BuildContext | None = None,
         reversed_labeling: IntervalLabeling | None = None,
+        kernels: str | None = None,
     ) -> None:
         if scc_mode not in SCC_MODES:
             raise ValueError(f"scc_mode must be one of {SCC_MODES}")
@@ -90,12 +92,30 @@ class ThreeDReachRev(RangeReachBase):
             self._rtree = RTree.bulk_load(
                 entries(), dims=3, capacity=rtree_capacity
             )
+            self.kernels = resolve_backend(kernels)
+            self._gkernel = (
+                make_segment_kernel("numpy", network, labeling)
+                if self.kernels == "numpy"
+                else None
+            )
         else:
             if context is None:
-                context = BuildContext(network)
+                context = BuildContext(network, kernels=kernels)
+            self.kernels = (
+                context.kernels if kernels is None else resolve_backend(kernels)
+            )
             self._labeling = context.reversed_labeling(mode=mode)
             self._rtree = context.segment_rtree_3d(
                 scc_mode, mode=mode, capacity=rtree_capacity
+            )
+            # The numpy backend sweeps the flattened (point, label)
+            # segment columns; since a slab hit in either SCC mode is
+            # witnessed by a member point, one replicate-shaped kernel
+            # answers both.  Python keeps the R-tree as the oracle.
+            self._gkernel = (
+                context.segment_kernel(mode=mode, backend="numpy")
+                if self.kernels == "numpy"
+                else None
             )
 
     # ------------------------------------------------------------------
@@ -106,7 +126,11 @@ class ThreeDReachRev(RangeReachBase):
             z = float(self._labeling.post_of(source))
             slab = (region.xlo, region.ylo, z, region.xhi, region.yhi, z)
             verified = 0
-            if self._scc_mode == "replicate":
+            if self._gkernel is not None:
+                answer = self._gkernel.any_at(
+                    region, self._labeling.post_of(source)
+                )
+            elif self._scc_mode == "replicate":
                 # Segments are degenerate in x/y, so box intersection with
                 # the slab is exact: any hit is a witness.
                 answer = self._rtree.any_intersecting(slab) is not None
@@ -154,11 +178,14 @@ class ThreeDReachRev(RangeReachBase):
             memo: dict[tuple[float, tuple], bool] = {}
             verified = 0
             replicate = self._scc_mode == "replicate"
+            sweep = self._gkernel.any_at if self._gkernel is not None else None
             for (z, rkey) in sorted(unique):
                 region = unique[(z, rkey)]
                 slab = (region.xlo, region.ylo, z,
                         region.xhi, region.yhi, z)
-                if replicate:
+                if sweep is not None:
+                    answer = sweep(region, int(z))
+                elif replicate:
                     answer = rtree.any_intersecting(slab) is not None
                 else:
                     answer = False

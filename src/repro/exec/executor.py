@@ -173,22 +173,30 @@ class ParallelExecutor:
         elif timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive")
         batch = _batch_callable(target)
+        # Worker chunk tallies carry the target's kernel backend so a
+        # mixed fleet (numpy + python databases behind one executor)
+        # stays separable in the exported series.
+        backend = getattr(target, "kernels", None) or "none"
         started = time.perf_counter()
         mode = "sequential"
         try:
             with _span("exec.batch"):
                 if self._workers <= 1 or len(pairs) == 1:
-                    answers = self._run_sequential(batch, pairs, timeout)
+                    answers = self._run_sequential(
+                        batch, pairs, timeout, backend
+                    )
                 else:
                     pool = self._get_pool()
                     if pool is None:
                         if _obs_enabled():
                             _inst.EXEC_FALLBACKS.inc()
-                        answers = self._run_sequential(batch, pairs, timeout)
+                        answers = self._run_sequential(
+                            batch, pairs, timeout, backend
+                        )
                     else:
                         mode = "parallel"
                         answers = self._run_parallel(
-                            pool, batch, pairs, timeout
+                            pool, batch, pairs, timeout, backend
                         )
         except BatchTimeoutError as exc:
             # A timed-out batch must still reconcile in the metrics:
@@ -238,6 +246,7 @@ class ParallelExecutor:
         batch,
         pairs: list[tuple[int, Rect]],
         timeout: float | None,
+        backend: str,
     ) -> list[bool]:
         chunks = self._chunks(pairs)
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -276,7 +285,7 @@ class ParallelExecutor:
                 ) from None
             answers.extend(result)
             if _obs_enabled():
-                _inst.EXEC_CHUNKS.labels(worker=worker).inc()
+                _inst.EXEC_CHUNKS.labels(worker=worker, backend=backend).inc()
         return answers
 
     def _run_sequential(
@@ -284,6 +293,7 @@ class ParallelExecutor:
         batch,
         pairs: list[tuple[int, Rect]],
         timeout: float | None,
+        backend: str,
     ) -> list[bool]:
         if timeout is None:
             # One vectorized evaluation over the whole batch — no chunk
@@ -310,5 +320,5 @@ class ParallelExecutor:
             with _span(f"exec.chunk[{i}]"):
                 answers.extend(batch(chunk))
             if _obs_enabled():
-                _inst.EXEC_CHUNKS.labels(worker=worker).inc()
+                _inst.EXEC_CHUNKS.labels(worker=worker, backend=backend).inc()
         return answers

@@ -1,0 +1,48 @@
+"""Vectorized twins of the hot pure-python inner loops.
+
+The columnar core (CSR columns, post-order slabs, flattened label
+arrays) is exactly the shape that vectorizes: every method bottoms out
+in a handful of scans — slab interval scans, ``Rect`` containment
+probes over point columns, cuboid containment sweeps, BFL
+set-containment filter checks, and interval-label coverage tests.
+This package provides two interchangeable implementations of each:
+
+* ``python`` — thin wrappers over the existing pure-python scans.
+  This is the behavioral oracle: it delegates to the exact same code
+  (``Rect.any_contained``, ``BflReach.reaches``,
+  ``intervals_cover``, ...) the methods ran before the kernel layer
+  existed.
+* ``numpy`` — batched array kernels over zero-copy views of the same
+  columnar buffers.  Answers are bit-identical to the python twins;
+  only the evaluation strategy (and therefore some *work counters*)
+  differs.
+
+The backend is selected per :class:`~repro.pipeline.BuildContext` /
+method via the ``kernels="numpy"|"python"`` knob, the
+``REPRO_KERNELS`` environment variable, or — by default — ``numpy``
+whenever the module imports.  See :mod:`repro.kernels.backend`.
+"""
+
+from repro.kernels.backend import (
+    BACKENDS,
+    default_backend,
+    numpy_available,
+    resolve_backend,
+)
+from repro.kernels.bfl import make_bfl_kernel
+from repro.kernels.labels import make_label_kernel
+from repro.kernels.points import make_point_kernel
+from repro.kernels.segments import make_segment_kernel
+from repro.kernels.slabs import make_slab_kernel
+
+__all__ = [
+    "BACKENDS",
+    "default_backend",
+    "numpy_available",
+    "resolve_backend",
+    "make_bfl_kernel",
+    "make_label_kernel",
+    "make_point_kernel",
+    "make_segment_kernel",
+    "make_slab_kernel",
+]

@@ -1,0 +1,93 @@
+"""Kernel backend selection and the shared instrumentation base.
+
+Resolution order (first match wins):
+
+1. An explicit ``kernels="numpy"|"python"`` argument.
+2. The ``REPRO_KERNELS`` environment variable.
+3. ``numpy`` when the module imports, ``python`` otherwise.
+
+Unknown values raise :class:`ValueError` naming the accepted backends;
+explicitly requesting ``numpy`` on an interpreter without it is also an
+error (the implicit default silently falls back instead).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import instruments as _inst
+from repro.obs.metrics import enabled as _obs_enabled
+
+#: Accepted values for the ``kernels=`` knob, in fallback order.
+BACKENDS = ("python", "numpy")
+
+_ENV_VAR = "REPRO_KERNELS"
+
+_numpy_ok: bool | None = None
+
+
+def numpy_available() -> bool:
+    """True when ``import numpy`` succeeds (checked once per process)."""
+    global _numpy_ok
+    if _numpy_ok is None:
+        try:
+            import numpy  # noqa: F401
+
+            _numpy_ok = True
+        except Exception:  # pragma: no cover - numpy-less interpreter
+            _numpy_ok = False
+    return _numpy_ok
+
+
+def _validated(value: object, source: str) -> str:
+    backend = str(value).strip().lower()
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {value!r} (from {source}): "
+            f"expected one of {', '.join(BACKENDS)}"
+        )
+    if backend == "numpy" and not numpy_available():
+        raise ValueError(
+            f"kernel backend 'numpy' requested via {source} "
+            "but numpy is not importable"
+        )
+    return backend
+
+
+def default_backend() -> str:
+    """The backend used when no explicit ``kernels=`` is given."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return _validated(env, source=f"${_ENV_VAR}")
+    return "numpy" if numpy_available() else "python"
+
+
+def resolve_backend(kernels: str | None) -> str:
+    """Resolve the ``kernels=`` knob to a concrete backend name.
+
+    Also flips the ``repro_kernel_backend`` gauge for the resolved
+    backend so ``/metrics`` shows which backends have served traffic.
+    """
+    if kernels is None:
+        backend = default_backend()
+    else:
+        backend = _validated(kernels, source="kernels=")
+    if _obs_enabled():
+        _inst.KERNEL_BACKEND.labels(backend=backend).set(1)
+    return backend
+
+
+class KernelBase:
+    """Shared bookkeeping: backend name + per-kernel invocation counter."""
+
+    __slots__ = ("backend", "_invocations")
+
+    def __init__(self, kernel: str, backend: str) -> None:
+        self.backend = backend
+        self._invocations = _inst.KERNEL_INVOCATIONS.labels(
+            kernel=kernel, backend=backend
+        )
+
+    def _count(self) -> None:
+        if _obs_enabled():
+            self._invocations.inc()

@@ -1,0 +1,120 @@
+"""Batched BFL reachability checks over :class:`~repro.reach.bfl.BflReach`.
+
+SpaReach's candidate loop asks "does the source reach *any* of these
+components?".  The numpy kernel answers most candidates without touching
+python: the post-order interval test (definitely-reachable) and the
+Bloom-filter set-containment rule-out are both vectorized over the whole
+candidate batch; only the survivors — candidates neither proven nor
+ruled out — fall back to the pruned-DFS ``BflReach.reaches``, exactly
+like the scalar path.  Answers are therefore identical to the python
+twin by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.kernels.backend import KernelBase
+from repro.reach.bfl import BflReach
+
+
+class PythonBflKernel(KernelBase):
+    """Oracle twin: the scalar ``BflReach.reaches`` loop, unchanged."""
+
+    __slots__ = ("_reach",)
+
+    def __init__(self, reach: BflReach) -> None:
+        super().__init__("bfl", "python")
+        self._reach = reach
+
+    @property
+    def reach(self) -> BflReach:
+        return self._reach
+
+    def any_reaches(self, source: int, targets: Sequence[int]) -> bool:
+        self._count()
+        reaches = self._reach.reaches
+        return any(reaches(source, target) for target in targets)
+
+    def reaches_many(self, source: int, targets: Sequence[int]) -> list[bool]:
+        self._count()
+        reaches = self._reach.reaches
+        return [reaches(source, target) for target in targets]
+
+
+class NumpyBflKernel(KernelBase):
+    """Vectorized interval + filter tests; DFS fallback for survivors."""
+
+    __slots__ = ("_reach", "_np", "_post", "_min_post", "_out", "_in")
+
+    def __init__(self, reach: BflReach) -> None:
+        super().__init__("bfl", "numpy")
+        import numpy as np
+
+        self._reach = reach
+        self._np = np
+        state = reach.state()
+        self._post = np.asarray(state["post"], dtype=np.int64)
+        self._min_post = np.asarray(state["min_post"], dtype=np.int64)
+        words = (int(state["filter_bits"]) + 63) // 64
+        self._out = self._pack(state["out_filters"], words)
+        self._in = self._pack(state["in_filters"], words)
+
+    @property
+    def reach(self) -> BflReach:
+        return self._reach
+
+    def _pack(self, filters: Sequence[int], words: int):
+        np = self._np
+        mask = (1 << 64) - 1
+        packed = np.empty((len(filters), words), dtype=np.uint64)
+        for i, value in enumerate(filters):
+            for w in range(words):
+                packed[i, w] = (value >> (64 * w)) & mask
+        return packed
+
+    def _survivors(self, source: int, targets):
+        """(definitely_reaches_mask, undecided_target_array)."""
+        np = self._np
+        posts = self._post[targets]
+        definite = (posts >= self._min_post[source]) & (posts <= self._post[source])
+        ruled_out = np.bitwise_and(self._out[targets], ~self._out[source]).any(
+            axis=1
+        ) | np.bitwise_and(self._in[source], ~self._in[targets]).any(axis=1)
+        return definite, targets[~definite & ~ruled_out]
+
+    def any_reaches(self, source: int, targets: Sequence[int]) -> bool:
+        self._count()
+        np = self._np
+        batch = np.asarray(targets, dtype=np.int64)
+        if batch.size == 0:
+            return False
+        definite, undecided = self._survivors(source, batch)
+        if bool(definite.any()):
+            return True
+        reaches = self._reach.reaches
+        return any(reaches(source, int(target)) for target in undecided)
+
+    def reaches_many(self, source: int, targets: Sequence[int]) -> list[bool]:
+        self._count()
+        np = self._np
+        batch = np.asarray(targets, dtype=np.int64)
+        if batch.size == 0:
+            return []
+        definite, undecided = self._survivors(source, batch)
+        answers = definite.copy()
+        if undecided.size:
+            reaches = self._reach.reaches
+            resolved = {
+                int(target): reaches(source, int(target)) for target in undecided
+            }
+            for i, target in enumerate(batch):
+                if not answers[i] and int(target) in resolved:
+                    answers[i] = resolved[int(target)]
+        return [bool(a) for a in answers]
+
+
+def make_bfl_kernel(backend: str, reach: BflReach):
+    if backend == "numpy":
+        return NumpyBflKernel(reach)
+    return PythonBflKernel(reach)

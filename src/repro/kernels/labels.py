@@ -1,0 +1,86 @@
+"""Batched interval-label coverage tests over an ``IntervalLabeling``.
+
+``GeosocialQueryEngine.reaches`` answers "does super-vertex ``su``
+reach ``sv``?" as ``su == sv or intervals_cover(labels[su],
+post[sv])``.  The labels of one source are sorted, disjoint intervals,
+so a whole batch of targets resolves with one ``searchsorted`` — this
+backs ``reaches_many`` (engine, database, and the sharded boundary
+graph's exit-set probes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.kernels.backend import KernelBase
+from repro.labeling import IntervalLabeling
+
+
+class PythonLabelKernel(KernelBase):
+    """Oracle twin: scalar ``greach`` probes, unchanged."""
+
+    __slots__ = ("_labeling",)
+
+    def __init__(self, labeling: IntervalLabeling) -> None:
+        super().__init__("labels", "python")
+        self._labeling = labeling
+
+    @property
+    def labeling(self) -> IntervalLabeling:
+        return self._labeling
+
+    def covers_many(
+        self, source_super: int, target_supers: Sequence[int]
+    ) -> list[bool]:
+        self._count()
+        labeling = self._labeling
+        return [
+            target == source_super or labeling.greach(source_super, target)
+            for target in target_supers
+        ]
+
+
+class NumpyLabelKernel(KernelBase):
+    __slots__ = ("_labeling", "_np", "_post")
+
+    def __init__(self, labeling: IntervalLabeling) -> None:
+        super().__init__("labels", "numpy")
+        import numpy as np
+
+        self._labeling = labeling
+        self._np = np
+        self._post = np.asarray(
+            [labeling.post_of(v) for v in range(labeling.num_vertices)],
+            dtype=np.int64,
+        )
+
+    @property
+    def labeling(self) -> IntervalLabeling:
+        return self._labeling
+
+    def covers_many(
+        self, source_super: int, target_supers: Sequence[int]
+    ) -> list[bool]:
+        self._count()
+        np = self._np
+        targets = np.asarray(target_supers, dtype=np.int64)
+        if targets.size == 0:
+            return []
+        same = targets == source_super
+        labels = self._labeling.labels_of(source_super)
+        if not labels:
+            return [bool(s) for s in same]
+        los = np.asarray([lo for lo, _ in labels], dtype=np.int64)
+        his = np.asarray([hi for _, hi in labels], dtype=np.int64)
+        posts = self._post[targets]
+        # Labels are sorted and disjoint: the only interval that can
+        # cover ``post`` is the last one starting at or before it.
+        idx = np.searchsorted(los, posts, side="right") - 1
+        covered = (idx >= 0) & (posts <= his[idx.clip(0)])
+        return [bool(c) for c in (covered | same)]
+
+
+def make_label_kernel(backend: str, labeling: IntervalLabeling):
+    if backend == "numpy":
+        return NumpyLabelKernel(labeling)
+    return PythonLabelKernel(labeling)

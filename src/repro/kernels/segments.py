@@ -1,0 +1,109 @@
+"""Segment-sweep kernels for 3DReach-Rev.
+
+3DReach-Rev stores, per member point of a component ``c`` and per
+*reversed* label ``[lo, hi]`` of ``c``, the vertical segment ``(x, y,
+lo)–(x, y, hi)``; a query intersects the horizontal slab at ``z =
+post_rev(source)`` with the query rectangle.  The kernel flattens those
+segments into four parallel columns and answers the slab probe with one
+mask sweep: ``zlo <= z <= zhi`` and ``(x, y)`` in region.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING
+
+from repro.geometry import Rect
+from repro.kernels.backend import KernelBase
+from repro.labeling import IntervalLabeling
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.geosocial.scc_handling import CondensedNetwork
+
+
+def _flatten(
+    network: "CondensedNetwork", labeling: IntervalLabeling
+) -> tuple[array, array, array, array]:
+    xs = array("d")
+    ys = array("d")
+    zlo = array("q")
+    zhi = array("q")
+    for point, component in network.replicate_entries():
+        for lo, hi in labeling.labels_of(component):
+            xs.append(point.x)
+            ys.append(point.y)
+            zlo.append(lo)
+            zhi.append(hi)
+    return xs, ys, zlo, zhi
+
+
+class PythonSegmentKernel(KernelBase):
+    """Oracle twin: scalar sweep over the same flattened segments."""
+
+    __slots__ = ("_xs", "_ys", "_zlo", "_zhi")
+
+    def __init__(
+        self, network: "CondensedNetwork", labeling: IntervalLabeling
+    ) -> None:
+        super().__init__("segments", "python")
+        self._xs, self._ys, self._zlo, self._zhi = _flatten(network, labeling)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._xs)
+
+    def any_at(self, region: Rect, z: int) -> bool:
+        self._count()
+        zlo, zhi = self._zlo, self._zhi
+        xs, ys = self._xs, self._ys
+        for i in range(len(xs)):
+            if (
+                zlo[i] <= z <= zhi[i]
+                and region.xlo <= xs[i] <= region.xhi
+                and region.ylo <= ys[i] <= region.yhi
+            ):
+                return True
+        return False
+
+
+class NumpySegmentKernel(KernelBase):
+    __slots__ = ("_np", "_xs", "_ys", "_zlo", "_zhi")
+
+    def __init__(
+        self, network: "CondensedNetwork", labeling: IntervalLabeling
+    ) -> None:
+        super().__init__("segments", "numpy")
+        import numpy as np
+
+        self._np = np
+        xs, ys, zlo, zhi = _flatten(network, labeling)
+        self._xs = np.frombuffer(xs, dtype=np.float64)
+        self._ys = np.frombuffer(ys, dtype=np.float64)
+        self._zlo = np.frombuffer(zlo, dtype=np.int64)
+        self._zhi = np.frombuffer(zhi, dtype=np.int64)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._xs)
+
+    def any_at(self, region: Rect, z: int) -> bool:
+        self._count()
+        if not len(self._xs):
+            return False
+        mask = (
+            (self._zlo <= z)
+            & (z <= self._zhi)
+            & (self._xs >= region.xlo)
+            & (self._xs <= region.xhi)
+            & (self._ys >= region.ylo)
+            & (self._ys <= region.yhi)
+        )
+        return bool(mask.any())
+
+
+def make_segment_kernel(
+    backend: str, network: "CondensedNetwork", labeling: IntervalLabeling
+):
+    if backend == "numpy":
+        return NumpySegmentKernel(network, labeling)
+    return PythonSegmentKernel(network, labeling)

@@ -157,8 +157,8 @@ EXEC_BATCH_QUERIES = REGISTRY.counter(
 )
 EXEC_CHUNKS = REGISTRY.counter_family(
     "repro_exec_chunks_total",
-    "Batch chunks executed, by the worker thread that ran them.",
-    label_names=("worker",),
+    "Batch chunks executed, by worker thread and kernel backend.",
+    label_names=("worker", "backend"),
 )
 EXEC_FALLBACKS = REGISTRY.counter(
     "repro_exec_sequential_fallbacks_total",
@@ -246,6 +246,24 @@ SHARD_DELTA_OPS = REGISTRY.gauge_family(
     "repro_shard_delta_ops",
     "Operations currently logged against each shard's live snapshot.",
     label_names=("shard",),
+)
+SHARD_BOUNDARY_PROBES = REGISTRY.counter(
+    "repro_shard_boundary_probes_total",
+    "Exit-set reachability probes issued by the boundary-graph planner.",
+)
+
+# ----------------------------------------------------------------------
+# Vectorized kernels (repro.kernels)
+# ----------------------------------------------------------------------
+KERNEL_BACKEND = REGISTRY.gauge_family(
+    "repro_kernel_backend",
+    "1 for every kernel backend that has been resolved in this process.",
+    label_names=("backend",),
+)
+KERNEL_INVOCATIONS = REGISTRY.counter_family(
+    "repro_kernel_invocations_total",
+    "Kernel probe invocations, by kernel kind and backend.",
+    label_names=("kernel", "backend"),
 )
 
 # ----------------------------------------------------------------------

@@ -44,6 +44,14 @@ from repro.geosocial.scc_handling import (
     SccMode,
     condense_network,
 )
+from repro.kernels import (
+    make_bfl_kernel,
+    make_label_kernel,
+    make_point_kernel,
+    make_segment_kernel,
+    make_slab_kernel,
+    resolve_backend,
+)
 from repro.labeling import (
     IntervalLabeling,
     build_labeling,
@@ -65,9 +73,18 @@ class BuildContext:
             :class:`GeosocialNetwork` (condensed lazily, at most once) or
             a pre-built :class:`CondensedNetwork` (seeded into the cache;
             accessing it counts as a hit, never a rebuild).
+        kernels: inner-loop backend, ``"numpy"`` or ``"python"``
+            (default: :func:`repro.kernels.resolve_backend` — the
+            ``REPRO_KERNELS`` env var, falling back to numpy when
+            importable).  Methods built through this context inherit it
+            unless they pass their own ``kernels=``.
     """
 
-    def __init__(self, source: GeosocialNetwork | CondensedNetwork) -> None:
+    def __init__(
+        self,
+        source: GeosocialNetwork | CondensedNetwork,
+        kernels: str | None = None,
+    ) -> None:
         if isinstance(source, CondensedNetwork):
             self._network = source.network
             seed: CondensedNetwork | None = source
@@ -83,6 +100,12 @@ class BuildContext:
         self._hits: dict[ArtifactKey, int] = {}
         self._misses: dict[ArtifactKey, int] = {}
         self._build_seconds: dict[ArtifactKey, float] = {}
+        # Kernels are *derived* accelerators over cached artifacts, not
+        # artifacts themselves: they never enter ``_artifacts`` (the
+        # snapshot writer rejects unknown kinds) so snapshots stay
+        # backend-independent by construction.
+        self._kernel_backend = resolve_backend(kernels)
+        self._kernel_cache: dict[tuple, object] = {}
         if seed is not None:
             self._artifacts[("condense",)] = seed
 
@@ -318,6 +341,92 @@ class BuildContext:
         )
 
     # ------------------------------------------------------------------
+    # Kernels (derived, non-persisted accelerators)
+    # ------------------------------------------------------------------
+    @property
+    def kernels(self) -> str:
+        """The resolved kernel backend methods inherit from this context."""
+        return self._kernel_backend
+
+    def set_kernels(self, kernels: str | None) -> None:
+        """Re-resolve the backend (used by warm starts); clears kernel cache."""
+        backend = resolve_backend(kernels)
+        if backend != self._kernel_backend:
+            self._kernel_backend = backend
+            self._kernel_cache.clear()
+
+    def _kernel(self, key: tuple, build: Callable[[], object]):
+        kernel = self._kernel_cache.get(key)
+        if kernel is None:
+            kernel = self._kernel_cache[key] = build()
+        return kernel
+
+    def _backend(self, backend: str | None) -> str:
+        return self._kernel_backend if backend is None else resolve_backend(backend)
+
+    def slab_kernel(
+        self,
+        mode: str = "subtree",
+        stride: int = 1,
+        backend: str | None = None,
+    ):
+        """Slab-scan kernel over :meth:`post_slabs` (SocReach, cuboid sweeps)."""
+        backend = self._backend(backend)
+        return self._kernel(
+            ("slab", backend, mode, stride),
+            lambda: make_slab_kernel(
+                backend, self.post_slabs(mode=mode, stride=stride), stride
+            ),
+        )
+
+    def point_kernel(self, backend: str | None = None):
+        """Point-probe kernel over :meth:`columns` (MBR verification, GeoReach)."""
+        backend = self._backend(backend)
+        return self._kernel(
+            ("points", backend), lambda: make_point_kernel(backend, self.columns())
+        )
+
+    def bfl_kernel(
+        self,
+        filter_bits: int = 256,
+        seed: int = 7,
+        backend: str | None = None,
+    ):
+        """Batched BFL kernel over :meth:`bfl_reach` (SpaReach candidates)."""
+        backend = self._backend(backend)
+        return self._kernel(
+            ("bfl", backend, int(filter_bits), int(seed)),
+            lambda: make_bfl_kernel(
+                backend, self.bfl_reach(filter_bits=filter_bits, seed=seed)
+            ),
+        )
+
+    def label_kernel(
+        self,
+        mode: str = "subtree",
+        stride: int = 1,
+        backend: str | None = None,
+    ):
+        """Batched interval-coverage kernel over :meth:`labeling`."""
+        backend = self._backend(backend)
+        return self._kernel(
+            ("labels", backend, mode, stride),
+            lambda: make_label_kernel(
+                backend, self.labeling(mode=mode, stride=stride)
+            ),
+        )
+
+    def segment_kernel(self, mode: str = "subtree", backend: str | None = None):
+        """Segment-sweep kernel over :meth:`reversed_labeling` (3DReach-Rev)."""
+        backend = self._backend(backend)
+        return self._kernel(
+            ("segments", backend, mode),
+            lambda: make_segment_kernel(
+                backend, self.condensed(), self.reversed_labeling(mode=mode)
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # Persistence (repro.store)
     # ------------------------------------------------------------------
     def seed_artifact(self, key: ArtifactKey, artifact: object) -> None:
@@ -343,8 +452,12 @@ class BuildContext:
         return save_context(self, directory)
 
     @classmethod
-    def load(cls, directory) -> "BuildContext":
+    def load(cls, directory, kernels: str | None = None) -> "BuildContext":
         """Rebuild a context from a snapshot written by :meth:`save`.
+
+        Snapshots are backend-independent (kernels are derived, never
+        persisted), so ``kernels=`` freely re-targets a snapshot saved
+        under the other backend.
 
         Raises:
             repro.store.SnapshotError: on a missing, malformed or
@@ -352,7 +465,10 @@ class BuildContext:
         """
         from repro.store import load_context
 
-        return load_context(directory)
+        context = load_context(directory)
+        if kernels is not None:
+            context.set_kernels(kernels)
+        return context
 
     # ------------------------------------------------------------------
     # Introspection

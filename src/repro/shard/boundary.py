@@ -19,10 +19,13 @@ probe per exit candidate on a clean snapshot).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 #: reaches(shard, u_global, v_global) -> bool, intra-shard.
 ReachesFn = Callable[[int, int, int], bool]
+
+#: reaches_many(shard, u_global, candidates) -> per-candidate flags.
+ReachesManyFn = Callable[[int, int, Sequence[int]], Sequence[bool]]
 
 
 class BoundaryGraph:
@@ -87,20 +90,29 @@ class BoundaryGraph:
     # Source pruning
     # ------------------------------------------------------------------
     def frontier(
-        self, start: int, shard_of: Callable[[int], int], reaches: ReachesFn
+        self,
+        start: int,
+        shard_of: Callable[[int], int],
+        reaches: ReachesFn,
+        reaches_many: ReachesManyFn | None = None,
     ) -> dict[int, set[int]]:
         """All shards reachable from ``start``, with their entry vertices.
 
         Returns ``{shard: entry vertices}``; querying each listed shard
         from its entry vertices (and no other shard) is equivalent to
         querying the whole graph from ``start``.
+
+        With ``reaches_many`` supplied, each memo miss resolves the
+        shard's whole exit set through one batched call instead of one
+        scalar probe per candidate — the scalar ``reaches`` is then only
+        a fallback for callers without a batch path.
         """
         s0 = shard_of(start)
         sources: dict[int, set[int]] = {s0: {start}}
         queue: deque[tuple[int, int]] = deque([(s0, start)])
         while queue:
             shard, vertex = queue.popleft()
-            for exit_vertex in self._exits(shard, vertex, reaches):
+            for exit_vertex in self._exits(shard, vertex, reaches, reaches_many):
                 for target in self._succ.get(exit_vertex, ()):
                     target_shard = shard_of(target)
                     bucket = sources.setdefault(target_shard, set())
@@ -110,7 +122,11 @@ class BoundaryGraph:
         return sources
 
     def _exits(
-        self, shard: int, vertex: int, reaches: ReachesFn
+        self,
+        shard: int,
+        vertex: int,
+        reaches: ReachesFn,
+        reaches_many: ReachesManyFn | None = None,
     ) -> frozenset[int]:
         version = self._version.get(shard, 0)
         cached = self._memo.get(shard)
@@ -120,10 +136,21 @@ class BoundaryGraph:
         table = cached[1]
         exits = table.get(vertex)
         if exits is None:
-            exits = frozenset(
-                candidate
-                for candidate in self._exit_sources.get(shard, ())
-                if candidate == vertex or reaches(shard, vertex, candidate)
-            )
+            candidates = sorted(self._exit_sources.get(shard, ()))
+            if reaches_many is not None:
+                others = [c for c in candidates if c != vertex]
+                flags = (
+                    reaches_many(shard, vertex, others) if others else []
+                )
+                reached = {c for c, hit in zip(others, flags) if hit}
+                exits = frozenset(
+                    c for c in candidates if c == vertex or c in reached
+                )
+            else:
+                exits = frozenset(
+                    c
+                    for c in candidates
+                    if c == vertex or reaches(shard, vertex, c)
+                )
             table[vertex] = exits
         return exits

@@ -74,6 +74,10 @@ class _ScatterTarget:
     def __init__(self, owner: "ShardedDatabase") -> None:
         self._owner = owner
 
+    @property
+    def kernels(self) -> str:
+        return self._owner.kernels
+
     def query(self, key: tuple[int, int], region: Rect) -> bool:
         shard, local = key
         return self._owner._shards[shard].range_reach(local, region)
@@ -116,6 +120,10 @@ class ShardedDatabase(RangeReachBase):
             already holding a layout must be opened with :meth:`load`.
         bounds: grid bounds for an empty start (defaults to the unit
             square; :meth:`from_network` uses the network's SPACE).
+        kernels: inner-loop backend (``"numpy"``/``"python"``) passed to
+            every shard database; boundary-graph exit-set probes resolve
+            through each shard's batched ``reaches_many`` so the knob
+            reaches the planner too.
     """
 
     name = "sharded"
@@ -127,6 +135,7 @@ class ShardedDatabase(RangeReachBase):
         snapshot_dir: str | None = None,
         *,
         bounds: Rect | None = None,
+        kernels: str | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -140,6 +149,7 @@ class ShardedDatabase(RangeReachBase):
         self._num_shards = shards
         self._refresh_threshold = refresh_threshold
         self._snapshot_dir = snapshot_dir
+        self._kernels = kernels
         self._grid = GridSpec.for_shards(
             bounds if bounds is not None else _DEFAULT_BOUNDS, shards
         )
@@ -163,6 +173,7 @@ class ShardedDatabase(RangeReachBase):
         self._region_checks = 0
         self._region_pruned = 0
         self._source_pruned = 0
+        self._boundary_probes = 0
         self._layout_saves = 0
         self._layout_warm_starts = 0
         self._ops_since_save = 0
@@ -179,6 +190,7 @@ class ShardedDatabase(RangeReachBase):
         shards: int = 4,
         refresh_threshold: int = DEFAULT_REFRESH_THRESHOLD,
         snapshot_dir: str | None = None,
+        kernels: str | None = None,
     ) -> "ShardedDatabase":
         """Partition ``network`` into ``shards`` shards and serve it.
 
@@ -192,6 +204,7 @@ class ShardedDatabase(RangeReachBase):
             refresh_threshold=refresh_threshold,
             snapshot_dir=snapshot_dir,
             bounds=network.space() if network.num_spatial else None,
+            kernels=kernels,
         )
         assignment = partition_network(network, shards)
         database._grid = assignment.grid
@@ -205,6 +218,7 @@ class ShardedDatabase(RangeReachBase):
         snapshot_dir: str,
         *,
         refresh_threshold: int = DEFAULT_REFRESH_THRESHOLD,
+        kernels: str | None = None,
     ) -> "ShardedDatabase":
         """Warm-start a sharded database from a saved layout.
 
@@ -242,6 +256,7 @@ class ShardedDatabase(RangeReachBase):
             refresh_threshold=refresh_threshold,
             snapshot_dir=None,
             bounds=Rect(*grid["bounds"]),
+            kernels=kernels,
         )
         database._snapshot_dir = snapshot_dir
         database._grid = GridSpec(
@@ -339,6 +354,7 @@ class ShardedDatabase(RangeReachBase):
             refresh_threshold=self._refresh_threshold,
             snapshot_dir=self._shard_dir(index),
             prefer_snapshot=False,
+            kernels=self._kernels,
         )
 
     def _seeded_shard(
@@ -362,12 +378,14 @@ class ShardedDatabase(RangeReachBase):
                 refresh_threshold=self._refresh_threshold,
                 snapshot_dir=directory,
                 prefer_snapshot=True,
+                kernels=self._kernels,
             )
         return GeosocialDatabase.from_network(
             local_net,
             refresh_threshold=self._refresh_threshold,
             snapshot_dir=directory,
             prefer_snapshot=False,
+            kernels=self._kernels,
         )
 
     @staticmethod
@@ -514,12 +532,31 @@ class ShardedDatabase(RangeReachBase):
     # Scatter-gather planning
     # ------------------------------------------------------------------
     def _shard_reaches(self, shard: int, u: int, v: int) -> bool:
+        self._count_boundary_probes(1)
         local_of = self._local_of
         return self._shards[shard].reaches(local_of[u], local_of[v])
 
+    def _shard_reaches_many(
+        self, shard: int, u: int, candidates
+    ) -> list[bool]:
+        """Batched exit-set probe: one shard call for all candidates."""
+        self._count_boundary_probes(len(candidates))
+        local_of = self._local_of
+        return self._shards[shard].reaches_many(
+            local_of[u], [local_of[c] for c in candidates]
+        )
+
+    def _count_boundary_probes(self, count: int) -> None:
+        self._boundary_probes += count
+        if count and _obs_enabled():
+            _inst.SHARD_BOUNDARY_PROBES.inc(count)
+
     def _frontier(self, vertex: int) -> dict[int, set[int]]:
         return self._boundary.frontier(
-            vertex, self._shard_of.__getitem__, self._shard_reaches
+            vertex,
+            self._shard_of.__getitem__,
+            self._shard_reaches,
+            reaches_many=self._shard_reaches_many,
         )
 
     def _plan(
@@ -834,6 +871,11 @@ class ShardedDatabase(RangeReachBase):
     def num_shards(self) -> int:
         return self._num_shards
 
+    @property
+    def kernels(self) -> str:
+        """Resolved inner-loop backend (uniform across every shard)."""
+        return self._shards[0].kernels
+
     def shard_of(self, vertex: int) -> int:
         """The shard owning ``vertex`` (global id)."""
         self._check_vertex(vertex)
@@ -884,6 +926,7 @@ class ShardedDatabase(RangeReachBase):
             "region_checks": self._region_checks,
             "region_pruned": self._region_pruned,
             "source_pruned": self._source_pruned,
+            "boundary_probes": self._boundary_probes,
             "cross_edges": self._boundary.num_edges,
             "layout_saves": self._layout_saves,
             "layout_warm_starts": self._layout_warm_starts,

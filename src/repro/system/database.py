@@ -40,6 +40,7 @@ from repro.exec import UNSET as _UNSET_TIMEOUT
 from repro.geometry import Point, Rect, as_rect
 from repro.geosocial.network import GeosocialNetwork
 from repro.graph.digraph import DiGraph
+from repro.kernels import resolve_backend
 from repro.obs import instruments as _inst
 from repro.obs.metrics import enabled as _obs_enabled
 from repro.obs.trace import span as _span
@@ -64,17 +65,24 @@ class GeosocialDatabase(RangeReachBase):
             directory (atomically), so a restarted process warm-starts
             from the latest built state.  A corrupt or incompatible
             snapshot raises :class:`repro.store.SnapshotError`.
+        kernels: inner-loop backend (``"numpy"``/``"python"``) threaded
+            into every snapshot build and warm start; ``None`` uses the
+            process default (see :func:`repro.kernels.resolve_backend`).
+            Snapshots on disk are backend-independent, so a snapshot
+            saved under one backend warm-starts under the other.
     """
 
     def __init__(
         self,
         refresh_threshold: int = DEFAULT_REFRESH_THRESHOLD,
         snapshot_dir: str | None = None,
+        kernels: str | None = None,
     ) -> None:
         if refresh_threshold < 0:
             raise ValueError("refresh_threshold must be non-negative")
         self._refresh_threshold = refresh_threshold
         self._snapshot_dir = snapshot_dir
+        self.kernels = resolve_backend(kernels)
         self._graph = DiGraph(0)
         self._points: list[Point | None] = []
         self._kinds: list[str] = []
@@ -102,6 +110,7 @@ class GeosocialDatabase(RangeReachBase):
         refresh_threshold: int = DEFAULT_REFRESH_THRESHOLD,
         snapshot_dir: str | None = None,
         prefer_snapshot: bool = True,
+        kernels: str | None = None,
     ) -> "GeosocialDatabase":
         """Create a database pre-populated from a saved network.
 
@@ -119,12 +128,14 @@ class GeosocialDatabase(RangeReachBase):
         """
         if prefer_snapshot:
             database = cls(
-                refresh_threshold=refresh_threshold, snapshot_dir=snapshot_dir
+                refresh_threshold=refresh_threshold,
+                snapshot_dir=snapshot_dir,
+                kernels=kernels,
             )
             if database._engine is None:
                 database._seed_from_network(network)
             return database
-        database = cls(refresh_threshold=refresh_threshold)
+        database = cls(refresh_threshold=refresh_threshold, kernels=kernels)
         database._snapshot_dir = snapshot_dir
         database._seed_from_network(network)
         return database
@@ -457,6 +468,41 @@ class GeosocialDatabase(RangeReachBase):
             return any(engine.reaches(root, v) for root in roots)
         return False
 
+    def reaches_many(self, u: int, targets) -> list[bool]:
+        """Batched :meth:`reaches`: one source, many targets.
+
+        The boundary-graph planner resolves a shard's whole exit set in
+        one call; with a clean snapshot the batch collapses into a
+        single vectorized label sweep (numpy backend) instead of one
+        python probe per exit candidate.
+        """
+        self._check_vertex(u)
+        targets = list(targets)
+        for target in targets:
+            self._check_vertex(target)
+        if not targets:
+            return []
+        if self._engine is None:
+            if not any(p is not None for p in self._points):
+                visited = self._bfs_visited(u)
+                return [t == u or t in visited for t in targets]
+            self._snapshot()
+        engine = self._engine
+        assert engine is not None
+        if not self._has_delta():
+            return engine.reaches_many(u, targets)
+        roots, _, visited = self._overlay_frontier(u)
+        snapshot_n = self._snapshot_vertices
+        answers = []
+        for t in targets:
+            if t == u or t in visited:
+                answers.append(True)
+            elif t < snapshot_n:
+                answers.append(any(engine.reaches(root, t) for root in roots))
+            else:
+                answers.append(False)
+        return answers
+
     def _bfs_reaches(self, u: int, v: int) -> bool:
         graph = self._graph
         visited = {u}
@@ -470,6 +516,19 @@ class GeosocialDatabase(RangeReachBase):
                     visited.add(t)
                     queue.append(t)
         return False
+
+    def _bfs_visited(self, u: int) -> set[int]:
+        """Every vertex reachable from ``u`` over the live graph."""
+        graph = self._graph
+        visited = {u}
+        queue: deque[int] = deque([u])
+        while queue:
+            w = queue.popleft()
+            for t in graph.successors(w):
+                if t not in visited:
+                    visited.add(t)
+                    queue.append(t)
+        return visited
 
     def size_bytes(self) -> int:
         """Index footprint of the current snapshot (0 while stale)."""
@@ -566,7 +625,7 @@ class GeosocialDatabase(RangeReachBase):
         if not (Path(snapshot_dir) / MANIFEST_NAME).exists():
             return
         with _span("db.warm_start"):
-            context = BuildContext.load(snapshot_dir)
+            context = BuildContext.load(snapshot_dir, kernels=self.kernels)
             self._seed_from_network(context.network)
             self._engine = GeosocialQueryEngine(
                 context.condensed(), context=context
@@ -611,7 +670,7 @@ class GeosocialDatabase(RangeReachBase):
                 # Build through the shared pipeline so the rebuild's
                 # condensation/labeling land in the pipeline metrics and
                 # future snapshot artifacts can be shared.
-                context = BuildContext(network)
+                context = BuildContext(network, kernels=self.kernels)
                 self._engine = GeosocialQueryEngine(
                     context.condensed(), context=context
                 )
@@ -671,6 +730,7 @@ class GeosocialDatabase(RangeReachBase):
             "refresh_threshold": self._refresh_threshold,
             "warm_starts": self._warm_starts,
             "snapshot_saves": self._snapshot_saves,
+            "kernels": self.kernels,
         }
 
     # ------------------------------------------------------------------

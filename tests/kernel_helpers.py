@@ -1,0 +1,130 @@
+"""Shared strategies and builders for the kernel differential suite.
+
+The kernel parity tests (``test_kernel_parity.py``) and the snapshot
+cross-backend matrix (``test_kernel_store_matrix.py``) both generate
+arbitrary geosocial networks — cycles allowed, so single- and
+multi-vertex SCCs (spatial ones included) occur — plus query regions
+that deliberately include degenerate zero-area rectangles.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.geosocial import GeosocialNetwork
+from repro.graph import DiGraph
+
+#: Both kernel backends, python (oracle) first.
+BACKEND_PAIR = ("python", "numpy")
+
+coordinate = st.floats(
+    min_value=0, max_value=10, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def networks(draw, max_vertices: int = 12, max_edges: int = 36):
+    """Arbitrary geosocial networks, spatial SCCs possible.
+
+    At least one vertex is always spatial so every index builds; the
+    single-vertex case (one spatial vertex, no edges) is reachable.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = (
+        draw(st.lists(st.sampled_from(pairs), unique=True, max_size=max_edges))
+        if pairs
+        else []
+    )
+    graph = DiGraph.from_edges(n, edges)
+    points: list[Point | None] = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            points.append(Point(draw(coordinate), draw(coordinate)))
+        else:
+            points.append(None)
+    if not any(p is not None for p in points):
+        points[0] = Point(draw(coordinate), draw(coordinate))
+    return GeosocialNetwork(graph, points)
+
+
+@st.composite
+def regions(draw):
+    """Query rectangles; roughly a quarter are degenerate (zero-area)."""
+    if draw(st.integers(min_value=0, max_value=3)) == 0:
+        x = draw(coordinate)
+        y = draw(coordinate)
+        return Rect(x, y, x, y)
+    x1, x2 = sorted((draw(coordinate), draw(coordinate)))
+    y1, y2 = sorted((draw(coordinate), draw(coordinate)))
+    return Rect(x1, y1, x2, y2)
+
+
+def region_on(point: Point) -> Rect:
+    """The zero-area rectangle sitting exactly on ``point``."""
+    return Rect(point.x, point.y, point.x, point.y)
+
+
+def churn_network(seed: int, n: int = 60, edges: int = 140) -> GeosocialNetwork:
+    """A deterministic random network sized for database churn tests."""
+    rng = random.Random(seed)
+    points: list[Point | None] = []
+    kinds: list[str] = []
+    for _ in range(n):
+        if rng.random() < 0.4:
+            points.append(Point(rng.random() * 10, rng.random() * 10))
+            kinds.append("venue")
+        else:
+            points.append(None)
+            kinds.append("user")
+    if "venue" not in kinds:
+        points[0] = Point(5.0, 5.0)
+        kinds[0] = "venue"
+    graph = DiGraph(n)
+    seen: set[tuple[int, int]] = set()
+    for _ in range(edges):
+        u, v = rng.randrange(n), rng.randrange(n)
+        # Database edges always leave a user (venues are sinks).
+        if u != v and kinds[u] == "user" and (u, v) not in seen:
+            seen.add((u, v))
+            graph.add_edge(u, v)
+    return GeosocialNetwork(graph, points, kinds=kinds, name=f"churn-{seed}")
+
+
+def apply_churn(databases, ops) -> None:
+    """Apply one write stream to every database in ``databases``.
+
+    ``ops`` is a sequence of ``(op, u, v)`` with op in
+    ``{"follow", "checkin", "unfollow", "uncheckin"}``; invalid writes
+    (wrong vertex kinds, missing edges) are skipped identically for all.
+    """
+    for op, u, v in ops:
+        for db in databases:
+            try:
+                if op == "follow":
+                    db.add_follow(u, v)
+                elif op == "checkin":
+                    db.add_checkin(u, v)
+                elif op == "unfollow":
+                    db.remove_follow(u, v)
+                else:
+                    db.remove_checkin(u, v)
+            except (ValueError, IndexError):
+                pass
+
+
+@st.composite
+def churn_ops(draw, num_vertices: int, max_ops: int = 30):
+    """A random write stream over vertex ids ``0..num_vertices-1``."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_ops))):
+        op = draw(
+            st.sampled_from(("follow", "checkin", "unfollow", "uncheckin"))
+        )
+        u = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+        v = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+        ops.append((op, u, v))
+    return ops

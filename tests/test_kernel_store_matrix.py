@@ -1,0 +1,87 @@
+"""Snapshots are kernel-backend independent: the full (save, load) matrix.
+
+Kernels are derived, non-persisted artifacts — they live in the build
+context's kernel cache, never in the snapshot artifact set — so a
+snapshot written under one backend must warm-start under the other and
+answer byte-identically.  Every (save_backend, load_backend) pair is
+exercised, at both layers: raw ``BuildContext.save``/``load`` and the
+serving ``GeosocialDatabase`` snapshot/warm-start cycle.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from kernel_helpers import BACKEND_PAIR, churn_network
+from repro.core import build_methods
+from repro.geometry import Rect
+from repro.geosocial import condense_network
+from repro.kernels import numpy_available
+from repro.pipeline import BuildContext
+from repro.system import GeosocialDatabase
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend not importable"
+)
+
+METHODS = ["spareach-bfl", "georeach", "socreach", "3dreach", "3dreach-rev"]
+
+MATRIX = list(itertools.product(BACKEND_PAIR, BACKEND_PAIR))
+
+
+def _queries(n, count=25, seed=11):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        x1, x2 = sorted((rng.uniform(0, 10), rng.uniform(0, 10)))
+        y1, y2 = sorted((rng.uniform(0, 10), rng.uniform(0, 10)))
+        out.append((rng.randrange(n), Rect(x1, y1, x2, y2)))
+    return out
+
+
+@pytest.mark.parametrize("save_backend,load_backend", MATRIX)
+def test_context_matrix(tmp_path, save_backend, load_backend):
+    network = churn_network(21, n=40, edges=90)
+    condensed = condense_network(network)
+    context = BuildContext(condensed, kernels=save_backend)
+    cold = build_methods(METHODS, context=context)
+    context.save(tmp_path / "snap")
+    warm_context = BuildContext.load(tmp_path / "snap", kernels=load_backend)
+    assert warm_context.kernels == load_backend
+    warm = build_methods(METHODS, context=warm_context)
+    # The loaded context rebuilt nothing: kernels never enter the store.
+    assert warm_context.labeling_builds() == []
+    for vertex, region in _queries(network.num_vertices):
+        for name in METHODS:
+            assert cold[name].query(vertex, region) == warm[name].query(
+                vertex, region
+            ), f"{name} drifts across {save_backend}->{load_backend}"
+
+
+@pytest.mark.parametrize("save_backend,load_backend", MATRIX)
+def test_database_matrix(tmp_path, save_backend, load_backend):
+    """Snapshot under one backend, warm-start under the other."""
+    network = churn_network(22, n=40, edges=90)
+    snap = str(tmp_path / "db")
+    saved = GeosocialDatabase.from_network(
+        network, snapshot_dir=snap, kernels=save_backend
+    )
+    queries = _queries(network.num_vertices)
+    expected = saved.range_reach_many(queries)
+    assert saved.stats()["snapshot_saves"] >= 1
+    loaded = GeosocialDatabase(snapshot_dir=snap, kernels=load_backend)
+    assert loaded.kernels == load_backend
+    assert loaded.stats()["warm_starts"] == 1
+    assert loaded.range_reach_many(queries) == expected
+    # Vertex-to-vertex answers survive the backend switch too.
+    rng = random.Random(3)
+    n = network.num_vertices
+    for _ in range(10):
+        u = rng.randrange(n)
+        targets = [rng.randrange(n) for _ in range(6)]
+        assert loaded.reaches_many(u, targets) == saved.reaches_many(
+            u, targets
+        )

@@ -6,6 +6,7 @@ query vertex and region; every RangeReach method must return exactly
 what the index-free BFS oracle returns.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (
@@ -20,6 +21,7 @@ from repro.core import (
 from repro.geometry import Point, Rect
 from repro.geosocial import GeosocialNetwork, condense_network
 from repro.graph import DiGraph
+from repro.kernels import numpy_available
 from repro.pipeline import BuildContext
 
 coordinate = st.floats(
@@ -123,3 +125,41 @@ def test_shared_context_matches_independent_and_oracle(network, data):
             assert independent[name].query(v, region) == expected, (
                 f"independent {name} wrong for vertex {v}, region {region}"
             )
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+@given(networks(), st.data())
+@settings(max_examples=15, deadline=None)
+def test_all_methods_match_oracle_under_backend(backend, network, data):
+    """Every method equals the oracle under an explicitly pinned kernel
+    backend (the pure-python twins and the vectorized kernels alike)."""
+    if backend == "numpy" and not numpy_available():
+        pytest.skip("numpy backend not importable")
+    oracle = RangeReachOracle(network)
+    condensed = condense_network(network)
+    methods = [
+        SpaReach(condensed, reach_index="bfl", kernels=backend),
+        SpaReach(condensed, reach_index="bfl", scc_mode="mbr", kernels=backend),
+        GeoReach(condensed, kernels=backend),
+        SocReach(condensed, kernels=backend),
+        ThreeDReach(condensed, kernels=backend),
+        ThreeDReach(condensed, scc_mode="mbr", kernels=backend),
+        ThreeDReachRev(condensed, kernels=backend),
+        ThreeDReachRev(condensed, scc_mode="mbr", kernels=backend),
+    ]
+    pairs = []
+    for _ in range(5):
+        v = data.draw(st.integers(min_value=0, max_value=network.num_vertices - 1))
+        region = data.draw(regions())
+        pairs.append((v, region))
+        expected = oracle.query(v, region)
+        for method in methods:
+            assert method.kernels == backend
+            assert method.query(v, region) == expected, (
+                f"{method.name} wrong under {backend} for {v}, {region}"
+            )
+    expected_batch = [oracle.query(v, region) for v, region in pairs]
+    for method in methods:
+        assert method.query_batch(pairs) == expected_batch, (
+            f"{method.name} batch wrong under {backend}"
+        )
